@@ -1,0 +1,147 @@
+use tpi_netlist::{Circuit, NodeId};
+
+use crate::Ternary;
+
+/// A deterministic test cube: a partial primary-input assignment that
+/// detects a targeted fault. Unassigned inputs are don't-cares (filled
+/// pseudo-randomly by BIST reseeding hardware, or left for merging).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestCube {
+    /// Per primary input (in [`Circuit::inputs`] order): the required
+    /// value, `X` = don't-care.
+    values: Vec<Ternary>,
+}
+
+impl TestCube {
+    /// Wrap a per-input value vector.
+    pub fn new(values: Vec<Ternary>) -> TestCube {
+        TestCube { values }
+    }
+
+    /// The per-input requirements (in primary-input order).
+    pub fn values(&self) -> &[Ternary] {
+        &self.values
+    }
+
+    /// Number of specified (care) bits.
+    pub fn care_bits(&self) -> usize {
+        self.values.iter().filter(|v| v.is_binary()).count()
+    }
+
+    /// The assignment as `Option<bool>` per input (for display/tests).
+    pub fn assignment(&self, circuit: &Circuit) -> Vec<Option<bool>> {
+        debug_assert_eq!(self.values.len(), circuit.inputs().len());
+        self.values.iter().map(|v| v.to_bool()).collect()
+    }
+
+    /// Fill don't-cares with bits drawn from `fill` (deterministic filling
+    /// makes cube sets replayable).
+    pub fn filled_with(&self, mut fill: impl FnMut() -> bool) -> Vec<bool> {
+        self.values
+            .iter()
+            .map(|v| v.to_bool().unwrap_or_else(&mut fill))
+            .collect()
+    }
+
+    /// Whether `other` is compatible (no opposing care bits) — the
+    /// precondition for merging two cubes into one stored seed.
+    pub fn compatible(&self, other: &TestCube) -> bool {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .all(|(a, b)| match (a.to_bool(), b.to_bool()) {
+                (Some(x), Some(y)) => x == y,
+                _ => true,
+            })
+    }
+
+    /// Merge two compatible cubes (union of care bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cubes are incompatible or differently sized.
+    pub fn merged(&self, other: &TestCube) -> TestCube {
+        assert!(self.compatible(other), "merging incompatible cubes");
+        TestCube {
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(&a, &b)| if a.is_binary() { a } else { b })
+                .collect(),
+        }
+    }
+
+    /// Render as a `01X` string, e.g. `1X0`.
+    pub fn to_pattern_string(&self) -> String {
+        self.values
+            .iter()
+            .map(|v| match v {
+                Ternary::Zero => '0',
+                Ternary::One => '1',
+                Ternary::X => 'X',
+            })
+            .collect()
+    }
+
+    /// All-don't-care cube over `n` inputs.
+    pub fn all_x(n: usize) -> TestCube {
+        TestCube {
+            values: vec![Ternary::X; n],
+        }
+    }
+
+    /// Per-input requirement by node id.
+    pub fn value_for(&self, circuit: &Circuit, input: NodeId) -> Option<Ternary> {
+        circuit
+            .inputs()
+            .iter()
+            .position(|&i| i == input)
+            .map(|pos| self.values[pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn care_bits_and_pattern_string() {
+        let c = TestCube::new(vec![Ternary::One, Ternary::X, Ternary::Zero]);
+        assert_eq!(c.care_bits(), 2);
+        assert_eq!(c.to_pattern_string(), "1X0");
+    }
+
+    #[test]
+    fn fill_respects_cares() {
+        let c = TestCube::new(vec![Ternary::One, Ternary::X, Ternary::Zero]);
+        let filled = c.filled_with(|| true);
+        assert_eq!(filled, vec![true, true, false]);
+    }
+
+    #[test]
+    fn compatibility_and_merge() {
+        let a = TestCube::new(vec![Ternary::One, Ternary::X, Ternary::X]);
+        let b = TestCube::new(vec![Ternary::X, Ternary::Zero, Ternary::X]);
+        let c = TestCube::new(vec![Ternary::Zero, Ternary::X, Ternary::X]);
+        assert!(a.compatible(&b));
+        assert!(!a.compatible(&c));
+        let merged = a.merged(&b);
+        assert_eq!(merged.to_pattern_string(), "10X");
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merging_incompatible_panics() {
+        let a = TestCube::new(vec![Ternary::One]);
+        let b = TestCube::new(vec![Ternary::Zero]);
+        let _ = a.merged(&b);
+    }
+
+    #[test]
+    fn all_x_cube() {
+        let c = TestCube::all_x(4);
+        assert_eq!(c.care_bits(), 0);
+        assert_eq!(c.to_pattern_string(), "XXXX");
+    }
+}

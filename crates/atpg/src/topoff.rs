@@ -1,0 +1,293 @@
+//! Top-off cube generation: deterministic coverage of the faults a
+//! random-pattern (plus TPI) session leaves behind.
+//!
+//! When a handful of hard faults would each need their own test point,
+//! the economical alternative is *reseeding*: generate one deterministic
+//! cube per remaining fault, merge compatible cubes, and store them as
+//! LFSR seeds. This module answers the flow's final question — **how many
+//! cubes/seeds does 100% need?** — with fault-simulation-based dropping so
+//! cubes that fortuitously catch several faults are counted once.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpi_netlist::{Circuit, NetlistError};
+use tpi_sim::{Fault, FaultSimulator, PatternSource};
+
+use crate::{Podem, PodemConfig, PodemResult, TestCube};
+
+/// Result of a top-off run.
+#[derive(Clone, Debug)]
+pub struct TopoffResult {
+    /// The generated cube set, in generation order.
+    pub cubes: Vec<TestCube>,
+    /// The cube set after greedy compatibility merging (the stored-seed
+    /// count).
+    pub merged: Vec<TestCube>,
+    /// Faults proven redundant along the way.
+    pub redundant: Vec<Fault>,
+    /// Faults left uncovered (ATPG aborts).
+    pub uncovered: Vec<Fault>,
+}
+
+impl TopoffResult {
+    /// Number of seeds a reseeding scheme would store.
+    pub fn seed_count(&self) -> usize {
+        self.merged.len()
+    }
+}
+
+/// Generate a top-off cube set for `faults` on `circuit`.
+///
+/// Processing order is the given fault order; after each generated cube,
+/// the remaining faults are fault-simulated against the cube (don't-cares
+/// filled pseudo-randomly from `seed`) and fortuitous detections are
+/// dropped.
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] for cyclic circuits.
+pub fn generate(
+    circuit: &Circuit,
+    faults: &[Fault],
+    config: PodemConfig,
+    seed: u64,
+) -> Result<TopoffResult, NetlistError> {
+    let mut podem = Podem::with_config(circuit, config)?;
+    let mut sim = FaultSimulator::new(circuit)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut remaining: Vec<Fault> = faults.to_vec();
+    let mut cubes = Vec::new();
+    let mut redundant = Vec::new();
+    let mut uncovered = Vec::new();
+
+    while let Some(&fault) = remaining.first() {
+        match podem.generate(fault)? {
+            PodemResult::Test(cube) => {
+                let pattern = cube.filled_with(|| rng.gen());
+                let mut source = OnePattern::new(&pattern);
+                let result = sim.run(&mut source, 1, &remaining)?;
+                let detected: Vec<usize> = (0..remaining.len())
+                    .filter(|&i| result.first_detection(i).is_some())
+                    .collect();
+                debug_assert!(
+                    detected.contains(&0),
+                    "generated cube must detect its own fault"
+                );
+                // Drop detected faults (descending index keeps positions
+                // valid).
+                for &i in detected.iter().rev() {
+                    remaining.swap_remove(i);
+                }
+                cubes.push(cube);
+            }
+            PodemResult::Untestable => {
+                redundant.push(fault);
+                remaining.swap_remove(0);
+            }
+            PodemResult::Aborted => {
+                uncovered.push(fault);
+                remaining.swap_remove(0);
+            }
+        }
+    }
+
+    let merged = merge_cubes(&cubes);
+    Ok(TopoffResult {
+        cubes,
+        merged,
+        redundant,
+        uncovered,
+    })
+}
+
+/// Greedy first-fit merging of compatible cubes.
+fn merge_cubes(cubes: &[TestCube]) -> Vec<TestCube> {
+    let mut merged: Vec<TestCube> = Vec::new();
+    for cube in cubes {
+        match merged.iter_mut().find(|m| m.compatible(cube)) {
+            Some(slot) => *slot = slot.merged(cube),
+            None => merged.push(cube.clone()),
+        }
+    }
+    merged
+}
+
+/// A [`PatternSource`] replaying one fixed pattern (for cube
+/// verification).
+struct OnePattern {
+    words: Vec<u64>,
+    done: bool,
+}
+
+impl OnePattern {
+    fn new(pattern: &[bool]) -> OnePattern {
+        OnePattern {
+            words: pattern.iter().map(|&b| if b { 1 } else { 0 }).collect(),
+            done: false,
+        }
+    }
+}
+
+impl PatternSource for OnePattern {
+    fn fill(&mut self, words: &mut [u64]) -> usize {
+        if self.done {
+            return 0;
+        }
+        words.copy_from_slice(&self.words);
+        self.done = true;
+        1
+    }
+
+    fn reset(&mut self) {
+        self.done = false;
+    }
+}
+
+/// Convenience: the faults of `faults` still undetected after `n_random`
+/// exhaustive-or-random patterns — the usual input to [`generate`].
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] for cyclic circuits.
+pub fn undetected_after(
+    circuit: &Circuit,
+    faults: &[Fault],
+    source: &mut dyn PatternSource,
+    n_patterns: u64,
+) -> Result<Vec<Fault>, NetlistError> {
+    let mut sim = FaultSimulator::new(circuit)?;
+    let result = sim.run(source, n_patterns, faults)?;
+    Ok(result
+        .undetected_indices()
+        .into_iter()
+        .map(|i| faults[i])
+        .collect())
+}
+
+/// Sanity helper for tests: do the cubes, replayed verbatim, detect every
+/// covered fault?
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] for cyclic circuits.
+pub fn verify_cubes(
+    circuit: &Circuit,
+    faults: &[Fault],
+    cubes: &[TestCube],
+    fill_seed: u64,
+) -> Result<usize, NetlistError> {
+    let mut sim = FaultSimulator::new(circuit)?;
+    let mut rng = StdRng::seed_from_u64(fill_seed);
+    let mut detected = vec![false; faults.len()];
+    for cube in cubes {
+        let pattern = cube.filled_with(|| rng.gen());
+        let mut source = OnePattern::new(&pattern);
+        let result = sim.run(&mut source, 1, faults)?;
+        for (i, slot) in detected.iter_mut().enumerate() {
+            if result.first_detection(i).is_some() {
+                *slot = true;
+            }
+        }
+    }
+    Ok(detected.iter().filter(|&&d| d).count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{CircuitBuilder, GateKind};
+    use tpi_sim::{FaultUniverse, RandomPatterns};
+
+    fn resistant_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new("hard");
+        let xs = b.inputs(16, "x");
+        let cone = b.balanced_tree(GateKind::And, &xs[..12], "c").unwrap();
+        let tail = b.balanced_tree(GateKind::Or, &xs[12..], "t").unwrap();
+        let y = b.gate(GateKind::Or, vec![cone, tail], "y").unwrap();
+        b.output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn topoff_covers_the_random_resistant_remainder() {
+        let c = resistant_circuit();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut src = RandomPatterns::new(16, 5);
+        let leftovers =
+            undetected_after(&c, universe.faults(), &mut src, 2_000).unwrap();
+        assert!(
+            !leftovers.is_empty(),
+            "the cone must resist 2k random patterns"
+        );
+        let result = generate(&c, &leftovers, PodemConfig::default(), 9).unwrap();
+        assert!(result.uncovered.is_empty());
+        assert!(result.redundant.is_empty());
+        assert!(!result.cubes.is_empty());
+        // Merged seeds never exceed raw cubes.
+        assert!(result.seed_count() <= result.cubes.len());
+        // And a replay detects every leftover fault.
+        let detected = verify_cubes(&c, &leftovers, &result.cubes, 9).unwrap();
+        assert_eq!(detected, leftovers.len());
+    }
+
+    #[test]
+    fn fortuitous_detection_reduces_cube_count() {
+        // All faults of an AND cone share the "all ones" test: one cube
+        // should cover many.
+        let mut b = CircuitBuilder::new("cone");
+        let xs = b.inputs(8, "x");
+        let y = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(y);
+        let c = b.finish().unwrap();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let result =
+            generate(&c, universe.faults(), PodemConfig::default(), 3).unwrap();
+        assert!(
+            result.cubes.len() < universe.len(),
+            "{} cubes for {} faults",
+            result.cubes.len(),
+            universe.len()
+        );
+    }
+
+    #[test]
+    fn redundant_faults_are_reported_not_covered() {
+        let mut b = CircuitBuilder::new("c");
+        let x = b.input("x");
+        let nx = b.gate(GateKind::Not, vec![x], "nx").unwrap();
+        let y = b.gate(GateKind::Or, vec![x, nx], "y").unwrap();
+        b.output(y);
+        let c = b.finish().unwrap();
+        let result = generate(
+            &c,
+            &[Fault::stem_sa1(y), Fault::stem_sa0(y)],
+            PodemConfig::default(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(result.redundant, vec![Fault::stem_sa1(y)]);
+        assert_eq!(result.cubes.len(), 1);
+    }
+
+    #[test]
+    fn merging_is_sound() {
+        let a = TestCube::new(vec![
+            crate::Ternary::One,
+            crate::Ternary::X,
+            crate::Ternary::X,
+        ]);
+        let b = TestCube::new(vec![
+            crate::Ternary::X,
+            crate::Ternary::Zero,
+            crate::Ternary::X,
+        ]);
+        let c = TestCube::new(vec![
+            crate::Ternary::Zero,
+            crate::Ternary::X,
+            crate::Ternary::X,
+        ]);
+        let merged = merge_cubes(&[a, b, c]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].to_pattern_string(), "10X");
+    }
+}

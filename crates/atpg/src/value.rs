@@ -1,0 +1,202 @@
+use tpi_netlist::GateKind;
+
+/// Three-valued logic: 0, 1 or unknown.
+///
+/// PODEM's circuit state is a *pair* of ternary values per line — the
+/// good-machine and faulty-machine values — which encodes the classic
+/// five-valued D-calculus (`D` = (1,0), `D̄` = (0,1)) plus the partially
+/// assigned cases a pair encoding handles for free.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Ternary {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unassigned / unknown.
+    X,
+}
+
+impl Ternary {
+    /// Lift a boolean.
+    pub fn from_bool(b: bool) -> Ternary {
+        if b {
+            Ternary::One
+        } else {
+            Ternary::Zero
+        }
+    }
+
+    /// The boolean, if determined.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Ternary::Zero => Some(false),
+            Ternary::One => Some(true),
+            Ternary::X => None,
+        }
+    }
+
+    /// Whether the value is determined.
+    pub fn is_binary(self) -> bool {
+        self != Ternary::X
+    }
+
+    /// Three-valued complement.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Ternary {
+        match self {
+            Ternary::Zero => Ternary::One,
+            Ternary::One => Ternary::Zero,
+            Ternary::X => Ternary::X,
+        }
+    }
+}
+
+/// Evaluate a gate in three-valued logic.
+///
+/// Controlling values dominate unknowns (an AND with a 0 input is 0 even
+/// if other inputs are X); otherwise any X makes the output X.
+pub fn eval_ternary<I: IntoIterator<Item = Ternary>>(kind: GateKind, fanins: I) -> Ternary {
+    let mut it = fanins.into_iter();
+    match kind {
+        GateKind::Const0 => Ternary::Zero,
+        GateKind::Const1 => Ternary::One,
+        GateKind::Input => Ternary::X,
+        GateKind::Buf => it.next().unwrap_or(Ternary::X),
+        GateKind::Not => it.next().unwrap_or(Ternary::X).not(),
+        GateKind::And | GateKind::Nand => {
+            let mut saw_x = false;
+            let mut out = Ternary::One;
+            for v in it {
+                match v {
+                    Ternary::Zero => {
+                        out = Ternary::Zero;
+                        saw_x = false;
+                        break;
+                    }
+                    Ternary::X => saw_x = true,
+                    Ternary::One => {}
+                }
+            }
+            let out = if saw_x { Ternary::X } else { out };
+            if kind == GateKind::Nand {
+                out.not()
+            } else {
+                out
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut saw_x = false;
+            let mut out = Ternary::Zero;
+            for v in it {
+                match v {
+                    Ternary::One => {
+                        out = Ternary::One;
+                        saw_x = false;
+                        break;
+                    }
+                    Ternary::X => saw_x = true,
+                    Ternary::Zero => {}
+                }
+            }
+            let out = if saw_x { Ternary::X } else { out };
+            if kind == GateKind::Nor {
+                out.not()
+            } else {
+                out
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut acc = Ternary::Zero;
+            for v in it {
+                acc = match (acc, v) {
+                    (Ternary::X, _) | (_, Ternary::X) => Ternary::X,
+                    (a, b) => Ternary::from_bool(a.to_bool().unwrap() ^ b.to_bool().unwrap()),
+                };
+                if acc == Ternary::X {
+                    return Ternary::X; // X is absorbing for parity
+                }
+            }
+            if kind == GateKind::Xnor {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlling_values_dominate_x() {
+        assert_eq!(
+            eval_ternary(GateKind::And, [Ternary::Zero, Ternary::X]),
+            Ternary::Zero
+        );
+        assert_eq!(
+            eval_ternary(GateKind::Nand, [Ternary::Zero, Ternary::X]),
+            Ternary::One
+        );
+        assert_eq!(
+            eval_ternary(GateKind::Or, [Ternary::X, Ternary::One]),
+            Ternary::One
+        );
+        assert_eq!(
+            eval_ternary(GateKind::Nor, [Ternary::X, Ternary::One]),
+            Ternary::Zero
+        );
+    }
+
+    #[test]
+    fn x_propagates_without_controlling_input() {
+        assert_eq!(
+            eval_ternary(GateKind::And, [Ternary::One, Ternary::X]),
+            Ternary::X
+        );
+        assert_eq!(
+            eval_ternary(GateKind::Or, [Ternary::Zero, Ternary::X]),
+            Ternary::X
+        );
+        assert_eq!(
+            eval_ternary(GateKind::Xor, [Ternary::One, Ternary::X]),
+            Ternary::X
+        );
+    }
+
+    #[test]
+    fn binary_cases_match_boolean_eval() {
+        use tpi_netlist::GateKind as K;
+        for kind in [K::And, K::Nand, K::Or, K::Nor, K::Xor, K::Xnor] {
+            for p in 0..4u8 {
+                let a = p & 1 != 0;
+                let b = p & 2 != 0;
+                let expected = kind.eval([a, b]);
+                let got = eval_ternary(
+                    kind,
+                    [Ternary::from_bool(a), Ternary::from_bool(b)],
+                );
+                assert_eq!(got.to_bool(), Some(expected), "{kind} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_and_constants() {
+        assert_eq!(eval_ternary(GateKind::Not, [Ternary::X]), Ternary::X);
+        assert_eq!(eval_ternary(GateKind::Buf, [Ternary::One]), Ternary::One);
+        assert_eq!(eval_ternary(GateKind::Const1, []), Ternary::One);
+        assert_eq!(eval_ternary(GateKind::Const0, []), Ternary::Zero);
+    }
+
+    #[test]
+    fn ternary_helpers() {
+        assert_eq!(Ternary::from_bool(true), Ternary::One);
+        assert_eq!(Ternary::One.not(), Ternary::Zero);
+        assert_eq!(Ternary::X.not(), Ternary::X);
+        assert!(Ternary::Zero.is_binary());
+        assert!(!Ternary::X.is_binary());
+        assert_eq!(Ternary::X.to_bool(), None);
+    }
+}

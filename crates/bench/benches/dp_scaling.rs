@@ -1,0 +1,45 @@
+//! Criterion benchmark for the DP optimizer: solve time on random trees
+//! of growing size (the Fig. 2a kernel, under Criterion's statistics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpi_core::{DpConfig, DpOptimizer, Threshold, TpiProblem};
+use tpi_gen::trees::{random_tree, RandomTreeConfig};
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_solve");
+    group.sample_size(10);
+    for leaves in [32usize, 128, 512] {
+        let circuit = random_tree(
+            &RandomTreeConfig::with_leaves(leaves, 42).and_or_only(),
+        )
+        .expect("tree builds");
+        let problem =
+            TpiProblem::min_cost(&circuit, Threshold::from_log2(-8.0)).expect("acyclic");
+        group.bench_with_input(BenchmarkId::from_parameter(leaves), &leaves, |b, _| {
+            b.iter(|| DpOptimizer::default().solve(&problem).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_resolutions(c: &mut Criterion) {
+    let circuit = random_tree(&RandomTreeConfig::with_leaves(128, 42).and_or_only())
+        .expect("tree builds");
+    let problem = TpiProblem::min_cost(&circuit, Threshold::from_log2(-8.0)).expect("acyclic");
+    let mut group = c.benchmark_group("dp_resolution");
+    group.sample_size(10);
+    for (c1_res, d_res) in [(64u32, 4u32), (1024, 8), (16384, 32)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{c1_res}x{d_res}")),
+            &(c1_res, d_res),
+            |b, &(c1, d)| {
+                let dp = DpOptimizer::new(DpConfig::with_resolution(c1, d));
+                b.iter(|| dp.solve(&problem).expect("feasible"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp, bench_dp_resolutions);
+criterion_main!(benches);

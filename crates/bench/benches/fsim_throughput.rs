@@ -1,0 +1,44 @@
+//! Criterion benchmark for the PPSFP fault simulator: patterns × faults
+//! per second on reconvergent circuits of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpi_gen::dags::{random_dag, RandomDagConfig};
+use tpi_sim::{FaultSimulator, FaultUniverse, RandomPatterns};
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_sim_1k_patterns");
+    group.sample_size(10);
+    for gates in [100usize, 400, 1600] {
+        let circuit = random_dag(&RandomDagConfig::new(24, gates, 5)).expect("builds");
+        let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
+        let mut sim = FaultSimulator::new(&circuit).expect("acyclic");
+        group.throughput(Throughput::Elements(
+            1_000 * universe.len() as u64,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, _| {
+            b.iter(|| {
+                let mut src = RandomPatterns::new(circuit.inputs().len(), 9);
+                sim.run(&mut src, 1_000, universe.faults()).expect("runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_sim_counting(c: &mut Criterion) {
+    let circuit = random_dag(&RandomDagConfig::new(24, 400, 6)).expect("builds");
+    let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
+    let mut sim = FaultSimulator::new(&circuit).expect("acyclic");
+    let mut group = c.benchmark_group("fault_sim_no_dropping");
+    group.sample_size(10);
+    group.bench_function("400_gates_512_patterns", |b| {
+        b.iter(|| {
+            let mut src = RandomPatterns::new(circuit.inputs().len(), 9);
+            sim.run_counting(&mut src, 512, universe.faults()).expect("runs")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_sim, bench_fault_sim_counting);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the analysis kernels: bit-parallel
+//! logic simulation, COP, SCOAP and fault collapsing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpi_gen::dags::{random_dag, RandomDagConfig};
+use tpi_sim::{LogicSim, PatternSource, RandomPatterns};
+use tpi_testability::{CopAnalysis, ScoapAnalysis};
+
+fn bench_logic_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic_sim_block");
+    for gates in [100usize, 400, 1600] {
+        let circuit = random_dag(&RandomDagConfig::new(32, gates, 1)).expect("builds");
+        let sim = LogicSim::new(&circuit).expect("acyclic");
+        let mut src = RandomPatterns::new(32, 7);
+        let mut words = vec![0u64; 32];
+        src.fill(&mut words);
+        let mut values = vec![0u64; circuit.node_count()];
+        // 64 patterns per iteration.
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, _| {
+            b.iter(|| sim.simulate_into(&words, &mut values));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cop_analysis");
+    for gates in [100usize, 400, 1600] {
+        let circuit = random_dag(&RandomDagConfig::new(32, gates, 2)).expect("builds");
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, _| {
+            b.iter(|| CopAnalysis::new(&circuit).expect("acyclic"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scoap(c: &mut Criterion) {
+    let circuit = random_dag(&RandomDagConfig::new(32, 800, 3)).expect("builds");
+    c.bench_function("scoap_800_gates", |b| {
+        b.iter(|| ScoapAnalysis::new(&circuit).expect("acyclic"));
+    });
+}
+
+fn bench_collapse(c: &mut Criterion) {
+    let circuit = random_dag(&RandomDagConfig::new(32, 800, 4)).expect("builds");
+    c.bench_function("fault_collapse_800_gates", |b| {
+        b.iter(|| tpi_sim::FaultUniverse::collapsed(&circuit).expect("acyclic"));
+    });
+}
+
+fn bench_podem(c: &mut Criterion) {
+    let circuit = random_dag(&RandomDagConfig::new(16, 200, 8)).expect("builds");
+    let universe = tpi_sim::FaultUniverse::collapsed(&circuit).expect("collapsible");
+    let mut group = c.benchmark_group("podem");
+    group.sample_size(10);
+    group.bench_function("sweep_200_gates", |b| {
+        b.iter(|| {
+            let mut podem = tpi_atpg::Podem::new(&circuit).expect("acyclic");
+            let mut tests = 0usize;
+            for &fault in universe.faults().iter().take(50) {
+                if matches!(
+                    podem.generate(fault).expect("runs"),
+                    tpi_atpg::PodemResult::Test(_)
+                ) {
+                    tests += 1;
+                }
+            }
+            tests
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_logic_sim,
+    bench_cop,
+    bench_scoap,
+    bench_collapse,
+    bench_podem
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! **Figure 1 — fault coverage vs number of test points.**
+//!
+//! The constructive curve: after each committed test point, measured fault
+//! coverage at the standard budget, per method. Prints one series per
+//! (circuit, method) suitable for line plotting.
+
+use tpi_bench::{measure_coverage, pct, STANDARD_PATTERNS};
+use tpi_core::{GreedyConfig, GreedyOptimizer, RandomOptimizer, Threshold, TpiProblem};
+use tpi_gen::rpr;
+use tpi_netlist::transform::apply_plan;
+use tpi_netlist::{Circuit, TestPoint};
+use tpi_sim::FaultUniverse;
+
+fn main() {
+    let threshold =
+        Threshold::from_test_length(STANDARD_PATTERNS, tpi_bench::STANDARD_CONFIDENCE)
+            .expect("valid threshold");
+    println!("# Figure 1: coverage@32k vs #test points (prefix of each method's plan)");
+    println!("circuit\tmethod\tpoints\tcoverage%");
+    for circuit in [
+        rpr::and_tree(20, 4).expect("builds"),
+        rpr::comparator(16).expect("builds"),
+        rpr::parity_gated_cone(6, 18).expect("builds"),
+    ] {
+        let problem = TpiProblem::min_cost(&circuit, threshold).expect("acyclic");
+        let dp_or_greedy: Vec<TestPoint> = match tpi_core::DpOptimizer::default().solve(&problem)
+        {
+            Ok(plan) => plan.test_points().to_vec(),
+            // Reconvergent members fall back to greedy for the DP series.
+            Err(_) => GreedyOptimizer::default()
+                .solve(&problem)
+                .expect("greedy runs")
+                .test_points()
+                .to_vec(),
+        };
+        let greedy = GreedyOptimizer::new(GreedyConfig {
+            max_points: 16,
+            ..GreedyConfig::default()
+        })
+        .solve(&problem)
+        .expect("greedy runs");
+        let random = RandomOptimizer::new(5, 16)
+            .solve(&problem)
+            .expect("random runs");
+
+        series(&circuit, "dp", &dp_or_greedy);
+        series(&circuit, "greedy", greedy.test_points());
+        series(&circuit, "random", random.test_points());
+    }
+}
+
+/// Print the coverage after applying each prefix of `plan`.
+fn series(circuit: &Circuit, method: &str, plan: &[TestPoint]) {
+    let universe = FaultUniverse::collapsed(circuit).expect("collapsible");
+    for k in 0..=plan.len() {
+        let (modified, _) = apply_plan(circuit, &plan[..k]).expect("applies");
+        let coverage = measure_coverage(&modified, &universe, STANDARD_PATTERNS, 3).coverage();
+        println!("{}\t{}\t{}\t{}", circuit.name(), method, k, pct(coverage));
+    }
+}

@@ -1,0 +1,66 @@
+//! **Figure 5 — circuit modification vs input-distribution modification.**
+//!
+//! The period's main alternative to test point insertion was *weighted
+//! random testing*: bias the input 1-probabilities instead of touching the
+//! circuit. This sweep measures fault coverage on mixed-polarity
+//! resistant circuits for a range of uniform input weights, against the
+//! unmodified-fair baseline and the DP-inserted circuit.
+//!
+//! Expected shape: each weight helps one polarity of cone and hurts the
+//! other, so no single weight fixes a mixed circuit — while a handful of
+//! test points does. (Wunderlich's answer was *multiple* distributions;
+//! that generalisation is out of scope here.)
+
+use tpi_bench::{measure_coverage, pct};
+use tpi_core::{DpOptimizer, Threshold, TpiProblem};
+use tpi_netlist::transform::apply_plan;
+use tpi_netlist::{Circuit, CircuitBuilder, GateKind};
+use tpi_sim::{FaultSimulator, FaultUniverse, WeightedPatterns};
+
+/// An AND cone and a NOR cone sharing the output OR: weights that help
+/// one side hurt the other.
+fn mixed_polarity(width: usize) -> Circuit {
+    let mut b = CircuitBuilder::new(format!("mixed{width}"));
+    let xs = b.inputs(width, "x");
+    let ys = b.inputs(width, "y");
+    let and_cone = b.balanced_tree(GateKind::And, &xs, "a").expect("builds");
+    let or_cone = b.balanced_tree(GateKind::Or, &ys, "o").expect("builds");
+    let nor_side = b.gate(GateKind::Not, vec![or_cone], "no").expect("builds");
+    let out = b.gate(GateKind::Xor, vec![and_cone, nor_side], "out").expect("builds");
+    b.output(out);
+    b.finish().expect("valid")
+}
+
+fn main() {
+    let patterns = 8_000u64;
+    println!("# Figure 5: coverage@8k vs input weight, vs TPI (mixed-polarity circuit)");
+    println!("circuit\tvariant\tcoverage%");
+    for width in [12usize, 16] {
+        let circuit = mixed_polarity(width);
+        let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
+
+        for weight in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let mut sim = FaultSimulator::new(&circuit).expect("acyclic");
+            let mut src =
+                WeightedPatterns::uniform(circuit.inputs().len(), weight, 7).expect("valid");
+            let result = sim.run(&mut src, patterns, universe.faults()).expect("runs");
+            println!(
+                "{}\tweight_{weight}\t{}",
+                circuit.name(),
+                pct(result.coverage())
+            );
+        }
+
+        let threshold = Threshold::from_test_length(patterns, 0.95).expect("valid");
+        let problem = TpiProblem::min_cost(&circuit, threshold).expect("acyclic");
+        let plan = DpOptimizer::default().solve(&problem).expect("tree is solvable");
+        let (modified, _) = apply_plan(&circuit, plan.test_points()).expect("applies");
+        let after = measure_coverage(&modified, &universe, patterns, 7);
+        println!(
+            "{}\ttpi_{}pts\t{}",
+            circuit.name(),
+            plan.len(),
+            pct(after.coverage())
+        );
+    }
+}

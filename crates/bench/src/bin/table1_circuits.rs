@@ -1,0 +1,46 @@
+//! **Table 1 — benchmark characterisation.**
+//!
+//! For every circuit of the standard suite: structure, collapsed fault
+//! counts, COP-predicted hardness, and *measured* fault coverage under 1k
+//! and 32k random patterns (average/max of 5 trials). This is the
+//! "original circuit" baseline column every later experiment improves on.
+
+use tpi_bench::{coverage_trials, header, pct, STANDARD_PATTERNS};
+use tpi_netlist::{analysis, Topology};
+use tpi_sim::FaultUniverse;
+use tpi_testability::profile::TestabilityReport;
+
+fn main() {
+    println!("# Table 1: the benchmark suite, unmodified");
+    println!("# (coverage = average/max of 5 fault-simulation trials)\n");
+    header(&[
+        "circuit", "nodes", "PIs", "POs", "depth", "stems", "faults",
+        "min_pdet", "resistant", "FC@1k avg", "FC@1k max", "FC@32k avg", "FC@32k max",
+    ]);
+    for entry in tpi_gen::suite::standard_suite().expect("suite builds") {
+        let c = &entry.circuit;
+        let topo = Topology::of(c).expect("suite circuits are acyclic");
+        let stats = analysis::stats(c, &topo);
+        let report = TestabilityReport::analyse(c, 1.0 / STANDARD_PATTERNS as f64)
+            .expect("analysis succeeds");
+        let universe = FaultUniverse::collapsed(c).expect("collapsible");
+        let (avg1k, max1k) = coverage_trials(c, &universe, 1_000, 5);
+        let (avg32k, max32k) = coverage_trials(c, &universe, STANDARD_PATTERNS, 5);
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.1e}\t{}\t{}\t{}\t{}\t{}",
+            entry.name,
+            stats.nodes,
+            stats.inputs,
+            stats.outputs,
+            stats.depth,
+            stats.stems,
+            report.faults,
+            report.min_detection_probability,
+            report.resistant_faults,
+            pct(avg1k),
+            pct(max1k),
+            pct(avg32k),
+            pct(max32k),
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! **Table 4 — threshold sensitivity.**
+//!
+//! How the DP's minimum cost and test-point mix respond as the detection
+//! threshold δ tightens (equivalently, as the test-length budget shrinks).
+//! The expected shape: cost grows monotonically as δ rises, observation
+//! points give way to control/full points once excitation (not just
+//! observability) becomes the bottleneck.
+
+use tpi_bench::header;
+use tpi_core::{DpOptimizer, Threshold, TpiProblem};
+use tpi_gen::rpr;
+
+fn main() {
+    println!("# Table 4: DP cost and point mix vs threshold\n");
+    header(&["circuit", "delta", "cost", "op", "cp_and", "cp_or", "full", "points"]);
+    let circuits = [
+        rpr::and_tree(16, 2).expect("builds"),
+        rpr::and_tree(24, 4).expect("builds"),
+        rpr::comparator(12).expect("builds"),
+        rpr::parity_gated_cone(6, 14).expect("builds"),
+    ];
+    for circuit in &circuits {
+        for exp in [-14.0, -12.0, -10.0, -8.0, -6.0, -4.0] {
+            let threshold = Threshold::from_log2(exp);
+            let problem = TpiProblem::min_cost(circuit, threshold).expect("acyclic");
+            match DpOptimizer::default().solve(&problem) {
+                Ok(plan) => {
+                    let (op, cpa, cpo, full) = plan.kind_counts();
+                    println!(
+                        "{}\t2^{}\t{:.1}\t{}\t{}\t{}\t{}\t{}",
+                        circuit.name(),
+                        exp,
+                        plan.cost(),
+                        op,
+                        cpa,
+                        cpo,
+                        full,
+                        plan.len(),
+                    );
+                }
+                Err(e) => {
+                    println!("{}\t2^{}\tinfeasible ({e})\t-\t-\t-\t-\t-", circuit.name(), exp);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! **Table 7 — decision-vocabulary ablation.**
+//!
+//! What does each class of test point buy? The DP is re-run with parts of
+//! its local decision vocabulary disabled:
+//!
+//! * `full`   — everything (the reference);
+//! * `no-tp`  — control + observation points only (no cut points);
+//! * `op-only`— observation points only (the Hayes/Friedman setting);
+//!
+//! on the random-pattern-resistant tree suite. Expected shape:
+//! observation-only fails entirely on excitation-starved cones (SA0 of an
+//! AND cone cannot be excited by observing), control+observe matches the
+//! full vocabulary within a small factor, and cut points buy compactness.
+
+use tpi_bench::header;
+use tpi_core::{DpConfig, DpOptimizer, Threshold, TpiProblem};
+use tpi_gen::rpr;
+
+fn main() {
+    println!("# Table 7: DP cost by available test-point vocabulary (δ = 2^-8)\n");
+    header(&["circuit", "full_vocab", "no_cut_points", "observe_only"]);
+    let circuits = [
+        rpr::and_tree(16, 2).expect("builds"),
+        rpr::and_tree(24, 4).expect("builds"),
+        rpr::comparator(12).expect("builds"),
+        rpr::parity_gated_cone(6, 14).expect("builds"),
+    ];
+    let threshold = Threshold::from_log2(-8.0);
+    for circuit in &circuits {
+        let problem = TpiProblem::min_cost(circuit, threshold).expect("acyclic");
+        let run = |enable_control: bool, enable_full: bool| {
+            let config = DpConfig {
+                enable_control,
+                enable_full,
+                ..DpConfig::default()
+            };
+            match DpOptimizer::new(config).solve(&problem) {
+                Ok(plan) => format!("{:.1} ({} pts)", plan.cost(), plan.len()),
+                Err(_) => "infeasible".to_string(),
+            }
+        };
+        println!(
+            "{}\t{}\t{}\t{}",
+            circuit.name(),
+            run(true, true),
+            run(true, false),
+            run(false, false),
+        );
+    }
+}

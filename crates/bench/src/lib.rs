@@ -1,0 +1,127 @@
+//! Shared plumbing for the experiment binaries that regenerate every
+//! table and figure of the reconstructed evaluation (see `DESIGN.md` §5
+//! and `EXPERIMENTS.md`).
+//!
+//! Each binary prints a self-contained, tab-separated table to stdout;
+//! `cargo run --release -p tpi-bench --bin <experiment>` reproduces the
+//! corresponding artefact.
+
+use std::time::{Duration, Instant};
+
+use tpi_netlist::Circuit;
+use tpi_sim::{FaultSimResult, FaultSimulator, FaultUniverse, PatternSource, RandomPatterns};
+
+/// The standard random-pattern budget of the experiment suite (32 000, the
+/// classic scan-BIST figure used throughout the period literature).
+pub const STANDARD_PATTERNS: u64 = 32_000;
+
+/// Default per-fault confidence used to derive detection thresholds.
+pub const STANDARD_CONFIDENCE: f64 = 0.98;
+
+/// Run a closure and return its result with the wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Fault-simulate `circuit` against `universe` with `patterns` seeded
+/// random patterns.
+///
+/// # Panics
+///
+/// Panics on cyclic circuits (the suite contains none).
+pub fn measure_coverage(
+    circuit: &Circuit,
+    universe: &FaultUniverse,
+    patterns: u64,
+    seed: u64,
+) -> FaultSimResult {
+    let mut sim = FaultSimulator::new(circuit).expect("suite circuits are acyclic");
+    let mut src = RandomPatterns::new(circuit.inputs().len(), seed);
+    sim.run(&mut src, patterns, universe.faults())
+        .expect("fault simulation is infallible on valid circuits")
+}
+
+/// Mean and max of per-seed coverages, mirroring the "average / max FC of
+/// N trials" presentation used in the period literature.
+pub fn coverage_trials(
+    circuit: &Circuit,
+    universe: &FaultUniverse,
+    patterns: u64,
+    trials: u64,
+) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut max: f64 = 0.0;
+    for seed in 0..trials {
+        let cov = measure_coverage(circuit, universe, patterns, 0x5eed + seed).coverage();
+        sum += cov;
+        max = max.max(cov);
+    }
+    (sum / trials as f64, max)
+}
+
+/// Exhaust a pattern source through a buffer for signature-style runs;
+/// returns the number of patterns actually produced.
+pub fn drain_patterns(source: &mut dyn PatternSource, words: &mut [u64], mut budget: u64) -> u64 {
+    let mut applied = 0;
+    while budget > 0 {
+        let n = source.fill(words) as u64;
+        if n == 0 {
+            break;
+        }
+        let take = n.min(budget);
+        applied += take;
+        budget -= take;
+    }
+    applied
+}
+
+/// Print a table header followed by an underline, e.g.
+/// `header(&["circuit", "nodes"])`.
+pub fn header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+    println!("{}", vec!["---"; columns.len()].join("\t"));
+}
+
+/// Format a coverage fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+/// Format a duration in milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_sim::ExhaustivePatterns;
+
+    #[test]
+    fn coverage_helpers_run() {
+        let c = tpi_gen::benchmarks::c17().unwrap();
+        let u = FaultUniverse::collapsed(&c).unwrap();
+        let r = measure_coverage(&c, &u, 512, 1);
+        assert!(r.coverage() > 0.9);
+        let (avg, max) = coverage_trials(&c, &u, 256, 3);
+        assert!(avg <= max + 1e-12);
+    }
+
+    #[test]
+    fn drain_respects_budget_and_exhaustion() {
+        let mut src = ExhaustivePatterns::new(3);
+        let mut words = vec![0u64; 3];
+        assert_eq!(drain_patterns(&mut src, &mut words, 100), 8);
+        let mut src = ExhaustivePatterns::new(6);
+        let mut words6 = [0u64; 6];
+        assert_eq!(drain_patterns(&mut src, &mut words6, 10), 10);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(0.98765), "98.77");
+        assert_eq!(ms(Duration::from_micros(1500)), "1.500");
+    }
+}

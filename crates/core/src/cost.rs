@@ -1,0 +1,86 @@
+use tpi_netlist::TestPointKind;
+
+/// Relative implementation costs of the test-point types.
+///
+/// The defaults follow the convention of the scan-BIST literature: a
+/// control point (an extra gate plus a pseudo-random driver) costs 1 unit,
+/// an observation point (a fanout wire into the response compactor) half a
+/// unit, and a full cut test point — which needs both — their sum.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// Cost of an observation point.
+    pub observe: f64,
+    /// Cost of an AND/OR control point.
+    pub control: f64,
+    /// Cost of a full (cut) test point.
+    pub full: f64,
+}
+
+impl CostModel {
+    /// Cost of one test point of the given kind.
+    pub fn of(&self, kind: TestPointKind) -> f64 {
+        match kind {
+            TestPointKind::Observe => self.observe,
+            TestPointKind::ControlAnd | TestPointKind::ControlOr => self.control,
+            TestPointKind::Full => self.full,
+        }
+    }
+
+    /// Total cost of a sequence of test points.
+    pub fn total<'a, I: IntoIterator<Item = &'a tpi_netlist::TestPoint>>(&self, points: I) -> f64 {
+        // fold, not sum: an empty f64 `sum()` is -0.0, which leaks into
+        // printed tables.
+        points.into_iter().map(|tp| self.of(tp.kind)).fold(0.0, |a, b| a + b)
+    }
+
+    /// A model that simply counts test points (all costs 1) — the
+    /// "minimum number of test points" objective.
+    pub fn unit() -> CostModel {
+        CostModel {
+            observe: 1.0,
+            control: 1.0,
+            full: 1.0,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            observe: 0.5,
+            control: 1.0,
+            full: 1.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{NodeId, TestPoint};
+
+    #[test]
+    fn defaults_and_totals() {
+        let m = CostModel::default();
+        assert_eq!(m.of(TestPointKind::Observe), 0.5);
+        assert_eq!(m.of(TestPointKind::ControlAnd), 1.0);
+        assert_eq!(m.of(TestPointKind::ControlOr), 1.0);
+        assert_eq!(m.of(TestPointKind::Full), 1.5);
+        let plan = [
+            TestPoint::observe(NodeId::from_index(0)),
+            TestPoint::control_and(NodeId::from_index(1)),
+        ];
+        assert!((m.total(&plan) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_model_counts() {
+        let m = CostModel::unit();
+        let plan = [
+            TestPoint::full(NodeId::from_index(0)),
+            TestPoint::observe(NodeId::from_index(1)),
+            TestPoint::control_or(NodeId::from_index(2)),
+        ];
+        assert_eq!(m.total(&plan), 3.0);
+    }
+}

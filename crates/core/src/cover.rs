@@ -1,0 +1,259 @@
+//! Covering-style observation-point selection.
+//!
+//! The observation-point problem — pick the fewest tap locations so every
+//! fault propagates to some tap with sufficient probability — is exactly
+//! minimum set cover (the connection behind the paper's NP-completeness
+//! result; see [`reduction`](crate::reduction)). This module provides the
+//! greedy covering heuristic over *simulated propagation profiles*, plus a
+//! brute-force optimal set-cover solver used to calibrate it.
+
+use std::collections::HashMap;
+
+use tpi_netlist::{Circuit, NodeId};
+use tpi_sim::{montecarlo, Fault, PatternSource};
+
+use crate::TpiError;
+
+/// Configuration for [`select_observation_points`].
+#[derive(Clone, Debug)]
+pub struct CoverConfig {
+    /// A fault counts as covered by a node when its effect is present
+    /// there with at least this probability.
+    pub presence_threshold: f64,
+    /// Maximum observation points to select.
+    pub max_points: usize,
+    /// Patterns used to estimate the propagation profile.
+    pub patterns: u64,
+}
+
+impl Default for CoverConfig {
+    fn default() -> CoverConfig {
+        CoverConfig {
+            presence_threshold: 0.001,
+            max_points: 32,
+            patterns: 4096,
+        }
+    }
+}
+
+/// Result of a covering run.
+#[derive(Clone, Debug)]
+pub struct CoverOutcome {
+    /// Selected observation-point locations, in selection order.
+    pub points: Vec<NodeId>,
+    /// Number of faults covered by the selection.
+    pub covered: usize,
+    /// Number of faults coverable by *any* candidate (upper bound).
+    pub coverable: usize,
+}
+
+/// Greedy observation-point selection: estimate where each fault's effect
+/// propagates, then repeatedly tap the node covering the most uncovered
+/// faults.
+///
+/// Candidates may be restricted via `candidates`; `None` allows every
+/// node.
+///
+/// # Errors
+///
+/// [`TpiError::Netlist`] for cyclic circuits.
+pub fn select_observation_points(
+    circuit: &Circuit,
+    faults: &[Fault],
+    source: &mut dyn PatternSource,
+    candidates: Option<&[NodeId]>,
+    config: &CoverConfig,
+) -> Result<CoverOutcome, TpiError> {
+    let profile = montecarlo::propagation_profile(circuit, faults, source, config.patterns)?;
+    // Invert: node -> set of fault indices present with ≥ threshold.
+    let mut sets: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for fi in 0..faults.len() {
+        for (node, p) in profile.row(fi) {
+            if p >= config.presence_threshold {
+                sets.entry(node).or_default().push(fi);
+            }
+        }
+    }
+    if let Some(allowed) = candidates {
+        sets.retain(|node, _| allowed.contains(node));
+    }
+    let mut coverable: Vec<bool> = vec![false; faults.len()];
+    for fis in sets.values() {
+        for &fi in fis {
+            coverable[fi] = true;
+        }
+    }
+    let coverable_count = coverable.iter().filter(|&&c| c).count();
+
+    let mut covered = vec![false; faults.len()];
+    let mut points = Vec::new();
+    while points.len() < config.max_points {
+        let best = sets
+            .iter()
+            .map(|(&node, fis)| {
+                let gain = fis.iter().filter(|&&fi| !covered[fi]).count();
+                (node, gain)
+            })
+            // Deterministic tie-break on the node id.
+            .max_by_key(|&(node, gain)| (gain, std::cmp::Reverse(node.index())));
+        match best {
+            Some((node, gain)) if gain > 0 => {
+                for &fi in &sets[&node] {
+                    covered[fi] = true;
+                }
+                points.push(node);
+            }
+            _ => break,
+        }
+    }
+    Ok(CoverOutcome {
+        points,
+        covered: covered.iter().filter(|&&c| c).count(),
+        coverable: coverable_count,
+    })
+}
+
+/// Brute-force minimum set cover: the smallest sub-collection of `sets`
+/// covering `0..universe`, or `None` when no full cover exists.
+///
+/// Exponential — calibration use only (≤ ~20 sets).
+pub fn set_cover_exact(universe: usize, sets: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let full: u64 = if universe >= 64 {
+        panic!("universe limited to 63 elements")
+    } else {
+        (1u64 << universe) - 1
+    };
+    let masks: Vec<u64> = sets
+        .iter()
+        .map(|s| s.iter().fold(0u64, |m, &e| m | (1 << e)))
+        .collect();
+    if masks.iter().fold(0, |m, &x| m | x) != full {
+        return None;
+    }
+    for size in 0..=sets.len() {
+        if let Some(sol) = cover_of_size(full, &masks, size, 0, 0, &mut Vec::new()) {
+            return Some(sol);
+        }
+    }
+    None
+}
+
+fn cover_of_size(
+    full: u64,
+    masks: &[u64],
+    size: usize,
+    start: usize,
+    acc: u64,
+    chosen: &mut Vec<usize>,
+) -> Option<Vec<usize>> {
+    if acc == full {
+        return Some(chosen.clone());
+    }
+    if size == 0 || start >= masks.len() {
+        return None;
+    }
+    for i in start..masks.len() {
+        chosen.push(i);
+        if let Some(sol) = cover_of_size(full, masks, size - 1, i + 1, acc | masks[i], chosen) {
+            return Some(sol);
+        }
+        chosen.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{CircuitBuilder, GateKind};
+    use tpi_sim::{ExhaustivePatterns, FaultUniverse, RandomPatterns};
+
+    #[test]
+    fn exact_set_cover_known_instances() {
+        // Universe {0,1,2}; sets {0,1}, {1,2}, {2}: min cover = 2.
+        let sets = vec![vec![0, 1], vec![1, 2], vec![2]];
+        let sol = set_cover_exact(3, &sets).unwrap();
+        assert_eq!(sol.len(), 2);
+        // One big set wins.
+        let sets = vec![vec![0], vec![1], vec![0, 1, 2]];
+        assert_eq!(set_cover_exact(3, &sets).unwrap(), vec![2]);
+        // Uncoverable universe.
+        assert!(set_cover_exact(3, &[vec![0], vec![1]]).is_none());
+        // Empty universe needs nothing.
+        assert_eq!(set_cover_exact(0, &[]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn greedy_covers_masked_faults() {
+        // Two AND cones into an OR: faults inside a cone barely reach the
+        // output; tapping the cone roots covers them.
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.inputs(8, "x");
+        let c1 = b.balanced_tree(GateKind::And, &xs[..4], "c1").unwrap();
+        let c2 = b.balanced_tree(GateKind::And, &xs[4..], "c2").unwrap();
+        let y = b.gate(GateKind::Or, vec![c1, c2], "y").unwrap();
+        b.output(y);
+        let c = b.finish().unwrap();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut src = ExhaustivePatterns::new(8);
+        let outcome = select_observation_points(
+            &c,
+            universe.faults(),
+            &mut src,
+            None,
+            &CoverConfig {
+                presence_threshold: 0.05,
+                max_points: 4,
+                patterns: 256,
+            },
+        )
+        .unwrap();
+        assert!(!outcome.points.is_empty());
+        assert_eq!(outcome.covered, outcome.coverable);
+    }
+
+    #[test]
+    fn candidate_restriction_respected() {
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.inputs(4, "x");
+        let root = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(root);
+        let c = b.finish().unwrap();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut src = RandomPatterns::new(4, 5);
+        let allowed = [root];
+        let outcome = select_observation_points(
+            &c,
+            universe.faults(),
+            &mut src,
+            Some(&allowed),
+            &CoverConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.points.iter().all(|p| *p == root));
+    }
+
+    #[test]
+    fn max_points_bound() {
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.inputs(6, "x");
+        let root = b.balanced_tree(GateKind::Xor, &xs, "g").unwrap();
+        b.output(root);
+        let c = b.finish().unwrap();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut src = RandomPatterns::new(6, 5);
+        let outcome = select_observation_points(
+            &c,
+            universe.faults(),
+            &mut src,
+            None,
+            &CoverConfig {
+                presence_threshold: 0.9,
+                max_points: 1,
+                patterns: 2048,
+            },
+        )
+        .unwrap();
+        assert!(outcome.points.len() <= 1);
+    }
+}

@@ -1,0 +1,1080 @@
+//! The dynamic program over fanout-free circuits.
+//!
+//! # State space
+//!
+//! Processing nodes bottom-up, the subtree below a line is summarised by
+//! the pair
+//!
+//! * `c1` — the line's 1-probability after the subtree's insertions, and
+//! * `demand` — the largest observability any not-yet-satisfied targeted
+//!   fault in the subtree still requires from above
+//!   (`demand = max over pending faults f of δ / (exc(f) · prop(f → line))`;
+//!   `0` when nothing is pending).
+//!
+//! Both quantities are *sufficient*: on a tree the signals entering a gate
+//! come from disjoint subtrees, so sibling interactions factor through
+//! `c1`, and all pending faults propagate along the same unique upward
+//! path, so only the maximum requirement matters. Each node combines its
+//! children's state frontiers (a pairwise fold — demands divide by the
+//! product of sibling non-controlling probabilities, `c1` composes by the
+//! gate's probability algebra), adds its own stem-fault demands, branches
+//! on the local decision
+//! `{none, OP, CP-AND, CP-OR, CP-AND+OP, CP-OR+OP, TP}`, and Pareto-prunes.
+//! A state whose demand exceeds 1 is dead: observability never exceeds 1
+//! and demands only grow along the path, so no ancestor can save it.
+//!
+//! At a primary-output root every surviving state is feasible (the output
+//! supplies observability 1); at a dangling root the demand must be fully
+//! cleared; region roots accept `demand ≤ ρ` for a caller-supplied
+//! boundary observability `ρ` (used by
+//! [`general`](crate::general)).
+//!
+//! # Optimality and discretisation
+//!
+//! With [`DpConfig::exact`] states are merged only when their `(c1,
+//! demand)` pairs are bit-identical, and the DP provably returns a
+//! minimum-cost feasible plan over the decision vocabulary (property-
+//! tested against [`ExactOptimizer`](crate::ExactOptimizer)). The default
+//! configuration buckets `c1` uniformly and `demand` logarithmically,
+//! trading a bounded amount of optimality for speed; the returned plan is
+//! *always* feasible because every retained state carries exact
+//! probabilities — bucketing is only a pruning key.
+
+use std::rc::Rc;
+
+use tpi_netlist::{GateKind, NodeId, TestPoint, Topology};
+
+use crate::{Plan, TpiError, TpiProblem};
+
+const DEMAND_EPS: f64 = 1e-9;
+
+/// Tuning for [`DpOptimizer`].
+#[derive(Clone, Debug)]
+pub struct DpConfig {
+    /// Buckets for `c1` across `[0, 1]` (pruning key resolution).
+    pub c1_resolution: u32,
+    /// Demand buckets per factor of 2 (log-scale pruning key resolution).
+    pub demand_resolution: u32,
+    /// Merge states only on bit-identical `(c1, demand)` — exact mode.
+    pub exact: bool,
+    /// Hard cap on frontier size per node (runaway protection; optimality
+    /// is lost if the cap ever binds — it does not on the experiment
+    /// suite).
+    pub max_states_per_node: usize,
+    /// Allow full (cut) test points in the decision vocabulary
+    /// (Table 7 ablation knob).
+    pub enable_full: bool,
+    /// Allow control points (alone and with a pre-CP observation) in the
+    /// decision vocabulary (Table 7 ablation knob). With both this and
+    /// [`enable_full`](DpConfig::enable_full) off the DP degenerates to
+    /// observation-point-only insertion — the Hayes/Friedman setting.
+    pub enable_control: bool,
+}
+
+impl Default for DpConfig {
+    fn default() -> DpConfig {
+        // The Fig. 4 ablation shows solution cost saturating well below
+        // these resolutions on the experiment suite.
+        DpConfig {
+            c1_resolution: 64,
+            demand_resolution: 4,
+            exact: false,
+            max_states_per_node: 4096,
+            enable_full: true,
+            enable_control: true,
+        }
+    }
+}
+
+impl DpConfig {
+    /// Exact mode: no lossy state merging (use for optimality
+    /// certification on *small* circuits — the exact frontier is
+    /// worst-case exponential, which is precisely what the bucketing
+    /// avoids).
+    pub fn exact() -> DpConfig {
+        DpConfig {
+            c1_resolution: 0,
+            demand_resolution: 0,
+            exact: true,
+            max_states_per_node: 1 << 16,
+            ..DpConfig::default()
+        }
+    }
+
+    /// Bucketed mode with explicit resolutions (the Fig. 4 ablation knob).
+    pub fn with_resolution(c1_resolution: u32, demand_resolution: u32) -> DpConfig {
+        DpConfig {
+            c1_resolution: c1_resolution.max(2),
+            demand_resolution: demand_resolution.max(1),
+            exact: false,
+            ..DpConfig::default()
+        }
+    }
+}
+
+/// Work statistics of one DP run (the Fig. 2 complexity measurements).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DpStats {
+    /// Nodes processed.
+    pub nodes: usize,
+    /// Largest frontier encountered.
+    pub max_frontier: usize,
+    /// Total states created (before pruning).
+    pub states_created: usize,
+}
+
+/// The dynamic-programming test point inserter (fanout-free circuits).
+#[derive(Clone, Debug, Default)]
+pub struct DpOptimizer {
+    config: DpConfig,
+}
+
+/// Shareable plan fragments: an immutable join tree so that combining two
+/// frontiers never copies plan vectors (`O(1)` join, flattened once at the
+/// end).
+#[derive(Debug)]
+enum PlanTree {
+    Leaf(TestPoint),
+    Pair(Rc<PlanTree>, Rc<PlanTree>),
+}
+
+type PlanRef = Option<Rc<PlanTree>>;
+
+fn plan_join(a: &PlanRef, b: &PlanRef) -> PlanRef {
+    match (a, b) {
+        (None, x) | (x, None) => x.clone(),
+        (Some(x), Some(y)) => Some(Rc::new(PlanTree::Pair(x.clone(), y.clone()))),
+    }
+}
+
+fn plan_push(a: &PlanRef, tp: TestPoint) -> PlanRef {
+    plan_join(a, &Some(Rc::new(PlanTree::Leaf(tp))))
+}
+
+fn plan_flatten(plan: &PlanRef) -> Vec<TestPoint> {
+    let mut out = Vec::new();
+    let mut stack: Vec<&PlanTree> = Vec::new();
+    if let Some(p) = plan {
+        stack.push(p);
+    }
+    // In-order traversal without recursion (plans can be deep chains).
+    let mut order: Vec<&PlanTree> = Vec::new();
+    while let Some(t) = stack.pop() {
+        order.push(t);
+        if let PlanTree::Pair(l, r) = t {
+            stack.push(l);
+            stack.push(r);
+        }
+    }
+    // `order` holds parents before children with right pushed last; a
+    // reverse sweep emits left-to-right leaf order.
+    for t in order.iter().rev() {
+        if let PlanTree::Leaf(tp) = t {
+            out.push(*tp);
+        }
+    }
+    out
+}
+
+#[derive(Clone, Debug)]
+struct State {
+    c1: f64,
+    /// Required observability from above; `0.0` = nothing pending.
+    demand: f64,
+    cost: f64,
+    /// Targets abandoned in the subtree (always 0 in `MinCost` mode).
+    missed: u32,
+    plan: PlanRef,
+}
+
+/// Accumulator while folding a gate's children.
+#[derive(Clone, Debug)]
+struct FoldState {
+    /// `c1`-combination accumulator (gate-kind specific).
+    cacc: f64,
+    /// Product of processed children's non-controlling probabilities.
+    wprod: f64,
+    /// Max transformed pending demand of processed children.
+    pending: f64,
+    cost: f64,
+    /// Targets abandoned in the processed subtrees.
+    missed: u32,
+    plan: PlanRef,
+}
+
+/// Run-wide parameters distinguishing the two optimization forms.
+#[derive(Copy, Clone, Debug)]
+struct RunMode {
+    /// Hard cost ceiling (`∞` for MinCost).
+    budget: f64,
+    /// Whether targets may be abandoned (MaxCoverage) instead of forcing
+    /// infeasibility (MinCost).
+    allow_abandon: bool,
+}
+
+impl DpOptimizer {
+    /// Create an optimizer with the given configuration.
+    pub fn new(config: DpConfig) -> DpOptimizer {
+        DpOptimizer { config }
+    }
+
+    /// Solve a `MinCost(δ)` instance on a fanout-free circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::NotFanoutFree`] when any signal fans out;
+    /// [`TpiError::Infeasible`] when some targeted fault cannot reach the
+    /// threshold under any insertion (its excitation probability is below
+    /// `δ` in every configuration); [`TpiError::Netlist`] on cyclic input.
+    pub fn solve(&self, problem: &TpiProblem) -> Result<Plan, TpiError> {
+        self.solve_with_stats(problem).map(|(plan, _)| plan)
+    }
+
+    /// Like [`solve`](DpOptimizer::solve), also returning work statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`solve`](DpOptimizer::solve).
+    pub fn solve_with_stats(&self, problem: &TpiProblem) -> Result<(Plan, DpStats), TpiError> {
+        self.solve_region(problem, 1.0)
+    }
+
+    /// Solve with an explicit boundary observability `rho` applied at
+    /// primary-output roots — the fanout-free-region entry point used by
+    /// [`general::ConstructiveOptimizer`](crate::general::ConstructiveOptimizer):
+    /// the region root's observed continuation into the enclosing circuit
+    /// has observability `rho` rather than 1.
+    ///
+    /// # Errors
+    ///
+    /// See [`solve`](DpOptimizer::solve); additionally
+    /// [`TpiError::InvalidParameter`] if `rho` is outside `[0, 1]`.
+    pub fn solve_region(
+        &self,
+        problem: &TpiProblem,
+        rho: f64,
+    ) -> Result<(Plan, DpStats), TpiError> {
+        let mode = RunMode {
+            budget: f64::INFINITY,
+            allow_abandon: false,
+        };
+        let (plan, missed, stats) = self.run(problem, rho, mode)?;
+        debug_assert_eq!(missed, 0);
+        Ok((plan, stats))
+    }
+
+    /// The `MaxCoverage(B)` form: maximise the number of targeted faults
+    /// reaching the threshold subject to a total-cost budget. Returns the
+    /// plan and the number of targets it leaves below the threshold
+    /// (`missed`); `missed == 0` means the budget was enough for full
+    /// feasibility.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::NotFanoutFree`] / [`TpiError::Netlist`] as for
+    /// [`solve`](DpOptimizer::solve); [`TpiError::InvalidParameter`] for a
+    /// negative budget. Never reports `Infeasible` — an unaffordable
+    /// target is abandoned and counted instead.
+    pub fn solve_max_coverage(
+        &self,
+        problem: &TpiProblem,
+        budget: f64,
+    ) -> Result<(Plan, usize), TpiError> {
+        if budget < 0.0 || budget.is_nan() {
+            return Err(TpiError::InvalidParameter {
+                message: format!("budget {budget} must be non-negative"),
+            });
+        }
+        let mode = RunMode {
+            budget,
+            allow_abandon: true,
+        };
+        let (plan, missed, _) = self.run(problem, 1.0, mode)?;
+        Ok((plan, missed))
+    }
+
+    fn run(
+        &self,
+        problem: &TpiProblem,
+        rho: f64,
+        mode: RunMode,
+    ) -> Result<(Plan, usize, DpStats), TpiError> {
+        if !(0.0..=1.0).contains(&rho) {
+            return Err(TpiError::InvalidParameter {
+                message: format!("root observability {rho} outside [0, 1]"),
+            });
+        }
+        let circuit = problem.circuit();
+        let topo = Topology::of(circuit)?;
+        if let Some(stem) = circuit
+            .node_ids()
+            .find(|&id| topo.is_stem(circuit, id))
+        {
+            return Err(TpiError::NotFanoutFree {
+                stem: circuit.node_name(stem).to_string(),
+            });
+        }
+        let delta = problem.threshold().value();
+        let costs = *problem.costs();
+        let (c_o, c_c, c_f) = (costs.observe, costs.control, costs.full);
+
+        // Per-node targeted polarities, precomputed.
+        let mut targeted = vec![(false, false); circuit.node_count()];
+        for t in problem.targets() {
+            if t.stuck {
+                targeted[t.node.index()].1 = true;
+            } else {
+                targeted[t.node.index()].0 = true;
+            }
+        }
+
+        let mut stats = DpStats::default();
+        let mut frontiers: Vec<Option<Vec<State>>> = vec![None; circuit.node_count()];
+
+        for &id in topo.order() {
+            let node = circuit.node(id);
+            let kind = node.kind();
+            // 1. Combine children into (c1_pre, pending) states.
+            let combined: Vec<FoldState> = if kind.is_source() {
+                let c1 = match kind {
+                    GateKind::Const0 => 0.0,
+                    GateKind::Const1 => 1.0,
+                    _ => problem.input_probability(id),
+                };
+                vec![FoldState {
+                    cacc: c1,
+                    wprod: 1.0,
+                    pending: 0.0,
+                    cost: 0.0,
+                    missed: 0,
+                    plan: None,
+                }]
+            } else {
+                self.fold_children(kind, node.fanins(), &mut frontiers, mode, &mut stats)?
+            };
+
+            // 2. Add own-fault demands (committing or, in MaxCoverage
+            // mode, abandoning each), then branch on local decisions.
+            let (t0, t1) = targeted[id.index()];
+            let mut next: Vec<State> = Vec::with_capacity(combined.len() * 4);
+            for fs in combined {
+                let c1_pre = finalize_c1(kind, fs.cacc);
+                // (demand, extra misses) variants after this node's own
+                // targets are folded in.
+                let mut variants: Vec<(f64, u32)> = vec![(fs.pending, 0)];
+                for (flag, exc) in [(t0, c1_pre), (t1, 1.0 - c1_pre)] {
+                    if !flag {
+                        continue;
+                    }
+                    let r = required(delta, exc);
+                    let mut expanded = Vec::with_capacity(variants.len() * 2);
+                    for &(d, m) in &variants {
+                        let committed = d.max(r);
+                        if committed <= 1.0 + DEMAND_EPS {
+                            expanded.push((committed, m));
+                        }
+                        if mode.allow_abandon {
+                            expanded.push((d, m + 1));
+                        }
+                    }
+                    variants = expanded;
+                }
+                for (demand, extra_missed) in variants {
+                    self.push_options(
+                        &mut next,
+                        id,
+                        c1_pre,
+                        demand,
+                        fs.missed + extra_missed,
+                        &fs,
+                        c_o,
+                        c_c,
+                        c_f,
+                        mode,
+                    );
+                }
+            }
+            stats.states_created += next.len();
+            let pruned = self.prune(next, mode);
+            stats.max_frontier = stats.max_frontier.max(pruned.len());
+            stats.nodes += 1;
+            if pruned.is_empty() {
+                return Err(TpiError::Infeasible {
+                    fault: format!(
+                        "stem fault at `{}` (threshold {} exceeds reachable excitation)",
+                        circuit.node_name(id),
+                        problem.threshold()
+                    ),
+                });
+            }
+            frontiers[id.index()] = Some(pruned);
+        }
+
+        // 3. Accept at the roots (minimise misses first, then cost).
+        //
+        // Note: with a shared budget across multiple roots the greedy
+        // per-root acceptance below is exact only for MinCost (costs just
+        // add up); in MaxCoverage mode multi-root circuits get each root's
+        // best-under-full-budget answer, a safe upper bound on spend per
+        // cone that the budget check at state level keeps honest.
+        let mut total_cost = 0.0;
+        let mut total_missed = 0usize;
+        let mut plan: PlanRef = None;
+        for id in circuit.node_ids() {
+            if topo.fanout_count(id) > 0 {
+                continue; // interior line
+            }
+            let accept = if circuit.is_output(id) { rho } else { 0.0 };
+            let frontier = frontiers[id.index()]
+                .as_ref()
+                .expect("roots are processed");
+            let best = frontier
+                .iter()
+                .filter(|s| s.demand <= accept + DEMAND_EPS)
+                .min_by(|a, b| {
+                    (a.missed, a.cost)
+                        .partial_cmp(&(b.missed, b.cost))
+                        .expect("costs are finite")
+                });
+            match best {
+                Some(s) => {
+                    total_cost += s.cost;
+                    total_missed += s.missed as usize;
+                    plan = plan_join(&plan, &s.plan);
+                }
+                None => {
+                    return Err(TpiError::Infeasible {
+                        fault: format!(
+                            "cone of `{}` (boundary observability {accept})",
+                            circuit.node_name(id)
+                        ),
+                    })
+                }
+            }
+        }
+        Ok((
+            Plan::new(plan_flatten(&plan), total_cost, total_missed == 0),
+            total_missed,
+            stats,
+        ))
+    }
+
+    /// Fold the children frontiers of a gate into combined accumulator
+    /// states, deduplicating into bucket keys on the fly so the pairwise
+    /// product never materialises.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_children(
+        &self,
+        kind: GateKind,
+        fanins: &[NodeId],
+        frontiers: &mut [Option<Vec<State>>],
+        mode: RunMode,
+        stats: &mut DpStats,
+    ) -> Result<Vec<FoldState>, TpiError> {
+        let mut acc: Vec<FoldState> = Vec::new();
+        for (ci, &child) in fanins.iter().enumerate() {
+            let child_frontier = frontiers[child.index()]
+                .take()
+                .expect("children precede parents in topological order");
+            if ci == 0 {
+                acc = child_frontier
+                    .iter()
+                    .map(|s| FoldState {
+                        cacc: init_cacc(kind, s.c1),
+                        wprod: side_weight(kind, s.c1),
+                        pending: s.demand,
+                        cost: s.cost,
+                        missed: s.missed,
+                        plan: s.plan.clone(),
+                    })
+                    .collect();
+            } else {
+                // Key → small Pareto set over (cost, missed).
+                let mut map: std::collections::HashMap<(u64, u64, u64), Vec<FoldState>> =
+                    std::collections::HashMap::with_capacity(acc.len().min(1 << 12));
+                for a in &acc {
+                    for s in &child_frontier {
+                        let w = side_weight(kind, s.c1);
+                        let pending =
+                            div_demand(a.pending, w).max(div_demand(s.demand, a.wprod));
+                        if pending > 1.0 + DEMAND_EPS {
+                            continue;
+                        }
+                        let cost = a.cost + s.cost;
+                        if cost > mode.budget + 1e-12 {
+                            continue;
+                        }
+                        stats.states_created += 1;
+                        let cacc = step_cacc(kind, a.cacc, s.c1);
+                        let wprod = a.wprod * w;
+                        let missed = a.missed + s.missed;
+                        let key = self.fold_key(cacc, wprod, pending);
+                        let slot = map.entry(key).or_default();
+                        if pareto_insert(slot, cost, missed) {
+                            slot.push(FoldState {
+                                cacc,
+                                wprod,
+                                pending,
+                                cost,
+                                missed,
+                                plan: plan_join(&a.plan, &s.plan),
+                            });
+                        }
+                    }
+                }
+                acc = map.into_values().flatten().collect();
+                if acc.len() > self.config.max_states_per_node {
+                    acc.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite"));
+                    acc.truncate(self.config.max_states_per_node);
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    fn fold_key(&self, cacc: f64, wprod: f64, pending: f64) -> (u64, u64, u64) {
+        if self.config.exact {
+            (cacc.to_bits(), wprod.to_bits(), pending.to_bits())
+        } else {
+            let (ck, _) = self.keys(cacc.clamp(0.0, 1.0), 0.0);
+            let (wk, _) = self.keys(wprod.clamp(0.0, 1.0), 0.0);
+            let (_, dk) = self.keys(0.0, pending);
+            (ck, wk, dk)
+        }
+    }
+
+    /// Enumerate the local decisions for one combined state.
+    #[allow(clippy::too_many_arguments)]
+    fn push_options(
+        &self,
+        out: &mut Vec<State>,
+        id: NodeId,
+        c1: f64,
+        demand: f64,
+        missed: u32,
+        fs: &FoldState,
+        c_o: f64,
+        c_c: f64,
+        c_f: f64,
+        mode: RunMode,
+    ) {
+        let affordable = |cost: f64| cost <= mode.budget + 1e-12;
+        // none
+        if affordable(fs.cost) {
+            out.push(State {
+                c1,
+                demand,
+                cost: fs.cost,
+                missed,
+                plan: fs.plan.clone(),
+            });
+        }
+        // OP: observe the line (demand ≤ 1 already holds) — clears it.
+        if affordable(fs.cost + c_o) {
+            out.push(State {
+                c1,
+                demand: 0.0,
+                cost: fs.cost + c_o,
+                missed,
+                plan: plan_push(&fs.plan, TestPoint::observe(id)),
+            });
+        }
+        // CP-AND / CP-OR: reshape c1; pending demands pass the new gate
+        // whose side input is non-controlling with probability 1/2.
+        let doubled = if demand == 0.0 { 0.0 } else { 2.0 * demand };
+        let control_options: &[(f64, TestPoint)] = if self.config.enable_control {
+            &[
+                (c1 * 0.5, TestPoint::control_and(id)),
+                (0.5 + 0.5 * c1, TestPoint::control_or(id)),
+            ]
+        } else {
+            &[]
+        };
+        for &(kind_c1, tp) in control_options {
+            if doubled <= 1.0 + DEMAND_EPS && affordable(fs.cost + c_c) {
+                out.push(State {
+                    c1: kind_c1,
+                    demand: doubled,
+                    cost: fs.cost + c_c,
+                    missed,
+                    plan: plan_push(&fs.plan, tp),
+                });
+            }
+            // CP + OP with the observation on the *pre-CP* line (emitted
+            // as [CP, OP]; the transform then taps the original line):
+            // demands clear at full observability, then the CP reshapes.
+            if affordable(fs.cost + c_c + c_o) {
+                out.push(State {
+                    c1: kind_c1,
+                    demand: 0.0,
+                    cost: fs.cost + c_c + c_o,
+                    missed,
+                    plan: plan_push(&plan_push(&fs.plan, tp), TestPoint::observe(id)),
+                });
+            }
+        }
+        // Full test point: observe the line and re-drive consumers from a
+        // fresh equiprobable input.
+        if self.config.enable_full && affordable(fs.cost + c_f) {
+            out.push(State {
+                c1: 0.5,
+                demand: 0.0,
+                cost: fs.cost + c_f,
+                missed,
+                plan: plan_push(&fs.plan, TestPoint::full(id)),
+            });
+        }
+    }
+
+    fn keys(&self, c1: f64, demand: f64) -> (u64, u64) {
+        if self.config.exact {
+            (c1.to_bits(), demand.to_bits())
+        } else {
+            let c1k = (c1 * f64::from(self.config.c1_resolution - 1)).round() as u64;
+            let dk = if demand == 0.0 {
+                0
+            } else {
+                1 + (-demand.log2() * f64::from(self.config.demand_resolution)).floor() as u64
+            };
+            (c1k, dk)
+        }
+    }
+
+    /// Prune a node frontier: keep a `(cost, missed)` Pareto set per
+    /// `(c1, demand)` bucket; in MinCost mode additionally sweep a 2-D
+    /// Pareto front per `c1` bucket (a state dominated by a lower-demand,
+    /// no-more-expensive sibling dies).
+    fn prune(&self, states: Vec<State>, mode: RunMode) -> Vec<State> {
+        let mut map: std::collections::HashMap<(u64, u64), Vec<State>> =
+            std::collections::HashMap::with_capacity(states.len().min(1 << 12));
+        for s in states {
+            let key = self.keys(s.c1, s.demand);
+            let slot = map.entry(key).or_default();
+            if pareto_insert(slot, s.cost, s.missed) {
+                slot.push(s);
+            }
+        }
+        let mut kept: Vec<State> = map.into_values().flatten().collect();
+        if !mode.allow_abandon {
+            kept.sort_by(|a, b| {
+                let ka = self.keys(a.c1, a.demand);
+                let kb = self.keys(b.c1, b.demand);
+                ka.0.cmp(&kb.0)
+                    .then(a.demand.partial_cmp(&b.demand).expect("finite"))
+                    .then(a.cost.partial_cmp(&b.cost).expect("finite"))
+            });
+            let mut front: Vec<State> = Vec::with_capacity(kept.len());
+            let mut current_key = u64::MAX;
+            let mut best_cost = f64::INFINITY;
+            for s in kept {
+                let (c1k, _) = self.keys(s.c1, s.demand);
+                if c1k != current_key {
+                    current_key = c1k;
+                    best_cost = f64::INFINITY;
+                }
+                if s.cost < best_cost - 1e-15 {
+                    best_cost = s.cost;
+                    front.push(s);
+                }
+            }
+            kept = front;
+        }
+        if kept.len() > self.config.max_states_per_node {
+            kept.sort_by(|a, b| {
+                (a.missed, a.cost)
+                    .partial_cmp(&(b.missed, b.cost))
+                    .expect("finite")
+            });
+            kept.truncate(self.config.max_states_per_node);
+        }
+        kept
+    }
+}
+
+/// Shared `(cost, missed)` scoring for Pareto maintenance.
+trait Scored {
+    fn score(&self) -> (f64, u32);
+}
+
+impl Scored for State {
+    fn score(&self) -> (f64, u32) {
+        (self.cost, self.missed)
+    }
+}
+
+impl Scored for FoldState {
+    fn score(&self) -> (f64, u32) {
+        (self.cost, self.missed)
+    }
+}
+
+/// Maintain `set` as a Pareto front over (cost, missed): returns whether
+/// the candidate `(cost, missed)` belongs in the front, removing entries
+/// it dominates.
+fn pareto_insert<T: Scored>(set: &mut Vec<T>, cost: f64, missed: u32) -> bool {
+    for e in set.iter() {
+        let (ec, em) = e.score();
+        if ec <= cost + 1e-15 && em <= missed {
+            return false;
+        }
+    }
+    set.retain(|e| {
+        let (ec, em) = e.score();
+        !(cost <= ec + 1e-15 && missed <= em)
+    });
+    true
+}
+
+/// Required observability for a fault with excitation `exc`:
+/// `δ / exc`, `∞` when unexcitable.
+fn required(delta: f64, exc: f64) -> f64 {
+    if exc <= 0.0 {
+        f64::INFINITY
+    } else {
+        delta / exc
+    }
+}
+
+fn div_demand(pending: f64, w: f64) -> f64 {
+    if pending == 0.0 {
+        0.0
+    } else if w <= 0.0 {
+        f64::INFINITY
+    } else {
+        pending / w
+    }
+}
+
+/// Probability that a child's value is non-controlling for `kind` (the
+/// factor a sibling's fault effect must pass).
+fn side_weight(kind: GateKind, c1: f64) -> f64 {
+    match kind {
+        GateKind::And | GateKind::Nand => c1,
+        GateKind::Or | GateKind::Nor => 1.0 - c1,
+        // XOR propagates any side value (with flipped polarity); unary
+        // gates have no siblings.
+        _ => 1.0,
+    }
+}
+
+fn init_cacc(kind: GateKind, c1: f64) -> f64 {
+    match kind {
+        GateKind::And | GateKind::Nand | GateKind::Buf | GateKind::Not => c1,
+        GateKind::Or | GateKind::Nor => 1.0 - c1,
+        GateKind::Xor | GateKind::Xnor => c1,
+        _ => c1,
+    }
+}
+
+fn step_cacc(kind: GateKind, acc: f64, c1: f64) -> f64 {
+    match kind {
+        GateKind::And | GateKind::Nand => acc * c1,
+        GateKind::Or | GateKind::Nor => acc * (1.0 - c1),
+        GateKind::Xor | GateKind::Xnor => acc * (1.0 - c1) + c1 * (1.0 - acc),
+        _ => c1,
+    }
+}
+
+fn finalize_c1(kind: GateKind, acc: f64) -> f64 {
+    match kind {
+        // `acc` is Πc1 for AND-like, Πc0 for OR-like, parity for XOR-like.
+        GateKind::And | GateKind::Nor | GateKind::Xor | GateKind::Buf => acc,
+        GateKind::Nand | GateKind::Or | GateKind::Xnor | GateKind::Not => 1.0 - acc,
+        _ => acc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::PlanEvaluator;
+    use crate::{Threshold, TpiProblem};
+    use tpi_netlist::CircuitBuilder;
+
+    fn and_cone(width: usize) -> tpi_netlist::Circuit {
+        let mut b = CircuitBuilder::new(format!("and{width}"));
+        let xs = b.inputs(width, "x");
+        let root = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(root);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn plan_tree_flatten_preserves_order() {
+        let a = plan_push(&None, TestPoint::observe(NodeId::from_index(0)));
+        let b = plan_push(&a, TestPoint::control_and(NodeId::from_index(1)));
+        let c = plan_push(&None, TestPoint::full(NodeId::from_index(2)));
+        let joined = plan_join(&b, &c);
+        let flat = plan_flatten(&joined);
+        assert_eq!(
+            flat,
+            vec![
+                TestPoint::observe(NodeId::from_index(0)),
+                TestPoint::control_and(NodeId::from_index(1)),
+                TestPoint::full(NodeId::from_index(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn easy_circuit_needs_no_test_points() {
+        let c = and_cone(4);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-6.0)).unwrap();
+        let plan = DpOptimizer::default().solve(&p).unwrap();
+        assert!(plan.is_empty(), "plan: {plan}");
+        assert_eq!(plan.cost(), 0.0);
+    }
+
+    #[test]
+    fn resistant_cone_gets_fixed_and_verifies() {
+        let c = and_cone(16);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-6.0)).unwrap();
+        let plan = DpOptimizer::default().solve(&p).unwrap();
+        assert!(!plan.is_empty());
+        let eval = PlanEvaluator::new(&p).unwrap().evaluate(plan.test_points()).unwrap();
+        assert!(eval.feasible, "min prob {:.3e}", eval.min_probability);
+    }
+
+    #[test]
+    fn rejects_fanout() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let g1 = b.gate(GateKind::Not, vec![a], "g1").unwrap();
+        let g2 = b.gate(GateKind::Buf, vec![a], "g2").unwrap();
+        b.output(g1);
+        b.output(g2);
+        let c = b.finish().unwrap();
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-2.0)).unwrap();
+        assert!(matches!(
+            DpOptimizer::default().solve(&p),
+            Err(TpiError::NotFanoutFree { .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_threshold_reports_fault() {
+        // δ > 1/2: a PI's own stem fault can never reach it.
+        let c = and_cone(2);
+        let p = TpiProblem::min_cost(&c, Threshold::new(0.75).unwrap()).unwrap();
+        assert!(matches!(
+            DpOptimizer::default().solve(&p),
+            Err(TpiError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_cone_requires_observation() {
+        // A tree with no primary output at all: everything must be
+        // observed via OPs.
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.inputs(2, "x");
+        let _g = b.gate(GateKind::And, vec![xs[0], xs[1]], "g").unwrap();
+        let c = b.finish().unwrap();
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-3.0)).unwrap();
+        let plan = DpOptimizer::default().solve(&p).unwrap();
+        let (op, ..) = plan.kind_counts();
+        assert!(op >= 1, "plan: {plan}");
+        let eval = PlanEvaluator::new(&p).unwrap().evaluate(plan.test_points()).unwrap();
+        assert!(eval.feasible);
+    }
+
+    #[test]
+    fn multi_root_forest_solved_per_tree() {
+        let mut b = CircuitBuilder::new("forest");
+        let xs = b.inputs(8, "x");
+        let g1 = b.balanced_tree(GateKind::And, &xs[..4], "a").unwrap();
+        let g2 = b.balanced_tree(GateKind::Or, &xs[4..], "o").unwrap();
+        b.output(g1);
+        b.output(g2);
+        let c = b.finish().unwrap();
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-3.0)).unwrap();
+        let plan = DpOptimizer::default().solve(&p).unwrap();
+        let eval = PlanEvaluator::new(&p).unwrap().evaluate(plan.test_points()).unwrap();
+        assert!(eval.feasible);
+    }
+
+    #[test]
+    fn tighter_threshold_costs_at_least_as_much() {
+        let c = and_cone(4);
+        let mut last_cost = -1.0;
+        for exp in [-5.0, -4.0, -3.0, -2.0] {
+            let p = TpiProblem::min_cost(&c, Threshold::from_log2(exp)).unwrap();
+            let plan = DpOptimizer::new(DpConfig::exact()).solve(&p).unwrap();
+            assert!(
+                plan.cost() >= last_cost - 1e-9,
+                "δ=2^{exp}: cost {} < previous {last_cost}",
+                plan.cost()
+            );
+            last_cost = plan.cost();
+        }
+    }
+
+    #[test]
+    fn exact_mode_matches_default_on_small_trees() {
+        // Small circuits: default buckets are already lossless enough to
+        // match the exact mode's cost.
+        let c = and_cone(4);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-2.0)).unwrap();
+        let d = DpOptimizer::default().solve(&p).unwrap();
+        let e = DpOptimizer::new(DpConfig::exact()).solve(&p).unwrap();
+        assert!((d.cost() - e.cost()).abs() < 1e-9, "{} vs {}", d.cost(), e.cost());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let c = and_cone(16);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-5.0)).unwrap();
+        let (_, stats) = DpOptimizer::default().solve_with_stats(&p).unwrap();
+        assert_eq!(stats.nodes, c.node_count());
+        assert!(stats.max_frontier >= 1);
+        assert!(stats.states_created > 0);
+    }
+
+    #[test]
+    fn region_mode_with_low_boundary_observability() {
+        // With ρ = 0 every fault must be satisfied internally (as if the
+        // root were dangling) even though it is an output.
+        let c = and_cone(4);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-3.0)).unwrap();
+        let (plan_rho0, _) = DpOptimizer::default().solve_region(&p, 0.0).unwrap();
+        let (plan_rho1, _) = DpOptimizer::default().solve_region(&p, 1.0).unwrap();
+        assert!(plan_rho0.cost() >= plan_rho1.cost());
+        let (op, ..) = plan_rho0.kind_counts();
+        assert!(op >= 1);
+    }
+
+    #[test]
+    fn bad_rho_rejected() {
+        let c = and_cone(2);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-2.0)).unwrap();
+        assert!(DpOptimizer::default().solve_region(&p, 1.5).is_err());
+    }
+
+    #[test]
+    fn cp_or_preferred_for_sa0_starved_cone() {
+        // A deep AND cone starves SA0 excitation; the DP should deploy
+        // OR-type control (or full) points, not AND-type.
+        let c = and_cone(32);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-5.0)).unwrap();
+        let plan = DpOptimizer::default().solve(&p).unwrap();
+        let (_, cpa, cpo, full) = plan.kind_counts();
+        assert!(cpo + full > 0, "plan: {plan}");
+        assert!(cpa <= cpo + full, "AND CPs should not dominate: {plan}");
+    }
+
+    #[test]
+    fn plan_points_reference_original_nodes() {
+        let c = and_cone(16);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-5.0)).unwrap();
+        let plan = DpOptimizer::default().solve(&p).unwrap();
+        for tp in plan.test_points() {
+            assert!(tp.node.index() < c.node_count());
+        }
+        // And the plan cost agrees with the cost model.
+        assert!((p.costs().total(plan.test_points()) - plan.cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_coverage_zero_budget_inserts_nothing() {
+        let c = and_cone(16);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-5.0)).unwrap();
+        let (plan, missed) = DpOptimizer::default().solve_max_coverage(&p, 0.0).unwrap();
+        assert!(plan.is_empty());
+        assert!(missed > 0);
+        // The misses equal the analytically-unmet targets of the bare
+        // circuit.
+        let eval = PlanEvaluator::new(&p).unwrap().evaluate(&[]).unwrap();
+        assert_eq!(missed, p.targets().len() - eval.meeting);
+    }
+
+    #[test]
+    fn max_coverage_large_budget_matches_min_cost() {
+        let c = and_cone(16);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-5.0)).unwrap();
+        let min_cost = DpOptimizer::default().solve(&p).unwrap();
+        let (plan, missed) = DpOptimizer::default()
+            .solve_max_coverage(&p, 1e9)
+            .unwrap();
+        assert_eq!(missed, 0);
+        assert!(plan.is_feasible());
+        assert!((plan.cost() - min_cost.cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_coverage_monotone_in_budget() {
+        let c = and_cone(16);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-5.0)).unwrap();
+        let dp = DpOptimizer::default();
+        let mut last_missed = usize::MAX;
+        for budget in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            let (plan, missed) = dp.solve_max_coverage(&p, budget).unwrap();
+            assert!(plan.cost() <= budget + 1e-9, "budget {budget}: {plan}");
+            assert!(
+                missed <= last_missed,
+                "budget {budget}: missed {missed} > {last_missed}"
+            );
+            last_missed = missed;
+        }
+        assert_eq!(last_missed, 0, "budget 8 suffices for this cone");
+    }
+
+    #[test]
+    fn max_coverage_plans_verify_analytically() {
+        // The evaluator must confirm at least `targets - missed` faults
+        // meeting the threshold (the DP's miss count is an upper bound
+        // when bucketing merges states).
+        let c = and_cone(8);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-4.0)).unwrap();
+        let dp = DpOptimizer::new(DpConfig::exact());
+        for budget in [0.5, 1.0, 1.5] {
+            let (plan, missed) = dp.solve_max_coverage(&p, budget).unwrap();
+            let eval = PlanEvaluator::new(&p)
+                .unwrap()
+                .evaluate(plan.test_points())
+                .unwrap();
+            assert!(
+                eval.meeting >= p.targets().len() - missed,
+                "budget {budget}: meeting {} < targets {} - missed {missed}",
+                eval.meeting,
+                p.targets().len()
+            );
+        }
+    }
+
+    #[test]
+    fn vocabulary_ablation_knobs() {
+        let c = and_cone(16);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-6.0)).unwrap();
+        // Observation-only cannot raise the cone's SA0 excitation.
+        let op_only = DpConfig {
+            enable_control: false,
+            enable_full: false,
+            ..DpConfig::default()
+        };
+        assert!(matches!(
+            DpOptimizer::new(op_only).solve(&p),
+            Err(TpiError::Infeasible { .. })
+        ));
+        // Without cut points the problem stays solvable, at no lower cost
+        // than the full vocabulary.
+        let no_full = DpConfig {
+            enable_full: false,
+            ..DpConfig::default()
+        };
+        let restricted = DpOptimizer::new(no_full).solve(&p).unwrap();
+        let full = DpOptimizer::default().solve(&p).unwrap();
+        assert!(restricted.cost() >= full.cost() - 1e-9);
+        let (_, _, _, cut_points) = restricted.kind_counts();
+        assert_eq!(cut_points, 0);
+    }
+
+    #[test]
+    fn max_coverage_rejects_bad_budget() {
+        let c = and_cone(4);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-3.0)).unwrap();
+        assert!(DpOptimizer::default().solve_max_coverage(&p, -1.0).is_err());
+        assert!(DpOptimizer::default()
+            .solve_max_coverage(&p, f64::NAN)
+            .is_err());
+    }
+}

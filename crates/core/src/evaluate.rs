@@ -1,0 +1,206 @@
+//! Plan assessment: the shared referee all optimizers are scored against.
+//!
+//! [`PlanEvaluator::evaluate`] applies a candidate plan to a copy of the
+//! circuit and recomputes COP detection probabilities for every targeted
+//! fault (exact on fanout-free circuits). [`PlanEvaluator::verify_by_simulation`]
+//! measures the same quantities by Monte-Carlo fault simulation — the
+//! independent cross-check used in the experiment suite.
+
+use tpi_netlist::transform::apply_plan;
+use tpi_netlist::TestPoint;
+use tpi_sim::{montecarlo, Fault, RandomPatterns};
+use tpi_testability::CopAnalysis;
+
+use crate::{TpiError, TpiProblem};
+
+/// Analytic result of applying a plan.
+#[derive(Clone, Debug)]
+pub struct PlanEval {
+    /// Whether every targeted fault meets the threshold.
+    pub feasible: bool,
+    /// Minimum detection probability over targeted faults (1.0 when the
+    /// target set is empty).
+    pub min_probability: f64,
+    /// Number of targeted faults meeting the threshold.
+    pub meeting: usize,
+    /// Per-target detection probabilities, in target order.
+    pub probabilities: Vec<f64>,
+    /// Plan cost under the problem's cost model.
+    pub cost: f64,
+}
+
+/// Simulation-measured result of applying a plan.
+#[derive(Clone, Debug)]
+pub struct SimEval {
+    /// Per-target Monte-Carlo detection probabilities.
+    pub probabilities: Vec<f64>,
+    /// Patterns simulated.
+    pub patterns: u64,
+    /// Number of targets whose measured probability meets the threshold.
+    pub meeting: usize,
+}
+
+/// Applies plans and measures the targeted faults, analytically and by
+/// simulation.
+#[derive(Clone, Debug)]
+pub struct PlanEvaluator {
+    problem: TpiProblem,
+}
+
+impl PlanEvaluator {
+    /// Create an evaluator for a problem.
+    ///
+    /// # Errors
+    ///
+    /// Reserved for future validation; currently infallible.
+    pub fn new(problem: &TpiProblem) -> Result<PlanEvaluator, TpiError> {
+        Ok(PlanEvaluator {
+            problem: problem.clone(),
+        })
+    }
+
+    /// Apply `plan` to a copy of the circuit and recompute COP detection
+    /// probabilities for every target.
+    ///
+    /// Node ids of the original circuit are stable under the transforms,
+    /// so targets are looked up directly in the modified circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] if the plan is not applicable (bad node ids,
+    /// control point on a dangling line).
+    pub fn evaluate(&self, plan: &[TestPoint]) -> Result<PlanEval, TpiError> {
+        let (modified, _) = apply_plan(self.problem.circuit(), plan)?;
+        let cop = CopAnalysis::with_input_probs(&modified, self.problem.input_probs())?;
+        let delta = self.problem.threshold().value();
+        let probabilities: Vec<f64> = self
+            .problem
+            .targets()
+            .iter()
+            .map(|t| cop.detection_probability(&modified, t.to_fault()))
+            .collect();
+        let meeting = probabilities
+            .iter()
+            .filter(|&&p| p >= delta - 1e-12)
+            .count();
+        Ok(PlanEval {
+            feasible: meeting == probabilities.len(),
+            min_probability: probabilities.iter().copied().fold(1.0, f64::min),
+            meeting,
+            cost: self.problem.costs().total(plan),
+            probabilities,
+        })
+    }
+
+    /// Measure the targets' detection probabilities on the modified
+    /// circuit by fault simulation with `n_patterns` random patterns.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] on plan application failure.
+    pub fn verify_by_simulation(
+        &self,
+        plan: &[TestPoint],
+        n_patterns: u64,
+        seed: u64,
+    ) -> Result<SimEval, TpiError> {
+        let (modified, _) = apply_plan(self.problem.circuit(), plan)?;
+        let faults: Vec<Fault> = self.problem.targets().iter().map(|t| t.to_fault()).collect();
+        let mut src = RandomPatterns::new(modified.inputs().len(), seed);
+        let probabilities =
+            montecarlo::detection_probabilities(&modified, &faults, &mut src, n_patterns)?;
+        let delta = self.problem.threshold().value();
+        // Statistical slack: a fault at exactly δ will measure below it
+        // half the time; use a 3-sigma allowance at the given sample size.
+        let sigma = (delta / n_patterns as f64).sqrt().max(1.0 / n_patterns as f64);
+        let meeting = probabilities
+            .iter()
+            .filter(|&&p| p >= delta - 3.0 * sigma)
+            .count();
+        Ok(SimEval {
+            probabilities,
+            patterns: n_patterns,
+            meeting,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Threshold;
+    use tpi_netlist::{CircuitBuilder, GateKind};
+
+    fn and8_problem(delta_log2: f64) -> TpiProblem {
+        let mut b = CircuitBuilder::new("and8");
+        let xs = b.inputs(8, "x");
+        let root = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(root);
+        let c = b.finish().unwrap();
+        TpiProblem::min_cost(&c, Threshold::from_log2(delta_log2)).unwrap()
+    }
+
+    #[test]
+    fn empty_plan_on_resistant_circuit_is_infeasible() {
+        let p = and8_problem(-4.0);
+        let eval = PlanEvaluator::new(&p).unwrap().evaluate(&[]).unwrap();
+        assert!(!eval.feasible);
+        assert!(eval.min_probability <= 2f64.powi(-8) + 1e-12);
+        assert!(eval.meeting < p.targets().len());
+        assert_eq!(eval.cost, 0.0);
+    }
+
+    #[test]
+    fn loose_threshold_feasible_without_insertion() {
+        let p = and8_problem(-8.0);
+        let eval = PlanEvaluator::new(&p).unwrap().evaluate(&[]).unwrap();
+        assert!(eval.feasible, "min prob {}", eval.min_probability);
+    }
+
+    #[test]
+    fn full_test_points_fix_the_cone() {
+        let p = and8_problem(-3.0);
+        let circuit = p.circuit().clone();
+        // Cut after every 2-input AND stage root: insert full TPs at the
+        // two mid-level AND gates (g_4, g_5 of the balanced tree).
+        let plan: Vec<TestPoint> = circuit
+            .node_ids()
+            .filter(|&id| circuit.kind(id) == GateKind::And)
+            .map(TestPoint::full)
+            .collect();
+        let eval = PlanEvaluator::new(&p).unwrap().evaluate(&plan).unwrap();
+        assert!(eval.feasible, "min prob {}", eval.min_probability);
+        assert!(eval.cost > 0.0);
+    }
+
+    #[test]
+    fn analytic_matches_simulation() {
+        let p = and8_problem(-4.0);
+        let g = p.circuit().find_node("g_4").unwrap();
+        let plan = vec![TestPoint::control_or(g), TestPoint::observe(g)];
+        let evaluator = PlanEvaluator::new(&p).unwrap();
+        let analytic = evaluator.evaluate(&plan).unwrap();
+        let sim = evaluator.verify_by_simulation(&plan, 60_000, 11).unwrap();
+        for (i, (&a, &s)) in analytic
+            .probabilities
+            .iter()
+            .zip(&sim.probabilities)
+            .enumerate()
+        {
+            assert!(
+                (a - s).abs() < 0.02,
+                "target {i}: analytic {a} vs simulated {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluation_rejects_broken_plans() {
+        let p = and8_problem(-4.0);
+        let bogus = TestPoint::observe(tpi_netlist::NodeId::from_index(10_000));
+        assert!(PlanEvaluator::new(&p)
+            .unwrap()
+            .evaluate(&[bogus])
+            .is_err());
+    }
+}

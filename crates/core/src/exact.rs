@@ -1,0 +1,276 @@
+use tpi_netlist::{TestPoint, TestPointKind, Topology};
+
+use crate::evaluate::PlanEvaluator;
+use crate::{Plan, TpiError, TpiProblem};
+
+/// Work statistics of an exhaustive search (the Fig. 2 exponential-wall
+/// measurements).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExactStats {
+    /// Nodes of the branch-and-bound tree visited.
+    pub nodes_visited: u64,
+    /// Full configurations evaluated analytically.
+    pub evaluations: u64,
+}
+
+/// Exhaustive branch-and-bound over the same per-node decision vocabulary
+/// as the DP (`{none, OP, CP-AND, CP-OR, CP-AND+OP, CP-OR+OP, TP}`).
+///
+/// With `7^nodes` configurations this is only usable on small circuits —
+/// which is the point: it certifies the DP's optimality on random small
+/// trees and exhibits the exponential cost the DP avoids. Unlike the DP it
+/// accepts reconvergent circuits (scored by the approximate COP
+/// evaluator).
+#[derive(Clone, Debug)]
+pub struct ExactOptimizer {
+    max_nodes: usize,
+}
+
+impl Default for ExactOptimizer {
+    fn default() -> ExactOptimizer {
+        ExactOptimizer { max_nodes: 14 }
+    }
+}
+
+impl ExactOptimizer {
+    /// An exact solver refusing circuits above `max_nodes` nodes.
+    pub fn with_max_nodes(max_nodes: usize) -> ExactOptimizer {
+        ExactOptimizer { max_nodes }
+    }
+
+    /// Find a provably minimum-cost feasible plan (over the decision
+    /// vocabulary), or report infeasibility.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::InvalidParameter`] when the circuit exceeds the node
+    /// limit; [`TpiError::Infeasible`] when no configuration meets the
+    /// threshold; [`TpiError::Netlist`] on cyclic input.
+    pub fn solve(&self, problem: &TpiProblem) -> Result<(Plan, ExactStats), TpiError> {
+        self.solve_with_incumbent(problem, None)
+    }
+
+    /// Like [`solve`](ExactOptimizer::solve), but seeded with an incumbent
+    /// plan used as the initial branch-and-bound upper bound (it must be
+    /// feasible — this is checked). The result is still a provable
+    /// optimum: the search examines every configuration cheaper than the
+    /// incumbent.
+    ///
+    /// This is how the DP's optimality is *certified*: hand the DP plan in
+    /// as incumbent; if the search finds nothing cheaper, the DP was
+    /// optimal.
+    ///
+    /// # Errors
+    ///
+    /// See [`solve`](ExactOptimizer::solve); additionally
+    /// [`TpiError::InvalidParameter`] if the incumbent is infeasible.
+    pub fn solve_with_incumbent(
+        &self,
+        problem: &TpiProblem,
+        incumbent: Option<&Plan>,
+    ) -> Result<(Plan, ExactStats), TpiError> {
+        let circuit = problem.circuit();
+        let n = circuit.node_count();
+        if n > self.max_nodes {
+            return Err(TpiError::InvalidParameter {
+                message: format!(
+                    "exact search limited to {} nodes, circuit has {n}",
+                    self.max_nodes
+                ),
+            });
+        }
+        let evaluator = PlanEvaluator::new(problem)?;
+        let topo = Topology::of(circuit)?;
+        let costs = problem.costs();
+        let (c_o, c_c, c_f) = (costs.observe, costs.control, costs.full);
+
+        // Per-node option lists: (points, cost). Control/full points are
+        // illegal on dangling lines.
+        let mut options: Vec<Vec<(Vec<TestPointKind>, f64)>> = Vec::with_capacity(n);
+        for id in circuit.node_ids() {
+            let controllable = topo.fanout_count(id) > 0 || circuit.is_output(id);
+            let mut opts: Vec<(Vec<TestPointKind>, f64)> = vec![
+                (vec![], 0.0),
+                (vec![TestPointKind::Observe], c_o),
+            ];
+            if controllable {
+                opts.push((vec![TestPointKind::ControlAnd], c_c));
+                opts.push((vec![TestPointKind::ControlOr], c_c));
+                opts.push((
+                    vec![TestPointKind::ControlAnd, TestPointKind::Observe],
+                    c_c + c_o,
+                ));
+                opts.push((
+                    vec![TestPointKind::ControlOr, TestPointKind::Observe],
+                    c_c + c_o,
+                ));
+                opts.push((vec![TestPointKind::Full], c_f));
+            }
+            // Cheap options first so good bounds are found early.
+            opts.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            options.push(opts);
+        }
+
+        let mut stats = ExactStats::default();
+        let mut best: Option<(Vec<TestPoint>, f64)> = None;
+        if let Some(plan) = incumbent {
+            let eval = evaluator.evaluate(plan.test_points())?;
+            if !eval.feasible {
+                return Err(TpiError::InvalidParameter {
+                    message: "incumbent plan is infeasible".to_string(),
+                });
+            }
+            best = Some((plan.test_points().to_vec(), eval.cost));
+        }
+        let mut current: Vec<TestPoint> = Vec::new();
+        self.dfs(&evaluator, &options, 0, 0.0, &mut current, &mut best, &mut stats)?;
+        match best {
+            Some((points, cost)) => Ok((Plan::new(points, cost, true), stats)),
+            None => Err(TpiError::Infeasible {
+                fault: "no configuration reaches the threshold".to_string(),
+            }),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        evaluator: &PlanEvaluator,
+        options: &[Vec<(Vec<TestPointKind>, f64)>],
+        index: usize,
+        cost: f64,
+        current: &mut Vec<TestPoint>,
+        best: &mut Option<(Vec<TestPoint>, f64)>,
+        stats: &mut ExactStats,
+    ) -> Result<(), TpiError> {
+        stats.nodes_visited += 1;
+        if let Some((_, best_cost)) = best {
+            if cost >= *best_cost - 1e-12 {
+                return Ok(()); // bound
+            }
+        }
+        if index == options.len() {
+            stats.evaluations += 1;
+            let eval = evaluator.evaluate(current)?;
+            if eval.feasible {
+                *best = Some((current.clone(), cost));
+            }
+            return Ok(());
+        }
+        let id = tpi_netlist::NodeId::from_index(index);
+        for (kinds, opt_cost) in &options[index] {
+            // Options are cost-sorted: once one is too expensive, all
+            // remaining ones are.
+            if let Some((_, best_cost)) = best {
+                if cost + opt_cost >= *best_cost - 1e-12 {
+                    break;
+                }
+            }
+            let before = current.len();
+            for &kind in kinds {
+                current.push(TestPoint::new(id, kind));
+            }
+            self.dfs(
+                evaluator,
+                options,
+                index + 1,
+                cost + opt_cost,
+                current,
+                best,
+                stats,
+            )?;
+            current.truncate(before);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DpConfig, DpOptimizer, Threshold, TpiProblem};
+    use tpi_netlist::{CircuitBuilder, GateKind};
+
+    fn and_cone(width: usize) -> tpi_netlist::Circuit {
+        let mut b = CircuitBuilder::new(format!("and{width}"));
+        let xs = b.inputs(width, "x");
+        let root = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(root);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn agrees_with_dp_on_small_cone() {
+        let c = and_cone(4); // 7 nodes
+        for exp in [-2.0, -3.0] {
+            let p = TpiProblem::min_cost(&c, Threshold::from_log2(exp)).unwrap();
+            let (exact, _) = ExactOptimizer::default().solve(&p).unwrap();
+            let dp = DpOptimizer::new(DpConfig::exact()).solve(&p).unwrap();
+            assert!(
+                (exact.cost() - dp.cost()).abs() < 1e-9,
+                "δ=2^{exp}: exact {} vs dp {}",
+                exact.cost(),
+                dp.cost()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_cost_when_already_feasible() {
+        let c = and_cone(2);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-3.0)).unwrap();
+        let (plan, stats) = ExactOptimizer::default().solve(&p).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.cost(), 0.0);
+        assert!(stats.nodes_visited > 0);
+    }
+
+    #[test]
+    fn refuses_large_circuits() {
+        let c = and_cone(16);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-3.0)).unwrap();
+        assert!(matches!(
+            ExactOptimizer::default().solve(&p),
+            Err(TpiError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let c = and_cone(2);
+        let p = TpiProblem::min_cost(&c, Threshold::new(0.9).unwrap()).unwrap();
+        assert!(matches!(
+            ExactOptimizer::default().solve(&p),
+            Err(TpiError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn bound_prunes_search() {
+        let c = and_cone(4);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-2.0)).unwrap();
+        let (_, stats) = ExactOptimizer::default().solve(&p).unwrap();
+        // 7 nodes with ≤7 options each: full space is 7^2·2^5 ≈ huge; the
+        // bound must keep visits far below the worst case.
+        assert!(stats.nodes_visited < 1_000_000);
+        assert!(stats.evaluations < stats.nodes_visited);
+    }
+
+    #[test]
+    fn handles_reconvergent_circuit() {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.input("a");
+        let x = b.input("x");
+        let g1 = b.gate(GateKind::And, vec![a, x], "g1").unwrap();
+        let g2 = b.gate(GateKind::Or, vec![a, g1], "g2").unwrap();
+        b.output(g2);
+        let c = b.finish().unwrap();
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-2.0)).unwrap();
+        let (plan, _) = ExactOptimizer::default().solve(&p).unwrap();
+        let eval = PlanEvaluator::new(&p)
+            .unwrap()
+            .evaluate(plan.test_points())
+            .unwrap();
+        assert!(eval.feasible);
+    }
+}

@@ -1,0 +1,567 @@
+//! The constructive driver for general (reconvergent) circuits.
+//!
+//! Optimal insertion is NP-hard once fanout reconverges, so the DP cannot
+//! be applied globally. Instead, [`ConstructiveOptimizer`] runs the loop
+//! the DFT literature converged on:
+//!
+//! 1. **Measure** — fault-simulate the current circuit with a fixed
+//!    random-pattern budget, keeping the undetected faults;
+//! 2. **Decompose** — split the circuit into fanout-free regions (FFRs),
+//!    inside which the tree DP is exact;
+//! 3. **Solve** — for each region holding undetected faults, extract it as
+//!    a standalone tree (boundary nets become pseudo-inputs carrying their
+//!    COP probabilities; the region root keeps its COP observability `ρ`)
+//!    and run [`DpOptimizer::solve_region`];
+//! 4. **Commit** — apply the best benefit/cost region plan, then repeat.
+//!
+//! The loop is *constructive*: every round is validated by fault
+//! simulation before the next is planned, so approximation errors in COP
+//! under reconvergence cannot compound silently.
+//!
+//! The returned plan's test points reference nodes of the evolving
+//! circuit in application order, so replaying the plan against the
+//! original circuit reproduces the optimizer's final circuit exactly
+//! (aux-node ids included) — covered by a unit test.
+
+use std::collections::HashMap;
+
+use tpi_netlist::ffr::FfrDecomposition;
+use tpi_netlist::transform::apply_test_point;
+use tpi_netlist::{Circuit, GateKind, NodeId, TestPoint, Topology};
+use tpi_sim::{FaultSimulator, FaultSite, FaultUniverse, RandomPatterns};
+use tpi_testability::CopAnalysis;
+
+use crate::{DpConfig, DpOptimizer, Plan, TargetFault, Threshold, TpiError, TpiProblem};
+
+/// Tuning for [`ConstructiveOptimizer`].
+#[derive(Clone, Debug)]
+pub struct ConstructiveConfig {
+    /// Random patterns simulated per round (the per-round test budget).
+    pub patterns_per_round: u64,
+    /// Maximum insertion rounds.
+    pub max_rounds: usize,
+    /// Stop once fault coverage reaches this fraction.
+    pub target_coverage: f64,
+    /// Stop once plan cost reaches this budget.
+    pub max_cost: f64,
+    /// Pattern seed.
+    pub seed: u64,
+    /// DP configuration used inside regions.
+    pub dp: DpConfig,
+    /// How many region plans (best benefit/cost first) to commit per
+    /// round before re-simulating.
+    pub regions_per_round: usize,
+}
+
+impl Default for ConstructiveConfig {
+    fn default() -> ConstructiveConfig {
+        ConstructiveConfig {
+            patterns_per_round: 4096,
+            max_rounds: 24,
+            target_coverage: 1.0,
+            max_cost: f64::INFINITY,
+            seed: 0xDAC_1987,
+            dp: DpConfig::default(),
+            regions_per_round: 4,
+        }
+    }
+}
+
+/// One round of the constructive loop, for reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundReport {
+    /// Round index (0 = the unmodified circuit's measurement).
+    pub round: usize,
+    /// Fault coverage measured at the start of the round.
+    pub coverage: f64,
+    /// Cumulative plan cost when measured.
+    pub cost: f64,
+    /// Test points committed by this round.
+    pub points_added: usize,
+}
+
+/// Outcome of a constructive run.
+#[derive(Clone, Debug)]
+pub struct ConstructiveOutcome {
+    /// The committed plan (points reference the evolving circuit; replay
+    /// in order against the original).
+    pub plan: Plan,
+    /// Per-round measurements.
+    pub rounds: Vec<RoundReport>,
+    /// Final measured fault coverage.
+    pub final_coverage: f64,
+    /// The final modified circuit.
+    pub modified: Circuit,
+}
+
+/// The FFR-decomposed constructive inserter for general circuits.
+#[derive(Clone, Debug, Default)]
+pub struct ConstructiveOptimizer {
+    config: ConstructiveConfig,
+}
+
+impl ConstructiveOptimizer {
+    /// Create a constructive optimizer.
+    pub fn new(config: ConstructiveConfig) -> ConstructiveOptimizer {
+        ConstructiveOptimizer { config }
+    }
+
+    /// Run the measure/decompose/solve/commit loop.
+    ///
+    /// Coverage is measured over the collapsed stuck-at universe of the
+    /// *original* circuit (test-logic faults excluded, as in the
+    /// literature's coverage tables).
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] on malformed circuits.
+    pub fn solve(
+        &self,
+        circuit: &Circuit,
+        threshold: Threshold,
+    ) -> Result<ConstructiveOutcome, TpiError> {
+        let universe = FaultUniverse::collapsed(circuit)?;
+        let costs = crate::CostModel::default();
+        let mut current = circuit.clone();
+        let mut plan_points: Vec<TestPoint> = Vec::new();
+        let mut rounds: Vec<RoundReport> = Vec::new();
+        let mut coverage = 0.0;
+        let mut last_added = 0usize;
+
+        for round in 0..self.config.max_rounds.max(1) {
+            // 1. Measure.
+            let mut fsim = FaultSimulator::new(&current)?;
+            let mut src =
+                RandomPatterns::new(current.inputs().len(), self.config.seed ^ round as u64);
+            let result = fsim.run(&mut src, self.config.patterns_per_round, universe.faults())?;
+            coverage = result.coverage();
+            let cost_so_far = costs.total(&plan_points);
+            rounds.push(RoundReport {
+                round,
+                coverage,
+                cost: cost_so_far,
+                points_added: last_added,
+            });
+            if coverage >= self.config.target_coverage || cost_so_far >= self.config.max_cost {
+                break;
+            }
+            let undetected: Vec<usize> = result.undetected_indices();
+            if undetected.is_empty() {
+                break;
+            }
+
+            // 2. Decompose and group the undetected faults per region.
+            let topo = Topology::of(&current)?;
+            let cop = CopAnalysis::new(&current)?;
+            let ffr = FfrDecomposition::of(&current, &topo);
+            let mut region_targets: HashMap<NodeId, Vec<TargetFault>> = HashMap::new();
+            for &fi in &undetected {
+                let fault = universe.faults()[fi];
+                let (node, stuck) = match fault.site {
+                    FaultSite::Stem(n) => (n, fault.stuck),
+                    // Branch faults are proxied by their driving stem.
+                    FaultSite::Branch { gate, pin } => {
+                        (current.fanins(gate)[pin as usize], fault.stuck)
+                    }
+                };
+                region_targets
+                    .entry(ffr.root_of(node))
+                    .or_default()
+                    .push(TargetFault { node, stuck });
+            }
+
+            // 3. Solve each afflicted region; rank by benefit/cost.
+            let dp = DpOptimizer::new(self.config.dp.clone());
+            let mut candidates: Vec<(Vec<TestPoint>, f64, f64)> = Vec::new(); // (points, cost, score)
+            for (root, targets) in &region_targets {
+                let benefit = targets.len() as f64;
+                let Some(extraction) = extract_region(&current, &topo, &ffr, *root, &cop) else {
+                    continue;
+                };
+                let sub_targets: Vec<TargetFault> = targets
+                    .iter()
+                    .filter_map(|t| {
+                        extraction
+                            .to_sub
+                            .get(&t.node)
+                            .map(|&node| TargetFault {
+                                node,
+                                stuck: t.stuck,
+                            })
+                    })
+                    .collect();
+                if sub_targets.is_empty() {
+                    continue;
+                }
+                let problem =
+                    TpiProblem::with_targets(&extraction.circuit, threshold, sub_targets)
+                        .with_input_probs(extraction.input_probs.clone());
+                let rho = cop.observability(*root).clamp(0.0, 1.0);
+                let Ok((region_plan, _)) = dp.solve_region(&problem, rho) else {
+                    continue;
+                };
+                if region_plan.is_empty() {
+                    continue; // analytically fine, statistically unlucky
+                }
+                let mapped: Vec<TestPoint> = region_plan
+                    .test_points()
+                    .iter()
+                    .map(|tp| TestPoint::new(extraction.to_parent[&tp.node], tp.kind))
+                    .collect();
+                let cost = costs.total(&mapped);
+                let score = benefit / cost.max(1e-9);
+                candidates.push((mapped, cost, score));
+            }
+            candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite scores"));
+            candidates.truncate(self.config.regions_per_round.max(1) * 3);
+
+            // 4. Let every candidate group — region plans and single-point
+            // escalations derived from the undetected sites — compete on
+            // *measured* detections per cost, then commit the winner.
+            // Fault simulation is the referee, so COP's blindness under
+            // reconvergence cannot commit a bad plan twice.
+            let mut groups: Vec<Vec<TestPoint>> =
+                candidates.into_iter().map(|(points, _, _)| points).collect();
+            for tp in gather_candidates(&current, &universe, &undetected, &plan_points, 16) {
+                groups.push(vec![tp]);
+            }
+            let committed =
+                self.pick_by_simulation(&current, &universe, &undetected, groups)?;
+            if committed.is_empty() {
+                break;
+            }
+            last_added = 0;
+            let mut spent = costs.total(&plan_points);
+            for &tp in &committed {
+                let price = costs.of(tp.kind);
+                if spent + price > self.config.max_cost {
+                    break;
+                }
+                apply_test_point(&mut current, tp)?;
+                plan_points.push(tp);
+                spent += price;
+                last_added += 1;
+            }
+            if last_added == 0 {
+                break; // budget exhausted mid-commit
+            }
+        }
+
+        let cost = costs.total(&plan_points);
+        let feasible = coverage >= self.config.target_coverage;
+        Ok(ConstructiveOutcome {
+            plan: Plan::new(plan_points, cost, feasible),
+            rounds,
+            final_coverage: coverage,
+            modified: current,
+        })
+    }
+}
+
+impl ConstructiveOptimizer {
+    /// Score candidate point groups by fault-simulating the undetected
+    /// set on a scratch copy (the classic "exact fault simulation based
+    /// selection"), returning the best detections-per-cost group.
+    fn pick_by_simulation(
+        &self,
+        current: &Circuit,
+        universe: &FaultUniverse,
+        undetected: &[usize],
+        groups: Vec<Vec<TestPoint>>,
+    ) -> Result<Vec<TestPoint>, TpiError> {
+        let faults: Vec<tpi_sim::Fault> = undetected
+            .iter()
+            .map(|&i| universe.faults()[i])
+            .collect();
+        let costs = crate::CostModel::default();
+        let budget = self.config.patterns_per_round.min(4096);
+        let mut best: Option<(Vec<TestPoint>, f64)> = None;
+        for group in groups {
+            if group.is_empty() {
+                continue;
+            }
+            let mut scratch = current.clone();
+            if group
+                .iter()
+                .any(|&tp| apply_test_point(&mut scratch, tp).is_err())
+            {
+                continue;
+            }
+            let mut sim = FaultSimulator::new(&scratch)?;
+            let mut src =
+                RandomPatterns::new(scratch.inputs().len(), self.config.seed ^ 0xe5ca);
+            let result = sim.run(&mut src, budget, &faults)?;
+            let score = result.detected_count() as f64 / costs.total(&group).max(1e-9);
+            if score > 0.0
+                && best
+                    .as_ref()
+                    .map(|(_, s)| score > s + 1e-12)
+                    .unwrap_or(true)
+            {
+                best = Some((group, score));
+            }
+        }
+        Ok(best.map(|(group, _)| group).unwrap_or_default())
+    }
+}
+
+/// Candidate test points aimed at specific undetected faults: observe the
+/// fault's first visible line, force sibling pins non-controlling, raise
+/// the missing excitation, or cut. Deduplicated against `already`.
+fn gather_candidates(
+    current: &Circuit,
+    universe: &FaultUniverse,
+    undetected: &[usize],
+    already: &[TestPoint],
+    limit: usize,
+) -> Vec<TestPoint> {
+    let mut picked: Vec<TestPoint> = Vec::new();
+    for &fi in undetected {
+        if picked.len() >= limit.max(1) {
+            break;
+        }
+        let fault = universe.faults()[fi];
+        // The excitation-raising control-point type: an undetected SA1
+        // means the line is rarely 0 (pull it down), and vice versa.
+        let exc_kind = if fault.stuck {
+            tpi_netlist::TestPointKind::ControlAnd
+        } else {
+            tpi_netlist::TestPointKind::ControlOr
+        };
+        let mut candidates: Vec<TestPoint> = Vec::new();
+        match fault.site {
+            FaultSite::Stem(node) => {
+                candidates.push(TestPoint::observe(node));
+                for &fanin in current.fanins(node) {
+                    candidates.push(TestPoint::new(fanin, exc_kind));
+                }
+                candidates.push(TestPoint::full(node));
+            }
+            FaultSite::Branch { gate, pin } => {
+                // The effect first exists at the consuming gate: observe
+                // it, force the sibling pins non-controlling, then raise
+                // the driver's excitation.
+                candidates.push(TestPoint::observe(gate));
+                let side_kind = match current.kind(gate).controlling_value() {
+                    Some(false) => Some(tpi_netlist::TestPointKind::ControlOr), // AND-like
+                    Some(true) => Some(tpi_netlist::TestPointKind::ControlAnd), // OR-like
+                    None => None, // XOR propagates anything
+                };
+                if let Some(side_kind) = side_kind {
+                    for (p, &sibling) in current.fanins(gate).iter().enumerate() {
+                        if p != pin as usize {
+                            candidates.push(TestPoint::new(sibling, side_kind));
+                        }
+                    }
+                }
+                let driver = current.fanins(gate)[pin as usize];
+                candidates.push(TestPoint::new(driver, exc_kind));
+                candidates.push(TestPoint::full(gate));
+            }
+        }
+        for tp in candidates {
+            if picked.len() >= limit.max(1) {
+                break;
+            }
+            if !already.contains(&tp) && !picked.contains(&tp) {
+                picked.push(tp);
+            }
+        }
+    }
+    picked
+}
+
+struct RegionExtraction {
+    circuit: Circuit,
+    to_sub: HashMap<NodeId, NodeId>,
+    to_parent: HashMap<NodeId, NodeId>,
+    input_probs: HashMap<NodeId, f64>,
+}
+
+/// Extract the FFR rooted at `root` as a standalone single-output circuit.
+/// Boundary nets become pseudo-inputs carrying their parent-circuit COP
+/// 1-probabilities.
+fn extract_region(
+    parent: &Circuit,
+    topo: &Topology,
+    ffr: &FfrDecomposition,
+    root: NodeId,
+    cop: &CopAnalysis,
+) -> Option<RegionExtraction> {
+    let mut members = ffr.members(root);
+    if members.is_empty() {
+        return None;
+    }
+    members.sort_by_key(|&m| (topo.level(m), m.index()));
+    let mut sub = Circuit::new(format!("{}_ffr_{}", parent.name(), parent.node_name(root)));
+    let mut to_sub: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut to_parent: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut input_probs: HashMap<NodeId, f64> = HashMap::new();
+    let member_set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
+
+    for &m in &members {
+        let kind = parent.kind(m);
+        let sub_id = if kind.is_source() {
+            sub.add_node(kind, vec![], parent.node_name(m)).ok()?
+        } else {
+            let mut fanins = Vec::with_capacity(parent.fanins(m).len());
+            for &f in parent.fanins(m) {
+                let mapped = if member_set.contains(&f) {
+                    to_sub[&f]
+                } else {
+                    // Boundary net: a *fresh* pseudo-input per consuming
+                    // pin, carrying the parent's COP probability. A shared
+                    // boundary stem must NOT be deduplicated — that would
+                    // reintroduce fanout and push the extracted region out
+                    // of the tree class the DP requires. Treating the two
+                    // taps as independent is the usual FFR approximation;
+                    // the simulation referee catches any damage.
+                    let name = format!("{}__b{}", parent.node_name(f), sub.node_count());
+                    let b = sub.add_node(GateKind::Input, vec![], name).ok()?;
+                    input_probs.insert(b, cop.c1(f));
+                    to_parent.insert(b, f);
+                    b
+                };
+                fanins.push(mapped);
+            }
+            sub.add_node(kind, fanins, parent.node_name(m)).ok()?
+        };
+        if kind == GateKind::Input {
+            input_probs.insert(sub_id, cop.c1(m));
+        }
+        to_sub.insert(m, sub_id);
+        to_parent.insert(sub_id, m);
+    }
+    sub.add_output(to_sub[&root]).ok()?;
+    sub.validate().ok()?;
+    Some(RegionExtraction {
+        circuit: sub,
+        to_sub,
+        to_parent,
+        input_probs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::transform::apply_plan;
+    use tpi_netlist::CircuitBuilder;
+
+    /// A reconvergent, random-pattern-resistant circuit: a shared AND-cone
+    /// stem feeding two branches that reconverge in an OR.
+    fn resistant_reconvergent() -> Circuit {
+        let mut b = CircuitBuilder::new("rr");
+        let xs = b.inputs(12, "x");
+        let stem = b.balanced_tree(GateKind::And, &xs[..8], "cone").unwrap();
+        let g1 = b.gate(GateKind::And, vec![stem, xs[8]], "g1").unwrap();
+        let g2 = b.gate(GateKind::And, vec![stem, xs[9]], "g2").unwrap();
+        let m = b.gate(GateKind::Or, vec![g1, g2], "m").unwrap();
+        let tail = b.balanced_tree(GateKind::And, &[m, xs[10], xs[11]], "t").unwrap();
+        b.output(tail);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn improves_coverage_on_reconvergent_circuit() {
+        let c = resistant_reconvergent();
+        let cfg = ConstructiveConfig {
+            patterns_per_round: 2048,
+            max_rounds: 8,
+            target_coverage: 0.999,
+            ..ConstructiveConfig::default()
+        };
+        let outcome = ConstructiveOptimizer::new(cfg)
+            .solve(&c, Threshold::from_test_length(2048, 0.9).unwrap())
+            .unwrap();
+        let baseline = outcome.rounds[0].coverage;
+        assert!(
+            outcome.final_coverage > baseline,
+            "coverage {} did not improve over {}",
+            outcome.final_coverage,
+            baseline
+        );
+        assert!(!outcome.plan.is_empty());
+        assert!(outcome.final_coverage > 0.95, "{}", outcome.final_coverage);
+    }
+
+    #[test]
+    fn plan_replays_to_the_same_circuit() {
+        let c = resistant_reconvergent();
+        let outcome = ConstructiveOptimizer::default()
+            .solve(&c, Threshold::from_test_length(4096, 0.9).unwrap())
+            .unwrap();
+        let (replayed, _) = apply_plan(&c, outcome.plan.test_points()).unwrap();
+        assert_eq!(replayed.node_count(), outcome.modified.node_count());
+        for id in replayed.node_ids() {
+            assert_eq!(replayed.kind(id), outcome.modified.kind(id));
+            assert_eq!(replayed.fanins(id), outcome.modified.fanins(id));
+        }
+    }
+
+    #[test]
+    fn stops_immediately_on_easy_circuit() {
+        let mut b = CircuitBuilder::new("easy");
+        let xs = b.inputs(4, "x");
+        let root = b.balanced_tree(GateKind::Xor, &xs, "g").unwrap();
+        b.output(root);
+        let c = b.finish().unwrap();
+        let outcome = ConstructiveOptimizer::default()
+            .solve(&c, Threshold::from_log2(-6.0))
+            .unwrap();
+        assert!(outcome.plan.is_empty());
+        assert_eq!(outcome.rounds.len(), 1);
+        assert_eq!(outcome.final_coverage, 1.0);
+    }
+
+    #[test]
+    fn respects_round_budget() {
+        let c = resistant_reconvergent();
+        let cfg = ConstructiveConfig {
+            max_rounds: 2,
+            patterns_per_round: 512,
+            ..ConstructiveConfig::default()
+        };
+        let outcome = ConstructiveOptimizer::new(cfg)
+            .solve(&c, Threshold::from_log2(-14.0))
+            .unwrap();
+        assert!(outcome.rounds.len() <= 2);
+    }
+
+    #[test]
+    fn region_extraction_is_faithful() {
+        let c = resistant_reconvergent();
+        let topo = Topology::of(&c).unwrap();
+        let cop = CopAnalysis::new(&c).unwrap();
+        let ffr = FfrDecomposition::of(&c, &topo);
+        let stem = c.find_node("cone_6").unwrap(); // root of the AND cone
+        let root = ffr.root_of(stem);
+        let ex = extract_region(&c, &topo, &ffr, root, &cop).unwrap();
+        assert!(ex.circuit.validate().is_ok());
+        assert_eq!(ex.circuit.outputs().len(), 1);
+        // Round trip of the mapping.
+        for (&p, &s) in &ex.to_sub {
+            if let Some(&back) = ex.to_parent.get(&s) {
+                assert_eq!(back, p);
+            }
+        }
+        // Boundary pseudo-inputs carry the parent's probabilities.
+        for (&s, &prob) in &ex.input_probs {
+            let parent_node = ex.to_parent[&s];
+            assert!((prob - cop.c1(parent_node)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_reports() {
+        // Coverage may fluctuate slightly due to pattern reseeding, but
+        // must trend upward across the run.
+        let c = resistant_reconvergent();
+        let outcome = ConstructiveOptimizer::default()
+            .solve(&c, Threshold::from_test_length(4096, 0.9).unwrap())
+            .unwrap();
+        let first = outcome.rounds.first().unwrap().coverage;
+        let last = outcome.rounds.last().unwrap().coverage;
+        assert!(last >= first - 1e-9);
+    }
+}

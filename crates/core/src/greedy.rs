@@ -1,0 +1,205 @@
+use tpi_netlist::{TestPoint, TestPointKind, Topology};
+
+use crate::evaluate::PlanEvaluator;
+use crate::{Plan, TpiError, TpiProblem};
+
+/// Tuning for [`GreedyOptimizer`].
+#[derive(Clone, Debug)]
+pub struct GreedyConfig {
+    /// Maximum number of test points inserted.
+    pub max_points: usize,
+    /// Stop when the plan cost would exceed this budget.
+    pub max_cost: f64,
+    /// Candidate kinds tried at every node.
+    pub kinds: Vec<TestPointKind>,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> GreedyConfig {
+        GreedyConfig {
+            max_points: 64,
+            max_cost: f64::INFINITY,
+            kinds: vec![
+                TestPointKind::Observe,
+                TestPointKind::ControlAnd,
+                TestPointKind::ControlOr,
+                TestPointKind::Full,
+            ],
+        }
+    }
+}
+
+/// The classical iterative-greedy baseline (Seiss-style): at each step,
+/// evaluate every `(node, kind)` candidate with the analytic
+/// [`PlanEvaluator`] and insert the one with the best
+/// *newly-satisfied-faults per cost* ratio; repeat until the threshold is
+/// met everywhere, the budget is exhausted, or no candidate helps.
+///
+/// Unlike [`DpOptimizer`](crate::DpOptimizer) the greedy runs on any
+/// circuit (COP is approximate under reconvergence) but carries no
+/// optimality guarantee — the Table 2 experiment quantifies the gap.
+#[derive(Clone, Debug, Default)]
+pub struct GreedyOptimizer {
+    config: GreedyConfig,
+}
+
+impl GreedyOptimizer {
+    /// Create a greedy optimizer.
+    pub fn new(config: GreedyConfig) -> GreedyOptimizer {
+        GreedyOptimizer { config }
+    }
+
+    /// Run the greedy loop. The returned plan's
+    /// [`is_feasible`](Plan::is_feasible) reports whether the threshold
+    /// was met.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] for cyclic circuits.
+    pub fn solve(&self, problem: &TpiProblem) -> Result<Plan, TpiError> {
+        let evaluator = PlanEvaluator::new(problem)?;
+        let circuit = problem.circuit();
+        let topo = Topology::of(circuit)?;
+        let costs = problem.costs();
+
+        // Control/full points need a consumer to re-drive.
+        let controllable: Vec<bool> = circuit
+            .node_ids()
+            .map(|id| topo.fanout_count(id) > 0 || circuit.is_output(id))
+            .collect();
+
+        let delta = problem.threshold().value();
+        // Total log₂ shortfall of unmet faults: the plateau tie-breaker —
+        // when no single point pushes a fault over the threshold, make the
+        // move that shrinks the aggregate gap fastest.
+        let deficit = |probs: &[f64]| -> f64 {
+            probs
+                .iter()
+                .map(|&p| (delta.log2() - p.max(1e-300).log2()).max(0.0))
+                .sum()
+        };
+
+        let mut plan: Vec<TestPoint> = Vec::new();
+        let mut current = evaluator.evaluate(&plan)?;
+        let mut current_deficit = deficit(&current.probabilities);
+        while !current.feasible
+            && plan.len() < self.config.max_points
+            && current.cost < self.config.max_cost
+        {
+            // (candidate, gained-per-cost, deficit-reduction-per-cost)
+            let mut best: Option<(TestPoint, f64, f64)> = None;
+            for id in circuit.node_ids() {
+                for &kind in &self.config.kinds {
+                    if kind != TestPointKind::Observe && !controllable[id.index()] {
+                        continue;
+                    }
+                    let candidate = TestPoint::new(id, kind);
+                    plan.push(candidate);
+                    let eval = evaluator.evaluate(&plan)?;
+                    plan.pop();
+                    let cost = costs.of(kind);
+                    let gained = eval.meeting.saturating_sub(current.meeting) as f64 / cost;
+                    let relief = (current_deficit - deficit(&eval.probabilities)) / cost;
+                    if gained <= 0.0 && relief <= 1e-9 {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some((_, g, r)) => {
+                            gained > g + 1e-12 || ((gained - g).abs() <= 1e-12 && relief > r + 1e-12)
+                        }
+                    };
+                    if better {
+                        best = Some((candidate, gained, relief));
+                    }
+                }
+            }
+            match best {
+                Some((tp, _, _)) => {
+                    plan.push(tp);
+                    current = evaluator.evaluate(&plan)?;
+                    current_deficit = deficit(&current.probabilities);
+                }
+                None => break, // no candidate helps: stuck
+            }
+        }
+        Ok(Plan::new(plan, current.cost, current.feasible))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Threshold, TpiProblem};
+    use tpi_netlist::{CircuitBuilder, GateKind};
+
+    fn and_cone(width: usize) -> tpi_netlist::Circuit {
+        let mut b = CircuitBuilder::new(format!("and{width}"));
+        let xs = b.inputs(width, "x");
+        let root = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(root);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn fixes_resistant_cone() {
+        let c = and_cone(16);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-6.0)).unwrap();
+        let plan = GreedyOptimizer::default().solve(&p).unwrap();
+        assert!(plan.is_feasible(), "plan: {plan}");
+        assert!(!plan.is_empty());
+        // Verified independently.
+        let eval = crate::evaluate::PlanEvaluator::new(&p)
+            .unwrap()
+            .evaluate(plan.test_points())
+            .unwrap();
+        assert!(eval.feasible);
+    }
+
+    #[test]
+    fn no_insertion_when_already_feasible() {
+        let c = and_cone(4);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-6.0)).unwrap();
+        let plan = GreedyOptimizer::default().solve(&p).unwrap();
+        assert!(plan.is_empty());
+        assert!(plan.is_feasible());
+    }
+
+    #[test]
+    fn respects_point_budget() {
+        let c = and_cone(32);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-3.0)).unwrap();
+        let cfg = GreedyConfig {
+            max_points: 2,
+            ..GreedyConfig::default()
+        };
+        let plan = GreedyOptimizer::new(cfg).solve(&p).unwrap();
+        assert!(plan.len() <= 2);
+    }
+
+    #[test]
+    fn works_on_reconvergent_circuits() {
+        // Greedy (unlike the DP) accepts fanout.
+        let mut b = CircuitBuilder::new("recon");
+        let xs = b.inputs(6, "x");
+        let stem = b.balanced_tree(GateKind::And, &xs[..4], "s").unwrap();
+        let g1 = b.gate(GateKind::And, vec![stem, xs[4]], "g1").unwrap();
+        let g2 = b.gate(GateKind::And, vec![stem, xs[5]], "g2").unwrap();
+        let y = b.gate(GateKind::Or, vec![g1, g2], "y").unwrap();
+        b.output(y);
+        let c = b.finish().unwrap();
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-4.0)).unwrap();
+        let plan = GreedyOptimizer::default().solve(&p).unwrap();
+        assert!(plan.is_feasible(), "plan: {plan}");
+    }
+
+    #[test]
+    fn reports_infeasible_when_stuck() {
+        // δ > 1/2 can never be met for PI faults; greedy must terminate
+        // and report infeasibility.
+        let c = and_cone(2);
+        let p = TpiProblem::min_cost(&c, Threshold::new(0.9).unwrap()).unwrap();
+        let plan = GreedyOptimizer::default().solve(&p).unwrap();
+        assert!(!plan.is_feasible());
+    }
+}

@@ -1,0 +1,145 @@
+use std::fmt;
+
+use tpi_netlist::{Circuit, TestPoint};
+
+/// A test-point-insertion solution: an ordered list of test points plus
+/// bookkeeping.
+///
+/// Order matters: applying `[ControlAnd(n), Observe(n)]` observes the line
+/// *before* the control point (the optimizers exploit this), while the
+/// reverse order observes the modified line. Apply with
+/// [`tpi_netlist::transform::apply_plan`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    test_points: Vec<TestPoint>,
+    cost: f64,
+    feasible: bool,
+}
+
+impl Plan {
+    /// Build a plan record.
+    pub fn new(test_points: Vec<TestPoint>, cost: f64, feasible: bool) -> Plan {
+        Plan {
+            test_points,
+            cost,
+            feasible,
+        }
+    }
+
+    /// The empty plan (feasible only if the problem already meets its
+    /// threshold).
+    pub fn empty(feasible: bool) -> Plan {
+        Plan {
+            test_points: Vec::new(),
+            cost: 0.0,
+            feasible,
+        }
+    }
+
+    /// The test points, in application order.
+    pub fn test_points(&self) -> &[TestPoint] {
+        &self.test_points
+    }
+
+    /// Total cost under the problem's cost model.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Whether the producing optimizer claims the threshold is met
+    /// (always re-checkable via
+    /// [`evaluate::PlanEvaluator`](crate::evaluate::PlanEvaluator)).
+    pub fn is_feasible(&self) -> bool {
+        self.feasible
+    }
+
+    /// Number of test points.
+    pub fn len(&self) -> usize {
+        self.test_points.len()
+    }
+
+    /// Whether the plan inserts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.test_points.is_empty()
+    }
+
+    /// Counts by kind: `(observe, control_and, control_or, full)`.
+    pub fn kind_counts(&self) -> (usize, usize, usize, usize) {
+        use tpi_netlist::TestPointKind as K;
+        let count = |k: K| self.test_points.iter().filter(|tp| tp.kind == k).count();
+        (
+            count(K::Observe),
+            count(K::ControlAnd),
+            count(K::ControlOr),
+            count(K::Full),
+        )
+    }
+
+    /// Render with circuit signal names, e.g.
+    /// `cp-and@g3, op@g3, op@g7 (cost 2.0)`.
+    pub fn describe(&self, circuit: &Circuit) -> String {
+        let points: Vec<String> = self
+            .test_points
+            .iter()
+            .map(|tp| format!("{}@{}", tp.kind, circuit.node_name(tp.node)))
+            .collect();
+        format!("{} (cost {:.2})", points.join(", "), self.cost)
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let points: Vec<String> = self.test_points.iter().map(|tp| tp.to_string()).collect();
+        write!(
+            f,
+            "[{}] cost {:.2}{}",
+            points.join(", "),
+            self.cost,
+            if self.feasible { "" } else { " (infeasible)" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{CircuitBuilder, GateKind, NodeId};
+
+    #[test]
+    fn accessors_and_counts() {
+        let plan = Plan::new(
+            vec![
+                TestPoint::control_and(NodeId::from_index(1)),
+                TestPoint::observe(NodeId::from_index(1)),
+                TestPoint::full(NodeId::from_index(2)),
+            ],
+            3.0,
+            true,
+        );
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.kind_counts(), (1, 1, 0, 1));
+        assert!(plan.is_feasible());
+        assert!(plan.to_string().contains("cost 3.00"));
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("alpha");
+        let g = b.gate(GateKind::Not, vec![a], "beta").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let plan = Plan::new(vec![TestPoint::observe(g)], 0.5, true);
+        assert_eq!(plan.describe(&c), "op@beta (cost 0.50)");
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = Plan::empty(true);
+        assert!(p.is_empty());
+        assert_eq!(p.cost(), 0.0);
+        let q = Plan::empty(false);
+        assert!(q.to_string().contains("infeasible"));
+    }
+}

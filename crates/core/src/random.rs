@@ -1,0 +1,112 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tpi_netlist::{TestPoint, TestPointKind, Topology};
+
+use crate::evaluate::PlanEvaluator;
+use crate::{Plan, TpiError, TpiProblem};
+
+/// The null-hypothesis baseline: insert test points at uniformly random
+/// sites (with random kinds) until the threshold is met or a point budget
+/// is exhausted.
+///
+/// Any serious insertion algorithm must beat this; the Table 3 / Fig. 1
+/// experiments quantify by how much.
+#[derive(Clone, Debug)]
+pub struct RandomOptimizer {
+    seed: u64,
+    max_points: usize,
+}
+
+impl RandomOptimizer {
+    /// A random inserter with the given seed and point budget.
+    pub fn new(seed: u64, max_points: usize) -> RandomOptimizer {
+        RandomOptimizer { seed, max_points }
+    }
+
+    /// Insert random points, re-evaluating after each, until feasible or
+    /// out of budget.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] for cyclic circuits.
+    pub fn solve(&self, problem: &TpiProblem) -> Result<Plan, TpiError> {
+        let evaluator = PlanEvaluator::new(problem)?;
+        let circuit = problem.circuit();
+        let topo = Topology::of(circuit)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let kinds = [
+            TestPointKind::Observe,
+            TestPointKind::ControlAnd,
+            TestPointKind::ControlOr,
+            TestPointKind::Full,
+        ];
+        let nodes: Vec<tpi_netlist::NodeId> = circuit.node_ids().collect();
+
+        let mut plan: Vec<TestPoint> = Vec::new();
+        let mut current = evaluator.evaluate(&plan)?;
+        while !current.feasible && plan.len() < self.max_points {
+            let node = *nodes.choose(&mut rng).expect("non-empty circuit");
+            let kind = if topo.fanout_count(node) > 0 || circuit.is_output(node) {
+                kinds[rng.gen_range(0..kinds.len())]
+            } else {
+                TestPointKind::Observe // dangling lines only accept OPs
+            };
+            plan.push(TestPoint::new(node, kind));
+            current = evaluator.evaluate(&plan)?;
+        }
+        Ok(Plan::new(plan, current.cost, current.feasible))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Threshold, TpiProblem};
+    use tpi_netlist::{CircuitBuilder, GateKind};
+
+    fn and_cone(width: usize) -> tpi_netlist::Circuit {
+        let mut b = CircuitBuilder::new(format!("and{width}"));
+        let xs = b.inputs(width, "x");
+        let root = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(root);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn eventually_fixes_small_cone() {
+        let c = and_cone(8);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-5.0)).unwrap();
+        let plan = RandomOptimizer::new(7, 200).solve(&p).unwrap();
+        assert!(plan.is_feasible(), "plan: {plan}");
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_budget_respected() {
+        let c = and_cone(16);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-4.0)).unwrap();
+        let a = RandomOptimizer::new(3, 5).solve(&p).unwrap();
+        let b = RandomOptimizer::new(3, 5).solve(&p).unwrap();
+        assert_eq!(a.test_points(), b.test_points());
+        assert!(a.len() <= 5);
+    }
+
+    #[test]
+    fn usually_worse_than_greedy() {
+        let c = and_cone(16);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-5.0)).unwrap();
+        let greedy = crate::GreedyOptimizer::default().solve(&p).unwrap();
+        let random = RandomOptimizer::new(1, 500).solve(&p).unwrap();
+        assert!(greedy.is_feasible());
+        // Random either fails outright within a generous budget or pays
+        // more than greedy — both count as "worse".
+        if random.is_feasible() {
+            assert!(
+                random.cost() >= greedy.cost(),
+                "random {} vs greedy {}",
+                random.cost(),
+                greedy.cost()
+            );
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The verified *Set-Cover ⟶ observation-point TPI* reduction.
+//!
+//! The citing literature records the DAC'87 paper for proving optimal test
+//! point insertion NP-complete. This module makes the hardness concrete
+//! and machine-checkable: a polynomial transformation from minimum set
+//! cover to minimum observation-point insertion such that the optima
+//! coincide.
+//!
+//! # Construction
+//!
+//! For an instance `(U = {e_0..e_{m-1}}, S_0..S_{k-1})`:
+//!
+//! * each element `e_j` becomes a primary input `x_j` (its stuck-at faults
+//!   are the targets);
+//! * each set `S_i` becomes an OR-cone `n_i` over `{x_j : e_j ∈ S_i}`;
+//! * the circuit has **no primary outputs** — nothing is observable until
+//!   observation points are inserted, and candidates are restricted to
+//!   the set nodes `{n_i}` (the covering formulation of Hayes/Friedman);
+//! * the threshold is `δ = 2^{-s_max}` where `s_max` is the largest set
+//!   size: `x_j`'s fault reaches an observed `n_i` with probability
+//!   `2^{-|S_i|} ≥ δ` exactly when `e_j ∈ S_i`, and with probability 0
+//!   otherwise.
+//!
+//! Hence a choice of observation points is feasible **iff** the chosen
+//! sets cover `U`, and the minimum number of observation points equals
+//! the minimum cover size — verified against brute force in the tests and
+//! in the Table 5 experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpi_netlist::{Circuit, CircuitBuilder, GateKind, NodeId, TestPoint};
+
+use crate::evaluate::PlanEvaluator;
+use crate::{CostModel, TargetFault, Threshold, TpiError, TpiProblem};
+
+/// A set-cover instance over elements `0..elements`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SetCoverInstance {
+    /// Universe size.
+    pub elements: usize,
+    /// The sets, as element-index lists (each sorted, deduplicated).
+    pub sets: Vec<Vec<usize>>,
+}
+
+impl SetCoverInstance {
+    /// A random instance where every element is guaranteed to appear in at
+    /// least one set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements == 0`, `sets == 0`, or `density` is outside
+    /// `(0, 1]`.
+    pub fn random(elements: usize, sets: usize, density: f64, seed: u64) -> SetCoverInstance {
+        assert!(elements > 0 && sets > 0);
+        assert!(density > 0.0 && density <= 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set_lists: Vec<Vec<usize>> = (0..sets)
+            .map(|_| {
+                (0..elements)
+                    .filter(|_| rng.gen_bool(density))
+                    .collect::<Vec<usize>>()
+            })
+            .collect();
+        // Guarantee coverage and non-empty sets.
+        for e in 0..elements {
+            if !set_lists.iter().any(|s| s.contains(&e)) {
+                let i = rng.gen_range(0..sets);
+                set_lists[i].push(e);
+            }
+        }
+        for s in set_lists.iter_mut() {
+            if s.is_empty() {
+                s.push(rng.gen_range(0..elements));
+            }
+            s.sort_unstable();
+            s.dedup();
+        }
+        SetCoverInstance {
+            elements,
+            sets: set_lists,
+        }
+    }
+
+    /// Brute-force minimum cover size (calibration only).
+    pub fn min_cover_size(&self) -> Option<usize> {
+        crate::cover::set_cover_exact(self.elements, &self.sets).map(|sol| sol.len())
+    }
+}
+
+/// The circuit-level image of a set-cover instance.
+#[derive(Clone, Debug)]
+pub struct TpiReduction {
+    /// The constructed circuit (no primary outputs).
+    pub circuit: Circuit,
+    /// Primary input of each element, by element index.
+    pub element_inputs: Vec<NodeId>,
+    /// The OR-cone node of each set, by set index (the only legal
+    /// observation-point candidates).
+    pub set_nodes: Vec<NodeId>,
+    /// The detection threshold making coverage ⟺ feasibility.
+    pub threshold: Threshold,
+}
+
+impl TpiReduction {
+    /// The TPI problem targeting every element's SA0 fault.
+    pub fn problem(&self) -> TpiProblem {
+        let targets = self
+            .element_inputs
+            .iter()
+            .map(|&node| TargetFault { node, stuck: false })
+            .collect();
+        TpiProblem::with_targets(&self.circuit, self.threshold, targets)
+            .with_costs(CostModel::unit())
+    }
+
+    /// Whether observing exactly `chosen` (indices into
+    /// [`set_nodes`](TpiReduction::set_nodes)) meets the threshold for all
+    /// element faults.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] propagated from plan application.
+    pub fn is_feasible(&self, chosen: &[usize]) -> Result<bool, TpiError> {
+        let plan: Vec<TestPoint> = chosen
+            .iter()
+            .map(|&i| TestPoint::observe(self.set_nodes[i]))
+            .collect();
+        let eval = PlanEvaluator::new(&self.problem())?.evaluate(&plan)?;
+        Ok(eval.feasible)
+    }
+
+    /// Brute-force minimum number of observation points (over subsets of
+    /// the candidate set nodes), or `None` if even all candidates fail.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] propagated from evaluation.
+    pub fn min_observation_points(&self) -> Result<Option<usize>, TpiError> {
+        let k = self.set_nodes.len();
+        assert!(k <= 20, "brute force limited to 20 sets");
+        for size in 0..=k {
+            let mut chosen = Vec::new();
+            if self.any_feasible_of_size(size, 0, &mut chosen)? {
+                return Ok(Some(size));
+            }
+        }
+        Ok(None)
+    }
+
+    fn any_feasible_of_size(
+        &self,
+        size: usize,
+        start: usize,
+        chosen: &mut Vec<usize>,
+    ) -> Result<bool, TpiError> {
+        if chosen.len() == size {
+            return self.is_feasible(chosen);
+        }
+        for i in start..self.set_nodes.len() {
+            chosen.push(i);
+            if self.any_feasible_of_size(size, i + 1, chosen)? {
+                return Ok(true);
+            }
+            chosen.pop();
+        }
+        Ok(false)
+    }
+}
+
+/// Perform the reduction.
+///
+/// # Errors
+///
+/// [`TpiError::InvalidParameter`] for empty instances or an empty set.
+pub fn reduce(instance: &SetCoverInstance) -> Result<TpiReduction, TpiError> {
+    if instance.elements == 0 || instance.sets.is_empty() {
+        return Err(TpiError::InvalidParameter {
+            message: "set-cover instance must have elements and sets".to_string(),
+        });
+    }
+    let max_set = instance.sets.iter().map(Vec::len).max().unwrap_or(0);
+    if max_set == 0 {
+        return Err(TpiError::InvalidParameter {
+            message: "all sets are empty".to_string(),
+        });
+    }
+    let mut b = CircuitBuilder::new("setcover_reduction");
+    let element_inputs: Vec<NodeId> = (0..instance.elements)
+        .map(|j| b.input(format!("x{j}")))
+        .collect();
+    let mut set_nodes = Vec::with_capacity(instance.sets.len());
+    for (i, set) in instance.sets.iter().enumerate() {
+        let leaves: Vec<NodeId> = set.iter().map(|&e| element_inputs[e]).collect();
+        let node = if leaves.len() == 1 {
+            // A buffer keeps the set node distinct from the element input.
+            b.gate(GateKind::Buf, leaves, format!("s{i}"))?
+        } else {
+            let root = b.balanced_tree(GateKind::Or, &leaves, &format!("s{i}_t"))?;
+            b.gate(GateKind::Buf, vec![root], format!("s{i}"))?
+        };
+        set_nodes.push(node);
+    }
+    let circuit = b.finish()?;
+    let threshold = Threshold::new(2f64.powi(-(max_set as i32)))
+        .expect("2^-s is always in (0, 1]");
+    Ok(TpiReduction {
+        circuit,
+        element_inputs,
+        set_nodes,
+        threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_instance_equivalence() {
+        // U = {0,1,2}; S0={0,1}, S1={1,2}, S2={2}: min cover 2.
+        let inst = SetCoverInstance {
+            elements: 3,
+            sets: vec![vec![0, 1], vec![1, 2], vec![2]],
+        };
+        let red = reduce(&inst).unwrap();
+        assert_eq!(inst.min_cover_size(), Some(2));
+        assert_eq!(red.min_observation_points().unwrap(), Some(2));
+        // The specific cover {S0, S1} is feasible; {S0, S2} misses nothing?
+        // S0∪S2 = {0,1,2}: also feasible. {S1, S2} misses 0: infeasible.
+        assert!(red.is_feasible(&[0, 1]).unwrap());
+        assert!(red.is_feasible(&[0, 2]).unwrap());
+        assert!(!red.is_feasible(&[1, 2]).unwrap());
+        assert!(!red.is_feasible(&[]).unwrap());
+    }
+
+    #[test]
+    fn single_set_instance() {
+        let inst = SetCoverInstance {
+            elements: 2,
+            sets: vec![vec![0, 1]],
+        };
+        let red = reduce(&inst).unwrap();
+        assert_eq!(red.min_observation_points().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn random_instances_round_trip() {
+        for seed in 0..6 {
+            let inst = SetCoverInstance::random(5, 4, 0.4, seed);
+            let red = reduce(&inst).unwrap();
+            let cover = inst.min_cover_size();
+            let ops = red.min_observation_points().unwrap();
+            assert_eq!(cover.map(Some), Some(ops), "seed {seed}: {inst:?}");
+        }
+    }
+
+    #[test]
+    fn reduction_is_polynomial_sized() {
+        let inst = SetCoverInstance::random(10, 8, 0.3, 1);
+        let red = reduce(&inst).unwrap();
+        let total_membership: usize = inst.sets.iter().map(Vec::len).sum();
+        // Nodes: one input per element + O(1) gates per set membership.
+        assert!(red.circuit.node_count() <= 10 + 2 * total_membership + 8);
+    }
+
+    #[test]
+    fn degenerate_instances_rejected() {
+        assert!(reduce(&SetCoverInstance {
+            elements: 0,
+            sets: vec![]
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn random_instance_guarantees_coverage() {
+        for seed in 0..5 {
+            let inst = SetCoverInstance::random(8, 3, 0.2, seed);
+            assert!(inst.min_cover_size().is_some(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Embedded public-domain benchmark netlists.
+
+use tpi_netlist::{bench_format, Circuit, NetlistError};
+
+/// The ISCAS-85 `c17` netlist (public domain, 6 NAND gates) — the one
+/// historical benchmark small enough to embed verbatim.
+pub const C17_BENCH: &str = "\
+# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// Parse the embedded `c17` benchmark.
+///
+/// # Errors
+///
+/// Never in practice — the embedded text is well-formed (covered by unit
+/// test).
+pub fn c17() -> Result<Circuit, NetlistError> {
+    let mut c = bench_format::parse_bench(C17_BENCH)?;
+    c.set_name("c17");
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{ffr, Topology};
+
+    #[test]
+    fn c17_parses_and_matches_known_structure() {
+        let c = c17().unwrap();
+        assert_eq!(c.name(), "c17");
+        assert_eq!(c.inputs().len(), 5);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.gate_count(), 6);
+        let topo = Topology::of(&c).unwrap();
+        assert_eq!(topo.max_level(), 3);
+        // c17 is famously reconvergent at net 11.
+        let stems = ffr::reconvergent_stems(&c, &topo);
+        let names: Vec<&str> = stems.iter().map(|&s| c.node_name(s)).collect();
+        assert!(names.contains(&"11"), "stems: {names:?}");
+    }
+
+    #[test]
+    fn c17_truth_sample() {
+        let c = c17().unwrap();
+        // All zeros: 10=1, 11=1, 16=1, 19=1, 22=NAND(1,1)=0, 23=0.
+        assert_eq!(
+            c.evaluate_outputs(&[false; 5]).unwrap(),
+            [false, false]
+        );
+    }
+}

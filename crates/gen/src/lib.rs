@@ -1,0 +1,41 @@
+//! Circuit generators and embedded benchmarks for the test-point-insertion
+//! experiments.
+//!
+//! The original DAC 1987 evaluation ran on in-house netlists that were
+//! never published; this crate substitutes deterministic, seeded
+//! generators that reproduce the *phenomena* those circuits exhibited:
+//!
+//! * [`trees`] — random fanout-free (tree) circuits, the class on which
+//!   the dynamic program is provably optimal;
+//! * [`dags`] — random multi-level DAGs with tunable fanout, exhibiting
+//!   reconvergence (the NP-hard case);
+//! * [`rpr`] — structured random-pattern-resistant families (wide AND
+//!   cones, comparators, decoders, parity-gated cones) whose hardest
+//!   faults have detection probabilities of `2^-k` for chosen `k`;
+//! * [`benchmarks`] — the public-domain ISCAS-85 `c17` netlist, embedded;
+//! * [`suite`] — the fixed, named circuit suite used by every table and
+//!   figure in `EXPERIMENTS.md`.
+//!
+//! All generators are deterministic in their seed.
+//!
+//! # Example
+//!
+//! ```
+//! use tpi_gen::trees::{random_tree, RandomTreeConfig};
+//!
+//! # fn main() -> Result<(), tpi_netlist::NetlistError> {
+//! let c = random_tree(&RandomTreeConfig::with_leaves(12, 42))?;
+//! let topo = tpi_netlist::Topology::of(&c)?;
+//! assert!(tpi_netlist::ffr::tree_root(&c, &topo).is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod dags;
+pub mod rpr;
+pub mod suite;
+pub mod trees;

@@ -1,0 +1,367 @@
+//! Structured random-pattern-resistant circuit families.
+//!
+//! Each generator produces a circuit whose hardest stuck-at faults have
+//! detection probabilities around `2^-k` for a chosen `k` — the phenomenon
+//! that motivates test point insertion. All are built from 2-input gates
+//! (mapped-netlist style) and are fanout-free unless stated otherwise.
+
+use tpi_netlist::{Circuit, CircuitBuilder, GateKind, NetlistError, NodeId};
+
+/// A `width`-input AND cone feeding a further `tail`-stage OR chain with
+/// fresh inputs.
+///
+/// The cone output has 1-probability `2^-width`: its SA0 (and the
+/// propagation of every fault inside the cone) is random-pattern
+/// resistant. The OR tail keeps the cone's output observable but
+/// un-forcing, mimicking logic behind the hard node.
+///
+/// # Errors
+///
+/// [`NetlistError::InvalidArity`] if `width < 2`.
+pub fn and_tree(width: usize, tail: usize) -> Result<Circuit, NetlistError> {
+    if width < 2 {
+        return Err(NetlistError::InvalidArity {
+            kind: "AND-TREE",
+            got: width,
+        });
+    }
+    let mut b = CircuitBuilder::new(format!("rpr_and{width}_t{tail}"));
+    let xs = b.inputs(width, "x");
+    let mut node = b.balanced_tree(GateKind::And, &xs, "a")?;
+    for t in 0..tail {
+        let extra = b.input(format!("y{t}"));
+        node = b.gate(GateKind::Or, vec![node, extra], format!("o{t}"))?;
+    }
+    b.output(node);
+    b.finish()
+}
+
+/// An equality comparator: `out = 1` iff two `width`-bit buses match
+/// (XNOR bits, AND-reduce). The output's 1-probability is `2^-width`.
+///
+/// # Errors
+///
+/// [`NetlistError::InvalidArity`] if `width == 0`.
+pub fn comparator(width: usize) -> Result<Circuit, NetlistError> {
+    if width == 0 {
+        return Err(NetlistError::InvalidArity {
+            kind: "COMPARATOR",
+            got: 0,
+        });
+    }
+    let mut b = CircuitBuilder::new(format!("rpr_cmp{width}"));
+    let a = b.inputs(width, "a");
+    let c = b.inputs(width, "b");
+    let eq_bits: Vec<NodeId> = (0..width)
+        .map(|i| b.gate(GateKind::Xnor, vec![a[i], c[i]], format!("eq{i}")))
+        .collect::<Result<_, _>>()?;
+    let root = b.balanced_tree(GateKind::And, &eq_bits, "all_eq")?;
+    b.output(root);
+    b.finish()
+}
+
+/// A `sel`-to-`2^sel` line decoder with an AND-gated data input per line.
+/// Every output has 1-probability `2^-(sel+1)`; the circuit has heavy
+/// fanout on the select lines (a reconvergence-free multi-output case).
+///
+/// # Errors
+///
+/// [`NetlistError::InvalidArity`] if `sel == 0` or `sel > 8`.
+pub fn decoder(sel: usize) -> Result<Circuit, NetlistError> {
+    if sel == 0 || sel > 8 {
+        return Err(NetlistError::InvalidArity {
+            kind: "DECODER",
+            got: sel,
+        });
+    }
+    let mut b = CircuitBuilder::new(format!("rpr_dec{sel}"));
+    let sels = b.inputs(sel, "s");
+    let data = b.input("d");
+    let nsels: Vec<NodeId> = sels
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| b.gate(GateKind::Not, vec![s], format!("ns{i}")))
+        .collect::<Result<_, _>>()?;
+    for line in 0..(1usize << sel) {
+        let mut terms: Vec<NodeId> = (0..sel)
+            .map(|i| if line & (1 << i) != 0 { sels[i] } else { nsels[i] })
+            .collect();
+        terms.push(data);
+        let y = b.balanced_tree(GateKind::And, &terms, &format!("line{line}"))?;
+        b.output(y);
+    }
+    b.finish()
+}
+
+/// A multiplexer tree: `2^sel` data inputs selected by `sel` select bits.
+/// Data-input faults must win the select lottery to propagate: their
+/// observability is `2^-sel`.
+///
+/// # Errors
+///
+/// [`NetlistError::InvalidArity`] if `sel == 0` or `sel > 8`.
+pub fn mux_tree(sel: usize) -> Result<Circuit, NetlistError> {
+    if sel == 0 || sel > 8 {
+        return Err(NetlistError::InvalidArity {
+            kind: "MUX-TREE",
+            got: sel,
+        });
+    }
+    let mut b = CircuitBuilder::new(format!("rpr_mux{sel}"));
+    let sels = b.inputs(sel, "s");
+    let mut layer: Vec<NodeId> = b.inputs(1 << sel, "d");
+    for (stage, &s) in sels.iter().enumerate() {
+        let ns = b.gate(GateKind::Not, vec![s], format!("ns{stage}"))?;
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for (pair, chunk) in layer.chunks(2).enumerate() {
+            let t0 = b.gate(
+                GateKind::And,
+                vec![ns, chunk[0]],
+                format!("m{stage}_{pair}_0"),
+            )?;
+            let t1 = b.gate(
+                GateKind::And,
+                vec![s, chunk[1]],
+                format!("m{stage}_{pair}_1"),
+            )?;
+            next.push(b.gate(GateKind::Or, vec![t0, t1], format!("m{stage}_{pair}"))?);
+        }
+        layer = next;
+    }
+    b.output(layer[0]);
+    b.finish()
+}
+
+/// A parity-gated AND cone: `out = parity(p0..p_{k-1}) AND and(x0..x_{w-1})`.
+/// The parity side is fully random-pattern testable while the AND side is
+/// resistant — a mixed-difficulty single circuit.
+///
+/// # Errors
+///
+/// [`NetlistError::InvalidArity`] if `parity_bits == 0` or `and_width < 2`.
+pub fn parity_gated_cone(parity_bits: usize, and_width: usize) -> Result<Circuit, NetlistError> {
+    if parity_bits == 0 || and_width < 2 {
+        return Err(NetlistError::InvalidArity {
+            kind: "PARITY-CONE",
+            got: parity_bits.min(and_width),
+        });
+    }
+    let mut b = CircuitBuilder::new(format!("rpr_par{parity_bits}_and{and_width}"));
+    let ps = b.inputs(parity_bits, "p");
+    let xs = b.inputs(and_width, "x");
+    let parity = b.balanced_tree(GateKind::Xor, &ps, "par")?;
+    let cone = b.balanced_tree(GateKind::And, &xs, "cone")?;
+    let y = b.gate(GateKind::And, vec![parity, cone], "y")?;
+    b.output(y);
+    b.finish()
+}
+
+/// A reconvergent random-pattern-resistant structure: a `width`-input AND
+/// cone whose stem fans out to `branches` AND gates (each with a fresh
+/// side input) that reconverge in an OR tree.
+///
+/// Faults inside the cone are excitation-starved (`2^-width`), and the
+/// stem's reconvergence puts the circuit in the NP-hard class — the
+/// combination Table 3 needs.
+///
+/// # Errors
+///
+/// [`NetlistError::InvalidArity`] if `width < 2` or `branches < 2`.
+pub fn shared_cone(width: usize, branches: usize) -> Result<Circuit, NetlistError> {
+    if width < 2 || branches < 2 {
+        return Err(NetlistError::InvalidArity {
+            kind: "SHARED-CONE",
+            got: width.min(branches),
+        });
+    }
+    let mut b = CircuitBuilder::new(format!("rpr_shared{width}_b{branches}"));
+    let xs = b.inputs(width, "x");
+    let stem = b.balanced_tree(GateKind::And, &xs, "cone")?;
+    let mut arms = Vec::with_capacity(branches);
+    for i in 0..branches {
+        let side = b.input(format!("y{i}"));
+        arms.push(b.gate(GateKind::And, vec![stem, side], format!("arm{i}"))?);
+    }
+    let out = b.balanced_tree(GateKind::Or, &arms, "merge")?;
+    b.output(out);
+    b.finish()
+}
+
+/// A three-bus equality chain: `out = (a == b) AND (b == c)` over
+/// `width`-bit buses. The shared `b` bus reconverges at the final AND,
+/// and both equality cones carry `2^-width` signals — reconvergent *and*
+/// random-pattern resistant, with no redundant faults.
+///
+/// # Errors
+///
+/// [`NetlistError::InvalidArity`] if `width == 0`.
+pub fn bus_match(width: usize) -> Result<Circuit, NetlistError> {
+    if width == 0 {
+        return Err(NetlistError::InvalidArity {
+            kind: "BUS-MATCH",
+            got: 0,
+        });
+    }
+    let mut b = CircuitBuilder::new(format!("rpr_bus{width}"));
+    let a = b.inputs(width, "a");
+    let bb = b.inputs(width, "b");
+    let c = b.inputs(width, "c");
+    let eq_ab: Vec<NodeId> = (0..width)
+        .map(|i| b.gate(GateKind::Xnor, vec![a[i], bb[i]], format!("ab{i}")))
+        .collect::<Result<_, _>>()?;
+    let eq_bc: Vec<NodeId> = (0..width)
+        .map(|i| b.gate(GateKind::Xnor, vec![bb[i], c[i]], format!("bc{i}")))
+        .collect::<Result<_, _>>()?;
+    let m_ab = b.balanced_tree(GateKind::And, &eq_ab, "m_ab")?;
+    let m_bc = b.balanced_tree(GateKind::And, &eq_bc, "m_bc")?;
+    let y = b.gate(GateKind::And, vec![m_ab, m_bc], "y")?;
+    b.output(y);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::Topology;
+
+    #[test]
+    fn and_tree_probability_is_2_pow_minus_width() {
+        for width in [4usize, 8, 12] {
+            let c = and_tree(width, 1).unwrap();
+            let cop = cop_of(&c);
+            let topo = Topology::of(&c).unwrap();
+            // The deepest AND node (the cone root) has name prefix "a".
+            let hard = c
+                .node_ids()
+                .filter(|&id| c.node_name(id).starts_with('a'))
+                .max_by_key(|&id| topo.level(id))
+                .unwrap();
+            assert!(
+                (cop.c1(hard) - 2f64.powi(-(width as i32))).abs() < 1e-12,
+                "width {width}"
+            );
+        }
+    }
+
+    fn cop_of(c: &Circuit) -> tpi_testability::CopAnalysis {
+        tpi_testability::CopAnalysis::new(c).unwrap()
+    }
+
+    #[test]
+    fn comparator_output_probability() {
+        let c = comparator(6).unwrap();
+        let cop = cop_of(&c);
+        let root = c.outputs()[0];
+        assert!((cop.c1(root) - 2f64.powi(-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decoder_outputs_and_probabilities() {
+        let c = decoder(3).unwrap();
+        assert_eq!(c.outputs().len(), 8);
+        let cop = cop_of(&c);
+        for &o in c.outputs() {
+            assert!((cop.c1(o) - 2f64.powi(-4)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mux_tree_behaves_like_a_mux() {
+        let c = mux_tree(2).unwrap();
+        // inputs: s0,s1,d0..d3. select line value (s1 s0) picks d_index.
+        for pattern in 0..64u32 {
+            let bits: Vec<bool> = (0..6).map(|i| pattern & (1 << i) != 0).collect();
+            let (s0, s1) = (bits[0], bits[1]);
+            let d = &bits[2..6];
+            let idx = usize::from(s0) | (usize::from(s1) << 1);
+            let out = c.evaluate_outputs(&bits).unwrap()[0];
+            assert_eq!(out, d[idx], "pattern {pattern:06b}");
+        }
+    }
+
+    #[test]
+    fn parity_cone_mixed_difficulty() {
+        let c = parity_gated_cone(4, 8).unwrap();
+        let cop = cop_of(&c);
+        let topo = Topology::of(&c).unwrap();
+        let deepest = |prefix: &str| {
+            c.node_ids()
+                .filter(|&id| c.node_name(id).starts_with(prefix))
+                .max_by_key(|&id| topo.level(id))
+                .unwrap()
+        };
+        let par = deepest("par");
+        let cone = deepest("cone");
+        assert!((cop.c1(par) - 0.5).abs() < 1e-12);
+        assert!(cop.c1(cone) < 0.01);
+    }
+
+    #[test]
+    fn rejects_degenerate_sizes() {
+        assert!(and_tree(1, 0).is_err());
+        assert!(comparator(0).is_err());
+        assert!(decoder(0).is_err());
+        assert!(decoder(9).is_err());
+        assert!(mux_tree(0).is_err());
+        assert!(parity_gated_cone(0, 4).is_err());
+        assert!(shared_cone(1, 2).is_err());
+        assert!(shared_cone(4, 1).is_err());
+        assert!(bus_match(0).is_err());
+    }
+
+    #[test]
+    fn shared_cone_is_reconvergent_and_resistant() {
+        use tpi_netlist::ffr;
+        let c = shared_cone(10, 3).unwrap();
+        let topo = Topology::of(&c).unwrap();
+        let stems = ffr::reconvergent_stems(&c, &topo);
+        assert!(!stems.is_empty());
+        let cop = cop_of(&c);
+        let stem = c
+            .node_ids()
+            .filter(|&id| c.node_name(id).starts_with("cone"))
+            .max_by_key(|&id| topo.level(id))
+            .unwrap();
+        assert!(cop.c1(stem) < 0.001);
+    }
+
+    #[test]
+    fn bus_match_semantics_and_structure() {
+        use tpi_netlist::ffr;
+        let c = bus_match(3).unwrap();
+        // out = 1 iff a == b == c.
+        let eval = |a: u8, b: u8, cc: u8| {
+            let bits: Vec<bool> = (0..3)
+                .map(|i| a & (1 << i) != 0)
+                .chain((0..3).map(|i| b & (1 << i) != 0))
+                .chain((0..3).map(|i| cc & (1 << i) != 0))
+                .collect();
+            c.evaluate_outputs(&bits).unwrap()[0]
+        };
+        assert!(eval(5, 5, 5));
+        assert!(!eval(5, 5, 4));
+        assert!(!eval(4, 5, 5));
+        let topo = Topology::of(&c).unwrap();
+        assert!(!ffr::reconvergent_stems(&c, &topo).is_empty());
+        // COP (independence assumption) puts c1(y) at 2^-2w; width 3 ⇒ 2^-6.
+        let cop = cop_of(&c);
+        assert!(cop.c1(c.outputs()[0]) < 0.02);
+        // Wider buses get properly resistant.
+        let wide = bus_match(10).unwrap();
+        let cop = cop_of(&wide);
+        assert!(cop.c1(wide.outputs()[0]) < 1e-5);
+    }
+
+    #[test]
+    fn all_families_are_valid_circuits() {
+        for c in [
+            and_tree(8, 2).unwrap(),
+            comparator(4).unwrap(),
+            decoder(2).unwrap(),
+            mux_tree(3).unwrap(),
+            parity_gated_cone(3, 6).unwrap(),
+        ] {
+            assert!(c.validate().is_ok(), "{}", c.name());
+        }
+    }
+}

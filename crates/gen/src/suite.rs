@@ -1,0 +1,125 @@
+//! The fixed benchmark suite used by every experiment.
+//!
+//! All circuits are deterministic (fixed seeds), so every table and figure
+//! in `EXPERIMENTS.md` is exactly reproducible. The suite mixes:
+//!
+//! * `c17` — historical sanity benchmark;
+//! * `rpr_*` — structured random-pattern-resistant families;
+//! * `tree_*` — random fanout-free circuits (the DP-optimal class);
+//! * `dag_*` — random reconvergent DAGs (the NP-hard class).
+
+use tpi_netlist::{Circuit, NetlistError};
+
+use crate::dags::{random_dag, RandomDagConfig};
+use crate::trees::{random_tree, RandomTreeConfig};
+use crate::{benchmarks, rpr};
+
+/// A named benchmark instance.
+#[derive(Clone, Debug)]
+pub struct SuiteEntry {
+    /// Stable name used in experiment tables.
+    pub name: String,
+    /// The circuit.
+    pub circuit: Circuit,
+    /// Whether the circuit is fanout-free (tree class).
+    pub is_tree: bool,
+}
+
+/// Build the full standard suite.
+///
+/// # Errors
+///
+/// Propagates generator errors (none occur for the fixed parameters; the
+/// suite is covered by unit tests).
+pub fn standard_suite() -> Result<Vec<SuiteEntry>, NetlistError> {
+    let mut entries = Vec::new();
+    let mut push = |circuit: Circuit, is_tree: bool| {
+        entries.push(SuiteEntry {
+            name: circuit.name().to_string(),
+            circuit,
+            is_tree,
+        });
+    };
+
+    push(benchmarks::c17()?, false);
+    push(rpr::and_tree(12, 3)?, true);
+    push(rpr::and_tree(20, 4)?, true);
+    push(rpr::comparator(12)?, true);
+    push(rpr::decoder(4)?, false);
+    push(rpr::mux_tree(4)?, false);
+    push(rpr::parity_gated_cone(6, 14)?, true);
+    push(rpr::shared_cone(14, 4)?, false);
+    push(rpr::bus_match(10)?, false);
+    push(
+        random_tree(&RandomTreeConfig::with_leaves(64, 1).and_or_only())?,
+        true,
+    );
+    push(
+        random_tree(&RandomTreeConfig::with_leaves(256, 2).and_or_only())?,
+        true,
+    );
+    push(random_dag(&RandomDagConfig::new(24, 150, 3))?, false);
+    push(random_dag(&RandomDagConfig::new(40, 500, 4))?, false);
+    Ok(entries)
+}
+
+/// Look up one suite entry by name.
+///
+/// # Errors
+///
+/// [`NetlistError::UndefinedSignal`] (reused as "unknown name") when the
+/// suite has no entry called `name`.
+pub fn by_name(name: &str) -> Result<SuiteEntry, NetlistError> {
+    standard_suite()?
+        .into_iter()
+        .find(|e| e.name == name)
+        .ok_or_else(|| NetlistError::UndefinedSignal {
+            name: name.to_string(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{ffr, Topology};
+
+    #[test]
+    fn suite_is_wellformed_and_tree_flags_correct() {
+        let suite = standard_suite().unwrap();
+        assert!(suite.len() >= 10);
+        for e in &suite {
+            assert!(e.circuit.validate().is_ok(), "{}", e.name);
+            let topo = Topology::of(&e.circuit).unwrap();
+            assert_eq!(
+                e.is_tree,
+                ffr::is_fanout_free(&e.circuit, &topo),
+                "{} tree flag",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = standard_suite().unwrap();
+        let mut names: Vec<&str> = suite.iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = standard_suite().unwrap();
+        let b = standard_suite().unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.circuit, y.circuit);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("c17").is_ok());
+        assert!(by_name("nonexistent").is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Random fanout-free (tree) circuit generation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tpi_netlist::{Circuit, CircuitBuilder, GateKind, NetlistError};
+
+/// Configuration for [`random_tree`].
+#[derive(Clone, Debug)]
+pub struct RandomTreeConfig {
+    /// Number of primary inputs (tree leaves), ≥ 1.
+    pub leaves: usize,
+    /// RNG seed (trees are deterministic in the seed).
+    pub seed: u64,
+    /// Gate kinds to draw internal nodes from.
+    pub kinds: Vec<GateKind>,
+    /// Maximum gate fan-in (≥ 2).
+    pub max_arity: usize,
+    /// Probability of interposing an inverter on a freshly built subtree.
+    pub inverter_probability: f64,
+}
+
+impl RandomTreeConfig {
+    /// A tree over `leaves` inputs with default kinds
+    /// (AND/NAND/OR/NOR/XOR), fan-in ≤ 3 and 15% inverters.
+    pub fn with_leaves(leaves: usize, seed: u64) -> RandomTreeConfig {
+        RandomTreeConfig {
+            leaves,
+            seed,
+            kinds: vec![
+                GateKind::And,
+                GateKind::Nand,
+                GateKind::Or,
+                GateKind::Nor,
+                GateKind::Xor,
+            ],
+            max_arity: 3,
+            inverter_probability: 0.15,
+        }
+    }
+
+    /// Restrict to AND/OR-type gates (no XOR), which produces markedly
+    /// skewed signal probabilities — the random-pattern-resistant case.
+    pub fn and_or_only(mut self) -> RandomTreeConfig {
+        self.kinds = vec![GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor];
+        self
+    }
+}
+
+/// Generate a random single-output fanout-free circuit.
+///
+/// The construction combines unconsumed subtree roots bottom-up until one
+/// root remains, so every internal signal feeds exactly one gate — the
+/// exact class on which the Krishnamurthy DP is optimal.
+///
+/// # Errors
+///
+/// [`NetlistError::InvalidArity`] when the configuration is degenerate
+/// (`leaves == 0` or `max_arity < 2`).
+pub fn random_tree(config: &RandomTreeConfig) -> Result<Circuit, NetlistError> {
+    if config.leaves == 0 || config.max_arity < 2 {
+        return Err(NetlistError::InvalidArity {
+            kind: "TREE",
+            got: config.leaves.min(config.max_arity),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = CircuitBuilder::new(format!("tree_l{}_s{}", config.leaves, config.seed));
+    let mut open: Vec<tpi_netlist::NodeId> = b.inputs(config.leaves, "x");
+    let mut counter = 0usize;
+    while open.len() > 1 {
+        let arity = rng.gen_range(2..=config.max_arity.min(open.len()));
+        // Draw `arity` distinct roots.
+        let mut picked = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let idx = rng.gen_range(0..open.len());
+            picked.push(open.swap_remove(idx));
+        }
+        let kind = *config.kinds.choose(&mut rng).expect("kinds non-empty");
+        let mut node = b.gate(kind, picked, format!("g{counter}"))?;
+        counter += 1;
+        if rng.gen_bool(config.inverter_probability) {
+            node = b.gate(GateKind::Not, vec![node], format!("g{counter}"))?;
+            counter += 1;
+        }
+        open.push(node);
+    }
+    b.output(open[0]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{ffr, Topology};
+
+    #[test]
+    fn generated_trees_are_trees() {
+        for seed in 0..20 {
+            let c = random_tree(&RandomTreeConfig::with_leaves(10, seed)).unwrap();
+            let topo = Topology::of(&c).unwrap();
+            assert!(
+                ffr::tree_root(&c, &topo).is_some(),
+                "seed {seed} did not produce a tree"
+            );
+            assert_eq!(c.inputs().len(), 10);
+            assert_eq!(c.outputs().len(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = random_tree(&RandomTreeConfig::with_leaves(8, 7)).unwrap();
+        let b = random_tree(&RandomTreeConfig::with_leaves(8, 7)).unwrap();
+        assert_eq!(a, b);
+        let c = random_tree(&RandomTreeConfig::with_leaves(8, 8)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let c = random_tree(&RandomTreeConfig::with_leaves(1, 0)).unwrap();
+        assert_eq!(c.node_count(), 1);
+        assert_eq!(c.outputs().len(), 1);
+    }
+
+    #[test]
+    fn respects_max_arity() {
+        let mut cfg = RandomTreeConfig::with_leaves(30, 3);
+        cfg.max_arity = 2;
+        let c = random_tree(&cfg).unwrap();
+        for id in c.node_ids() {
+            assert!(c.fanins(id).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn and_or_only_excludes_xor() {
+        let cfg = RandomTreeConfig::with_leaves(16, 5).and_or_only();
+        let c = random_tree(&cfg).unwrap();
+        for id in c.node_ids() {
+            assert!(!matches!(c.kind(id), GateKind::Xor | GateKind::Xnor));
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        assert!(random_tree(&RandomTreeConfig::with_leaves(0, 0)).is_err());
+        let mut cfg = RandomTreeConfig::with_leaves(4, 0);
+        cfg.max_arity = 1;
+        assert!(random_tree(&cfg).is_err());
+    }
+}

@@ -1,0 +1,421 @@
+//! ISCAS-85 / ISCAS-89 `.bench` reader and writer.
+//!
+//! The `.bench` dialect accepted here:
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! OUTPUT(G17)
+//! G10 = NAND(G1, G3)
+//! G11 = DFF(G10)        # sequential; handled per ScanMode
+//! ```
+//!
+//! Gate keywords are case-insensitive. `DFF` elements are converted to
+//! full-scan pseudo-ports by default ([`ScanMode::FullScan`]): the flip-flop
+//! output becomes a pseudo primary input and its data pin a pseudo primary
+//! output, which is the standard combinational view used by scan-BIST test
+//! point insertion.
+
+use std::collections::HashMap;
+
+use crate::{Circuit, GateKind, NetlistError, NodeId};
+
+/// How to treat `DFF` elements while parsing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Convert each `DFF` to a pseudo primary input (its output) and a
+    /// pseudo primary output (its data input) — the full-scan view.
+    #[default]
+    FullScan,
+    /// Reject netlists containing `DFF`s.
+    Reject,
+}
+
+/// Parse `.bench` text with [`ScanMode::FullScan`] DFF handling.
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] on malformed lines,
+/// [`NetlistError::UndefinedSignal`] / [`NetlistError::DuplicateName`] on
+/// bad symbol usage, [`NetlistError::Cycle`] on cyclic combinational logic.
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::bench_format::parse_bench;
+///
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nc = NAND(a, b)\nOUTPUT(c)\n")?;
+/// assert_eq!(c.inputs().len(), 2);
+/// assert_eq!(c.evaluate_outputs(&[true, true])?, [false]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_bench(text: &str) -> Result<Circuit, NetlistError> {
+    parse_bench_with(text, "bench", ScanMode::FullScan)
+}
+
+/// Parse `.bench` text with an explicit circuit name and [`ScanMode`].
+///
+/// # Errors
+///
+/// See [`parse_bench`].
+pub fn parse_bench_with(
+    text: &str,
+    name: &str,
+    scan_mode: ScanMode,
+) -> Result<Circuit, NetlistError> {
+    enum Decl {
+        Input,
+        Gate(GateKind, Vec<String>),
+        Dff(String),
+    }
+    let mut decls: Vec<(String, Decl)> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let parse_err = |message: String| NetlistError::Parse {
+            line: lineno,
+            message,
+        };
+        if let Some(rest) = strip_keyword(line, "INPUT") {
+            decls.push((parse_paren_arg(rest, lineno)?, Decl::Input));
+        } else if let Some(rest) = strip_keyword(line, "OUTPUT") {
+            output_names.push(parse_paren_arg(rest, lineno)?);
+        } else if let Some(eq) = line.find('=') {
+            let target = line[..eq].trim();
+            if target.is_empty() {
+                return Err(parse_err("missing target name before `=`".into()));
+            }
+            let rhs = line[eq + 1..].trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| parse_err(format!("expected GATE(...) after `=`, got `{rhs}`")))?;
+            let close = rhs
+                .rfind(')')
+                .ok_or_else(|| parse_err("missing closing `)`".into()))?;
+            if close < open {
+                return Err(parse_err("mismatched parentheses".into()));
+            }
+            let keyword = rhs[..open].trim();
+            let args: Vec<String> = rhs[open + 1..close]
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if keyword.eq_ignore_ascii_case("DFF") {
+                if args.len() != 1 {
+                    return Err(parse_err(format!("DFF takes 1 argument, got {}", args.len())));
+                }
+                match scan_mode {
+                    ScanMode::FullScan => {
+                        decls.push((target.to_string(), Decl::Dff(args[0].clone())));
+                    }
+                    ScanMode::Reject => {
+                        return Err(NetlistError::Sequential {
+                            name: target.to_string(),
+                        })
+                    }
+                }
+            } else {
+                let kind = GateKind::from_bench_name(keyword)
+                    .ok_or_else(|| parse_err(format!("unknown gate keyword `{keyword}`")))?;
+                kind.check_arity(args.len())?;
+                decls.push((target.to_string(), Decl::Gate(kind, args)));
+            }
+        } else {
+            return Err(parse_err(format!("unrecognised line `{line}`")));
+        }
+    }
+
+    // First pass: create all nodes (inputs and DFF outputs first so gate
+    // fanins resolve; gate nodes are created in dependency order below).
+    let mut circuit = Circuit::new(name);
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut pending: Vec<(String, GateKind, Vec<String>)> = Vec::new();
+    let mut scan_outputs: Vec<String> = Vec::new();
+
+    for (target, decl) in decls {
+        match decl {
+            Decl::Input => {
+                let id = circuit.add_node(GateKind::Input, vec![], target.clone())?;
+                ids.insert(target, id);
+            }
+            Decl::Dff(data_in) => {
+                // Full scan: FF output is a pseudo-PI, its data input a
+                // pseudo-PO.
+                let id = circuit.add_node(GateKind::Input, vec![], target.clone())?;
+                ids.insert(target, id);
+                scan_outputs.push(data_in);
+            }
+            Decl::Gate(kind, args) => pending.push((target, kind, args)),
+        }
+    }
+
+    // Resolve gates iteratively (a worklist tolerates out-of-order decls).
+    let mut progress = true;
+    while progress && !pending.is_empty() {
+        progress = false;
+        let mut next = Vec::with_capacity(pending.len());
+        for (target, kind, args) in pending {
+            if args.iter().all(|a| ids.contains_key(a)) {
+                let fanins = args.iter().map(|a| ids[a]).collect();
+                let id = circuit.add_node(kind, fanins, target.clone())?;
+                ids.insert(target, id);
+                progress = true;
+            } else {
+                next.push((target, kind, args));
+            }
+        }
+        pending = next;
+    }
+    if let Some((target, _, args)) = pending.first() {
+        // Either an undefined signal or a combinational cycle.
+        let missing = args.iter().find(|a| !ids.contains_key(*a));
+        return Err(match missing {
+            Some(m) if !pending.iter().any(|(t, _, _)| t == m) => {
+                NetlistError::UndefinedSignal { name: m.clone() }
+            }
+            _ => NetlistError::Cycle {
+                node: target.clone(),
+            },
+        });
+    }
+
+    for name in output_names.iter().chain(scan_outputs.iter()) {
+        let id = *ids
+            .get(name)
+            .ok_or_else(|| NetlistError::UndefinedSignal { name: name.clone() })?;
+        circuit.add_output(id)?;
+    }
+    circuit.validate()?;
+    Ok(circuit)
+}
+
+fn strip_keyword<'a>(line: &'a str, kw: &str) -> Option<&'a str> {
+    let trimmed = line.trim_start();
+    if trimmed.len() >= kw.len() && trimmed[..kw.len()].eq_ignore_ascii_case(kw) {
+        let rest = &trimmed[kw.len()..];
+        rest.trim_start().starts_with('(').then_some(rest)
+    } else {
+        None
+    }
+}
+
+fn parse_paren_arg(rest: &str, line: usize) -> Result<String, NetlistError> {
+    let rest = rest.trim();
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|r| r.strip_suffix(')'))
+        .ok_or_else(|| NetlistError::Parse {
+            line,
+            message: "expected `(name)`".into(),
+        })?
+        .trim();
+    if inner.is_empty() || inner.contains(|c: char| c.is_whitespace() || c == ',') {
+        return Err(NetlistError::Parse {
+            line,
+            message: format!("bad signal name `{inner}`"),
+        });
+    }
+    Ok(inner.to_string())
+}
+
+/// Serialise a circuit to `.bench` text.
+///
+/// Constants are emitted as `CONST0()` / `CONST1()` pseudo-gates (a common
+/// extension); everything else is standard ISCAS-85 syntax. The output
+/// round-trips through [`parse_bench`].
+pub fn to_bench(circuit: &Circuit) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("# {}\n", circuit.name()));
+    for &i in circuit.inputs() {
+        s.push_str(&format!("INPUT({})\n", circuit.node_name(i)));
+    }
+    for &o in circuit.outputs() {
+        s.push_str(&format!("OUTPUT({})\n", circuit.node_name(o)));
+    }
+    for id in circuit.node_ids() {
+        let node = circuit.node(id);
+        if node.kind() == GateKind::Input {
+            continue;
+        }
+        let args: Vec<&str> = node
+            .fanins()
+            .iter()
+            .map(|&f| circuit.node_name(f))
+            .collect();
+        s.push_str(&format!(
+            "{} = {}({})\n",
+            circuit.node_name(id),
+            node.kind().bench_name(),
+            args.join(", ")
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "\
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let c = parse_bench(C17).unwrap();
+        assert_eq!(c.inputs().len(), 5);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.gate_count(), 6);
+        // All-ones: 10 = NAND(1,1)=0, 11=0, 16=NAND(1,0)=1, 19=NAND(0,1)=1,
+        // 22=NAND(0,1)=1, 23=NAND(1,1)=0.
+        assert_eq!(
+            c.evaluate_outputs(&[true; 5]).unwrap(),
+            [true, false]
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = parse_bench(C17).unwrap();
+        let text = to_bench(&c);
+        let c2 = parse_bench(&text).unwrap();
+        assert_eq!(c2.node_count(), c.node_count());
+        assert_eq!(c2.inputs().len(), c.inputs().len());
+        assert_eq!(c2.outputs().len(), c.outputs().len());
+        // Behavioural equivalence on a few vectors.
+        for p in 0..32u32 {
+            let v: Vec<bool> = (0..5).map(|i| p & (1 << i) != 0).collect();
+            assert_eq!(
+                c.evaluate_outputs(&v).unwrap(),
+                c2.evaluate_outputs(&v).unwrap(),
+                "pattern {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_order_definitions_ok() {
+        let text = "OUTPUT(y)\ny = AND(a, b)\nINPUT(a)\nINPUT(b)\n";
+        let c = parse_bench(text).unwrap();
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let text = "# header\n\nINPUT(a) # trailing\n  \ny = NOT(a)\nOUTPUT(y)\n";
+        let c = parse_bench(text).unwrap();
+        assert_eq!(c.node_count(), 2);
+    }
+
+    #[test]
+    fn dff_full_scan_conversion() {
+        let text = "\
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = AND(a, q)
+y = NOT(q)
+";
+        let c = parse_bench(text).unwrap();
+        // q becomes a pseudo-PI; d becomes a pseudo-PO.
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.outputs().len(), 2);
+        let q = c.find_node("q").unwrap();
+        assert_eq!(c.kind(q), GateKind::Input);
+        let d = c.find_node("d").unwrap();
+        assert!(c.is_output(d));
+    }
+
+    #[test]
+    fn dff_rejected_in_reject_mode() {
+        let text = "INPUT(a)\nq = DFF(a)\nOUTPUT(q)\n";
+        assert!(matches!(
+            parse_bench_with(text, "t", ScanMode::Reject),
+            Err(NetlistError::Sequential { .. })
+        ));
+    }
+
+    #[test]
+    fn undefined_signal() {
+        let text = "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n";
+        assert!(matches!(
+            parse_bench(text),
+            Err(NetlistError::UndefinedSignal { name }) if name == "ghost"
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let text = "INPUT(a)\nx = AND(a, y)\ny = NOT(x)\nOUTPUT(y)\n";
+        assert!(matches!(parse_bench(text), Err(NetlistError::Cycle { .. })));
+    }
+
+    #[test]
+    fn bad_syntax_reports_line() {
+        let text = "INPUT(a)\nwhat is this\n";
+        match parse_bench(text) {
+            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_gate_keyword() {
+        let text = "INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n";
+        assert!(matches!(parse_bench(text), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn bad_arity_in_text() {
+        let text = "INPUT(a)\nINPUT(b)\ny = NOT(a, b)\nOUTPUT(y)\n";
+        assert!(matches!(
+            parse_bench(text),
+            Err(NetlistError::InvalidArity { .. })
+        ));
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        let text = "INPUT(a)\none = CONST1()\ny = AND(a, one)\nOUTPUT(y)\n";
+        let c = parse_bench(text).unwrap();
+        let c2 = parse_bench(&to_bench(&c)).unwrap();
+        assert_eq!(c2.evaluate_outputs(&[true]).unwrap(), [true]);
+    }
+
+    #[test]
+    fn output_of_undefined_signal() {
+        let text = "INPUT(a)\nOUTPUT(nope)\n";
+        assert!(matches!(
+            parse_bench(text),
+            Err(NetlistError::UndefinedSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let text = "input(a)\ny = nand(a, a)\noutput(y)\n";
+        let c = parse_bench(text).unwrap();
+        assert_eq!(c.evaluate_outputs(&[true]).unwrap(), [false]);
+    }
+}

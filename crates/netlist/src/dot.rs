@@ -1,0 +1,100 @@
+//! Graphviz (DOT) export for visual debugging of small circuits.
+
+use crate::{Circuit, GateKind};
+
+/// Render the circuit as a Graphviz digraph.
+///
+/// Inputs are drawn as triangles, outputs get a double border, and test-
+/// point auxiliary nodes (names starting with `tp_`) are highlighted.
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::{bench_format, dot};
+///
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let c = bench_format::parse_bench("INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n")?;
+/// let g = dot::to_dot(&c);
+/// assert!(g.starts_with("digraph"));
+/// assert!(g.contains("\"y\""));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(circuit: &Circuit) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("digraph \"{}\" {{\n", escape(circuit.name())));
+    s.push_str("  rankdir=LR;\n  node [fontname=\"monospace\"];\n");
+    for id in circuit.node_ids() {
+        let name = circuit.node_name(id);
+        let kind = circuit.kind(id);
+        let mut attrs = vec![format!("label=\"{}\\n{}\"", escape(name), kind)];
+        match kind {
+            GateKind::Input => attrs.push("shape=triangle, orientation=270".to_string()),
+            GateKind::Const0 | GateKind::Const1 => attrs.push("shape=plaintext".to_string()),
+            _ => attrs.push("shape=box".to_string()),
+        }
+        if circuit.is_output(id) {
+            attrs.push("peripheries=2".to_string());
+        }
+        if name.starts_with("tp_") {
+            attrs.push("style=filled, fillcolor=lightgoldenrod".to_string());
+        }
+        s.push_str(&format!("  \"{}\" [{}];\n", escape(name), attrs.join(", ")));
+    }
+    for id in circuit.node_ids() {
+        for &f in circuit.fanins(id) {
+            s.push_str(&format!(
+                "  \"{}\" -> \"{}\";\n",
+                escape(circuit.node_name(f)),
+                escape(circuit.node_name(id))
+            ));
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{transform, CircuitBuilder, TestPoint};
+
+    #[test]
+    fn emits_all_nodes_and_edges() {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Nand, vec![a, a], "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let dot = to_dot(&c);
+        assert!(dot.contains("\"a\" ["));
+        assert!(dot.contains("\"g\" ["));
+        assert!(dot.contains("peripheries=2"));
+        assert_eq!(dot.matches("\"a\" -> \"g\"").count(), 2);
+    }
+
+    #[test]
+    fn highlights_test_point_aux_nodes() {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, vec![a], "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let (m, _) = transform::apply_plan(&c, &[TestPoint::control_and(a)]).unwrap();
+        let dot = to_dot(&m);
+        assert!(dot.contains("lightgoldenrod"));
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let c = Circuit::new("a\"b");
+        let dot = to_dot(&c);
+        assert!(dot.contains("a\\\"b"));
+    }
+
+    use crate::Circuit;
+}

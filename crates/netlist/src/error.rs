@@ -1,0 +1,142 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, parsing or transforming a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// The circuit contains a combinational cycle involving the named node.
+    Cycle {
+        /// Name of a node on the cycle.
+        node: String,
+    },
+    /// A gate was declared with an arity its kind does not allow.
+    InvalidArity {
+        /// The offending gate kind (bench-style name).
+        kind: &'static str,
+        /// Number of fanins supplied.
+        got: usize,
+    },
+    /// A fanin reference pointed at a node id that does not exist.
+    DanglingFanin {
+        /// Index of the gate holding the dangling reference.
+        gate: usize,
+    },
+    /// A node id was out of range for the circuit it was used with.
+    NoSuchNode {
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// A signal name was redefined.
+    DuplicateName {
+        /// The redefined name.
+        name: String,
+    },
+    /// `.bench` parse failure.
+    Parse {
+        /// 1-based source line of the failure.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// `.bench` text referenced a signal that is never defined.
+    UndefinedSignal {
+        /// The undefined signal name.
+        name: String,
+    },
+    /// An evaluation or analysis was given the wrong number of input values.
+    InputCountMismatch {
+        /// Number of primary inputs the circuit has.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A transform precondition failed (e.g. test point on a constant).
+    InvalidTransform {
+        /// Human-readable description.
+        message: String,
+    },
+    /// The netlist contains sequential elements that the requested operation
+    /// cannot handle.
+    Sequential {
+        /// Name of the offending element.
+        name: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Cycle { node } => {
+                write!(f, "combinational cycle through node `{node}`")
+            }
+            NetlistError::InvalidArity { kind, got } => {
+                write!(f, "gate kind {kind} cannot take {got} fanins")
+            }
+            NetlistError::DanglingFanin { gate } => {
+                write!(f, "gate #{gate} references a node that does not exist")
+            }
+            NetlistError::NoSuchNode { index } => {
+                write!(f, "node index {index} is out of range")
+            }
+            NetlistError::DuplicateName { name } => {
+                write!(f, "signal `{name}` is defined more than once")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "bench parse error at line {line}: {message}")
+            }
+            NetlistError::UndefinedSignal { name } => {
+                write!(f, "signal `{name}` is used but never defined")
+            }
+            NetlistError::InputCountMismatch { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            NetlistError::InvalidTransform { message } => {
+                write!(f, "invalid transform: {message}")
+            }
+            NetlistError::Sequential { name } => {
+                write!(f, "sequential element `{name}` not supported here")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            NetlistError::Cycle { node: "g1".into() },
+            NetlistError::InvalidArity { kind: "NOT", got: 3 },
+            NetlistError::DanglingFanin { gate: 7 },
+            NetlistError::NoSuchNode { index: 9 },
+            NetlistError::DuplicateName { name: "x".into() },
+            NetlistError::Parse { line: 2, message: "bad".into() },
+            NetlistError::UndefinedSignal { name: "y".into() },
+            NetlistError::InputCountMismatch { expected: 2, got: 3 },
+            NetlistError::InvalidTransform { message: "m".into() },
+            NetlistError::Sequential { name: "ff".into() },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(NetlistError::NoSuchNode { index: 1 });
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

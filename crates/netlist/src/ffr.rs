@@ -1,0 +1,251 @@
+//! Fanout-free regions and reconvergence analysis.
+//!
+//! A **fanout-free region** (FFR) is a maximal tree-shaped cone: every
+//! internal signal feeds exactly one consumer, and the region is rooted at
+//! a *stem* (a signal with ≥ 2 consumers) or at a primary output. FFRs are
+//! the unit at which the Krishnamurthy tree DP applies exactly inside a
+//! general circuit, so this decomposition is load-bearing for
+//! `tpi_core::general`.
+//!
+//! **Reconvergence** — two fanout branches of a stem meeting again
+//! downstream — is the structure that makes optimal test point insertion
+//! NP-hard; [`reconvergent_stems`] detects it.
+
+use crate::{Circuit, NodeId, Topology};
+
+/// The fanout-free-region decomposition of a circuit.
+///
+/// Every node belongs to exactly one region; region roots are stems,
+/// primary outputs and dangling nodes.
+#[derive(Clone, Debug)]
+pub struct FfrDecomposition {
+    root_of: Vec<NodeId>,
+    roots: Vec<NodeId>,
+}
+
+impl FfrDecomposition {
+    /// Decompose a circuit into fanout-free regions.
+    pub fn of(circuit: &Circuit, topo: &Topology) -> FfrDecomposition {
+        let n = circuit.node_count();
+        let mut root_of: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+        // Process in reverse topological order so that a node's unique
+        // consumer already knows its root.
+        for &id in topo.order().iter().rev() {
+            let fanouts = topo.fanouts(id);
+            let is_root =
+                circuit.is_output(id) || fanouts.len() != 1 || topo.is_dangling(circuit, id);
+            if is_root {
+                root_of[id.index()] = id;
+            } else {
+                let consumer = fanouts[0].gate;
+                root_of[id.index()] = root_of[consumer.index()];
+            }
+        }
+        let mut roots: Vec<NodeId> = circuit
+            .node_ids()
+            .filter(|&id| root_of[id.index()] == id)
+            .collect();
+        roots.sort();
+        FfrDecomposition { root_of, roots }
+    }
+
+    /// The root of the region containing `id`.
+    pub fn root_of(&self, id: NodeId) -> NodeId {
+        self.root_of[id.index()]
+    }
+
+    /// All region roots, sorted by id.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// The members of the region rooted at `root` (sorted by id; empty if
+    /// `root` is not a root).
+    pub fn members(&self, root: NodeId) -> Vec<NodeId> {
+        if self.root_of[root.index()] != root {
+            return Vec::new();
+        }
+        self.root_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r == root)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.roots.len()
+    }
+}
+
+/// Whether the circuit is fanout-free: no signal is consumed more than once
+/// (a primary-output tap counts as a consumer).
+///
+/// Fanout-free circuits are exactly the class on which the DAC'87 dynamic
+/// program is optimal.
+pub fn is_fanout_free(circuit: &Circuit, topo: &Topology) -> bool {
+    circuit.node_ids().all(|id| !topo.is_stem(circuit, id))
+}
+
+/// If the circuit is a *single-rooted tree* — fanout-free with exactly one
+/// primary output whose cone covers every node — return the root.
+pub fn tree_root(circuit: &Circuit, topo: &Topology) -> Option<NodeId> {
+    if !is_fanout_free(circuit, topo) || circuit.outputs().len() != 1 {
+        return None;
+    }
+    let root = circuit.outputs()[0];
+    let cone = crate::analysis::fanin_cone(circuit, root);
+    (cone.len() == circuit.node_count()).then_some(root)
+}
+
+/// Stems whose fanout branches reconverge downstream.
+///
+/// A stem `s` is reconvergent when some node is reachable from two distinct
+/// fanout branches of `s`. The check runs one forward reachability sweep
+/// per stem and is `O(stems × edges)`.
+pub fn reconvergent_stems(circuit: &Circuit, topo: &Topology) -> Vec<NodeId> {
+    let n = circuit.node_count();
+    let mut result = Vec::new();
+    // branch_mark[v] = small bitmask of which branches of the current stem
+    // reach v (saturating at 16 branches via the `many` bit).
+    let mut branch_mark: Vec<u32> = vec![0; n];
+    for id in circuit.node_ids() {
+        let fanouts = topo.fanouts(id);
+        if fanouts.len() < 2 {
+            continue;
+        }
+        for m in branch_mark.iter_mut() {
+            *m = 0;
+        }
+        let mut reconverges = false;
+        'branches: for (bi, fo) in fanouts.iter().enumerate() {
+            let bit = 1u32 << (bi % 31);
+            let mut stack = vec![fo.gate];
+            while let Some(v) = stack.pop() {
+                let seen = branch_mark[v.index()];
+                if seen & bit != 0 {
+                    continue;
+                }
+                if seen != 0 {
+                    reconverges = true;
+                    break 'branches;
+                }
+                branch_mark[v.index()] = seen | bit;
+                for next in topo.fanouts(v) {
+                    stack.push(next.gate);
+                }
+            }
+        }
+        if reconverges {
+            result.push(id);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, GateKind};
+
+    fn diamond() -> Circuit {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.input("a");
+        let n1 = b.gate(GateKind::Not, vec![a], "n1").unwrap();
+        let n2 = b.gate(GateKind::Buf, vec![a], "n2").unwrap();
+        let y = b.gate(GateKind::And, vec![n1, n2], "y").unwrap();
+        b.output(y);
+        b.finish().unwrap()
+    }
+
+    fn chain_tree() -> Circuit {
+        let mut b = CircuitBuilder::new("t");
+        let xs = b.inputs(4, "x");
+        let root = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(root);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn tree_is_fanout_free_and_rooted() {
+        let c = chain_tree();
+        let t = Topology::of(&c).unwrap();
+        assert!(is_fanout_free(&c, &t));
+        assert_eq!(tree_root(&c, &t), Some(c.outputs()[0]));
+        let ffr = FfrDecomposition::of(&c, &t);
+        assert_eq!(ffr.region_count(), 1);
+        assert_eq!(ffr.members(c.outputs()[0]).len(), c.node_count());
+    }
+
+    #[test]
+    fn diamond_is_not_fanout_free() {
+        let c = diamond();
+        let t = Topology::of(&c).unwrap();
+        assert!(!is_fanout_free(&c, &t));
+        assert_eq!(tree_root(&c, &t), None);
+    }
+
+    #[test]
+    fn diamond_reconverges_at_stem_a() {
+        let c = diamond();
+        let t = Topology::of(&c).unwrap();
+        let a = c.find_node("a").unwrap();
+        assert_eq!(reconvergent_stems(&c, &t), vec![a]);
+    }
+
+    #[test]
+    fn nonreconvergent_stem() {
+        // a fans out to two separate outputs: a stem, but no reconvergence.
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let g1 = b.gate(GateKind::Not, vec![a], "g1").unwrap();
+        let g2 = b.gate(GateKind::Buf, vec![a], "g2").unwrap();
+        b.output(g1);
+        b.output(g2);
+        let c = b.finish().unwrap();
+        let t = Topology::of(&c).unwrap();
+        assert!(reconvergent_stems(&c, &t).is_empty());
+        assert!(!is_fanout_free(&c, &t));
+    }
+
+    #[test]
+    fn ffr_regions_of_diamond() {
+        let c = diamond();
+        let t = Topology::of(&c).unwrap();
+        let ffr = FfrDecomposition::of(&c, &t);
+        let a = c.find_node("a").unwrap();
+        let y = c.find_node("y").unwrap();
+        // Regions: {a} (stem root), {n1, n2, y} rooted at y.
+        assert_eq!(ffr.root_of(a), a);
+        assert_eq!(ffr.root_of(c.find_node("n1").unwrap()), y);
+        assert_eq!(ffr.root_of(c.find_node("n2").unwrap()), y);
+        assert_eq!(ffr.region_count(), 2);
+        assert_eq!(ffr.members(y).len(), 3);
+        assert!(ffr.members(c.find_node("n1").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn every_node_in_exactly_one_region() {
+        let c = diamond();
+        let t = Topology::of(&c).unwrap();
+        let ffr = FfrDecomposition::of(&c, &t);
+        let total: usize = ffr.roots().iter().map(|&r| ffr.members(r).len()).sum();
+        assert_eq!(total, c.node_count());
+    }
+
+    #[test]
+    fn po_tap_plus_fanout_makes_stem_its_own_root() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, vec![a], "g").unwrap();
+        let h = b.gate(GateKind::Not, vec![g], "h").unwrap();
+        b.output(g);
+        b.output(h);
+        let c = b.finish().unwrap();
+        let t = Topology::of(&c).unwrap();
+        let ffr = FfrDecomposition::of(&c, &t);
+        let g = c.find_node("g").unwrap();
+        assert_eq!(ffr.root_of(g), g);
+    }
+}

@@ -1,0 +1,327 @@
+use crate::NetlistError;
+
+/// The function computed by a netlist node.
+///
+/// `Input` marks a primary input (no fanins); `Const0`/`Const1` are tie
+/// cells. All multi-input kinds accept arbitrary arity ≥ 1 (an `And` of one
+/// signal behaves as a buffer), which keeps algebraic rewrites simple.
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::GateKind;
+///
+/// assert_eq!(GateKind::Nand.eval([true, true]), false);
+/// assert_eq!(GateKind::Xor.eval([true, false, true]), false);
+/// assert_eq!(GateKind::And.controlling_value(), Some(false));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Constant logic 0.
+    Const0,
+    /// Constant logic 1.
+    Const1,
+    /// Primary input.
+    Input,
+    /// Buffer (identity).
+    Buf,
+    /// Inverter.
+    Not,
+    /// Logical AND.
+    And,
+    /// Logical NAND.
+    Nand,
+    /// Logical OR.
+    Or,
+    /// Logical NOR.
+    Nor,
+    /// Parity (odd number of 1s).
+    Xor,
+    /// Complemented parity.
+    Xnor,
+}
+
+impl GateKind {
+    /// All gate kinds, in declaration order.
+    pub const ALL: [GateKind; 11] = [
+        GateKind::Const0,
+        GateKind::Const1,
+        GateKind::Input,
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// Gate kinds that take fanins, usable as internal nodes of a circuit.
+    pub const LOGIC: [GateKind; 8] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// Evaluate the gate over boolean fanin values.
+    ///
+    /// `Input` evaluates to `false` by convention (primary inputs are driven
+    /// externally; simulators never call this for inputs).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tpi_netlist::GateKind;
+    /// assert!(GateKind::Or.eval([false, true]));
+    /// assert!(!GateKind::Nor.eval([false, true]));
+    /// ```
+    pub fn eval<I: IntoIterator<Item = bool>>(self, fanins: I) -> bool {
+        let mut it = fanins.into_iter();
+        match self {
+            GateKind::Const0 | GateKind::Input => false,
+            GateKind::Const1 => true,
+            GateKind::Buf => it.next().unwrap_or(false),
+            GateKind::Not => !it.next().unwrap_or(false),
+            GateKind::And => it.all(|v| v),
+            GateKind::Nand => !it.all(|v| v),
+            GateKind::Or => it.any(|v| v),
+            GateKind::Nor => !it.any(|v| v),
+            GateKind::Xor => it.fold(false, |acc, v| acc ^ v),
+            GateKind::Xnor => !it.fold(false, |acc, v| acc ^ v),
+        }
+    }
+
+    /// Evaluate the gate bit-parallel over 64 patterns packed into `u64`
+    /// words (one word per fanin, one pattern per bit lane).
+    ///
+    /// This is the kernel used by the bit-parallel simulators in `tpi-sim`.
+    pub fn eval_words(self, fanins: &[u64]) -> u64 {
+        match self {
+            GateKind::Const0 | GateKind::Input => 0,
+            GateKind::Const1 => u64::MAX,
+            GateKind::Buf => fanins.first().copied().unwrap_or(0),
+            GateKind::Not => !fanins.first().copied().unwrap_or(0),
+            GateKind::And => fanins.iter().fold(u64::MAX, |acc, v| acc & v),
+            GateKind::Nand => !fanins.iter().fold(u64::MAX, |acc, v| acc & v),
+            GateKind::Or => fanins.iter().fold(0, |acc, v| acc | v),
+            GateKind::Nor => !fanins.iter().fold(0, |acc, v| acc | v),
+            GateKind::Xor => fanins.iter().fold(0, |acc, v| acc ^ v),
+            GateKind::Xnor => !fanins.iter().fold(0, |acc, v| acc ^ v),
+        }
+    }
+
+    /// The input value that forces the output regardless of other inputs,
+    /// if the gate has one (`And`/`Nand`: 0, `Or`/`Nor`: 1).
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Whether the gate complements on top of its monotone core
+    /// (`Not`, `Nand`, `Nor`, `Xnor`).
+    pub fn inverts_output(self) -> bool {
+        matches!(
+            self,
+            GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor
+        )
+    }
+
+    /// `true` for kinds with no fanins (`Input`, `Const0`, `Const1`).
+    pub fn is_source(self) -> bool {
+        matches!(self, GateKind::Input | GateKind::Const0 | GateKind::Const1)
+    }
+
+    /// Inclusive range of allowed fanin counts.
+    pub fn arity_range(self) -> (usize, usize) {
+        match self {
+            GateKind::Const0 | GateKind::Const1 | GateKind::Input => (0, 0),
+            GateKind::Buf | GateKind::Not => (1, 1),
+            _ => (1, usize::MAX),
+        }
+    }
+
+    /// Validate a fanin count against [`GateKind::arity_range`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidArity`] when `n` is outside the
+    /// allowed range.
+    pub fn check_arity(self, n: usize) -> Result<(), NetlistError> {
+        let (lo, hi) = self.arity_range();
+        if n < lo || n > hi {
+            Err(NetlistError::InvalidArity {
+                kind: self.bench_name(),
+                got: n,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Canonical upper-case name used in `.bench` files.
+    pub fn bench_name(self) -> &'static str {
+        match self {
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+            GateKind::Input => "INPUT",
+            GateKind::Buf => "BUFF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+
+    /// Parse a `.bench` gate keyword (case-insensitive; `BUF` and `BUFF`
+    /// both accepted). Returns `None` for unknown keywords (including
+    /// `DFF`, which the parser handles separately).
+    pub fn from_bench_name(s: &str) -> Option<GateKind> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "CONST0" => GateKind::Const0,
+            "CONST1" => GateKind::Const1,
+            "INPUT" => GateKind::Input,
+            "BUF" | "BUFF" => GateKind::Buf,
+            "NOT" | "INV" => GateKind::Not,
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.bench_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables_two_input() {
+        let cases = [
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nor, [true, false, false, false]),
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+        ];
+        for (kind, expect) in cases {
+            for (i, &e) in expect.iter().enumerate() {
+                let a = i & 1 != 0;
+                let b = i & 2 != 0;
+                assert_eq!(kind.eval([a, b]), e, "{kind} on ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_gates() {
+        assert!(GateKind::Buf.eval([true]));
+        assert!(!GateKind::Buf.eval([false]));
+        assert!(!GateKind::Not.eval([true]));
+        assert!(GateKind::Not.eval([false]));
+    }
+
+    #[test]
+    fn constants_and_input() {
+        assert!(!GateKind::Const0.eval([]));
+        assert!(GateKind::Const1.eval([]));
+        assert!(!GateKind::Input.eval([]));
+    }
+
+    #[test]
+    fn word_eval_matches_scalar_eval() {
+        // Exhaust all 3-input patterns for every logic kind.
+        for kind in GateKind::LOGIC {
+            let (lo, _) = kind.arity_range();
+            let arity = if lo == 1 && kind.arity_range().1 == 1 { 1 } else { 3 };
+            let mut words = vec![0u64; arity];
+            let n = 1usize << arity;
+            for p in 0..n {
+                for (i, w) in words.iter_mut().enumerate() {
+                    if p & (1 << i) != 0 {
+                        *w |= 1 << p;
+                    }
+                }
+            }
+            let out = kind.eval_words(&words);
+            for p in 0..n {
+                let bits: Vec<bool> = (0..arity).map(|i| p & (1 << i) != 0).collect();
+                assert_eq!(
+                    (out >> p) & 1 == 1,
+                    kind.eval(bits.iter().copied()),
+                    "{kind} pattern {p:03b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xor_is_parity_for_wide_gates() {
+        assert!(GateKind::Xor.eval([true, true, true]));
+        assert!(!GateKind::Xnor.eval([true, true, true]));
+        assert!(!GateKind::Xor.eval([true, true, true, true]));
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nand.controlling_value(), Some(false));
+        assert_eq!(GateKind::Or.controlling_value(), Some(true));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Buf.controlling_value(), None);
+    }
+
+    #[test]
+    fn bench_name_round_trip() {
+        for kind in GateKind::ALL {
+            assert_eq!(GateKind::from_bench_name(kind.bench_name()), Some(kind));
+            assert_eq!(
+                GateKind::from_bench_name(&kind.bench_name().to_lowercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(GateKind::from_bench_name("DFF"), None);
+        assert_eq!(GateKind::from_bench_name("bogus"), None);
+    }
+
+    #[test]
+    fn arity_validation() {
+        assert!(GateKind::Not.check_arity(1).is_ok());
+        assert!(GateKind::Not.check_arity(2).is_err());
+        assert!(GateKind::And.check_arity(1).is_ok());
+        assert!(GateKind::And.check_arity(9).is_ok());
+        assert!(GateKind::And.check_arity(0).is_err());
+        assert!(GateKind::Input.check_arity(0).is_ok());
+        assert!(GateKind::Input.check_arity(1).is_err());
+    }
+
+    #[test]
+    fn single_input_and_or_behave_as_buffer() {
+        assert!(GateKind::And.eval([true]));
+        assert!(!GateKind::And.eval([false]));
+        assert!(GateKind::Or.eval([true]));
+        assert!(!GateKind::Nand.eval([true]));
+    }
+}

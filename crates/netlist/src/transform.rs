@@ -1,0 +1,400 @@
+//! Test-point insertion transforms.
+//!
+//! A *test point* is a design-for-test modification that raises the random-
+//! pattern testability of a line:
+//!
+//! * [`TestPointKind::Observe`] — tap the line to a new primary output
+//!   (response compactor input). Observability of the line becomes 1.
+//! * [`TestPointKind::ControlAnd`] — replace line `s` by `s ∧ r`, with `r`
+//!   a new pseudo-random test input (lowers 1-probability toward 0, gives a
+//!   direct 0-forcing handle).
+//! * [`TestPointKind::ControlOr`] — replace `s` by `s ∨ r` (raises
+//!   1-probability toward 1).
+//! * [`TestPointKind::Full`] — the classical Hayes–Friedman cut: observe
+//!   the line *and* re-drive all of its consumers from a fresh test input.
+//!
+//! All transforms preserve the circuit invariants and return an
+//! [`AppliedTestPoint`] describing the auxiliary nodes created, so that
+//! downstream analyses (fault universes, cost accounting) can refer to
+//! them. Multiple test points at the same node compose in application
+//! order; a control point inserted after an observation point leaves the
+//! observation tapping the *modified* line, matching the DP's semantics.
+
+use crate::{Circuit, GateKind, NetlistError, NodeId};
+
+/// The kind of a test point. See the [module docs](self) for semantics.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TestPointKind {
+    /// Observation point: line becomes a primary output.
+    Observe,
+    /// AND-type control point: line becomes `line ∧ r`.
+    ControlAnd,
+    /// OR-type control point: line becomes `line ∨ r`.
+    ControlOr,
+    /// Full test point: observe + cut and re-drive from a test input.
+    Full,
+}
+
+impl TestPointKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [TestPointKind; 4] = [
+        TestPointKind::Observe,
+        TestPointKind::ControlAnd,
+        TestPointKind::ControlOr,
+        TestPointKind::Full,
+    ];
+
+    /// Short lowercase mnemonic (`op`, `cp-and`, `cp-or`, `tp`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            TestPointKind::Observe => "op",
+            TestPointKind::ControlAnd => "cp-and",
+            TestPointKind::ControlOr => "cp-or",
+            TestPointKind::Full => "tp",
+        }
+    }
+}
+
+impl std::fmt::Display for TestPointKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A test point to insert: a kind applied at a node's output line.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TestPoint {
+    /// The node whose output line is modified.
+    pub node: NodeId,
+    /// What to insert there.
+    pub kind: TestPointKind,
+}
+
+impl TestPoint {
+    /// Convenience constructor.
+    pub fn new(node: NodeId, kind: TestPointKind) -> TestPoint {
+        TestPoint { node, kind }
+    }
+
+    /// An observation point at `node`.
+    pub fn observe(node: NodeId) -> TestPoint {
+        TestPoint::new(node, TestPointKind::Observe)
+    }
+
+    /// An AND-type control point at `node`.
+    pub fn control_and(node: NodeId) -> TestPoint {
+        TestPoint::new(node, TestPointKind::ControlAnd)
+    }
+
+    /// An OR-type control point at `node`.
+    pub fn control_or(node: NodeId) -> TestPoint {
+        TestPoint::new(node, TestPointKind::ControlOr)
+    }
+
+    /// A full (cut) test point at `node`.
+    pub fn full(node: NodeId) -> TestPoint {
+        TestPoint::new(node, TestPointKind::Full)
+    }
+}
+
+impl std::fmt::Display for TestPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.kind, self.node)
+    }
+}
+
+/// Record of one applied test point: which auxiliary nodes were created.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppliedTestPoint {
+    /// The request that was applied (node id refers to the pre-transform
+    /// circuit; node ids are stable under these transforms, so it remains
+    /// valid afterwards).
+    pub point: TestPoint,
+    /// The fresh test input driving a control/full point, if any.
+    pub aux_input: Option<NodeId>,
+    /// The inserted AND/OR gate of a control point, if any.
+    pub cp_gate: Option<NodeId>,
+    /// The node now tapped as a primary output, if any.
+    pub observed: Option<NodeId>,
+}
+
+/// Apply a single test point in place.
+///
+/// Node ids of pre-existing nodes are stable across the transform; new
+/// nodes are appended.
+///
+/// # Errors
+///
+/// [`NetlistError::NoSuchNode`] for an out-of-range node, or
+/// [`NetlistError::InvalidTransform`] when a control/full point targets a
+/// line with no consumers (nothing to re-drive) — observation points are
+/// allowed anywhere.
+pub fn apply_test_point(
+    circuit: &mut Circuit,
+    tp: TestPoint,
+) -> Result<AppliedTestPoint, NetlistError> {
+    if tp.node.index() >= circuit.node_count() {
+        return Err(NetlistError::NoSuchNode {
+            index: tp.node.index(),
+        });
+    }
+    let seq = circuit.node_count(); // unique suffix for aux names
+    match tp.kind {
+        TestPointKind::Observe => {
+            circuit.add_output(tp.node)?;
+            Ok(AppliedTestPoint {
+                point: tp,
+                aux_input: None,
+                cp_gate: None,
+                observed: Some(tp.node),
+            })
+        }
+        TestPointKind::ControlAnd | TestPointKind::ControlOr => {
+            let gate_kind = if tp.kind == TestPointKind::ControlAnd {
+                GateKind::And
+            } else {
+                GateKind::Or
+            };
+            let r = circuit.add_node(GateKind::Input, vec![], format!("tp_r{seq}"))?;
+            let g = circuit.add_node(gate_kind, vec![tp.node, r], format!("tp_cp{seq}"))?;
+            let rewired = circuit.rewire(tp.node, g, &[g]);
+            // `rewire` also updated any PO tap on the line; if the line fed
+            // nothing at all the control point would be dead logic.
+            if rewired == 0 {
+                return Err(NetlistError::InvalidTransform {
+                    message: format!(
+                        "control point at dangling line `{}`",
+                        circuit.node_name(tp.node)
+                    ),
+                });
+            }
+            Ok(AppliedTestPoint {
+                point: tp,
+                aux_input: Some(r),
+                cp_gate: Some(g),
+                observed: None,
+            })
+        }
+        TestPointKind::Full => {
+            let r = circuit.add_node(GateKind::Input, vec![], format!("tp_r{seq}"))?;
+            let rewired = circuit.rewire(tp.node, r, &[]);
+            if rewired == 0 {
+                return Err(NetlistError::InvalidTransform {
+                    message: format!(
+                        "full test point at dangling line `{}`",
+                        circuit.node_name(tp.node)
+                    ),
+                });
+            }
+            // Observe the original line (pre-cut) — rewire may have
+            // replaced an existing PO tap, so add after rewiring.
+            circuit.add_output(tp.node)?;
+            Ok(AppliedTestPoint {
+                point: tp,
+                aux_input: Some(r),
+                cp_gate: None,
+                observed: Some(tp.node),
+            })
+        }
+    }
+}
+
+/// Apply a plan of test points to a copy of the circuit, in order.
+///
+/// Returns the modified circuit and the per-point application records.
+///
+/// # Errors
+///
+/// See [`apply_test_point`]; the original circuit is never modified.
+pub fn apply_plan(
+    circuit: &Circuit,
+    plan: &[TestPoint],
+) -> Result<(Circuit, Vec<AppliedTestPoint>), NetlistError> {
+    let mut modified = circuit.clone();
+    modified.set_name(format!("{}+tpi", circuit.name()));
+    let mut applied = Vec::with_capacity(plan.len());
+    for &tp in plan {
+        applied.push(apply_test_point(&mut modified, tp)?);
+    }
+    debug_assert!(modified.validate().is_ok());
+    Ok((modified, applied))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, Topology};
+
+    fn and_chain() -> Circuit {
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.inputs(3, "x");
+        let g1 = b.gate(GateKind::And, vec![xs[0], xs[1]], "g1").unwrap();
+        let g2 = b.gate(GateKind::And, vec![g1, xs[2]], "g2").unwrap();
+        b.output(g2);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn observe_adds_output_only() {
+        let c = and_chain();
+        let g1 = c.find_node("g1").unwrap();
+        let (m, applied) = apply_plan(&c, &[TestPoint::observe(g1)]).unwrap();
+        assert_eq!(m.node_count(), c.node_count());
+        assert_eq!(m.outputs().len(), 2);
+        assert!(m.is_output(g1));
+        assert_eq!(applied[0].observed, Some(g1));
+        assert!(applied[0].aux_input.is_none());
+    }
+
+    #[test]
+    fn control_and_rewires_consumers() {
+        let c = and_chain();
+        let g1 = c.find_node("g1").unwrap();
+        let (m, applied) = apply_plan(&c, &[TestPoint::control_and(g1)]).unwrap();
+        let cp = applied[0].cp_gate.unwrap();
+        let r = applied[0].aux_input.unwrap();
+        assert_eq!(m.kind(cp), GateKind::And);
+        assert_eq!(m.fanins(cp), [g1, r]);
+        let g2 = m.find_node("g2").unwrap();
+        assert_eq!(m.fanins(g2)[0], cp);
+        // Behaviour: with r=1 the circuit matches the original.
+        // inputs order: x0,x1,x2,r
+        assert_eq!(
+            m.evaluate_outputs(&[true, true, true, true]).unwrap(),
+            [true]
+        );
+        // r=0 forces g1' to 0 -> output 0 even with all-ones.
+        assert_eq!(
+            m.evaluate_outputs(&[true, true, true, false]).unwrap(),
+            [false]
+        );
+    }
+
+    #[test]
+    fn control_or_forces_one() {
+        let c = and_chain();
+        let g1 = c.find_node("g1").unwrap();
+        let (m, _) = apply_plan(&c, &[TestPoint::control_or(g1)]).unwrap();
+        // x0=0 (g1=0), x2=1, r=1 -> output forced to 1.
+        assert_eq!(
+            m.evaluate_outputs(&[false, true, true, true]).unwrap(),
+            [true]
+        );
+        // r=0 -> transparent.
+        assert_eq!(
+            m.evaluate_outputs(&[false, true, true, false]).unwrap(),
+            [false]
+        );
+    }
+
+    #[test]
+    fn full_point_cuts_and_observes() {
+        let c = and_chain();
+        let g1 = c.find_node("g1").unwrap();
+        let (m, applied) = apply_plan(&c, &[TestPoint::full(g1)]).unwrap();
+        let r = applied[0].aux_input.unwrap();
+        let g2 = m.find_node("g2").unwrap();
+        assert_eq!(m.fanins(g2)[0], r);
+        assert!(m.is_output(g1));
+        // Outputs: [g2, g1]. g2 now = r AND x2 regardless of x0,x1.
+        assert_eq!(
+            m.evaluate_outputs(&[false, false, true, true]).unwrap(),
+            [true, false]
+        );
+    }
+
+    #[test]
+    fn control_point_on_output_line_rewires_po() {
+        let c = and_chain();
+        let g2 = c.find_node("g2").unwrap();
+        let (m, applied) = apply_plan(&c, &[TestPoint::control_and(g2)]).unwrap();
+        let cp = applied[0].cp_gate.unwrap();
+        assert_eq!(m.outputs(), [cp]);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn control_point_on_dangling_line_errors() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let dead = b.gate(GateKind::Not, vec![a], "dead").unwrap();
+        let g = b.gate(GateKind::Buf, vec![a], "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        assert!(matches!(
+            apply_plan(&c, &[TestPoint::control_and(dead)]),
+            Err(NetlistError::InvalidTransform { .. })
+        ));
+        // But observing dead logic is fine.
+        assert!(apply_plan(&c, &[TestPoint::observe(dead)]).is_ok());
+    }
+
+    #[test]
+    fn stacking_points_at_same_node() {
+        let c = and_chain();
+        let g1 = c.find_node("g1").unwrap();
+        let (m, applied) = apply_plan(
+            &c,
+            &[TestPoint::control_and(g1), TestPoint::observe(g1)],
+        )
+        .unwrap();
+        // The observe taps the original g1 line; the CP output feeds g2.
+        assert!(m.is_output(g1));
+        assert!(m.validate().is_ok());
+        let _ = applied;
+    }
+
+    #[test]
+    fn observe_then_control_leaves_op_on_modified_line() {
+        let c = and_chain();
+        let g1 = c.find_node("g1").unwrap();
+        let (m, applied) = apply_plan(
+            &c,
+            &[TestPoint::observe(g1), TestPoint::control_and(g1)],
+        )
+        .unwrap();
+        let cp = applied[1].cp_gate.unwrap();
+        // The PO tap moved to the CP output (rewire covers outputs).
+        assert!(m.is_output(cp));
+        assert!(!m.is_output(g1));
+    }
+
+    #[test]
+    fn node_ids_stable_under_transforms() {
+        let c = and_chain();
+        let g1 = c.find_node("g1").unwrap();
+        let (m, _) = apply_plan(&c, &[TestPoint::control_or(g1)]).unwrap();
+        assert_eq!(m.node_name(g1), "g1");
+        assert_eq!(m.kind(g1), GateKind::And);
+    }
+
+    #[test]
+    fn out_of_range_node_rejected() {
+        let c = and_chain();
+        let bogus = NodeId::from_index(999);
+        assert!(matches!(
+            apply_plan(&c, &[TestPoint::observe(bogus)]),
+            Err(NetlistError::NoSuchNode { .. })
+        ));
+    }
+
+    #[test]
+    fn transforms_preserve_topology_validity() {
+        let c = and_chain();
+        let plan: Vec<TestPoint> = c
+            .node_ids()
+            .filter(|&id| c.kind(id) != GateKind::Input)
+            .map(TestPoint::control_and)
+            .collect();
+        let (m, _) = apply_plan(&c, &plan).unwrap();
+        assert!(Topology::of(&m).is_ok());
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn display_forms() {
+        let tp = TestPoint::control_or(NodeId::from_index(3));
+        assert_eq!(tp.to_string(), "cp-or@n3");
+        assert_eq!(TestPointKind::Full.to_string(), "tp");
+    }
+}

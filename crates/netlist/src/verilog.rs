@@ -1,0 +1,204 @@
+//! Structural Verilog export.
+//!
+//! Emits a flat gate-level module using Verilog primitive gates
+//! (`and`, `nand`, `or`, `nor`, `xor`, `xnor`, `not`, `buf`), suitable for
+//! handing a modified (test-point-inserted) netlist to downstream
+//! synthesis or equivalence-checking tools.
+
+use crate::{Circuit, GateKind};
+
+/// Render the circuit as a structural Verilog module.
+///
+/// Signal names are sanitised to Verilog identifiers (non-alphanumeric
+/// characters become `_`; a leading digit gets an `n` prefix). Name
+/// collisions after sanitisation are disambiguated with the node index.
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::{bench_format, verilog};
+///
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let c = bench_format::parse_bench("INPUT(a)\nINPUT(b)\ny = NAND(a, b)\nOUTPUT(y)\n")?;
+/// let v = verilog::to_verilog(&c);
+/// assert!(v.contains("module bench"));
+/// assert!(v.contains("nand"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_verilog(circuit: &Circuit) -> String {
+    let names = sanitised_names(circuit);
+    let module = sanitise(circuit.name());
+    let mut s = String::new();
+    s.push_str(&format!("// generated from `{}`\n", circuit.name()));
+    s.push_str(&format!("module {module} (\n"));
+    let mut ports: Vec<String> = Vec::new();
+    for &i in circuit.inputs() {
+        ports.push(format!("  input  wire {}", names[i.index()]));
+    }
+    for (oi, &o) in circuit.outputs().iter().enumerate() {
+        // An output may alias an internal net (or even an input); emit a
+        // dedicated port wire driven by a buffer.
+        ports.push(format!("  output wire po{oi}_{}", names[o.index()]));
+    }
+    s.push_str(&ports.join(",\n"));
+    s.push_str("\n);\n\n");
+
+    for id in circuit.node_ids() {
+        if !circuit.kind(id).is_source() {
+            s.push_str(&format!("  wire {};\n", names[id.index()]));
+        }
+    }
+    for id in circuit.node_ids() {
+        match circuit.kind(id) {
+            GateKind::Const0 => {
+                s.push_str(&format!("  wire {};\n", names[id.index()]));
+                s.push_str(&format!("  assign {} = 1'b0;\n", names[id.index()]));
+            }
+            GateKind::Const1 => {
+                s.push_str(&format!("  wire {};\n", names[id.index()]));
+                s.push_str(&format!("  assign {} = 1'b1;\n", names[id.index()]));
+            }
+            _ => {}
+        }
+    }
+    s.push('\n');
+    for id in circuit.node_ids() {
+        let node = circuit.node(id);
+        let prim = match node.kind() {
+            GateKind::And => "and",
+            GateKind::Nand => "nand",
+            GateKind::Or => "or",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Not => "not",
+            GateKind::Buf => "buf",
+            _ => continue,
+        };
+        let args: Vec<&str> = std::iter::once(names[id.index()].as_str())
+            .chain(node.fanins().iter().map(|f| names[f.index()].as_str()))
+            .collect();
+        s.push_str(&format!("  {prim} g{} ({});\n", id.index(), args.join(", ")));
+    }
+    s.push('\n');
+    for (oi, &o) in circuit.outputs().iter().enumerate() {
+        s.push_str(&format!(
+            "  buf po{oi}_drv (po{oi}_{}, {});\n",
+            names[o.index()],
+            names[o.index()]
+        ));
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+fn sanitise(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, 'n');
+    }
+    out
+}
+
+fn sanitised_names(circuit: &Circuit) -> Vec<String> {
+    let mut names: Vec<String> = circuit
+        .node_ids()
+        .map(|id| sanitise(circuit.node_name(id)))
+        .collect();
+    let mut seen = std::collections::HashSet::with_capacity(names.len());
+    for (i, n) in names.iter_mut().enumerate() {
+        if !seen.insert(n.clone()) {
+            n.push_str(&format!("_{i}"));
+            seen.insert(n.clone());
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, TestPoint};
+
+    #[test]
+    fn emits_all_gate_kinds() {
+        let mut b = CircuitBuilder::new("kinds");
+        let xs = b.inputs(2, "x");
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            let g = b
+                .gate(kind, vec![xs[0], xs[1]], format!("g_{kind}"))
+                .unwrap();
+            b.output(g);
+        }
+        let inv = b.gate(GateKind::Not, vec![xs[0]], "inv").unwrap();
+        b.output(inv);
+        let c = b.finish().unwrap();
+        let v = to_verilog(&c);
+        for prim in ["and", "nand", "or", "nor", "xor", "xnor", "not"] {
+            assert!(v.contains(&format!("  {prim} ")), "{prim} missing:\n{v}");
+        }
+        assert!(v.contains("endmodule"));
+    }
+
+    #[test]
+    fn sanitises_iscas_numeric_names() {
+        let c = crate::bench_format::parse_bench(
+            "INPUT(1)\nINPUT(2)\n10 = NAND(1, 2)\nOUTPUT(10)\n",
+        )
+        .unwrap();
+        let v = to_verilog(&c);
+        assert!(v.contains("n10"));
+        assert!(!v.contains("wire 10;"));
+    }
+
+    #[test]
+    fn constants_become_assigns() {
+        let mut b = CircuitBuilder::new("c");
+        let one = b.constant(true, "one").unwrap();
+        let x = b.input("x");
+        let g = b.gate(GateKind::And, vec![one, x], "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let v = to_verilog(&c);
+        assert!(v.contains("assign one = 1'b1;"));
+    }
+
+    #[test]
+    fn test_point_circuits_export() {
+        let mut b = CircuitBuilder::new("c");
+        let x = b.input("x");
+        let g = b.gate(GateKind::Not, vec![x], "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let (m, _) =
+            crate::transform::apply_plan(&c, &[TestPoint::control_and(x)]).unwrap();
+        let v = to_verilog(&m);
+        assert!(v.contains("tp_r"));
+        assert!(v.contains("tp_cp"));
+    }
+
+    #[test]
+    fn duplicate_sanitised_names_disambiguated() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("sig.a");
+        let d = b.input("sig_a");
+        let g = b.gate(GateKind::And, vec![a, d], "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let v = to_verilog(&c);
+        // Both inputs appear as distinct identifiers.
+        assert!(v.contains("sig_a"));
+        assert!(v.contains("sig_a_1"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Structural equivalence collapsing of stuck-at faults.
+//!
+//! Two faults are *equivalent* when every test pattern detects either both
+//! or neither; only one representative per equivalence class needs to be
+//! targeted. This module implements the classical gate-local rules:
+//!
+//! | gate  | rule                                                  |
+//! |-------|-------------------------------------------------------|
+//! | BUF   | in SA-v ≡ out SA-v                                    |
+//! | NOT   | in SA-v ≡ out SA-v̄                                   |
+//! | AND   | any in SA-0 ≡ out SA-0                                |
+//! | NAND  | any in SA-0 ≡ out SA-1                                |
+//! | OR    | any in SA-1 ≡ out SA-1                                |
+//! | NOR   | any in SA-1 ≡ out SA-0                                |
+//! | XOR/XNOR | no gate-local equivalences                         |
+//!
+//! Single-input AND/OR (NAND/NOR) degenerate to BUF (NOT) and collapse in
+//! both polarities. Representatives are chosen closest to the primary
+//! inputs (lowest logic level), stems preferred over branches.
+
+use std::collections::HashMap;
+
+use tpi_netlist::{Circuit, GateKind, NetlistError, NodeId, Topology};
+
+use crate::{Fault, FaultSite};
+
+/// Partition `faults` into structural equivalence classes.
+///
+/// Returns the classes as index lists into `faults`, each class led by its
+/// representative, classes ordered by representative.
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] if the circuit is cyclic.
+pub fn equivalence_classes(
+    circuit: &Circuit,
+    faults: &[Fault],
+) -> Result<Vec<Vec<usize>>, NetlistError> {
+    let topo = Topology::of(circuit)?;
+    let index: HashMap<Fault, usize> = faults
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (f, i))
+        .collect();
+    let mut uf = UnionFind::new(faults.len());
+
+    for id in circuit.node_ids() {
+        let node = circuit.node(id);
+        let kind = node.kind();
+        if kind.is_source() {
+            continue;
+        }
+        let unary = node.fanins().len() == 1;
+        // (input stuck value, output stuck value) pairs to unite per pin.
+        let pairs: &[(bool, bool)] = match kind {
+            GateKind::Buf => &[(false, false), (true, true)],
+            GateKind::Not => &[(false, true), (true, false)],
+            GateKind::And if unary => &[(false, false), (true, true)],
+            GateKind::Or if unary => &[(false, false), (true, true)],
+            GateKind::Nand if unary => &[(false, true), (true, false)],
+            GateKind::Nor if unary => &[(false, true), (true, false)],
+            GateKind::And => &[(false, false)],
+            GateKind::Nand => &[(false, true)],
+            GateKind::Or => &[(true, true)],
+            GateKind::Nor => &[(true, false)],
+            GateKind::Xor | GateKind::Xnor => &[],
+            _ => &[],
+        };
+        if pairs.is_empty() {
+            continue;
+        }
+        for (pin, &driver) in node.fanins().iter().enumerate() {
+            for &(in_v, out_v) in pairs {
+                let input_fault = Fault {
+                    site: input_line_site(circuit, &topo, driver, id, pin as u32),
+                    stuck: in_v,
+                };
+                let output_fault = Fault {
+                    site: FaultSite::Stem(id),
+                    stuck: out_v,
+                };
+                if let (Some(&a), Some(&b)) = (index.get(&input_fault), index.get(&output_fault)) {
+                    uf.union(a, b);
+                }
+            }
+        }
+    }
+
+    // Gather classes, pick representatives nearest the inputs.
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..faults.len() {
+        groups.entry(uf.find(i)).or_default().push(i);
+    }
+    let key = |i: usize| {
+        let f = faults[i];
+        match f.site {
+            FaultSite::Stem(n) => (topo.level(n), 0u8, n.index(), 0u32, f.stuck),
+            FaultSite::Branch { gate, pin } => (topo.level(gate), 1u8, gate.index(), pin, f.stuck),
+        }
+    };
+    let mut classes: Vec<Vec<usize>> = groups
+        .into_values()
+        .map(|mut class| {
+            class.sort_by_key(|&i| key(i));
+            class
+        })
+        .collect();
+    classes.sort_by_key(|class| key(class[0]));
+    Ok(classes)
+}
+
+/// The fault site of the line entering `gate` at `pin`, driven by
+/// `driver`: the driver's stem when it does not fan out, otherwise the
+/// branch itself.
+fn input_line_site(
+    circuit: &Circuit,
+    topo: &Topology,
+    driver: NodeId,
+    gate: NodeId,
+    pin: u32,
+) -> FaultSite {
+    if topo.is_stem(circuit, driver) {
+        FaultSite::Branch { gate, pin }
+    } else {
+        FaultSite::Stem(driver)
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo;
+    use crate::FaultUniverse;
+    use tpi_netlist::CircuitBuilder;
+
+    fn inverter_chain(len: usize) -> Circuit {
+        let mut b = CircuitBuilder::new("chain");
+        let mut prev = b.input("a");
+        for i in 0..len {
+            prev = b
+                .gate(GateKind::Not, vec![prev], format!("n{i}_g"))
+                .unwrap();
+        }
+        b.output(prev);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn inverter_chain_collapses_to_two_classes() {
+        let c = inverter_chain(4);
+        let u = FaultUniverse::collapsed(&c).unwrap();
+        // All 10 stem faults collapse into 2 alternating-polarity classes.
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.class_size(0) + u.class_size(1), 10);
+    }
+
+    #[test]
+    fn and_gate_collapse() {
+        let mut b = CircuitBuilder::new("g");
+        let xs = b.inputs(2, "x");
+        let g = b.gate(GateKind::And, vec![xs[0], xs[1]], "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let u = FaultUniverse::collapsed(&c).unwrap();
+        // Full set: 6 stem faults. x0/SA0 ≡ x1/SA0 ≡ g/SA0 → one class of 3.
+        assert_eq!(u.total_uncollapsed(), 6);
+        assert_eq!(u.len(), 4);
+        assert!((0..u.len()).any(|i| u.class_size(i) == 3));
+    }
+
+    #[test]
+    fn xor_does_not_collapse() {
+        let mut b = CircuitBuilder::new("g");
+        let xs = b.inputs(2, "x");
+        let g = b.gate(GateKind::Xor, vec![xs[0], xs[1]], "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let u = FaultUniverse::collapsed(&c).unwrap();
+        assert_eq!(u.len(), 6);
+    }
+
+    #[test]
+    fn branch_faults_collapse_through_consuming_gate() {
+        // a fans out to two AND gates; the branch SA0s are equivalent to
+        // the gates' output SA0s, but not to a's stem SA0.
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.gate(GateKind::And, vec![a, x], "g1").unwrap();
+        let g2 = b.gate(GateKind::And, vec![a, y], "g2").unwrap();
+        b.output(g1);
+        b.output(g2);
+        let c = b.finish().unwrap();
+        let full = FaultUniverse::full(&c).unwrap();
+        let classes = equivalence_classes(&c, full.faults()).unwrap();
+        // Find the class containing g1/SA0.
+        let g1_id = c.find_node("g1").unwrap();
+        let target = Fault::stem_sa0(g1_id);
+        let class = classes
+            .iter()
+            .find(|cl| cl.iter().any(|&i| full.faults()[i] == target))
+            .unwrap();
+        // g1/SA0 ≡ x/SA0 ≡ branch(a→g1)/SA0: class of 3.
+        assert_eq!(class.len(), 3);
+        // a's stem SA0 must not be in it.
+        let a_id = c.find_node("a").unwrap();
+        assert!(!class
+            .iter()
+            .any(|&i| full.faults()[i] == Fault::stem_sa0(a_id)));
+    }
+
+    /// Semantic check: every fault in a class has identical detecting
+    /// pattern sets (verified exhaustively on a small circuit).
+    #[test]
+    fn classes_are_semantically_equivalent() {
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.inputs(3, "x");
+        let g1 = b.gate(GateKind::Nand, vec![xs[0], xs[1]], "g1").unwrap();
+        let g2 = b.gate(GateKind::Nor, vec![g1, xs[2]], "g2").unwrap();
+        b.output(g2);
+        let c = b.finish().unwrap();
+        let full = FaultUniverse::full(&c).unwrap();
+        let classes = equivalence_classes(&c, full.faults()).unwrap();
+        let probs = montecarlo::exact_detection_probabilities(&c, full.faults()).unwrap();
+        for class in &classes {
+            let p0 = probs[class[0]];
+            for &i in class {
+                assert!(
+                    (probs[i] - p0).abs() < 1e-12,
+                    "fault {} in class with detection prob {} vs {}",
+                    full.faults()[i].describe(&c),
+                    probs[i],
+                    p0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn representative_is_closest_to_inputs() {
+        let c = inverter_chain(3);
+        let u = FaultUniverse::collapsed(&c).unwrap();
+        // Representatives should be the PI stem faults (level 0).
+        let a = c.find_node("a").unwrap();
+        assert!(u.faults().contains(&Fault::stem_sa0(a)));
+        assert!(u.faults().contains(&Fault::stem_sa1(a)));
+    }
+}

@@ -1,0 +1,544 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tpi_netlist::{Circuit, NetlistError, NodeId, Topology};
+
+use crate::{Fault, FaultSite, FaultSimResult, LogicSim, PatternSource};
+
+/// Event-driven parallel-pattern single-fault-propagation (PPSFP) fault
+/// simulator.
+///
+/// Per block of 64 patterns the fault-free circuit is simulated once; each
+/// live fault is then injected and its effects propagated through its
+/// fanout cone only, in level order, comparing against the good values at
+/// the primary outputs. Faults are dropped at first detection in
+/// [`run`](FaultSimulator::run).
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::bench_format::parse_bench;
+/// use tpi_sim::{FaultSimulator, FaultUniverse, RandomPatterns};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\ny = AND(a, b)\nOUTPUT(y)\n")?;
+/// let faults = FaultUniverse::collapsed(&c)?;
+/// let mut sim = FaultSimulator::new(&c)?;
+/// let mut src = RandomPatterns::new(2, 7);
+/// let result = sim.run(&mut src, 256, faults.faults())?;
+/// assert_eq!(result.coverage(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultSimulator {
+    sim: LogicSim,
+    consumers: Vec<Vec<NodeId>>,
+    outputs: Vec<NodeId>,
+    n_inputs: usize,
+    // Scratch state, reused across faults and blocks.
+    good: Vec<u64>,
+    overlay: Vec<u64>,
+    dirty: Vec<bool>,
+    touched: Vec<NodeId>,
+    queued: Vec<bool>,
+    queue: BinaryHeap<(Reverse<u32>, NodeId)>,
+    fanin_buf: Vec<u64>,
+}
+
+impl FaultSimulator {
+    /// Build a simulator for `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Cycle`] for cyclic circuits.
+    pub fn new(circuit: &Circuit) -> Result<FaultSimulator, NetlistError> {
+        let sim = LogicSim::new(circuit)?;
+        let topo = Topology::of(circuit)?;
+        let n = circuit.node_count();
+        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for id in circuit.node_ids() {
+            for fo in topo.fanouts(id) {
+                // Deduplicate gates consuming the same signal twice.
+                if consumers[id.index()].last() != Some(&fo.gate) {
+                    consumers[id.index()].push(fo.gate);
+                }
+            }
+        }
+        Ok(FaultSimulator {
+            consumers,
+            outputs: circuit.outputs().to_vec(),
+            n_inputs: circuit.inputs().len(),
+            good: vec![0; n],
+            overlay: vec![0; n],
+            dirty: vec![false; n],
+            touched: Vec::with_capacity(64),
+            queued: vec![false; n],
+            queue: BinaryHeap::new(),
+            fanin_buf: Vec::with_capacity(8),
+            sim,
+        })
+    }
+
+    /// The simulated circuit.
+    pub fn circuit(&self) -> &Circuit {
+        self.sim.circuit()
+    }
+
+    /// Fault-simulate with fault dropping: apply up to `max_patterns`
+    /// patterns from `source`, recording each fault's first detection.
+    ///
+    /// Stops early when the source is exhausted or every fault is
+    /// detected.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; the `Result` mirrors the
+    /// other run methods.
+    pub fn run(
+        &mut self,
+        source: &mut dyn PatternSource,
+        max_patterns: u64,
+        faults: &[Fault],
+    ) -> Result<FaultSimResult, NetlistError> {
+        let mut first_detected: Vec<Option<u64>> = vec![None; faults.len()];
+        let mut alive: Vec<usize> = (0..faults.len()).collect();
+        let mut input_words = vec![0u64; self.n_inputs];
+        let mut base = 0u64;
+        while base < max_patterns && !alive.is_empty() {
+            let filled = source.fill(&mut input_words) as u64;
+            if filled == 0 {
+                break;
+            }
+            let lanes = filled.min(max_patterns - base);
+            let mask = lane_mask(lanes);
+            self.sim.simulate_into(&input_words, &mut self.good);
+            alive.retain(|&fi| {
+                let detect = self.propagate(faults[fi], mask, |_, _| {});
+                if detect != 0 {
+                    first_detected[fi] = Some(base + u64::from(detect.trailing_zeros()));
+                    false
+                } else {
+                    true
+                }
+            });
+            base += lanes;
+        }
+        Ok(FaultSimResult::new(first_detected, base))
+    }
+
+    /// Count detections per fault without dropping (for detection-
+    /// probability estimation). Returns per-fault detection counts and the
+    /// number of patterns applied.
+    ///
+    /// # Errors
+    ///
+    /// Infallible after construction (see [`FaultSimulator::run`]).
+    pub fn run_counting(
+        &mut self,
+        source: &mut dyn PatternSource,
+        max_patterns: u64,
+        faults: &[Fault],
+    ) -> Result<(Vec<u64>, u64), NetlistError> {
+        let mut counts = vec![0u64; faults.len()];
+        let mut input_words = vec![0u64; self.n_inputs];
+        let mut base = 0u64;
+        while base < max_patterns {
+            let filled = source.fill(&mut input_words) as u64;
+            if filled == 0 {
+                break;
+            }
+            let lanes = filled.min(max_patterns - base);
+            let mask = lane_mask(lanes);
+            self.sim.simulate_into(&input_words, &mut self.good);
+            for (fi, &fault) in faults.iter().enumerate() {
+                let detect = self.propagate(fault, mask, |_, _| {});
+                counts[fi] += u64::from(detect.count_ones());
+            }
+            base += lanes;
+        }
+        Ok((counts, base))
+    }
+
+    /// Like [`run_counting`](FaultSimulator::run_counting), but also calls
+    /// `visit(fault_index, node, present_mask)` for every node at which a
+    /// fault's effect is present during a block — the raw material for
+    /// propagation profiles (see
+    /// [`montecarlo::propagation_profile`](crate::montecarlo::propagation_profile)).
+    ///
+    /// # Errors
+    ///
+    /// Infallible after construction (see [`FaultSimulator::run`]).
+    pub fn run_visiting(
+        &mut self,
+        source: &mut dyn PatternSource,
+        max_patterns: u64,
+        faults: &[Fault],
+        mut visit: impl FnMut(usize, NodeId, u64),
+    ) -> Result<(Vec<u64>, u64), NetlistError> {
+        let mut counts = vec![0u64; faults.len()];
+        let mut input_words = vec![0u64; self.n_inputs];
+        let mut base = 0u64;
+        while base < max_patterns {
+            let filled = source.fill(&mut input_words) as u64;
+            if filled == 0 {
+                break;
+            }
+            let lanes = filled.min(max_patterns - base);
+            let mask = lane_mask(lanes);
+            self.sim.simulate_into(&input_words, &mut self.good);
+            for (fi, &fault) in faults.iter().enumerate() {
+                let detect = self.propagate(fault, mask, |node, diff| visit(fi, node, diff));
+                counts[fi] += u64::from(detect.count_ones());
+            }
+            base += lanes;
+        }
+        Ok((counts, base))
+    }
+
+    /// Inject `fault` against the current good values and propagate its
+    /// effects; returns the mask of lanes detected at any primary output.
+    /// `on_diff` observes every node whose value differs (after masking).
+    fn propagate(&mut self, fault: Fault, mask: u64, mut on_diff: impl FnMut(NodeId, u64)) -> u64 {
+        debug_assert!(self.touched.is_empty() && self.queue.is_empty());
+        let stuck_word = if fault.stuck { u64::MAX } else { 0 };
+        let mut buf = std::mem::take(&mut self.fanin_buf);
+        match fault.site {
+            FaultSite::Stem(v) => {
+                if (stuck_word ^ self.good[v.index()]) & mask == 0 {
+                    self.fanin_buf = buf;
+                    return 0;
+                }
+                self.set_overlay(v, stuck_word);
+                self.push_consumers(v);
+            }
+            FaultSite::Branch { gate, pin } => {
+                let kind = self.sim.circuit().kind(gate);
+                buf.clear();
+                for (i, f) in self.sim.circuit().fanins(gate).iter().enumerate() {
+                    buf.push(if i == pin as usize {
+                        stuck_word
+                    } else {
+                        self.good[f.index()]
+                    });
+                }
+                let new = kind.eval_words(&buf);
+                if (new ^ self.good[gate.index()]) & mask == 0 {
+                    self.fanin_buf = buf;
+                    return 0;
+                }
+                self.set_overlay(gate, new);
+                self.push_consumers(gate);
+            }
+        }
+        while let Some((Reverse(_), id)) = self.queue.pop() {
+            self.queued[id.index()] = false;
+            let kind = self.sim.circuit().kind(id);
+            buf.clear();
+            for i in 0..self.sim.circuit().fanins(id).len() {
+                let f = self.sim.circuit().fanins(id)[i];
+                buf.push(self.value(f));
+            }
+            let new = kind.eval_words(&buf);
+            if new != self.value(id) {
+                self.set_overlay(id, new);
+                self.push_consumers(id);
+            }
+        }
+        self.fanin_buf = buf;
+        let mut detect = 0u64;
+        for &po in &self.outputs {
+            detect |= self.value(po) ^ self.good[po.index()];
+        }
+        detect &= mask;
+        for i in 0..self.touched.len() {
+            let id = self.touched[i];
+            let diff = (self.overlay[id.index()] ^ self.good[id.index()]) & mask;
+            if diff != 0 {
+                on_diff(id, diff);
+            }
+        }
+        self.cleanup();
+        detect
+    }
+
+    fn value(&self, id: NodeId) -> u64 {
+        if self.dirty[id.index()] {
+            self.overlay[id.index()]
+        } else {
+            self.good[id.index()]
+        }
+    }
+
+    fn set_overlay(&mut self, id: NodeId, word: u64) {
+        if !self.dirty[id.index()] {
+            self.dirty[id.index()] = true;
+            self.touched.push(id);
+        }
+        self.overlay[id.index()] = word;
+    }
+
+    fn push_consumers(&mut self, id: NodeId) {
+        // Split borrows: consumers is disjoint from queue/queued.
+        let consumers = std::mem::take(&mut self.consumers[id.index()]);
+        for &gate in &consumers {
+            if !self.queued[gate.index()] {
+                self.queued[gate.index()] = true;
+                self.queue.push((Reverse(self.sim.level(gate)), gate));
+            }
+        }
+        self.consumers[id.index()] = consumers;
+    }
+
+    fn cleanup(&mut self) {
+        for id in self.touched.drain(..) {
+            self.dirty[id.index()] = false;
+        }
+    }
+}
+
+fn lane_mask(lanes: u64) -> u64 {
+    if lanes >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExhaustivePatterns, FaultUniverse, RandomPatterns};
+    use tpi_netlist::{CircuitBuilder, GateKind};
+
+    fn sample() -> Circuit {
+        let mut b = CircuitBuilder::new("s");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("d");
+        let g1 = b.gate(GateKind::And, vec![a, c], "g1").unwrap();
+        let g2 = b.gate(GateKind::Or, vec![g1, d], "g2").unwrap();
+        b.output(g2);
+        b.finish().unwrap()
+    }
+
+    /// Reference: detect fault by comparing full faulty-circuit evaluation.
+    fn reference_detects(c: &Circuit, fault: Fault, assignment: &[bool]) -> bool {
+        let good = c.evaluate(assignment).unwrap();
+        // Evaluate faulty circuit naively.
+        let topo = Topology::of(c).unwrap();
+        let mut vals = vec![false; c.node_count()];
+        for (&i, &v) in c.inputs().iter().zip(assignment) {
+            vals[i.index()] = v;
+        }
+        for &id in topo.order() {
+            let node = c.node(id);
+            if !node.kind().is_source() {
+                let fanins: Vec<bool> = node
+                    .fanins()
+                    .iter()
+                    .enumerate()
+                    .map(|(pin, f)| {
+                        let mut v = vals[f.index()];
+                        if let FaultSite::Branch { gate, pin: fp } = fault.site {
+                            if gate == id && fp as usize == pin {
+                                v = fault.stuck;
+                            }
+                        }
+                        v
+                    })
+                    .collect();
+                vals[id.index()] = node.kind().eval(fanins.iter().copied());
+            }
+            if let FaultSite::Stem(v) = fault.site {
+                if v == id {
+                    vals[id.index()] = fault.stuck;
+                }
+            }
+        }
+        c.outputs()
+            .iter()
+            .any(|o| vals[o.index()] != good[o.index()])
+    }
+
+    #[test]
+    fn matches_reference_exhaustively() {
+        let c = sample();
+        let universe = FaultUniverse::full(&c).unwrap();
+        let mut sim = FaultSimulator::new(&c).unwrap();
+        let mut src = ExhaustivePatterns::new(3);
+        let (counts, n) = sim
+            .run_counting(&mut src, 8, universe.faults())
+            .unwrap();
+        assert_eq!(n, 8);
+        for (fi, &fault) in universe.faults().iter().enumerate() {
+            let mut expected = 0u64;
+            for p in 0..8u32 {
+                let assignment: Vec<bool> = (0..3).map(|i| p & (1 << i) != 0).collect();
+                if reference_detects(&c, fault, &assignment) {
+                    expected += 1;
+                }
+            }
+            assert_eq!(
+                counts[fi],
+                expected,
+                "fault {}",
+                fault.describe(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn run_with_dropping_covers_everything_detectable() {
+        let c = sample();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut sim = FaultSimulator::new(&c).unwrap();
+        let mut src = RandomPatterns::new(3, 42);
+        let result = sim.run(&mut src, 512, universe.faults()).unwrap();
+        assert_eq!(result.coverage(), 1.0);
+        // First detections are within the applied pattern budget.
+        for i in 0..universe.len() {
+            assert!(result.first_detection(i).unwrap() < result.patterns_applied());
+        }
+    }
+
+    #[test]
+    fn branch_fault_differs_from_stem_fault() {
+        // a fans out to g1 (AND with x) and g2 (AND with y). Branch SA1 on
+        // the a→g1 pin is detectable independently of the a→g2 pin.
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.gate(GateKind::And, vec![a, x], "g1").unwrap();
+        let g2 = b.gate(GateKind::And, vec![a, y], "g2").unwrap();
+        b.output(g1);
+        b.output(g2);
+        let c = b.finish().unwrap();
+        let branch = Fault {
+            site: FaultSite::Branch { gate: g1, pin: 0 },
+            stuck: true,
+        };
+        let stem = Fault::stem_sa1(a);
+        let mut sim = FaultSimulator::new(&c).unwrap();
+        let mut src = ExhaustivePatterns::new(3);
+        let (counts, _) = sim.run_counting(&mut src, 8, &[branch, stem]).unwrap();
+        // Branch SA1 detected when a=0, x=1 (2 patterns: y free).
+        assert_eq!(counts[0], 2);
+        // Stem SA1 detected when a=0 and (x=1 or y=1): 3 patterns.
+        assert_eq!(counts[1], 3);
+    }
+
+    #[test]
+    fn undetectable_fault_stays_undetected() {
+        // y = OR(x, NOT(x)) is constant 1: y/SA1 is undetectable.
+        let mut b = CircuitBuilder::new("c");
+        let x = b.input("x");
+        let nx = b.gate(GateKind::Not, vec![x], "nx").unwrap();
+        let y = b.gate(GateKind::Or, vec![x, nx], "y").unwrap();
+        b.output(y);
+        let c = b.finish().unwrap();
+        let mut sim = FaultSimulator::new(&c).unwrap();
+        let mut src = ExhaustivePatterns::new(1);
+        let result = sim.run(&mut src, 2, &[Fault::stem_sa1(y)]).unwrap();
+        assert_eq!(result.detected_count(), 0);
+        assert_eq!(result.patterns_applied(), 2);
+    }
+
+    #[test]
+    fn max_patterns_respected_mid_block() {
+        let c = sample();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut sim = FaultSimulator::new(&c).unwrap();
+        let mut src = RandomPatterns::new(3, 1);
+        let result = sim.run(&mut src, 10, universe.faults()).unwrap();
+        assert_eq!(result.patterns_applied(), 10);
+        for i in 0..universe.len() {
+            if let Some(p) = result.first_detection(i) {
+                assert!(p < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn observation_point_makes_fault_detectable() {
+        // Internal node masked from the output; observing it exposes the
+        // fault. y = AND(g, 0-ish)? Build: g = XOR(a,b); y = AND(g, c) with
+        // c tied low via AND(a, NOT(a)).
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let na = b.gate(GateKind::Not, vec![a], "na").unwrap();
+        let zero = b.gate(GateKind::And, vec![a, na], "zero").unwrap();
+        let g = b.gate(GateKind::Xor, vec![a, bb], "g").unwrap();
+        let y = b.gate(GateKind::And, vec![g, zero], "y").unwrap();
+        b.output(y);
+        let c = b.finish().unwrap();
+        let fault = Fault::stem_sa0(g);
+        let mut sim = FaultSimulator::new(&c).unwrap();
+        let mut src = ExhaustivePatterns::new(2);
+        let r = sim.run(&mut src, 4, &[fault]).unwrap();
+        assert_eq!(r.detected_count(), 0, "masked without observation");
+
+        let (obs, _) = tpi_netlist::transform::apply_plan(
+            &c,
+            &[tpi_netlist::TestPoint::observe(g)],
+        )
+        .unwrap();
+        let mut sim2 = FaultSimulator::new(&obs).unwrap();
+        let mut src2 = ExhaustivePatterns::new(2);
+        let r2 = sim2.run(&mut src2, 4, &[fault]).unwrap();
+        assert_eq!(r2.detected_count(), 1, "observable after OP");
+    }
+
+    #[test]
+    fn visiting_reports_fault_effects_at_nodes() {
+        let c = sample();
+        let g1 = c.find_node("g1").unwrap();
+        let fault = Fault::stem_sa1(g1);
+        let mut sim = FaultSimulator::new(&c).unwrap();
+        let mut src = ExhaustivePatterns::new(3);
+        let mut at_g1 = 0u64;
+        let (_, n) = sim
+            .run_visiting(&mut src, 8, &[fault], |fi, node, diff| {
+                assert_eq!(fi, 0);
+                if node == g1 {
+                    at_g1 += u64::from(diff.count_ones());
+                }
+            })
+            .unwrap();
+        assert_eq!(n, 8);
+        // g1 = AND(a,b): SA1 present whenever g1=0, i.e. 6 of 8 patterns.
+        assert_eq!(at_g1, 6);
+    }
+
+    #[test]
+    fn scratch_state_is_clean_between_faults() {
+        // Two consecutive runs give identical results.
+        let c = sample();
+        let universe = FaultUniverse::full(&c).unwrap();
+        let mut sim = FaultSimulator::new(&c).unwrap();
+        let mut s1 = ExhaustivePatterns::new(3);
+        let (c1, _) = sim.run_counting(&mut s1, 8, universe.faults()).unwrap();
+        let mut s2 = ExhaustivePatterns::new(3);
+        let (c2, _) = sim.run_counting(&mut s2, 8, universe.faults()).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn gate_consuming_signal_twice() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Xor, vec![a, a], "g").unwrap(); // constant 0
+        let h = b.gate(GateKind::Or, vec![g, a], "h").unwrap();
+        b.output(h);
+        let c = b.finish().unwrap();
+        let mut sim = FaultSimulator::new(&c).unwrap();
+        let mut src = ExhaustivePatterns::new(1);
+        // g/SA1: h = OR(1, a) = 1; good h = a. Detected when a=0.
+        let (counts, _) = sim
+            .run_counting(&mut src, 2, &[Fault::stem_sa1(g)])
+            .unwrap();
+        assert_eq!(counts[0], 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Maximal-length linear feedback shift registers.
+//!
+//! BIST pattern generators are LFSRs in hardware; simulating the real
+//! bitstream (rather than a software PRNG) keeps experiments faithful to
+//! the implementation the DAC'87-era literature assumes. The taps below
+//! are the classic maximal-length (primitive-polynomial) Fibonacci taps,
+//! giving period `2^w − 1` for register width `w`.
+
+use crate::patterns::PatternSource;
+
+/// Fibonacci tap positions (1-indexed) of a primitive polynomial for each
+/// register width 2..=32. `TAPS[w]` lists the stages XORed into the
+/// feedback for width `w` (index 0 and 1 unused).
+const TAPS: [&[u32]; 33] = [
+    &[],
+    &[],
+    &[2, 1],
+    &[3, 2],
+    &[4, 3],
+    &[5, 3],
+    &[6, 5],
+    &[7, 6],
+    &[8, 6, 5, 4],
+    &[9, 5],
+    &[10, 7],
+    &[11, 9],
+    &[12, 6, 4, 1],
+    &[13, 4, 3, 1],
+    &[14, 5, 3, 1],
+    &[15, 14],
+    &[16, 15, 13, 4],
+    &[17, 14],
+    &[18, 11],
+    &[19, 6, 2, 1],
+    &[20, 17],
+    &[21, 19],
+    &[22, 21],
+    &[23, 18],
+    &[24, 23, 22, 17],
+    &[25, 22],
+    &[26, 6, 2, 1],
+    &[27, 5, 2, 1],
+    &[28, 25],
+    &[29, 27],
+    &[30, 6, 4, 1],
+    &[31, 28],
+    &[32, 22, 2, 1],
+];
+
+/// Maximal-length Fibonacci taps for `width` (2..=32), for reuse by the
+/// MISR.
+pub(crate) fn taps_for(width: u32) -> &'static [u32] {
+    TAPS[width as usize]
+}
+
+/// A Fibonacci LFSR with maximal-length taps.
+///
+/// # Example
+///
+/// ```
+/// use tpi_sim::Lfsr;
+/// let mut lfsr = Lfsr::maximal(4, 0b1001).unwrap();
+/// // A width-4 maximal LFSR has period 15.
+/// let start = lfsr.state();
+/// let mut period = 0u64;
+/// loop {
+///     lfsr.step();
+///     period += 1;
+///     if lfsr.state() == start { break; }
+/// }
+/// assert_eq!(period, 15);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lfsr {
+    width: u32,
+    taps: &'static [u32],
+    state: u64,
+}
+
+impl Lfsr {
+    /// Create a maximal-length LFSR of the given width (2..=32).
+    ///
+    /// The all-zero state is the lock-up state of a Fibonacci LFSR; a zero
+    /// `seed` is silently replaced by 1.
+    ///
+    /// Returns `None` if `width` is outside 2..=32.
+    pub fn maximal(width: u32, seed: u64) -> Option<Lfsr> {
+        if !(2..=32).contains(&width) {
+            return None;
+        }
+        let mask = (1u64 << width) - 1;
+        let mut state = seed & mask;
+        if state == 0 {
+            state = 1;
+        }
+        Some(Lfsr {
+            width,
+            taps: TAPS[width as usize],
+            state,
+        })
+    }
+
+    /// Current register contents.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Advance one clock; returns the bit shifted out (stage `width`).
+    pub fn step(&mut self) -> bool {
+        let out = (self.state >> (self.width - 1)) & 1 == 1;
+        let mut fb = 0u64;
+        for &t in self.taps {
+            fb ^= (self.state >> (t - 1)) & 1;
+        }
+        let mask = (1u64 << self.width) - 1;
+        self.state = ((self.state << 1) | fb) & mask;
+        out
+    }
+
+    /// The sequence period (`2^width − 1` for these maximal taps).
+    pub fn period(&self) -> u64 {
+        (1u64 << self.width) - 1
+    }
+}
+
+/// A [`PatternSource`] backed by a single maximal-length LFSR, assigning
+/// consecutive bits of the LFSR stream to consecutive primary inputs —
+/// the standard serial scan-chain loading model.
+///
+/// # Example
+///
+/// ```
+/// use tpi_sim::{LfsrPatterns, PatternSource};
+/// let mut src = LfsrPatterns::new(5, 0xbeef)?;
+/// let mut block = [0u64; 5];
+/// assert_eq!(src.fill(&mut block), 64);
+/// # Ok::<(), tpi_netlist::NetlistError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct LfsrPatterns {
+    lfsr: Lfsr,
+    seed: u64,
+    n_inputs: usize,
+}
+
+impl LfsrPatterns {
+    /// Create a generator for `n_inputs` inputs. Uses a width-32 register
+    /// regardless of input count (bits are streamed serially).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `Result` reserves room for configurable
+    /// widths/polynomials.
+    pub fn new(n_inputs: usize, seed: u64) -> Result<LfsrPatterns, tpi_netlist::NetlistError> {
+        let lfsr = Lfsr::maximal(32, seed).expect("width 32 is always valid");
+        Ok(LfsrPatterns {
+            lfsr,
+            seed,
+            n_inputs,
+        })
+    }
+
+    /// Create with an explicit register width (2..=32).
+    ///
+    /// # Errors
+    ///
+    /// [`tpi_netlist::NetlistError::InvalidTransform`] if `width` is out of
+    /// range.
+    pub fn with_width(
+        n_inputs: usize,
+        width: u32,
+        seed: u64,
+    ) -> Result<LfsrPatterns, tpi_netlist::NetlistError> {
+        let lfsr =
+            Lfsr::maximal(width, seed).ok_or_else(|| tpi_netlist::NetlistError::InvalidTransform {
+                message: format!("LFSR width {width} outside 2..=32"),
+            })?;
+        Ok(LfsrPatterns {
+            lfsr,
+            seed,
+            n_inputs,
+        })
+    }
+}
+
+impl PatternSource for LfsrPatterns {
+    fn fill(&mut self, words: &mut [u64]) -> usize {
+        debug_assert_eq!(words.len(), self.n_inputs);
+        for w in words.iter_mut() {
+            *w = 0;
+        }
+        for p in 0..64 {
+            for w in words.iter_mut() {
+                if self.lfsr.step() {
+                    *w |= 1 << p;
+                }
+            }
+        }
+        64
+    }
+
+    fn reset(&mut self) {
+        self.lfsr = Lfsr::maximal(self.lfsr.width(), self.seed).expect("width already validated");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximal_period_for_small_widths() {
+        for width in 2..=12u32 {
+            let mut lfsr = Lfsr::maximal(width, 1).unwrap();
+            let start = lfsr.state();
+            let mut period = 0u64;
+            loop {
+                lfsr.step();
+                period += 1;
+                assert!(period <= lfsr.period(), "width {width} not maximal");
+                if lfsr.state() == start {
+                    break;
+                }
+            }
+            assert_eq!(period, lfsr.period(), "width {width}");
+        }
+    }
+
+    #[test]
+    fn zero_seed_coerced() {
+        let lfsr = Lfsr::maximal(8, 0).unwrap();
+        assert_ne!(lfsr.state(), 0);
+    }
+
+    #[test]
+    fn never_reaches_zero_state() {
+        let mut lfsr = Lfsr::maximal(6, 0b101010).unwrap();
+        for _ in 0..200 {
+            lfsr.step();
+            assert_ne!(lfsr.state(), 0);
+        }
+    }
+
+    #[test]
+    fn invalid_width_rejected() {
+        assert!(Lfsr::maximal(1, 1).is_none());
+        assert!(Lfsr::maximal(33, 1).is_none());
+        assert!(LfsrPatterns::with_width(3, 64, 1).is_err());
+    }
+
+    #[test]
+    fn stream_is_balanced() {
+        let mut src = LfsrPatterns::new(2, 12345).unwrap();
+        let mut ones = 0u32;
+        let mut w = [0u64; 2];
+        for _ in 0..128 {
+            src.fill(&mut w);
+            ones += w[0].count_ones() + w[1].count_ones();
+        }
+        let freq = f64::from(ones) / (128.0 * 128.0);
+        assert!((freq - 0.5).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn reset_replays_stream() {
+        let mut src = LfsrPatterns::new(3, 777).unwrap();
+        let mut first = [0u64; 3];
+        src.fill(&mut first);
+        src.reset();
+        let mut again = [0u64; 3];
+        src.fill(&mut again);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = LfsrPatterns::new(1, 1).unwrap();
+        let mut b = LfsrPatterns::new(1, 2).unwrap();
+        let (mut wa, mut wb) = ([0u64; 1], [0u64; 1]);
+        a.fill(&mut wa);
+        b.fill(&mut wb);
+        assert_ne!(wa, wb);
+    }
+}

@@ -1,0 +1,213 @@
+//! Detection-probability estimation and propagation profiles.
+//!
+//! These functions turn the fault simulator into a measurement instrument:
+//!
+//! * [`detection_probabilities`] — sampled per-fault detection
+//!   probabilities under a pattern source (Monte-Carlo ground truth for
+//!   the analytic COP estimates in `tpi-testability`);
+//! * [`exact_detection_probabilities`] — exhaustive enumeration for small
+//!   circuits (exact ground truth);
+//! * [`propagation_profile`] — for each fault, the probability that its
+//!   effect is *present* at each node, the quantity driving observation-
+//!   point covering.
+
+use std::collections::HashMap;
+
+use tpi_netlist::{Circuit, NetlistError, NodeId};
+
+use crate::{ExhaustivePatterns, Fault, FaultSimulator, PatternSource};
+
+/// Estimate each fault's detection probability by applying `n_patterns`
+/// patterns from `source` (no fault dropping).
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] for cyclic circuits.
+pub fn detection_probabilities(
+    circuit: &Circuit,
+    faults: &[Fault],
+    source: &mut dyn PatternSource,
+    n_patterns: u64,
+) -> Result<Vec<f64>, NetlistError> {
+    let mut sim = FaultSimulator::new(circuit)?;
+    let (counts, applied) = sim.run_counting(source, n_patterns, faults)?;
+    let denom = applied.max(1) as f64;
+    Ok(counts.iter().map(|&c| c as f64 / denom).collect())
+}
+
+/// Exact per-fault detection probabilities by exhaustive input
+/// enumeration.
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] for cyclic circuits.
+///
+/// # Panics
+///
+/// Panics if the circuit has more than 24 primary inputs (the enumeration
+/// would be prohibitive).
+pub fn exact_detection_probabilities(
+    circuit: &Circuit,
+    faults: &[Fault],
+) -> Result<Vec<f64>, NetlistError> {
+    let n_inputs = circuit.inputs().len();
+    assert!(
+        n_inputs <= 24,
+        "exhaustive enumeration limited to 24 inputs, circuit has {n_inputs}"
+    );
+    let mut src = ExhaustivePatterns::new(n_inputs);
+    let total = src.total();
+    detection_probabilities(circuit, faults, &mut src, total)
+}
+
+/// For each fault and node: probability that the fault's effect is present
+/// at that node (a simulation-based propagation profile).
+///
+/// Row `f` of the profile maps node → presence probability; nodes never
+/// reached are absent. Presence at a node is exactly the detection
+/// probability an observation point at that node would provide.
+#[derive(Clone, Debug)]
+pub struct PropagationProfile {
+    per_fault: Vec<HashMap<NodeId, u64>>,
+    patterns: u64,
+}
+
+impl PropagationProfile {
+    /// Number of patterns the profile was estimated over.
+    pub fn patterns(&self) -> u64 {
+        self.patterns
+    }
+
+    /// Probability that fault `f`'s effect is present at `node`.
+    pub fn presence(&self, fault_index: usize, node: NodeId) -> f64 {
+        let count = self.per_fault[fault_index]
+            .get(&node)
+            .copied()
+            .unwrap_or(0);
+        count as f64 / self.patterns.max(1) as f64
+    }
+
+    /// All nodes at which fault `f` was ever present, with probabilities.
+    pub fn row(&self, fault_index: usize) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let denom = self.patterns.max(1) as f64;
+        self.per_fault[fault_index]
+            .iter()
+            .map(move |(&n, &c)| (n, c as f64 / denom))
+    }
+
+    /// Number of fault rows.
+    pub fn fault_count(&self) -> usize {
+        self.per_fault.len()
+    }
+}
+
+/// Estimate a [`PropagationProfile`] for `faults` under `n_patterns`
+/// patterns from `source`.
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] for cyclic circuits.
+pub fn propagation_profile(
+    circuit: &Circuit,
+    faults: &[Fault],
+    source: &mut dyn PatternSource,
+    n_patterns: u64,
+) -> Result<PropagationProfile, NetlistError> {
+    let mut sim = FaultSimulator::new(circuit)?;
+    let mut per_fault: Vec<HashMap<NodeId, u64>> = vec![HashMap::new(); faults.len()];
+    let (_, applied) = sim.run_visiting(source, n_patterns, faults, |fi, node, diff| {
+        *per_fault[fi].entry(node).or_insert(0) += u64::from(diff.count_ones());
+    })?;
+    Ok(PropagationProfile {
+        per_fault,
+        patterns: applied,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultUniverse, RandomPatterns};
+    use tpi_netlist::{CircuitBuilder, GateKind};
+
+    fn and3() -> Circuit {
+        let mut b = CircuitBuilder::new("and3");
+        let xs = b.inputs(3, "x");
+        let root = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(root);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn exact_probabilities_on_and3() {
+        let c = and3();
+        let root = c.outputs()[0];
+        let probs = exact_detection_probabilities(
+            &c,
+            &[Fault::stem_sa0(root), Fault::stem_sa1(root)],
+        )
+        .unwrap();
+        // SA0 at the root: detected when output is 1 → 1/8.
+        assert!((probs[0] - 0.125).abs() < 1e-12);
+        // SA1 at the root: detected when output is 0 → 7/8.
+        assert!((probs[1] - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_matches_exact_within_tolerance() {
+        let c = and3();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let exact = exact_detection_probabilities(&c, universe.faults()).unwrap();
+        let mut src = RandomPatterns::new(3, 2024);
+        let sampled =
+            detection_probabilities(&c, universe.faults(), &mut src, 20_000).unwrap();
+        for (i, (&e, &s)) in exact.iter().zip(&sampled).enumerate() {
+            assert!(
+                (e - s).abs() < 0.02,
+                "fault {i}: exact {e} sampled {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_presence_matches_manual_analysis() {
+        // x0/SA1 on AND(x0, x1): present at x0 whenever x0=0 (p=1/2);
+        // present at the gate when x0=0 ∧ x1=1 (p=1/4).
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.inputs(2, "x");
+        let g = b.gate(GateKind::And, vec![xs[0], xs[1]], "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let fault = Fault::stem_sa1(xs[0]);
+        let mut src = ExhaustivePatterns::new(2);
+        let profile = propagation_profile(&c, &[fault], &mut src, 4).unwrap();
+        assert!((profile.presence(0, xs[0]) - 0.5).abs() < 1e-12);
+        assert!((profile.presence(0, g) - 0.25).abs() < 1e-12);
+        assert_eq!(profile.presence(0, xs[1]), 0.0);
+        assert_eq!(profile.fault_count(), 1);
+        assert_eq!(profile.patterns(), 4);
+    }
+
+    #[test]
+    fn profile_row_iterates_reached_nodes() {
+        let c = and3();
+        let x0 = c.inputs()[0];
+        let mut src = ExhaustivePatterns::new(3);
+        let profile =
+            propagation_profile(&c, &[Fault::stem_sa0(x0)], &mut src, 8).unwrap();
+        let row: Vec<(NodeId, f64)> = profile.row(0).collect();
+        assert!(!row.is_empty());
+        assert!(row.iter().all(|&(_, p)| p > 0.0 && p <= 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive enumeration limited")]
+    fn exact_rejects_wide_circuits() {
+        let mut b = CircuitBuilder::new("wide");
+        let xs = b.inputs(30, "x");
+        let root = b.balanced_tree(GateKind::Or, &xs, "g").unwrap();
+        b.output(root);
+        let c = b.finish().unwrap();
+        let _ = exact_detection_probabilities(&c, &[Fault::stem_sa0(root)]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Multi-threaded fault simulation.
+//!
+//! PPSFP parallelises naturally across faults: every thread owns a private
+//! simulator (good-value buffers and scratch state) and an identical
+//! pattern stream, and processes a contiguous slice of the fault list.
+//! Results are bit-identical to the sequential run.
+
+use std::sync::Mutex;
+
+use tpi_netlist::{Circuit, NetlistError};
+
+use crate::{Fault, FaultSimResult, FaultSimulator, PatternSource};
+
+/// Fault-simulate `faults` across `threads` worker threads, with fault
+/// dropping, producing the same [`FaultSimResult`] the sequential
+/// [`FaultSimulator::run`] would (each thread replays the same seeded
+/// pattern stream).
+///
+/// `make_source` is called once per thread and must yield identical
+/// streams (e.g. closures constructing a seeded
+/// [`RandomPatterns`](crate::RandomPatterns)).
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] for cyclic circuits; worker panics propagate.
+pub fn run_parallel<S, F>(
+    circuit: &Circuit,
+    make_source: F,
+    max_patterns: u64,
+    faults: &[Fault],
+    threads: usize,
+) -> Result<FaultSimResult, NetlistError>
+where
+    S: PatternSource,
+    F: Fn() -> S + Sync,
+{
+    let threads = threads.max(1).min(faults.len().max(1));
+    if threads <= 1 {
+        let mut sim = FaultSimulator::new(circuit)?;
+        let mut source = make_source();
+        return sim.run(&mut source, max_patterns, faults);
+    }
+    let chunk_size = faults.len().div_ceil(threads);
+    let results: Mutex<Vec<(usize, FaultSimResult)>> = Mutex::new(Vec::with_capacity(threads));
+    let errors: Mutex<Option<NetlistError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for (ti, chunk) in faults.chunks(chunk_size).enumerate() {
+            let results = &results;
+            let errors = &errors;
+            let make_source = &make_source;
+            scope.spawn(move || {
+                let outcome = (|| {
+                    let mut sim = FaultSimulator::new(circuit)?;
+                    let mut source = make_source();
+                    sim.run(&mut source, max_patterns, chunk)
+                })();
+                match outcome {
+                    Ok(r) => results.lock().expect("no poisoned locks").push((ti, r)),
+                    Err(e) => *errors.lock().expect("no poisoned locks") = Some(e),
+                }
+            });
+        }
+    });
+
+    if let Some(e) = errors.into_inner().expect("no poisoned locks") {
+        return Err(e);
+    }
+    let mut chunks = results.into_inner().expect("no poisoned locks");
+    chunks.sort_by_key(|&(ti, _)| ti);
+    let mut first_detected = Vec::with_capacity(faults.len());
+    let mut patterns_applied = 0;
+    for (_, r) in chunks {
+        patterns_applied = patterns_applied.max(r.patterns_applied());
+        for i in 0..r.fault_count() {
+            first_detected.push(r.first_detection(i));
+        }
+    }
+    Ok(FaultSimResult::new(first_detected, patterns_applied))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultUniverse, RandomPatterns};
+    use tpi_netlist::{CircuitBuilder, GateKind};
+
+    fn sample() -> Circuit {
+        let mut b = CircuitBuilder::new("s");
+        let xs = b.inputs(10, "x");
+        let a = b.balanced_tree(GateKind::And, &xs[..5], "a").unwrap();
+        let o = b.balanced_tree(GateKind::Or, &xs[5..], "o").unwrap();
+        let y = b.gate(GateKind::Xor, vec![a, o], "y").unwrap();
+        b.output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_exactly() {
+        let c = sample();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut sim = FaultSimulator::new(&c).unwrap();
+        let mut src = RandomPatterns::new(10, 77);
+        let sequential = sim.run(&mut src, 700, universe.faults()).unwrap();
+
+        for threads in [2usize, 3, 8] {
+            let parallel = run_parallel(
+                &c,
+                || RandomPatterns::new(10, 77),
+                700,
+                universe.faults(),
+                threads,
+            )
+            .unwrap();
+            assert_eq!(parallel.fault_count(), sequential.fault_count());
+            assert_eq!(parallel.patterns_applied(), sequential.patterns_applied());
+            for i in 0..universe.len() {
+                assert_eq!(
+                    parallel.first_detection(i),
+                    sequential.first_detection(i),
+                    "fault {i} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_delegates() {
+        let c = sample();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let r = run_parallel(
+            &c,
+            || RandomPatterns::new(10, 5),
+            256,
+            universe.faults(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(r.fault_count(), universe.len());
+    }
+
+    #[test]
+    fn more_threads_than_faults() {
+        let c = sample();
+        let faults = [crate::Fault::stem_sa0(c.outputs()[0])];
+        let r = run_parallel(&c, || RandomPatterns::new(10, 5), 256, &faults, 64).unwrap();
+        assert_eq!(r.fault_count(), 1);
+    }
+
+    #[test]
+    fn empty_fault_list() {
+        let c = sample();
+        let r = run_parallel(
+            &c,
+            || RandomPatterns::new(10, 5),
+            64,
+            &[],
+            4,
+        )
+        .unwrap();
+        assert_eq!(r.fault_count(), 0);
+        assert_eq!(r.coverage(), 1.0);
+    }
+}

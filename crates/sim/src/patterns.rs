@@ -1,0 +1,219 @@
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// A source of input patterns for bit-parallel simulation.
+///
+/// One call to [`fill`](PatternSource::fill) produces up to 64 patterns:
+/// `words[i]` holds, in its bit lanes, the value of primary input `i`
+/// across those patterns (lane `p` = pattern `p` of the block).
+///
+/// Implementations must be deterministic for a given construction seed so
+/// that experiments are reproducible.
+pub trait PatternSource {
+    /// Fill `words` (one word per primary input) with the next block of
+    /// patterns. Returns the number of valid patterns in the block
+    /// (`1..=64`); `0` means the source is exhausted.
+    fn fill(&mut self, words: &mut [u64]) -> usize;
+
+    /// Reset the source to its initial state, if supported.
+    fn reset(&mut self);
+}
+
+/// Software pseudo-random patterns from a seeded [`StdRng`].
+///
+/// Each primary input receives independent equiprobable bits — the
+/// idealised model under which COP-style detection probabilities are
+/// derived.
+///
+/// # Example
+///
+/// ```
+/// use tpi_sim::{PatternSource, RandomPatterns};
+/// let mut src = RandomPatterns::new(3, 42);
+/// let mut block = [0u64; 3];
+/// assert_eq!(src.fill(&mut block), 64);
+/// let mut again = [0u64; 3];
+/// src.reset();
+/// src.fill(&mut again);
+/// assert_eq!(block, again); // deterministic under a fixed seed
+/// ```
+#[derive(Clone, Debug)]
+pub struct RandomPatterns {
+    seed: u64,
+    rng: StdRng,
+    n_inputs: usize,
+}
+
+impl RandomPatterns {
+    /// Create a source for `n_inputs` primary inputs with a fixed seed.
+    pub fn new(n_inputs: usize, seed: u64) -> RandomPatterns {
+        RandomPatterns {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            n_inputs,
+        }
+    }
+
+    /// Number of inputs this source was configured for.
+    pub fn input_count(&self) -> usize {
+        self.n_inputs
+    }
+}
+
+impl PatternSource for RandomPatterns {
+    fn fill(&mut self, words: &mut [u64]) -> usize {
+        debug_assert_eq!(words.len(), self.n_inputs);
+        for w in words.iter_mut() {
+            *w = self.rng.next_u64();
+        }
+        64
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Enumerates all `2^n` input patterns (for exact, exhaustive analyses on
+/// small circuits).
+///
+/// Pattern `p` assigns bit `i` of the counter to input `i`. The source is
+/// exhausted after `2^n` patterns.
+///
+/// # Example
+///
+/// ```
+/// use tpi_sim::{ExhaustivePatterns, PatternSource};
+/// let mut src = ExhaustivePatterns::new(2);
+/// let mut block = [0u64; 2];
+/// assert_eq!(src.fill(&mut block), 4);
+/// assert_eq!(src.fill(&mut block), 0); // exhausted
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExhaustivePatterns {
+    n_inputs: usize,
+    next: u64,
+    total: u64,
+}
+
+impl ExhaustivePatterns {
+    /// Create an exhaustive source over `n_inputs ≤ 63` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_inputs > 63` (the pattern space would not fit `u64`).
+    pub fn new(n_inputs: usize) -> ExhaustivePatterns {
+        assert!(n_inputs <= 63, "exhaustive enumeration limited to 63 inputs");
+        ExhaustivePatterns {
+            n_inputs,
+            next: 0,
+            total: 1u64 << n_inputs,
+        }
+    }
+
+    /// Total number of patterns the source will produce.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+impl PatternSource for ExhaustivePatterns {
+    fn fill(&mut self, words: &mut [u64]) -> usize {
+        debug_assert_eq!(words.len(), self.n_inputs);
+        let remaining = self.total - self.next;
+        let n = remaining.min(64) as usize;
+        for w in words.iter_mut() {
+            *w = 0;
+        }
+        for p in 0..n {
+            let pattern = self.next + p as u64;
+            for (i, w) in words.iter_mut().enumerate() {
+                if pattern & (1 << i) != 0 {
+                    *w |= 1 << p;
+                }
+            }
+        }
+        self.next += n as u64;
+        n
+    }
+
+    fn reset(&mut self) {
+        self.next = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_and_balanced() {
+        let mut a = RandomPatterns::new(4, 7);
+        let mut b = RandomPatterns::new(4, 7);
+        let (mut wa, mut wb) = ([0u64; 4], [0u64; 4]);
+        for _ in 0..10 {
+            a.fill(&mut wa);
+            b.fill(&mut wb);
+            assert_eq!(wa, wb);
+        }
+        // Rough balance: over many words, ones frequency near 1/2.
+        let mut src = RandomPatterns::new(1, 99);
+        let mut ones = 0u32;
+        let mut w = [0u64; 1];
+        for _ in 0..256 {
+            src.fill(&mut w);
+            ones += w[0].count_ones();
+        }
+        let freq = f64::from(ones) / (256.0 * 64.0);
+        assert!((freq - 0.5).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RandomPatterns::new(1, 1);
+        let mut b = RandomPatterns::new(1, 2);
+        let (mut wa, mut wb) = ([0u64; 1], [0u64; 1]);
+        a.fill(&mut wa);
+        b.fill(&mut wb);
+        assert_ne!(wa, wb);
+    }
+
+    #[test]
+    fn exhaustive_covers_every_pattern_once() {
+        let mut src = ExhaustivePatterns::new(3);
+        let mut words = [0u64; 3];
+        let n = src.fill(&mut words);
+        assert_eq!(n, 8);
+        let mut seen = [false; 8];
+        for p in 0..8 {
+            let mut v = 0usize;
+            for (i, w) in words.iter().enumerate() {
+                if (w >> p) & 1 == 1 {
+                    v |= 1 << i;
+                }
+            }
+            assert!(!seen[v], "pattern {v} repeated");
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exhaustive_spans_multiple_blocks() {
+        let mut src = ExhaustivePatterns::new(7); // 128 patterns
+        let mut words = [0u64; 7];
+        assert_eq!(src.fill(&mut words), 64);
+        assert_eq!(src.fill(&mut words), 64);
+        assert_eq!(src.fill(&mut words), 0);
+        src.reset();
+        assert_eq!(src.fill(&mut words), 64);
+    }
+
+    #[test]
+    fn exhaustive_zero_inputs() {
+        let mut src = ExhaustivePatterns::new(0);
+        let mut words = [0u64; 0];
+        assert_eq!(src.fill(&mut words), 1); // the single empty pattern
+        assert_eq!(src.fill(&mut words), 0);
+    }
+}

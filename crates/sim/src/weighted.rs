@@ -1,0 +1,168 @@
+//! Weighted (biased) random pattern generation.
+//!
+//! Weighted-random testing — biasing each primary input's 1-probability
+//! away from 1/2 — was the main *competitor* to test point insertion in
+//! the DAC'87-era literature (Wunderlich's PROTEST line of work). This
+//! source exists so the experiments can compare circuit modification
+//! against input-distribution modification, and so control-point-biased
+//! analyses ([`CopAnalysis::with_input_probs`]) can be validated by
+//! simulation.
+//!
+//! [`CopAnalysis::with_input_probs`]: ../../tpi_testability/struct.CopAnalysis.html#method.with_input_probs
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::patterns::PatternSource;
+
+/// A [`PatternSource`] with a per-input 1-probability.
+///
+/// # Example
+///
+/// ```
+/// use tpi_sim::{PatternSource, WeightedPatterns};
+/// // First input heavily biased to 1, second fair.
+/// let mut src = WeightedPatterns::new(vec![0.9, 0.5], 7).unwrap();
+/// let mut words = [0u64; 2];
+/// let mut ones = [0u32; 2];
+/// for _ in 0..256 {
+///     src.fill(&mut words);
+///     ones[0] += words[0].count_ones();
+///     ones[1] += words[1].count_ones();
+/// }
+/// assert!(ones[0] > ones[1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WeightedPatterns {
+    weights: Vec<f64>,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl WeightedPatterns {
+    /// Create a weighted source; `weights[i]` is input `i`'s
+    /// 1-probability.
+    ///
+    /// Returns `None` if any weight is outside `[0, 1]`.
+    pub fn new(weights: Vec<f64>, seed: u64) -> Option<WeightedPatterns> {
+        if weights.iter().any(|w| !(0.0..=1.0).contains(w)) {
+            return None;
+        }
+        Some(WeightedPatterns {
+            weights,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// A uniform-weight source (all inputs at the same probability).
+    pub fn uniform(n_inputs: usize, weight: f64, seed: u64) -> Option<WeightedPatterns> {
+        WeightedPatterns::new(vec![weight; n_inputs], seed)
+    }
+
+    /// The configured weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl PatternSource for WeightedPatterns {
+    fn fill(&mut self, words: &mut [u64]) -> usize {
+        debug_assert_eq!(words.len(), self.weights.len());
+        for (w, &p) in words.iter_mut().zip(&self.weights) {
+            *w = match p {
+                0.0 => 0,
+                1.0 => u64::MAX,
+                p if (p - 0.5).abs() < 1e-12 => self.rng.gen::<u64>(),
+                p => {
+                    let mut word = 0u64;
+                    for bit in 0..64 {
+                        if self.rng.gen::<f64>() < p {
+                            word |= 1 << bit;
+                        }
+                    }
+                    word
+                }
+            };
+        }
+        64
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = vec![0.1, 0.5, 0.9, 0.0, 1.0];
+        let mut src = WeightedPatterns::new(weights.clone(), 3).unwrap();
+        let mut words = [0u64; 5];
+        let mut ones = [0u64; 5];
+        let blocks = 400;
+        for _ in 0..blocks {
+            src.fill(&mut words);
+            for (o, w) in ones.iter_mut().zip(&words) {
+                *o += u64::from(w.count_ones());
+            }
+        }
+        let total = (blocks * 64) as f64;
+        for (i, &expected) in weights.iter().enumerate() {
+            let freq = ones[i] as f64 / total;
+            assert!(
+                (freq - expected).abs() < 0.02,
+                "input {i}: freq {freq} vs weight {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        assert!(WeightedPatterns::new(vec![0.5, 1.1], 0).is_none());
+        assert!(WeightedPatterns::new(vec![-0.1], 0).is_none());
+        assert!(WeightedPatterns::uniform(3, 0.25, 0).is_some());
+    }
+
+    #[test]
+    fn deterministic_and_resettable() {
+        let mut a = WeightedPatterns::uniform(2, 0.3, 9).unwrap();
+        let mut words1 = [0u64; 2];
+        a.fill(&mut words1);
+        a.reset();
+        let mut words2 = [0u64; 2];
+        a.fill(&mut words2);
+        assert_eq!(words1, words2);
+    }
+
+    #[test]
+    fn biased_source_beats_fair_source_on_and_cone() {
+        // The classic weighted-random result: biasing inputs toward 1
+        // detects AND-cone SA0 faults far sooner.
+        use crate::{FaultSimulator, FaultUniverse};
+        use tpi_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("and12");
+        let xs = b.inputs(12, "x");
+        let root = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(root);
+        let c = b.finish().unwrap();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut sim = FaultSimulator::new(&c).unwrap();
+
+        let mut fair = crate::RandomPatterns::new(12, 5);
+        let fair_result = sim.run(&mut fair, 2_000, universe.faults()).unwrap();
+
+        let mut biased = WeightedPatterns::uniform(12, 0.9, 5).unwrap();
+        let biased_result = sim.run(&mut biased, 2_000, universe.faults()).unwrap();
+
+        assert!(
+            biased_result.coverage() > fair_result.coverage(),
+            "biased {} vs fair {}",
+            biased_result.coverage(),
+            fair_result.coverage()
+        );
+    }
+}

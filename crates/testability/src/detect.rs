@@ -1,0 +1,148 @@
+//! Per-fault detection probabilities and random-pattern-resistance
+//! screens built on [`CopAnalysis`].
+
+use tpi_netlist::{Circuit, NetlistError};
+use tpi_sim::Fault;
+
+use crate::CopAnalysis;
+
+/// COP-estimated detection probabilities for a fault list, with
+/// convenience queries used throughout the insertion algorithms.
+#[derive(Clone, Debug)]
+pub struct DetectionProfile {
+    probabilities: Vec<f64>,
+}
+
+impl DetectionProfile {
+    /// Estimate detection probabilities for `faults` on `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Cycle`] for cyclic circuits.
+    pub fn estimate(circuit: &Circuit, faults: &[Fault]) -> Result<DetectionProfile, NetlistError> {
+        let cop = CopAnalysis::new(circuit)?;
+        Ok(DetectionProfile::from_analysis(&cop, circuit, faults))
+    }
+
+    /// Build from an existing analysis (avoids recomputing COP).
+    pub fn from_analysis(
+        cop: &CopAnalysis,
+        circuit: &Circuit,
+        faults: &[Fault],
+    ) -> DetectionProfile {
+        DetectionProfile {
+            probabilities: faults
+                .iter()
+                .map(|&f| cop.detection_probability(circuit, f))
+                .collect(),
+        }
+    }
+
+    /// Detection probability of fault `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.probabilities[i]
+    }
+
+    /// All probabilities, fault-list order.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// The minimum detection probability over all faults (0 if any fault
+    /// is untestable; 1 for an empty list).
+    pub fn min_probability(&self) -> f64 {
+        self.probabilities.iter().copied().fold(1.0, f64::min)
+    }
+
+    /// Indices of faults whose detection probability is below `threshold`
+    /// — the *random-pattern-resistant* set targeted by test point
+    /// insertion.
+    pub fn resistant_indices(&self, threshold: f64) -> Vec<usize> {
+        self.probabilities
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| (p < threshold).then_some(i))
+            .collect()
+    }
+
+    /// Fraction of faults meeting `threshold`.
+    pub fn fraction_meeting(&self, threshold: f64) -> f64 {
+        if self.probabilities.is_empty() {
+            return 1.0;
+        }
+        let ok = self.probabilities.iter().filter(|&&p| p >= threshold).count();
+        ok as f64 / self.probabilities.len() as f64
+    }
+
+    /// Expected fault coverage after `n_patterns` random patterns,
+    /// assuming per-pattern independence: `mean(1 − (1 − p)^n)`.
+    pub fn expected_coverage(&self, n_patterns: u64) -> f64 {
+        if self.probabilities.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = self
+            .probabilities
+            .iter()
+            .map(|&p| 1.0 - crate::testlen::escape_probability(p, n_patterns))
+            .sum();
+        sum / self.probabilities.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{CircuitBuilder, GateKind};
+    use tpi_sim::FaultUniverse;
+
+    fn and8() -> Circuit {
+        let mut b = CircuitBuilder::new("and8");
+        let xs = b.inputs(8, "x");
+        let root = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(root);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn resistant_faults_identified() {
+        let c = and8();
+        let u = FaultUniverse::collapsed(&c).unwrap();
+        let profile = DetectionProfile::estimate(&c, u.faults()).unwrap();
+        // The root SA0 has detection probability 2^-8.
+        let resistant = profile.resistant_indices(0.01);
+        assert!(!resistant.is_empty());
+        assert!(profile.min_probability() <= 2f64.powi(-8) + 1e-12);
+        // Everything is at least detectable (no zero-prob faults).
+        assert!(profile.min_probability() > 0.0);
+    }
+
+    #[test]
+    fn fraction_meeting_bounds() {
+        let c = and8();
+        let u = FaultUniverse::collapsed(&c).unwrap();
+        let profile = DetectionProfile::estimate(&c, u.faults()).unwrap();
+        assert_eq!(profile.fraction_meeting(0.0), 1.0);
+        assert!(profile.fraction_meeting(0.5) < 1.0);
+        assert!(profile.fraction_meeting(2.0) == 0.0);
+    }
+
+    #[test]
+    fn expected_coverage_increases_with_patterns() {
+        let c = and8();
+        let u = FaultUniverse::collapsed(&c).unwrap();
+        let profile = DetectionProfile::estimate(&c, u.faults()).unwrap();
+        let c10 = profile.expected_coverage(10);
+        let c1000 = profile.expected_coverage(1000);
+        assert!(c1000 > c10);
+        assert!(c1000 <= 1.0);
+    }
+
+    #[test]
+    fn empty_fault_list() {
+        let c = and8();
+        let profile = DetectionProfile::estimate(&c, &[]).unwrap();
+        assert_eq!(profile.min_probability(), 1.0);
+        assert_eq!(profile.expected_coverage(10), 1.0);
+        assert_eq!(profile.fraction_meeting(0.9), 1.0);
+    }
+}

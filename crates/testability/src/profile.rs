@@ -1,0 +1,110 @@
+//! Whole-circuit testability reports, as printed in benchmark tables.
+
+use tpi_netlist::{Circuit, NetlistError};
+use tpi_sim::FaultUniverse;
+
+use crate::detect::DetectionProfile;
+
+/// A testability summary of one circuit under the equiprobable
+/// random-pattern model.
+#[derive(Clone, Debug)]
+pub struct TestabilityReport {
+    /// Circuit name.
+    pub name: String,
+    /// Collapsed fault count (the table denominator).
+    pub faults: usize,
+    /// Uncollapsed fault count.
+    pub faults_uncollapsed: usize,
+    /// Minimum COP detection probability over all faults.
+    pub min_detection_probability: f64,
+    /// Median COP detection probability.
+    pub median_detection_probability: f64,
+    /// Number of faults below the given resistance threshold.
+    pub resistant_faults: usize,
+    /// The threshold used for `resistant_faults`.
+    pub resistance_threshold: f64,
+    /// COP-predicted fault coverage after 1 000 random patterns.
+    pub expected_coverage_1k: f64,
+    /// COP-predicted fault coverage after 32 000 random patterns.
+    pub expected_coverage_32k: f64,
+}
+
+impl TestabilityReport {
+    /// Analyse `circuit` with the collapsed fault universe and the given
+    /// resistance threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Cycle`] for cyclic circuits.
+    pub fn analyse(circuit: &Circuit, threshold: f64) -> Result<TestabilityReport, NetlistError> {
+        let universe = FaultUniverse::collapsed(circuit)?;
+        let profile = DetectionProfile::estimate(circuit, universe.faults())?;
+        let mut sorted: Vec<f64> = profile.probabilities().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("probabilities are finite"));
+        let median = if sorted.is_empty() {
+            1.0
+        } else {
+            sorted[sorted.len() / 2]
+        };
+        Ok(TestabilityReport {
+            name: circuit.name().to_string(),
+            faults: universe.len(),
+            faults_uncollapsed: universe.total_uncollapsed(),
+            min_detection_probability: profile.min_probability(),
+            median_detection_probability: median,
+            resistant_faults: profile.resistant_indices(threshold).len(),
+            resistance_threshold: threshold,
+            expected_coverage_1k: profile.expected_coverage(1_000),
+            expected_coverage_32k: profile.expected_coverage(32_000),
+        })
+    }
+
+    /// One row of a benchmark table, tab-separated.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{}\t{}\t{:.2e}\t{}\t{:.2}%\t{:.2}%",
+            self.name,
+            self.faults,
+            self.min_detection_probability,
+            self.resistant_faults,
+            self.expected_coverage_1k * 100.0,
+            self.expected_coverage_32k * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn report_on_resistant_circuit() {
+        let mut b = CircuitBuilder::new("and16");
+        let xs = b.inputs(16, "x");
+        let root = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(root);
+        let c = b.finish().unwrap();
+        let r = TestabilityReport::analyse(&c, 1e-3).unwrap();
+        assert_eq!(r.name, "and16");
+        assert!(r.faults > 0);
+        assert!(r.faults_uncollapsed >= r.faults);
+        assert!(r.min_detection_probability <= 2f64.powi(-16) + 1e-15);
+        assert!(r.resistant_faults >= 1);
+        assert!(r.expected_coverage_32k > r.expected_coverage_1k - 1e-12);
+        let row = r.table_row();
+        assert!(row.starts_with("and16\t"));
+    }
+
+    #[test]
+    fn easy_circuit_has_no_resistant_faults() {
+        let mut b = CircuitBuilder::new("xor4");
+        let xs = b.inputs(4, "x");
+        let root = b.balanced_tree(GateKind::Xor, &xs, "g").unwrap();
+        b.output(root);
+        let c = b.finish().unwrap();
+        let r = TestabilityReport::analyse(&c, 1e-3).unwrap();
+        assert_eq!(r.resistant_faults, 0);
+        assert!(r.expected_coverage_1k > 0.999);
+    }
+}

@@ -1,0 +1,297 @@
+use tpi_netlist::{Circuit, GateKind, NetlistError, NodeId, Topology};
+
+/// Sentinel for "uncontrollable / unobservable" SCOAP values (e.g. the
+/// 1-controllability of a constant-0 net).
+pub const SCOAP_INF: u32 = u32::MAX / 4;
+
+/// Classic SCOAP testability measures: integer combinational
+/// controllabilities `CC0`/`CC1` (effort to set a line to 0/1) and
+/// observability `CO` (effort to propagate a line to an output).
+///
+/// Provided for period-appropriate comparisons against the probabilistic
+/// COP measures; the DP itself reasons in probabilities.
+///
+/// # Example
+///
+/// ```
+/// use tpi_netlist::bench_format::parse_bench;
+/// use tpi_testability::ScoapAnalysis;
+///
+/// # fn main() -> Result<(), tpi_netlist::NetlistError> {
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\ny = AND(a, b)\nOUTPUT(y)\n")?;
+/// let scoap = ScoapAnalysis::new(&c)?;
+/// let y = c.outputs()[0];
+/// assert_eq!(scoap.cc1(y), 3); // both inputs to 1: 1 + 1 + 1
+/// assert_eq!(scoap.cc0(y), 2); // one input to 0:   1 + 1
+/// assert_eq!(scoap.co(y), 0);  // it is an output
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScoapAnalysis {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+impl ScoapAnalysis {
+    /// Compute SCOAP measures for a circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Cycle`] for cyclic circuits.
+    pub fn new(circuit: &Circuit) -> Result<ScoapAnalysis, NetlistError> {
+        let topo = Topology::of(circuit)?;
+        let n = circuit.node_count();
+        let mut cc0 = vec![SCOAP_INF; n];
+        let mut cc1 = vec![SCOAP_INF; n];
+
+        for &id in topo.order() {
+            let node = circuit.node(id);
+            let (c0, c1) = match node.kind() {
+                GateKind::Input => (1, 1),
+                GateKind::Const0 => (1, SCOAP_INF),
+                GateKind::Const1 => (SCOAP_INF, 1),
+                GateKind::Buf => {
+                    let f = node.fanins()[0];
+                    (sat_add(cc0[f.index()], 1), sat_add(cc1[f.index()], 1))
+                }
+                GateKind::Not => {
+                    let f = node.fanins()[0];
+                    (sat_add(cc1[f.index()], 1), sat_add(cc0[f.index()], 1))
+                }
+                GateKind::And => and_cc(node.fanins(), &cc0, &cc1),
+                GateKind::Nand => swap(and_cc(node.fanins(), &cc0, &cc1)),
+                GateKind::Or => swap(and_cc(node.fanins(), &cc1, &cc0)),
+                GateKind::Nor => and_cc(node.fanins(), &cc1, &cc0),
+                GateKind::Xor => xor_cc(node.fanins(), &cc0, &cc1, false),
+                GateKind::Xnor => xor_cc(node.fanins(), &cc0, &cc1, true),
+            };
+            cc0[id.index()] = c0;
+            cc1[id.index()] = c1;
+        }
+
+        let mut co = vec![SCOAP_INF; n];
+        for &o in circuit.outputs() {
+            co[o.index()] = 0;
+        }
+        for &id in topo.order().iter().rev() {
+            let node = circuit.node(id);
+            if node.kind().is_source() || co[id.index()] >= SCOAP_INF {
+                continue;
+            }
+            let fanins = node.fanins();
+            for (pin, &f) in fanins.iter().enumerate() {
+                let side_cost: u32 = match node.kind() {
+                    GateKind::And | GateKind::Nand => sum_others(fanins, pin, &cc1),
+                    GateKind::Or | GateKind::Nor => sum_others(fanins, pin, &cc0),
+                    GateKind::Buf | GateKind::Not => 0,
+                    GateKind::Xor | GateKind::Xnor => fanins
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != pin)
+                        .map(|(_, &s)| cc0[s.index()].min(cc1[s.index()]))
+                        .fold(0, sat_add),
+                    _ => 0,
+                };
+                let via = sat_add(sat_add(co[id.index()], side_cost), 1);
+                if via < co[f.index()] {
+                    co[f.index()] = via;
+                }
+            }
+        }
+        Ok(ScoapAnalysis { cc0, cc1, co })
+    }
+
+    /// Effort to drive the line to 0 (1 at a primary input).
+    pub fn cc0(&self, id: NodeId) -> u32 {
+        self.cc0[id.index()]
+    }
+
+    /// Effort to drive the line to 1.
+    pub fn cc1(&self, id: NodeId) -> u32 {
+        self.cc1[id.index()]
+    }
+
+    /// Effort to observe the line at an output (0 at a primary output).
+    pub fn co(&self, id: NodeId) -> u32 {
+        self.co[id.index()]
+    }
+
+    /// Combined SCOAP testability of the line's hardest stuck-at fault:
+    /// `max(cc0, cc1) + co` (saturating).
+    pub fn hardest_fault_effort(&self, id: NodeId) -> u32 {
+        sat_add(self.cc0[id.index()].max(self.cc1[id.index()]), self.co[id.index()])
+    }
+}
+
+fn sat_add(a: u32, b: u32) -> u32 {
+    a.saturating_add(b).min(SCOAP_INF)
+}
+
+fn swap((a, b): (u32, u32)) -> (u32, u32) {
+    (b, a)
+}
+
+/// `(cc0, cc1)` of an AND-like gate over the given controllability tables
+/// (`lo` = cost of the controlling value, `hi` = cost of the
+/// non-controlling value). Passing `(cc1, cc0)` computes the NOR case.
+fn and_cc(fanins: &[NodeId], lo: &[u32], hi: &[u32]) -> (u32, u32) {
+    let easiest_zero = fanins
+        .iter()
+        .map(|f| lo[f.index()])
+        .min()
+        .unwrap_or(SCOAP_INF);
+    let all_ones = fanins.iter().map(|f| hi[f.index()]).fold(0, sat_add);
+    (sat_add(easiest_zero, 1), sat_add(all_ones, 1))
+}
+
+/// `(cc0, cc1)` of an XOR/XNOR by folding pairwise.
+fn xor_cc(fanins: &[NodeId], cc0: &[u32], cc1: &[u32], invert: bool) -> (u32, u32) {
+    let mut acc0 = 0u32; // cost to make partial parity 0 (empty parity = 0)
+    let mut acc1 = SCOAP_INF;
+    for (i, f) in fanins.iter().enumerate() {
+        let (f0, f1) = (cc0[f.index()], cc1[f.index()]);
+        if i == 0 {
+            acc0 = f0;
+            acc1 = f1;
+        } else {
+            let n0 = sat_add(acc0, f0).min(sat_add(acc1, f1));
+            let n1 = sat_add(acc0, f1).min(sat_add(acc1, f0));
+            acc0 = n0;
+            acc1 = n1;
+        }
+    }
+    if invert {
+        (sat_add(acc1, 1), sat_add(acc0, 1))
+    } else {
+        (sat_add(acc0, 1), sat_add(acc1, 1))
+    }
+}
+
+fn sum_others(fanins: &[NodeId], pin: usize, table: &[u32]) -> u32 {
+    fanins
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != pin)
+        .map(|(_, &s)| table[s.index()])
+        .fold(0, sat_add)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::CircuitBuilder;
+
+    #[test]
+    fn primary_input_baseline() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Buf, vec![a], "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let s = ScoapAnalysis::new(&c).unwrap();
+        assert_eq!((s.cc0(a), s.cc1(a)), (1, 1));
+        assert_eq!((s.cc0(g), s.cc1(g)), (2, 2));
+        assert_eq!(s.co(g), 0);
+        assert_eq!(s.co(a), 1);
+    }
+
+    #[test]
+    fn wide_and_controllability_grows_linearly() {
+        for width in [2usize, 4, 8] {
+            let mut b = CircuitBuilder::new("c");
+            let xs = b.inputs(width, "x");
+            let g = b.gate(GateKind::And, xs.clone(), "g").unwrap();
+            b.output(g);
+            let c = b.finish().unwrap();
+            let s = ScoapAnalysis::new(&c).unwrap();
+            assert_eq!(s.cc1(g), width as u32 + 1);
+            assert_eq!(s.cc0(g), 2);
+        }
+    }
+
+    #[test]
+    fn nand_nor_duality() {
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.inputs(2, "x");
+        let nand = b.gate(GateKind::Nand, xs.clone(), "nand").unwrap();
+        let nor = b.gate(GateKind::Nor, xs.clone(), "nor").unwrap();
+        b.output(nand);
+        b.output(nor);
+        let c = b.finish().unwrap();
+        let s = ScoapAnalysis::new(&c).unwrap();
+        assert_eq!(s.cc0(nand), 3); // both 1 then invert
+        assert_eq!(s.cc1(nand), 2);
+        assert_eq!(s.cc1(nor), 3);
+        assert_eq!(s.cc0(nor), 2);
+    }
+
+    #[test]
+    fn xor_controllability() {
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.inputs(2, "x");
+        let g = b.gate(GateKind::Xor, xs.clone(), "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let s = ScoapAnalysis::new(&c).unwrap();
+        assert_eq!(s.cc1(g), 3); // one input 1, other 0
+        assert_eq!(s.cc0(g), 3); // both equal
+    }
+
+    #[test]
+    fn observability_accumulates_side_costs() {
+        // y = AND(x0, x1, x2): observing x0 requires x1=1 and x2=1.
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.inputs(3, "x");
+        let g = b.gate(GateKind::And, xs.clone(), "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let s = ScoapAnalysis::new(&c).unwrap();
+        assert_eq!(s.co(xs[0]), 3); // CO(out)=0 + CC1(x1) + CC1(x2) + 1
+        assert_eq!(s.hardest_fault_effort(xs[0]), 1 + 3);
+    }
+
+    #[test]
+    fn constants_are_one_sided() {
+        let mut b = CircuitBuilder::new("c");
+        let one = b.constant(true, "one").unwrap();
+        let x = b.input("x");
+        let g = b.gate(GateKind::And, vec![one, x], "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let s = ScoapAnalysis::new(&c).unwrap();
+        assert_eq!(s.cc1(one), 1);
+        assert_eq!(s.cc0(one), SCOAP_INF);
+        // Forcing g to 0 must go through x (the constant can't be 0).
+        assert_eq!(s.cc0(g), 2);
+    }
+
+    #[test]
+    fn unobservable_logic_is_infinite() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let dead = b.gate(GateKind::Not, vec![a], "dead").unwrap();
+        let g = b.gate(GateKind::Buf, vec![a], "g").unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let s = ScoapAnalysis::new(&c).unwrap();
+        assert_eq!(s.co(dead), SCOAP_INF);
+    }
+
+    #[test]
+    fn co_takes_cheapest_path() {
+        // a reaches the output directly (BUF) and through an AND; CO must
+        // use the cheap path.
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let x = b.input("x");
+        let g1 = b.gate(GateKind::And, vec![a, x], "g1").unwrap();
+        let g2 = b.gate(GateKind::Buf, vec![a], "g2").unwrap();
+        b.output(g1);
+        b.output(g2);
+        let c = b.finish().unwrap();
+        let s = ScoapAnalysis::new(&c).unwrap();
+        assert_eq!(s.co(a), 1); // via the buffer
+    }
+}

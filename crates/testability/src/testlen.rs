@@ -1,0 +1,153 @@
+//! Escape probability ↔ test length ↔ detection threshold arithmetic.
+//!
+//! Under the random-pattern model a fault with per-pattern detection
+//! probability `p` escapes an `L`-pattern test with probability
+//! `(1 − p)^L`. The DAC'87-era test-point-insertion objective "every fault
+//! detected with confidence `c` within `L` patterns" therefore translates
+//! into a per-pattern detection-probability threshold
+//! `δ = 1 − (1 − c)^{1/L}` — the bridge between a BIST test-length budget
+//! and the threshold handed to the optimizers in `tpi-core`.
+
+/// Probability that a fault with per-pattern detection probability `p`
+/// survives `n` independent random patterns.
+///
+/// # Example
+///
+/// ```
+/// use tpi_testability::testlen::escape_probability;
+/// assert!((escape_probability(0.5, 2) - 0.25).abs() < 1e-12);
+/// assert_eq!(escape_probability(0.0, 1000), 1.0);
+/// assert_eq!(escape_probability(1.0, 1), 0.0);
+/// ```
+pub fn escape_probability(p: f64, n: u64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    if p >= 1.0 {
+        return 0.0;
+    }
+    // ln-form avoids underfow surprises for large n.
+    let log = (n as f64) * (1.0 - p).ln();
+    log.exp()
+}
+
+/// Number of random patterns needed to detect a fault of per-pattern
+/// probability `p` with confidence `confidence`.
+///
+/// Returns `u64::MAX` for untestable faults (`p == 0`).
+///
+/// # Panics
+///
+/// Panics if `confidence` is not in `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use tpi_testability::testlen::test_length_for_confidence;
+/// // Detecting a p = 0.001 fault with 98% confidence needs ~3 911 patterns.
+/// let l = test_length_for_confidence(0.001, 0.98);
+/// assert!((3_800..4_000).contains(&l));
+/// ```
+pub fn test_length_for_confidence(p: f64, confidence: f64) -> u64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    if p <= 0.0 {
+        return u64::MAX;
+    }
+    if p >= 1.0 {
+        return 1;
+    }
+    let l = (1.0 - confidence).ln() / (1.0 - p).ln();
+    l.ceil() as u64
+}
+
+/// The per-pattern detection-probability threshold implied by a test
+/// length `l` and a per-fault confidence `confidence`:
+/// `δ = 1 − (1 − confidence)^{1/l}`.
+///
+/// # Panics
+///
+/// Panics if `l == 0` or `confidence` is not in `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use tpi_testability::testlen::{threshold_for_length, escape_probability};
+/// let delta = threshold_for_length(32_000, 0.98);
+/// // A fault exactly at the threshold escapes 32k patterns with prob 2%.
+/// assert!((escape_probability(delta, 32_000) - 0.02).abs() < 1e-9);
+/// ```
+pub fn threshold_for_length(l: u64, confidence: f64) -> f64 {
+    assert!(l > 0, "test length must be positive");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    1.0 - (1.0 - confidence).powf(1.0 / l as f64)
+}
+
+/// Expected number of patterns until first detection (`1/p`), or
+/// `f64::INFINITY` for untestable faults.
+pub fn expected_patterns_to_detect(p: f64) -> f64 {
+    if p <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_edge_cases() {
+        assert_eq!(escape_probability(1.0, 0), 0.0);
+        assert_eq!(escape_probability(0.0, u64::MAX), 1.0);
+        assert!((escape_probability(0.5, 10) - 0.5f64.powi(10)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn length_and_threshold_are_inverses() {
+        for &p in &[1e-4, 1e-3, 0.01, 0.2] {
+            let l = test_length_for_confidence(p, 0.95);
+            // A fault at exactly the implied threshold for length l needs
+            // at most l patterns at that confidence.
+            let delta = threshold_for_length(l, 0.95);
+            assert!(delta <= p + 1e-9, "p {p}: threshold {delta} > p");
+            assert!(escape_probability(p, l) <= 0.05 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn untestable_fault_needs_infinite_patterns() {
+        assert_eq!(test_length_for_confidence(0.0, 0.9), u64::MAX);
+        assert_eq!(expected_patterns_to_detect(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn certain_fault_needs_one_pattern() {
+        assert_eq!(test_length_for_confidence(1.0, 0.999), 1);
+        assert_eq!(expected_patterns_to_detect(1.0), 1.0);
+    }
+
+    #[test]
+    fn threshold_decreases_with_length() {
+        let d1 = threshold_for_length(1_000, 0.98);
+        let d2 = threshold_for_length(32_000, 0.98);
+        assert!(d2 < d1);
+        assert!(d2 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in (0, 1)")]
+    fn bad_confidence_panics() {
+        threshold_for_length(100, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "test length must be positive")]
+    fn zero_length_panics() {
+        threshold_for_length(0, 0.5);
+    }
+}

@@ -1,0 +1,63 @@
+//! Head-to-head: DP vs greedy vs random on fanout-free circuits.
+//!
+//! ```text
+//! cargo run --release --example dp_vs_baselines
+//! ```
+
+use krishnamurthy_tpi::core::evaluate::PlanEvaluator;
+use krishnamurthy_tpi::core::{
+    DpOptimizer, GreedyOptimizer, RandomOptimizer, Threshold, TpiProblem,
+};
+use krishnamurthy_tpi::gen::trees::{random_tree, RandomTreeConfig};
+use krishnamurthy_tpi::gen::rpr;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threshold = Threshold::from_log2(-9.0);
+    println!("threshold: δ = {threshold}\n");
+    println!(
+        "{:<22} {:>6} {:>10} {:>10} {:>10}",
+        "circuit", "nodes", "dp", "greedy", "random"
+    );
+
+    let mut circuits = vec![
+        rpr::and_tree(16, 2)?,
+        rpr::and_tree(24, 4)?,
+        rpr::comparator(12)?,
+        rpr::parity_gated_cone(6, 14)?,
+    ];
+    for seed in 1..=3 {
+        circuits.push(random_tree(
+            &RandomTreeConfig::with_leaves(48, seed).and_or_only(),
+        )?);
+    }
+
+    for circuit in &circuits {
+        let problem = TpiProblem::min_cost(circuit, threshold)?;
+        let evaluator = PlanEvaluator::new(&problem)?;
+
+        let dp = DpOptimizer::default().solve(&problem)?;
+        assert!(evaluator.evaluate(dp.test_points())?.feasible);
+
+        let greedy = GreedyOptimizer::default().solve(&problem)?;
+        let random = RandomOptimizer::new(11, 300).solve(&problem)?;
+
+        let show = |plan: &krishnamurthy_tpi::core::Plan| {
+            if plan.is_feasible() {
+                format!("{:.1}", plan.cost())
+            } else {
+                format!("{:.1}*", plan.cost()) // * = did not reach δ
+            }
+        };
+        println!(
+            "{:<22} {:>6} {:>10} {:>10} {:>10}",
+            circuit.name(),
+            circuit.node_count(),
+            show(&dp),
+            show(&greedy),
+            show(&random)
+        );
+    }
+    println!("\n(*) failed to reach the threshold within its budget");
+    println!("dp ≤ greedy ≤ random is the expected cost ordering; dp is optimal on these trees.");
+    Ok(())
+}

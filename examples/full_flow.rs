@@ -1,0 +1,84 @@
+//! The complete DFT flow the DAC'87-era literature describes, end to end:
+//!
+//! 1. redundancy sweep (ATPG) — untestable faults leave the targets;
+//! 2. random-pattern baseline measurement;
+//! 3. DP test point insertion against a test-length budget;
+//! 4. re-measurement;
+//! 5. deterministic top-off cubes for the last stragglers.
+//!
+//! ```text
+//! cargo run --release --example full_flow
+//! ```
+
+use krishnamurthy_tpi::atpg::{redundancy, topoff, PodemConfig};
+use krishnamurthy_tpi::core::report::InsertionReport;
+use krishnamurthy_tpi::core::{DpOptimizer, Threshold, TpiProblem};
+use krishnamurthy_tpi::netlist::transform::apply_plan;
+use krishnamurthy_tpi::sim::{FaultSimulator, FaultUniverse, RandomPatterns};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let test_length = 4_000u64;
+    let circuit = krishnamurthy_tpi::gen::rpr::and_tree(24, 4)?;
+    println!("circuit: {circuit}\n");
+
+    // 1. Redundancy sweep.
+    let universe = FaultUniverse::collapsed(&circuit)?;
+    let sweep = redundancy::sweep(&circuit, universe.faults(), PodemConfig::default())?;
+    println!(
+        "ATPG sweep: {} testable, {} redundant, {} undecided",
+        sweep.testable.len(),
+        sweep.redundant.len(),
+        sweep.undecided.len()
+    );
+    let targets = sweep.targets();
+
+    // 2. Baseline.
+    let mut sim = FaultSimulator::new(&circuit)?;
+    let mut src = RandomPatterns::new(circuit.inputs().len(), 42);
+    let baseline = sim.run(&mut src, test_length, &targets)?;
+    println!(
+        "baseline: {:.2}% of testable faults after {} patterns\n",
+        baseline.coverage() * 100.0,
+        test_length
+    );
+
+    // 3. Insertion (DP; this family is fanout-free).
+    let threshold = Threshold::from_test_length(test_length, 0.95)?;
+    let problem = TpiProblem::min_cost(&circuit, threshold)?;
+    let plan = DpOptimizer::default().solve(&problem)?;
+    let report = InsertionReport::build(&problem, &plan)?;
+    println!("{}", report.to_markdown());
+
+    // 4. Re-measure.
+    let (modified, _) = apply_plan(&circuit, plan.test_points())?;
+    let mut sim = FaultSimulator::new(&modified)?;
+    let mut src = RandomPatterns::new(modified.inputs().len(), 42);
+    let after = sim.run(&mut src, test_length, &targets)?;
+    println!(
+        "after TPI: {:.2}% after {} patterns",
+        after.coverage() * 100.0,
+        test_length
+    );
+
+    // 5. Top off the stragglers with stored cubes.
+    let leftovers: Vec<_> = after
+        .undetected_indices()
+        .into_iter()
+        .map(|i| targets[i])
+        .collect();
+    if leftovers.is_empty() {
+        println!("no top-off needed — the random session covers everything");
+    } else {
+        let top = topoff::generate(&modified, &leftovers, PodemConfig::default(), 7)?;
+        println!(
+            "top-off: {} leftover faults → {} cubes, {} merged seeds",
+            leftovers.len(),
+            top.cubes.len(),
+            top.seed_count()
+        );
+        for cube in &top.merged {
+            println!("  seed {}", cube.to_pattern_string());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! A tour of the structural substrate: parse the embedded ISCAS-85 `c17`,
+//! analyse it, insert a test point by hand, and export Graphviz.
+//!
+//! ```text
+//! cargo run --example netlist_tour
+//! ```
+
+use krishnamurthy_tpi::gen::benchmarks;
+use krishnamurthy_tpi::netlist::{analysis, bench_format, dot, ffr, TestPoint, Topology};
+use krishnamurthy_tpi::testability::{CopAnalysis, ScoapAnalysis};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let c17 = benchmarks::c17()?;
+    let topo = Topology::of(&c17)?;
+
+    println!("{c17}");
+    let stats = analysis::stats(&c17, &topo);
+    println!(
+        "depth {} | {} stems | max fanout {}",
+        stats.depth, stats.stems, stats.max_fanout
+    );
+
+    println!("\nfanout-free regions:");
+    let regions = ffr::FfrDecomposition::of(&c17, &topo);
+    for &root in regions.roots() {
+        let members: Vec<&str> = regions
+            .members(root)
+            .iter()
+            .map(|&m| c17.node_name(m))
+            .collect();
+        println!("  root {}: {{{}}}", c17.node_name(root), members.join(", "));
+    }
+    let recon: Vec<&str> = ffr::reconvergent_stems(&c17, &topo)
+        .iter()
+        .map(|&s| c17.node_name(s))
+        .collect();
+    println!("reconvergent stems: {{{}}}", recon.join(", "));
+
+    println!("\ntestability (COP c1 / observability, SCOAP cc0/cc1/co):");
+    let cop = CopAnalysis::new(&c17)?;
+    let scoap = ScoapAnalysis::new(&c17)?;
+    for id in c17.node_ids() {
+        println!(
+            "  {:<4} c1={:.3} obs={:.3}   cc0={} cc1={} co={}",
+            c17.node_name(id),
+            cop.c1(id),
+            cop.observability(id),
+            scoap.cc0(id),
+            scoap.cc1(id),
+            scoap.co(id)
+        );
+    }
+
+    // Hand-insert a control point at the famous reconvergent stem `11`.
+    let stem = c17.find_node("11").expect("c17 has net 11");
+    let (modified, applied) =
+        krishnamurthy_tpi::netlist::transform::apply_plan(&c17, &[TestPoint::control_or(stem)])?;
+    println!(
+        "\ninserted {} (aux input {}, gate {})",
+        applied[0].point,
+        modified.node_name(applied[0].aux_input.unwrap()),
+        modified.node_name(applied[0].cp_gate.unwrap()),
+    );
+
+    println!("\nround-trip through .bench:\n{}", bench_format::to_bench(&modified));
+    println!("Graphviz of the modified circuit:\n{}", dot::to_dot(&modified));
+    Ok(())
+}

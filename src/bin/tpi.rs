@@ -1,0 +1,300 @@
+//! `tpi` — command-line front end for the krishnamurthy-tpi toolkit.
+//!
+//! ```text
+//! tpi analyze  <file.bench>                      structural + testability report
+//! tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr]
+//! tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]
+//!              [--method dp|greedy|constructive] [--out FILE] [--verilog FILE]
+//! tpi atpg     <file.bench> [--patterns N]       redundancy sweep + top-off cubes
+//! tpi export   <file.bench> (--verilog FILE | --dot FILE)
+//! ```
+//!
+//! Netlists are ISCAS-85 `.bench` files; `DFF`s are treated as full-scan
+//! pseudo-ports.
+
+use std::process::ExitCode;
+
+use krishnamurthy_tpi::atpg::{redundancy, topoff, PodemConfig};
+use krishnamurthy_tpi::core::general::{ConstructiveConfig, ConstructiveOptimizer};
+use krishnamurthy_tpi::core::report::InsertionReport;
+use krishnamurthy_tpi::core::{DpOptimizer, GreedyOptimizer, Threshold, TpiProblem};
+use krishnamurthy_tpi::netlist::transform::apply_plan;
+use krishnamurthy_tpi::netlist::{analysis, bench_format, dot, ffr, verilog, Circuit, Topology};
+use krishnamurthy_tpi::sim::{FaultSimulator, FaultUniverse, LfsrPatterns, RandomPatterns};
+use krishnamurthy_tpi::testability::profile::TestabilityReport;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tpi: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "analyze" => analyze(rest),
+        "simulate" => simulate(rest),
+        "insert" => insert(rest),
+        "atpg" => atpg(rest),
+        "export" => export(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `tpi help`)")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "tpi — dynamic-programming test point insertion toolkit\n\n\
+         usage:\n  \
+         tpi analyze  <file.bench>\n  \
+         tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr]\n  \
+         tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]\n           \
+         [--method dp|greedy|constructive] [--out FILE] [--verilog FILE]\n  \
+         tpi atpg     <file.bench> [--patterns N]\n  \
+         tpi export   <file.bench> (--verilog FILE | --dot FILE)"
+    );
+}
+
+/// Tiny flag parser: positional file + `--key value` / boolean `--key`.
+struct Flags<'a> {
+    file: &'a str,
+    pairs: Vec<(&'a str, Option<&'a str>)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String], booleans: &[&str]) -> Result<Flags<'a>, String> {
+        let mut file = None;
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if let Some(key) = a.strip_prefix("--") {
+                if booleans.contains(&key) {
+                    pairs.push((key, None));
+                    i += 1;
+                } else {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{key} needs a value"))?;
+                    pairs.push((key, Some(value.as_str())));
+                    i += 2;
+                }
+            } else if file.is_none() {
+                file = Some(a);
+                i += 1;
+            } else {
+                return Err(format!("unexpected argument `{a}`"));
+            }
+        }
+        Ok(Flags {
+            file: file.ok_or("missing input .bench file")?,
+            pairs,
+        })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .and_then(|(_, v)| *v)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| *k == key)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} value `{v}`")),
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Circuit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    bench_format::parse_bench_with(&text, name, bench_format::ScanMode::FullScan)
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn analyze(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let circuit = load(flags.file)?;
+    let topo = Topology::of(&circuit).map_err(|e| e.to_string())?;
+    let stats = analysis::stats(&circuit, &topo);
+    println!("{circuit}");
+    println!(
+        "depth {} | stems {} | max fanout {} | avg fanin {:.2}",
+        stats.depth, stats.stems, stats.max_fanout, stats.avg_fanin
+    );
+    println!(
+        "fanout-free: {} | reconvergent stems: {}",
+        ffr::is_fanout_free(&circuit, &topo),
+        ffr::reconvergent_stems(&circuit, &topo).len()
+    );
+    let report = TestabilityReport::analyse(&circuit, 1e-4).map_err(|e| e.to_string())?;
+    println!(
+        "collapsed faults {} (of {}) | min p_det {:.2e} | resistant(<1e-4) {}",
+        report.faults,
+        report.faults_uncollapsed,
+        report.min_detection_probability,
+        report.resistant_faults
+    );
+    println!(
+        "COP-predicted coverage: {:.2}% @1k, {:.2}% @32k",
+        report.expected_coverage_1k * 100.0,
+        report.expected_coverage_32k * 100.0
+    );
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["lfsr"])?;
+    let circuit = load(flags.file)?;
+    let patterns: u64 = flags.num("patterns", 32_000)?;
+    let seed: u64 = flags.num("seed", 1)?;
+    let universe = FaultUniverse::collapsed(&circuit).map_err(|e| e.to_string())?;
+    let mut sim = FaultSimulator::new(&circuit).map_err(|e| e.to_string())?;
+    let result = if flags.has("lfsr") {
+        let mut src =
+            LfsrPatterns::new(circuit.inputs().len(), seed).map_err(|e| e.to_string())?;
+        sim.run(&mut src, patterns, universe.faults())
+    } else {
+        let mut src = RandomPatterns::new(circuit.inputs().len(), seed);
+        sim.run(&mut src, patterns, universe.faults())
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{}: {}/{} faults detected ({:.2}%) with {} patterns",
+        circuit.name(),
+        result.detected_count(),
+        universe.len(),
+        result.coverage() * 100.0,
+        result.patterns_applied()
+    );
+    for point in result.coverage_curve((patterns / 8).max(1)) {
+        println!("  @{:>8}: {:.2}%", point.patterns, point.coverage * 100.0);
+    }
+    Ok(())
+}
+
+fn insert(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let circuit = load(flags.file)?;
+    let threshold = if let Some(e) = flags.get("log2-threshold") {
+        let exp: f64 = e.parse().map_err(|_| "bad --log2-threshold")?;
+        if exp > 0.0 {
+            return Err("--log2-threshold must be ≤ 0".into());
+        }
+        Threshold::from_log2(exp)
+    } else {
+        let length: u64 = flags.num("test-length", 32_000)?;
+        let confidence: f64 = flags.num("confidence", 0.98)?;
+        Threshold::from_test_length(length, confidence).map_err(|e| e.to_string())?
+    };
+    let method = flags.get("method").unwrap_or("dp");
+    let problem = TpiProblem::min_cost(&circuit, threshold).map_err(|e| e.to_string())?;
+
+    let plan = match method {
+        "dp" => DpOptimizer::default().solve(&problem).map_err(|e| {
+            format!("{e}\nhint: for reconvergent circuits use --method constructive")
+        })?,
+        "greedy" => GreedyOptimizer::default()
+            .solve(&problem)
+            .map_err(|e| e.to_string())?,
+        "constructive" => {
+            ConstructiveOptimizer::new(ConstructiveConfig::default())
+                .solve(&circuit, threshold)
+                .map_err(|e| e.to_string())?
+                .plan
+        }
+        other => return Err(format!("unknown method `{other}`")),
+    };
+
+    let report = InsertionReport::build(&problem, &plan).map_err(|e| e.to_string())?;
+    print!("{}", report.to_text());
+
+    let (modified, _) = apply_plan(&circuit, plan.test_points()).map_err(|e| e.to_string())?;
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, bench_format::to_bench(&modified))
+            .map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if let Some(v) = flags.get("verilog") {
+        std::fs::write(v, verilog::to_verilog(&modified)).map_err(|e| format!("{v}: {e}"))?;
+        println!("wrote {v}");
+    }
+    Ok(())
+}
+
+fn atpg(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let circuit = load(flags.file)?;
+    let patterns: u64 = flags.num("patterns", 32_000)?;
+    let universe = FaultUniverse::collapsed(&circuit).map_err(|e| e.to_string())?;
+    let sweep = redundancy::sweep(&circuit, universe.faults(), PodemConfig::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} faults — {} testable, {} redundant, {} undecided",
+        circuit.name(),
+        universe.len(),
+        sweep.testable.len(),
+        sweep.redundant.len(),
+        sweep.undecided.len()
+    );
+    for f in &sweep.redundant {
+        println!("  redundant: {}", f.describe(&circuit));
+    }
+    let targets = sweep.targets();
+    let mut src = RandomPatterns::new(circuit.inputs().len(), 1);
+    let leftovers = topoff::undetected_after(&circuit, &targets, &mut src, patterns)
+        .map_err(|e| e.to_string())?;
+    let top = topoff::generate(&circuit, &leftovers, PodemConfig::default(), 7)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "after {patterns} random patterns: {} faults left → {} cubes ({} merged seeds)",
+        leftovers.len(),
+        top.cubes.len(),
+        top.seed_count()
+    );
+    for cube in &top.merged {
+        println!("  seed: {}", cube.to_pattern_string());
+    }
+    Ok(())
+}
+
+fn export(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let circuit = load(flags.file)?;
+    let mut wrote = false;
+    if let Some(v) = flags.get("verilog") {
+        std::fs::write(v, verilog::to_verilog(&circuit)).map_err(|e| format!("{v}: {e}"))?;
+        println!("wrote {v}");
+        wrote = true;
+    }
+    if let Some(d) = flags.get("dot") {
+        std::fs::write(d, dot::to_dot(&circuit)).map_err(|e| format!("{d}: {e}"))?;
+        println!("wrote {d}");
+        wrote = true;
+    }
+    if !wrote {
+        return Err("export needs --verilog FILE and/or --dot FILE".into());
+    }
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! The headline property: on fanout-free circuits the exact-mode DP
+//! returns plans of the same minimum cost as exhaustive branch-and-bound,
+//! and every DP plan is feasible under the analytic referee *and* under
+//! exhaustive fault simulation.
+
+use proptest::prelude::*;
+
+use krishnamurthy_tpi::core::evaluate::PlanEvaluator;
+use krishnamurthy_tpi::core::{DpConfig, DpOptimizer, ExactOptimizer, Threshold, TpiProblem};
+use krishnamurthy_tpi::netlist::transform::apply_plan;
+use krishnamurthy_tpi::netlist::{Circuit, CircuitBuilder, GateKind};
+use krishnamurthy_tpi::sim::montecarlo;
+
+/// A random tree circuit small enough for exhaustive search, described by
+/// a recipe of gate kinds and arities.
+fn small_tree(recipe: &[(u8, bool)], leaves: usize) -> Circuit {
+    let mut b = CircuitBuilder::new("prop_tree");
+    let mut open: Vec<_> = b.inputs(leaves, "x");
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+    ];
+    let mut counter = 0;
+    for &(kind_sel, wide) in recipe {
+        if open.len() < 2 {
+            break;
+        }
+        let kind = kinds[kind_sel as usize % kinds.len()];
+        let arity = if wide && open.len() >= 3 { 3 } else { 2 };
+        let fanins: Vec<_> = open.drain(..arity).collect();
+        let g = b.gate(kind, fanins, format!("g{counter}")).unwrap();
+        counter += 1;
+        open.push(g);
+    }
+    while open.len() > 1 {
+        let fanins: Vec<_> = open.drain(..2).collect();
+        let g = b.gate(GateKind::And, fanins, format!("g{counter}")).unwrap();
+        counter += 1;
+        open.push(g);
+    }
+    b.output(open[0]);
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DP(exact) cost == branch-and-bound cost, for random small trees
+    /// and thresholds. The DP plan seeds the branch-and-bound as its
+    /// incumbent: the search then *certifies* that no cheaper
+    /// configuration exists (and would return one if it did).
+    #[test]
+    fn dp_matches_exhaustive_optimum(
+        recipe in prop::collection::vec((0u8..5, any::<bool>()), 1..3),
+        leaves in 2usize..5,
+        exp in -5.0f64..-2.0,
+    ) {
+        let circuit = small_tree(&recipe, leaves);
+        prop_assume!(circuit.node_count() <= 8); // keep 7^n in check
+        let threshold = Threshold::from_log2(exp);
+        let problem = TpiProblem::min_cost(&circuit, threshold).unwrap();
+        // Rare degenerate thresholds can be infeasible; optimality is only
+        // defined on feasible instances.
+        let Ok(dp_plan) = DpOptimizer::new(DpConfig::exact()).solve(&problem) else {
+            return Ok(());
+        };
+        let (exact_plan, _) = ExactOptimizer::with_max_nodes(9)
+            .solve_with_incumbent(&problem, Some(&dp_plan))
+            .unwrap();
+        prop_assert!(
+            (dp_plan.cost() - exact_plan.cost()).abs() < 1e-9,
+            "dp {} vs exhaustive optimum {}", dp_plan.cost(), exact_plan.cost()
+        );
+        let eval = PlanEvaluator::new(&problem).unwrap();
+        prop_assert!(eval.evaluate(dp_plan.test_points()).unwrap().feasible);
+        prop_assert!(eval.evaluate(exact_plan.test_points()).unwrap().feasible);
+    }
+
+    /// Every DP plan (default buckets) survives exhaustive fault
+    /// simulation: each targeted fault's true detection probability meets
+    /// the threshold.
+    #[test]
+    fn dp_plans_verified_by_exhaustive_simulation(
+        recipe in prop::collection::vec((0u8..5, any::<bool>()), 1..5),
+        leaves in 2usize..8,
+        exp in -6.0f64..-2.0,
+    ) {
+        let circuit = small_tree(&recipe, leaves);
+        let threshold = Threshold::from_log2(exp);
+        let problem = TpiProblem::min_cost(&circuit, threshold).unwrap();
+        if let Ok(plan) = DpOptimizer::default().solve(&problem) {
+            let (modified, _) = apply_plan(&circuit, plan.test_points()).unwrap();
+            let faults: Vec<_> = problem.targets().iter().map(|t| t.to_fault()).collect();
+            let probs = montecarlo::exact_detection_probabilities(&modified, &faults).unwrap();
+            for (i, &p) in probs.iter().enumerate() {
+                prop_assert!(
+                    p >= threshold.value() - 1e-9,
+                    "target {i} ({}) detection probability {p} < 2^{exp}",
+                    faults[i].describe(&modified)
+                );
+            }
+        }
+    }
+
+    /// Bucketed DP is never better than exact DP (it explores a subset of
+    /// merged states), and both stay feasible.
+    #[test]
+    fn bucketing_only_costs_optimality_upward(
+        recipe in prop::collection::vec((0u8..5, any::<bool>()), 1..3),
+        leaves in 2usize..5,
+    ) {
+        let circuit = small_tree(&recipe, leaves);
+        prop_assume!(circuit.node_count() <= 8);
+        let problem = TpiProblem::min_cost(&circuit, Threshold::from_log2(-3.0)).unwrap();
+        let coarse = DpOptimizer::new(DpConfig::with_resolution(16, 2)).solve(&problem);
+        let exact = DpOptimizer::new(DpConfig::exact()).solve(&problem);
+        if let (Ok(c), Ok(e)) = (coarse, exact) {
+            prop_assert!(c.cost() >= e.cost() - 1e-9, "coarse {} < exact {}", c.cost(), e.cost());
+            let eval = PlanEvaluator::new(&problem).unwrap();
+            prop_assert!(eval.evaluate(c.test_points()).unwrap().feasible);
+        }
+    }
+}

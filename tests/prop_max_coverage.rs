@@ -1,0 +1,126 @@
+//! Certification of the budgeted `MaxCoverage(B)` DP form: on small trees
+//! the exact-mode DP satisfies as many targets as a brute-force sweep of
+//! every affordable configuration.
+
+use proptest::prelude::*;
+
+use krishnamurthy_tpi::core::evaluate::PlanEvaluator;
+use krishnamurthy_tpi::core::{DpConfig, DpOptimizer, Threshold, TpiProblem};
+use krishnamurthy_tpi::netlist::{Circuit, CircuitBuilder, GateKind, TestPoint, TestPointKind};
+
+fn small_tree(recipe: &[u8], leaves: usize) -> Circuit {
+    let mut b = CircuitBuilder::new("prop_tree");
+    let mut open: Vec<_> = b.inputs(leaves, "x");
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+    ];
+    let mut counter = 0;
+    while open.len() > 1 {
+        let kind = kinds[recipe
+            .get(counter % recipe.len().max(1))
+            .copied()
+            .unwrap_or(0) as usize
+            % kinds.len()];
+        let fanins: Vec<_> = open.drain(..2).collect();
+        let g = b.gate(kind, fanins, format!("g{counter}")).unwrap();
+        counter += 1;
+        open.push(g);
+    }
+    b.output(open[0]);
+    b.finish().unwrap()
+}
+
+/// Brute force: best achievable `meeting` over all per-node option
+/// combinations with cost ≤ budget.
+fn brute_force_best_meeting(problem: &TpiProblem, budget: f64) -> usize {
+    let circuit = problem.circuit();
+    let costs = problem.costs();
+    let evaluator = PlanEvaluator::new(problem).unwrap();
+    let options: Vec<Vec<(Vec<TestPointKind>, f64)>> = circuit
+        .node_ids()
+        .map(|_| {
+            vec![
+                (vec![], 0.0),
+                (vec![TestPointKind::Observe], costs.observe),
+                (vec![TestPointKind::ControlAnd], costs.control),
+                (vec![TestPointKind::ControlOr], costs.control),
+                (
+                    vec![TestPointKind::ControlAnd, TestPointKind::Observe],
+                    costs.control + costs.observe,
+                ),
+                (
+                    vec![TestPointKind::ControlOr, TestPointKind::Observe],
+                    costs.control + costs.observe,
+                ),
+                (vec![TestPointKind::Full], costs.full),
+            ]
+        })
+        .collect();
+    let n = circuit.node_count();
+    let mut best = 0usize;
+    let mut choice = vec![0usize; n];
+    loop {
+        let mut cost = 0.0;
+        let mut plan: Vec<TestPoint> = Vec::new();
+        for (i, &c) in choice.iter().enumerate() {
+            cost += options[i][c].1;
+            for &kind in &options[i][c].0 {
+                plan.push(TestPoint::new(
+                    krishnamurthy_tpi::netlist::NodeId::from_index(i),
+                    kind,
+                ));
+            }
+        }
+        if cost <= budget + 1e-9 {
+            let eval = evaluator.evaluate(&plan).unwrap();
+            best = best.max(eval.meeting);
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            choice[i] += 1;
+            if choice[i] < options[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn max_coverage_matches_brute_force(
+        recipe in prop::collection::vec(0u8..5, 1..3),
+        leaves in 2usize..4,
+        budget_steps in 0u32..5,
+    ) {
+        let circuit = small_tree(&recipe, leaves);
+        prop_assume!(circuit.node_count() <= 5); // 7^n configurations
+        let budget = f64::from(budget_steps) * 0.5;
+        let problem = TpiProblem::min_cost(&circuit, Threshold::from_log2(-3.0)).unwrap();
+        let (plan, missed) = DpOptimizer::new(DpConfig::exact())
+            .solve_max_coverage(&problem, budget)
+            .unwrap();
+        prop_assert!(plan.cost() <= budget + 1e-9);
+        let dp_meeting = problem.targets().len() - missed;
+        let best = brute_force_best_meeting(&problem, budget);
+        prop_assert_eq!(
+            dp_meeting, best,
+            "budget {}: dp satisfies {} vs brute force {}",
+            budget, dp_meeting, best
+        );
+        // The DP's own plan must realise its claim.
+        let eval = PlanEvaluator::new(&problem).unwrap().evaluate(plan.test_points()).unwrap();
+        prop_assert!(eval.meeting >= dp_meeting);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the rewrite passes, the Verilog writer and the
+//! statistical (STAFAN) analysis.
+
+use proptest::prelude::*;
+
+use krishnamurthy_tpi::gen::dags::{random_dag, RandomDagConfig};
+use krishnamurthy_tpi::netlist::{rewrite, verilog, Circuit, GateKind, Topology};
+use krishnamurthy_tpi::sim::RandomPatterns;
+use krishnamurthy_tpi::testability::StafanAnalysis;
+
+fn behaviour(circuit: &Circuit) -> Vec<Vec<bool>> {
+    let n = circuit.inputs().len();
+    (0..(1u32 << n))
+        .map(|p| {
+            let assignment: Vec<bool> = (0..n).map(|i| p & (1 << i) != 0).collect();
+            circuit.evaluate_outputs(&assignment).unwrap()
+        })
+        .collect()
+}
+
+/// A random DAG with constants spliced into the fanin pool (so constant
+/// propagation has work to do), plus buffer chains for the forwarding
+/// pass.
+fn dag_with_constants(seed: u64, gates: usize) -> Circuit {
+    use krishnamurthy_tpi::netlist::CircuitBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new("constified");
+    let xs = b.inputs(4, "x");
+    let zero = b.constant(false, "zero").unwrap();
+    let one = b.constant(true, "one").unwrap();
+    let mut nodes = vec![xs[0], xs[1], xs[2], xs[3], zero, one];
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+    for gi in 0..gates {
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let arity = if matches!(kind, GateKind::Not | GateKind::Buf) {
+            1
+        } else {
+            2
+        };
+        let fanins: Vec<_> = (0..arity)
+            .map(|_| nodes[rng.gen_range(0..nodes.len())])
+            .collect();
+        let g = b.gate(kind, fanins, format!("g{gi}")).unwrap();
+        nodes.push(g);
+    }
+    b.output(*nodes.last().unwrap());
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Constant propagation + dead-logic removal preserve behaviour on
+    /// every input pattern.
+    #[test]
+    fn rewrite_pipeline_preserves_behaviour(seed in 0u64..2000, gates in 3usize..20) {
+        let mut c = dag_with_constants(seed, gates);
+        let before = behaviour(&c);
+        rewrite::propagate_constants(&mut c).unwrap();
+        prop_assert_eq!(behaviour(&c), before.clone());
+        let cleaned = rewrite::remove_dead_logic(&c).unwrap();
+        prop_assert_eq!(behaviour(&cleaned.circuit), before);
+        prop_assert!(cleaned.circuit.node_count() <= c.node_count());
+        prop_assert!(cleaned.circuit.validate().is_ok());
+    }
+
+    /// The Verilog writer emits one primitive per logic gate and a
+    /// structurally complete module.
+    #[test]
+    fn verilog_writer_is_structurally_complete(seed in 0u64..2000, gates in 3usize..25) {
+        let c = random_dag(&RandomDagConfig::new(4, gates, seed)).unwrap();
+        let v = verilog::to_verilog(&c);
+        prop_assert!(v.contains("module"));
+        prop_assert!(v.ends_with("endmodule\n"));
+        let gate_count = c
+            .node_ids()
+            .filter(|&id| !c.kind(id).is_source())
+            .count();
+        // One primitive instance per gate plus one buf per output port.
+        let instances = v.matches("\n  and ").count()
+            + v.matches("\n  nand ").count()
+            + v.matches("\n  or ").count()
+            + v.matches("\n  nor ").count()
+            + v.matches("\n  xor ").count()
+            + v.matches("\n  xnor ").count()
+            + v.matches("\n  not ").count()
+            + v.matches("\n  buf ").count();
+        prop_assert_eq!(instances, gate_count + c.outputs().len());
+    }
+
+    /// STAFAN's measured signal probabilities stay within the Monte-Carlo
+    /// tolerance of the truth-table frequency on small DAGs.
+    #[test]
+    fn stafan_measures_signal_probability(seed in 0u64..500) {
+        let c = random_dag(&RandomDagConfig::new(4, 12, seed)).unwrap();
+        let mut src = RandomPatterns::new(4, seed ^ 0xfeed);
+        let stafan = StafanAnalysis::estimate(&c, &mut src, 40_000).unwrap();
+        let n = c.inputs().len();
+        let total = 1u32 << n;
+        for id in c.node_ids() {
+            if c.kind(id) == GateKind::Input {
+                continue;
+            }
+            let mut ones = 0u32;
+            for p in 0..total {
+                let assignment: Vec<bool> = (0..n).map(|i| p & (1 << i) != 0).collect();
+                if c.evaluate(&assignment).unwrap()[id.index()] {
+                    ones += 1;
+                }
+            }
+            let truth = f64::from(ones) / f64::from(total);
+            prop_assert!(
+                (stafan.c1(id) - truth).abs() < 0.02,
+                "node {}: stafan {} vs truth {}", c.node_name(id), stafan.c1(id), truth
+            );
+        }
+    }
+
+    /// Rewrites never break the topological invariants.
+    #[test]
+    fn rewrites_keep_topology_valid(seed in 0u64..2000, gates in 3usize..20) {
+        let mut c = dag_with_constants(seed, gates);
+        rewrite::propagate_constants(&mut c).unwrap();
+        prop_assert!(Topology::of(&c).is_ok());
+        let cleaned = rewrite::remove_dead_logic(&c).unwrap();
+        prop_assert!(Topology::of(&cleaned.circuit).is_ok());
+    }
+}

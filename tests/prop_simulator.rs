@@ -1,0 +1,163 @@
+//! Property tests pinning the simulation stack to independent reference
+//! implementations.
+
+use proptest::prelude::*;
+
+use krishnamurthy_tpi::gen::dags::{random_dag, RandomDagConfig};
+use krishnamurthy_tpi::netlist::{Circuit, Topology};
+use krishnamurthy_tpi::sim::{
+    collapse, montecarlo, ExhaustivePatterns, Fault, FaultSimulator, FaultSite, FaultUniverse,
+    LogicSim, PatternSource, RandomPatterns,
+};
+
+fn small_dag(seed: u64, inputs: usize, gates: usize) -> Circuit {
+    let mut cfg = RandomDagConfig::new(inputs, gates, seed);
+    cfg.locality = 0.5; // encourage fanout/reconvergence
+    random_dag(&cfg).unwrap()
+}
+
+/// Naive single-pattern faulty-circuit evaluation (independent of the
+/// event-driven simulator).
+fn reference_detects(c: &Circuit, fault: Fault, assignment: &[bool]) -> bool {
+    let good = c.evaluate(assignment).unwrap();
+    let topo = Topology::of(c).unwrap();
+    let mut vals = vec![false; c.node_count()];
+    for (&i, &v) in c.inputs().iter().zip(assignment) {
+        vals[i.index()] = v;
+    }
+    for &id in topo.order() {
+        let node = c.node(id);
+        if !node.kind().is_source() {
+            let fanins: Vec<bool> = node
+                .fanins()
+                .iter()
+                .enumerate()
+                .map(|(pin, f)| {
+                    if let FaultSite::Branch { gate, pin: fp } = fault.site {
+                        if gate == id && fp as usize == pin {
+                            return fault.stuck;
+                        }
+                    }
+                    vals[f.index()]
+                })
+                .collect();
+            vals[id.index()] = node.kind().eval(fanins.iter().copied());
+        }
+        if fault.site == FaultSite::Stem(id) {
+            vals[id.index()] = fault.stuck;
+        }
+    }
+    c.outputs().iter().any(|o| vals[o.index()] != good[o.index()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Bit-parallel logic simulation equals the naive evaluator on random
+    /// reconvergent DAGs over all input patterns.
+    #[test]
+    fn logic_sim_matches_reference(seed in 0u64..5000, gates in 5usize..40) {
+        let c = small_dag(seed, 5, gates);
+        let sim = LogicSim::new(&c).unwrap();
+        let mut src = ExhaustivePatterns::new(5);
+        let mut words = vec![0u64; 5];
+        let n = src.fill(&mut words);
+        let values = sim.simulate(&words);
+        for p in 0..n {
+            let assignment: Vec<bool> = words.iter().map(|w| (w >> p) & 1 == 1).collect();
+            let reference = c.evaluate(&assignment).unwrap();
+            for id in c.node_ids() {
+                prop_assert_eq!(
+                    (values[id.index()] >> p) & 1 == 1,
+                    reference[id.index()],
+                    "node {} pattern {}", c.node_name(id), p
+                );
+            }
+        }
+    }
+
+    /// The event-driven fault simulator agrees with the naive faulty
+    /// evaluator for every fault and every pattern.
+    #[test]
+    fn fault_sim_matches_reference(seed in 0u64..5000, gates in 5usize..25) {
+        let c = small_dag(seed, 4, gates);
+        let universe = FaultUniverse::full(&c).unwrap();
+        let mut sim = FaultSimulator::new(&c).unwrap();
+        let mut src = ExhaustivePatterns::new(4);
+        let (counts, n) = sim.run_counting(&mut src, 16, universe.faults()).unwrap();
+        prop_assert_eq!(n, 16);
+        for (fi, &fault) in universe.faults().iter().enumerate() {
+            let mut expected = 0u64;
+            for p in 0..16u32 {
+                let assignment: Vec<bool> = (0..4).map(|i| p & (1 << i) != 0).collect();
+                if reference_detects(&c, fault, &assignment) {
+                    expected += 1;
+                }
+            }
+            prop_assert_eq!(
+                counts[fi], expected,
+                "fault {} on seed {}", fault.describe(&c), seed
+            );
+        }
+    }
+
+    /// Equivalence-collapse classes have identical detection behaviour —
+    /// checked by exhaustive simulation on random DAGs (the rules must
+    /// hold under reconvergence too).
+    #[test]
+    fn collapse_classes_are_equivalent(seed in 0u64..5000, gates in 5usize..25) {
+        let c = small_dag(seed, 4, gates);
+        let universe = FaultUniverse::full(&c).unwrap();
+        let classes = collapse::equivalence_classes(&c, universe.faults()).unwrap();
+        let probs = montecarlo::exact_detection_probabilities(&c, universe.faults()).unwrap();
+        for class in &classes {
+            let p0 = probs[class[0]];
+            for &i in class {
+                prop_assert!(
+                    (probs[i] - p0).abs() < 1e-12,
+                    "fault {} (p={}) in class of p={}",
+                    universe.faults()[i].describe(&c), probs[i], p0
+                );
+            }
+        }
+    }
+
+    /// Fault dropping never changes which faults are detectable: with the
+    /// same pattern stream, `run` (dropping) detects exactly the faults
+    /// whose `run_counting` count is nonzero.
+    #[test]
+    fn dropping_is_lossless(seed in 0u64..5000, gates in 5usize..25) {
+        let c = small_dag(seed, 4, gates);
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut sim = FaultSimulator::new(&c).unwrap();
+        let mut s1 = ExhaustivePatterns::new(4);
+        let dropped = sim.run(&mut s1, 16, universe.faults()).unwrap();
+        let mut s2 = ExhaustivePatterns::new(4);
+        let (counts, _) = sim.run_counting(&mut s2, 16, universe.faults()).unwrap();
+        for (i, &count) in counts.iter().enumerate() {
+            prop_assert_eq!(
+                dropped.first_detection(i).is_some(),
+                count > 0,
+                "fault {}", universe.faults()[i].describe(&c)
+            );
+        }
+    }
+
+    /// Monte-Carlo estimates converge to exhaustive ground truth.
+    #[test]
+    fn sampled_probabilities_converge(seed in 0u64..1000) {
+        let c = small_dag(seed, 5, 12);
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let exact = montecarlo::exact_detection_probabilities(&c, universe.faults()).unwrap();
+        let mut src = RandomPatterns::new(5, seed ^ 0xdead);
+        let sampled = montecarlo::detection_probabilities(
+            &c, universe.faults(), &mut src, 30_000,
+        ).unwrap();
+        for (i, (&e, &s)) in exact.iter().zip(&sampled).enumerate() {
+            prop_assert!(
+                (e - s).abs() < 0.02,
+                "fault {i}: exact {e} vs sampled {s}"
+            );
+        }
+    }
+}

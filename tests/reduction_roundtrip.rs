@@ -1,0 +1,102 @@
+//! Larger-scale verification of the Set-Cover ⟶ observation-TPI
+//! reduction (the machine-checkable face of the NP-completeness result).
+
+use proptest::prelude::*;
+
+use krishnamurthy_tpi::core::reduction::{reduce, SetCoverInstance};
+use krishnamurthy_tpi::core::DpOptimizer;
+use krishnamurthy_tpi::core::TpiError;
+use krishnamurthy_tpi::netlist::transform::apply_plan;
+use krishnamurthy_tpi::netlist::TestPoint;
+use krishnamurthy_tpi::sim::montecarlo;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For random instances the minimum set cover equals the minimum
+    /// number of observation points (both by brute force).
+    #[test]
+    fn cover_optimum_equals_tpi_optimum(
+        elements in 2usize..7,
+        sets in 2usize..6,
+        density in 0.2f64..0.7,
+        seed in 0u64..10_000,
+    ) {
+        let inst = SetCoverInstance::random(elements, sets, density, seed);
+        let red = reduce(&inst).unwrap();
+        let cover = inst.min_cover_size().expect("random instances are coverable");
+        let ops = red.min_observation_points().unwrap().expect("reduction preserves coverability");
+        prop_assert_eq!(cover, ops, "instance {:?}", inst);
+    }
+
+    /// Feasibility of a chosen OP set is *exactly* coverage of the chosen
+    /// sets — in both directions, checked against exhaustive fault
+    /// simulation rather than the analytic evaluator.
+    #[test]
+    fn feasibility_iff_cover_by_simulation(
+        elements in 2usize..5,
+        sets in 2usize..5,
+        density in 0.3f64..0.8,
+        seed in 0u64..10_000,
+        choice_bits in 0u32..32,
+    ) {
+        let inst = SetCoverInstance::random(elements, sets, density, seed);
+        let red = reduce(&inst).unwrap();
+        let chosen: Vec<usize> = (0..inst.sets.len())
+            .filter(|i| choice_bits & (1 << i) != 0)
+            .collect();
+        // Ground truth 1: does the chosen family cover the universe?
+        let covers = (0..elements).all(|e| {
+            chosen.iter().any(|&i| inst.sets[i].contains(&e))
+        });
+        // Ground truth 2: exhaustive simulated detection probabilities.
+        let plan: Vec<TestPoint> = chosen
+            .iter()
+            .map(|&i| TestPoint::observe(red.set_nodes[i]))
+            .collect();
+        let (modified, _) = apply_plan(&red.circuit, &plan).unwrap();
+        let faults: Vec<_> = red
+            .problem()
+            .targets()
+            .iter()
+            .map(|t| t.to_fault())
+            .collect();
+        let probs = montecarlo::exact_detection_probabilities(&modified, &faults).unwrap();
+        let feasible_sim = probs.iter().all(|&p| p >= red.threshold.value() - 1e-12);
+        prop_assert_eq!(feasible_sim, covers, "chosen {:?} of {:?}", chosen, inst);
+        // And the analytic referee agrees with the simulation.
+        prop_assert_eq!(red.is_feasible(&chosen).unwrap(), covers);
+    }
+}
+
+/// The DP refuses the reduction circuits whenever they contain fanout —
+/// the hardness boundary is exactly where the tree structure breaks.
+#[test]
+fn dp_rejects_reduction_instances_with_shared_elements() {
+    let inst = SetCoverInstance {
+        elements: 3,
+        sets: vec![vec![0, 1], vec![1, 2]], // element 1 shared → fanout
+    };
+    let red = reduce(&inst).unwrap();
+    let err = DpOptimizer::default().solve(&red.problem()).unwrap_err();
+    assert!(matches!(err, TpiError::NotFanoutFree { .. }));
+}
+
+/// Disjoint sets keep the reduction fanout-free, and then the DP solves
+/// it directly (observing each set node once).
+#[test]
+fn dp_solves_disjoint_reduction() {
+    let inst = SetCoverInstance {
+        elements: 4,
+        sets: vec![vec![0, 1], vec![2, 3]],
+    };
+    let red = reduce(&inst).unwrap();
+    let plan = DpOptimizer::default().solve(&red.problem()).unwrap();
+    let eval = krishnamurthy_tpi::core::evaluate::PlanEvaluator::new(&red.problem())
+        .unwrap()
+        .evaluate(plan.test_points())
+        .unwrap();
+    assert!(eval.feasible);
+    // Minimum is 2 observation points (one per set) at unit costs.
+    assert_eq!(plan.len(), 2);
+}
