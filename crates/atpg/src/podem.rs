@@ -230,8 +230,8 @@ impl Podem {
             if node.kind().is_source() {
                 continue;
             }
-            let out_undetermined = self.good[id.index()] == Ternary::X
-                || self.faulty[id.index()] == Ternary::X;
+            let out_undetermined =
+                self.good[id.index()] == Ternary::X || self.faulty[id.index()] == Ternary::X;
             if !out_undetermined {
                 continue;
             }
@@ -302,8 +302,7 @@ impl Podem {
                     let controlling = kind
                         .controlling_value()
                         .expect("AND/OR-like gates have one");
-                    let want_controlling =
-                        pre_inversion == Ternary::from_bool(controlling);
+                    let want_controlling = pre_inversion == Ternary::from_bool(controlling);
                     if want_controlling {
                         // One controlling input suffices: pick the easiest.
                         let pick = x_inputs
@@ -483,8 +482,7 @@ mod tests {
             b.output(*nodes.last().unwrap());
             let c = b.finish().unwrap();
             let universe = tpi_sim::FaultUniverse::full(&c).unwrap();
-            let probs =
-                montecarlo::exact_detection_probabilities(&c, universe.faults()).unwrap();
+            let probs = montecarlo::exact_detection_probabilities(&c, universe.faults()).unwrap();
             let mut podem = Podem::new(&c).unwrap();
             for (i, &fault) in universe.faults().iter().enumerate() {
                 let result = podem.generate(fault).unwrap();
@@ -499,7 +497,8 @@ mod tests {
                     }
                     PodemResult::Untestable => {
                         assert_eq!(
-                            probs[i], 0.0,
+                            probs[i],
+                            0.0,
                             "PODEM called detectable fault {} redundant (seed {seed})",
                             fault.describe(&c)
                         );
@@ -522,8 +521,7 @@ mod tests {
         let y = b.gate(GateKind::And, vec![p, np], "y").unwrap();
         b.output(y);
         let c = b.finish().unwrap();
-        let mut podem =
-            Podem::with_config(&c, PodemConfig { max_backtracks: 3 }).unwrap();
+        let mut podem = Podem::with_config(&c, PodemConfig { max_backtracks: 3 }).unwrap();
         let r = podem.generate(Fault::stem_sa0(y)).unwrap();
         assert_eq!(r, PodemResult::Aborted);
         assert!(podem.last_backtracks() >= 3);

@@ -213,8 +213,7 @@ mod tests {
         let c = resistant_circuit();
         let universe = FaultUniverse::collapsed(&c).unwrap();
         let mut src = RandomPatterns::new(16, 5);
-        let leftovers =
-            undetected_after(&c, universe.faults(), &mut src, 2_000).unwrap();
+        let leftovers = undetected_after(&c, universe.faults(), &mut src, 2_000).unwrap();
         assert!(
             !leftovers.is_empty(),
             "the cone must resist 2k random patterns"
@@ -240,8 +239,7 @@ mod tests {
         b.output(y);
         let c = b.finish().unwrap();
         let universe = FaultUniverse::collapsed(&c).unwrap();
-        let result =
-            generate(&c, universe.faults(), PodemConfig::default(), 3).unwrap();
+        let result = generate(&c, universe.faults(), PodemConfig::default(), 3).unwrap();
         assert!(
             result.cubes.len() < universe.len(),
             "{} cubes for {} faults",

@@ -173,10 +173,7 @@ mod tests {
                 let a = p & 1 != 0;
                 let b = p & 2 != 0;
                 let expected = kind.eval([a, b]);
-                let got = eval_ternary(
-                    kind,
-                    [Ternary::from_bool(a), Ternary::from_bool(b)],
-                );
+                let got = eval_ternary(kind, [Ternary::from_bool(a), Ternary::from_bool(b)]);
                 assert_eq!(got.to_bool(), Some(expected), "{kind} {a} {b}");
             }
         }

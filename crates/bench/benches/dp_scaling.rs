@@ -9,12 +9,9 @@ fn bench_dp(c: &mut Criterion) {
     let mut group = c.benchmark_group("dp_solve");
     group.sample_size(10);
     for leaves in [32usize, 128, 512] {
-        let circuit = random_tree(
-            &RandomTreeConfig::with_leaves(leaves, 42).and_or_only(),
-        )
-        .expect("tree builds");
-        let problem =
-            TpiProblem::min_cost(&circuit, Threshold::from_log2(-8.0)).expect("acyclic");
+        let circuit = random_tree(&RandomTreeConfig::with_leaves(leaves, 42).and_or_only())
+            .expect("tree builds");
+        let problem = TpiProblem::min_cost(&circuit, Threshold::from_log2(-8.0)).expect("acyclic");
         group.bench_with_input(BenchmarkId::from_parameter(leaves), &leaves, |b, _| {
             b.iter(|| DpOptimizer::default().solve(&problem).expect("feasible"));
         });
@@ -23,8 +20,8 @@ fn bench_dp(c: &mut Criterion) {
 }
 
 fn bench_dp_resolutions(c: &mut Criterion) {
-    let circuit = random_tree(&RandomTreeConfig::with_leaves(128, 42).and_or_only())
-        .expect("tree builds");
+    let circuit =
+        random_tree(&RandomTreeConfig::with_leaves(128, 42).and_or_only()).expect("tree builds");
     let problem = TpiProblem::min_cost(&circuit, Threshold::from_log2(-8.0)).expect("acyclic");
     let mut group = c.benchmark_group("dp_resolution");
     group.sample_size(10);

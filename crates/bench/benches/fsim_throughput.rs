@@ -12,9 +12,7 @@ fn bench_fault_sim(c: &mut Criterion) {
         let circuit = random_dag(&RandomDagConfig::new(24, gates, 5)).expect("builds");
         let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
         let mut sim = FaultSimulator::new(&circuit).expect("acyclic");
-        group.throughput(Throughput::Elements(
-            1_000 * universe.len() as u64,
-        ));
+        group.throughput(Throughput::Elements(1_000 * universe.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, _| {
             b.iter(|| {
                 let mut src = RandomPatterns::new(circuit.inputs().len(), 9);
@@ -34,7 +32,8 @@ fn bench_fault_sim_counting(c: &mut Criterion) {
     group.bench_function("400_gates_512_patterns", |b| {
         b.iter(|| {
             let mut src = RandomPatterns::new(circuit.inputs().len(), 9);
-            sim.run_counting(&mut src, 512, universe.faults()).expect("runs")
+            sim.run_counting(&mut src, 512, universe.faults())
+                .expect("runs")
         });
     });
     group.finish();

@@ -12,9 +12,8 @@ use tpi_netlist::{Circuit, TestPoint};
 use tpi_sim::FaultUniverse;
 
 fn main() {
-    let threshold =
-        Threshold::from_test_length(STANDARD_PATTERNS, tpi_bench::STANDARD_CONFIDENCE)
-            .expect("valid threshold");
+    let threshold = Threshold::from_test_length(STANDARD_PATTERNS, tpi_bench::STANDARD_CONFIDENCE)
+        .expect("valid threshold");
     println!("# Figure 1: coverage@32k vs #test points (prefix of each method's plan)");
     println!("circuit\tmethod\tpoints\tcoverage%");
     for circuit in [
@@ -23,8 +22,7 @@ fn main() {
         rpr::parity_gated_cone(6, 18).expect("builds"),
     ] {
         let problem = TpiProblem::min_cost(&circuit, threshold).expect("acyclic");
-        let dp_or_greedy: Vec<TestPoint> = match tpi_core::DpOptimizer::default().solve(&problem)
-        {
+        let dp_or_greedy: Vec<TestPoint> = match tpi_core::DpOptimizer::default().solve(&problem) {
             Ok(plan) => plan.test_points().to_vec(),
             // Reconvergent members fall back to greedy for the DP series.
             Err(_) => GreedyOptimizer::default()

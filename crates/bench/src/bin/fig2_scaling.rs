@@ -31,7 +31,11 @@ fn main() {
             states += stats.states_created;
             frontier = frontier.max(stats.max_frontier);
         }
-        println!("{leaves}\t{nodes}\t{:.3}\t{}\t{frontier}", time_sum / 3.0, states / 3);
+        println!(
+            "{leaves}\t{nodes}\t{:.3}\t{}\t{frontier}",
+            time_sum / 3.0,
+            states / 3
+        );
     }
 
     println!("\n# Figure 2b: exhaustive search wall (AND cones, δ = 2^-2 — optimum cost");
@@ -39,13 +43,15 @@ fn main() {
     println!("width\tnodes\toptimal_cost\tb&b_visits\tb&b_ms\tdp_exact_ms");
     for &width in &[2usize, 3, 4, 5, 6] {
         let circuit = and_cone(width);
-        let problem =
-            TpiProblem::min_cost(&circuit, Threshold::from_log2(-2.0)).expect("acyclic");
+        let problem = TpiProblem::min_cost(&circuit, Threshold::from_log2(-2.0)).expect("acyclic");
         let (dp, dp_t) = timed(|| DpOptimizer::new(DpConfig::exact()).solve(&problem));
         let Ok(dp) = dp else { continue };
         let (res, bb_t) = timed(|| ExactOptimizer::with_max_nodes(20).solve(&problem));
         let (plan, stats) = res.expect("search completes");
-        assert!((plan.cost() - dp.cost()).abs() < 1e-9, "DP must stay optimal");
+        assert!(
+            (plan.cost() - dp.cost()).abs() < 1e-9,
+            "DP must stay optimal"
+        );
         println!(
             "{width}\t{}\t{:.1}\t{}\t{}\t{}",
             circuit.node_count(),

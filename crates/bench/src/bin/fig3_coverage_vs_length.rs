@@ -11,9 +11,8 @@ use tpi_netlist::transform::apply_plan;
 use tpi_sim::{FaultSimulator, FaultUniverse, RandomPatterns};
 
 fn main() {
-    let threshold =
-        Threshold::from_test_length(STANDARD_PATTERNS, tpi_bench::STANDARD_CONFIDENCE)
-            .expect("valid threshold");
+    let threshold = Threshold::from_test_length(STANDARD_PATTERNS, tpi_bench::STANDARD_CONFIDENCE)
+        .expect("valid threshold");
     println!("# Figure 3: fault coverage vs #patterns (checkpoints every 2k)");
     println!("circuit\tvariant\tpatterns\tcoverage%");
     for circuit in [

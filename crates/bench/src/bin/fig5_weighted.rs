@@ -26,7 +26,9 @@ fn mixed_polarity(width: usize) -> Circuit {
     let and_cone = b.balanced_tree(GateKind::And, &xs, "a").expect("builds");
     let or_cone = b.balanced_tree(GateKind::Or, &ys, "o").expect("builds");
     let nor_side = b.gate(GateKind::Not, vec![or_cone], "no").expect("builds");
-    let out = b.gate(GateKind::Xor, vec![and_cone, nor_side], "out").expect("builds");
+    let out = b
+        .gate(GateKind::Xor, vec![and_cone, nor_side], "out")
+        .expect("builds");
     b.output(out);
     b.finish().expect("valid")
 }
@@ -43,7 +45,9 @@ fn main() {
             let mut sim = FaultSimulator::new(&circuit).expect("acyclic");
             let mut src =
                 WeightedPatterns::uniform(circuit.inputs().len(), weight, 7).expect("valid");
-            let result = sim.run(&mut src, patterns, universe.faults()).expect("runs");
+            let result = sim
+                .run(&mut src, patterns, universe.faults())
+                .expect("runs");
             println!(
                 "{}\tweight_{weight}\t{}",
                 circuit.name(),
@@ -53,7 +57,9 @@ fn main() {
 
         let threshold = Threshold::from_test_length(patterns, 0.95).expect("valid");
         let problem = TpiProblem::min_cost(&circuit, threshold).expect("acyclic");
-        let plan = DpOptimizer::default().solve(&problem).expect("tree is solvable");
+        let plan = DpOptimizer::default()
+            .solve(&problem)
+            .expect("tree is solvable");
         let (modified, _) = apply_plan(&circuit, plan.test_points()).expect("applies");
         let after = measure_coverage(&modified, &universe, patterns, 7);
         println!(

@@ -14,8 +14,19 @@ fn main() {
     println!("# Table 1: the benchmark suite, unmodified");
     println!("# (coverage = average/max of 5 fault-simulation trials)\n");
     header(&[
-        "circuit", "nodes", "PIs", "POs", "depth", "stems", "faults",
-        "min_pdet", "resistant", "FC@1k avg", "FC@1k max", "FC@32k avg", "FC@32k max",
+        "circuit",
+        "nodes",
+        "PIs",
+        "POs",
+        "depth",
+        "stems",
+        "faults",
+        "min_pdet",
+        "resistant",
+        "FC@1k avg",
+        "FC@1k max",
+        "FC@32k avg",
+        "FC@32k max",
     ]);
     for entry in tpi_gen::suite::standard_suite().expect("suite builds") {
         let c = &entry.circuit;

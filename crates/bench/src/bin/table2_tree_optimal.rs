@@ -13,15 +13,21 @@ use tpi_gen::trees::{random_tree, RandomTreeConfig};
 
 fn main() {
     println!("# Table 2a: DP vs certified exhaustive optimum (small random trees, δ = 2^-4)\n");
-    header(&["leaves", "seed", "nodes", "dp_cost", "optimal_cost", "certified", "b&b_visits"]);
+    header(&[
+        "leaves",
+        "seed",
+        "nodes",
+        "dp_cost",
+        "optimal_cost",
+        "certified",
+        "b&b_visits",
+    ]);
     let mut certified = 0;
     let mut total = 0;
     for leaves in [3usize, 4, 5] {
         for seed in 0..4u64 {
-            let circuit = random_tree(
-                &RandomTreeConfig::with_leaves(leaves, seed).and_or_only(),
-            )
-            .expect("tree builds");
+            let circuit = random_tree(&RandomTreeConfig::with_leaves(leaves, seed).and_or_only())
+                .expect("tree builds");
             if circuit.node_count() > 9 {
                 continue;
             }
@@ -49,13 +55,21 @@ fn main() {
     println!("\ncertified optimal: {certified}/{total}\n");
 
     println!("# Table 2b: DP vs greedy on larger trees (δ = 2^-8)\n");
-    header(&["leaves", "seed", "nodes", "dp_cost", "dp_ms", "greedy_cost", "greedy_ms", "overpay%"]);
+    header(&[
+        "leaves",
+        "seed",
+        "nodes",
+        "dp_cost",
+        "dp_ms",
+        "greedy_cost",
+        "greedy_ms",
+        "overpay%",
+    ]);
     for leaves in [32usize, 64, 128] {
         for seed in 0..3u64 {
-            let circuit = random_tree(
-                &RandomTreeConfig::with_leaves(leaves, 100 + seed).and_or_only(),
-            )
-            .expect("tree builds");
+            let circuit =
+                random_tree(&RandomTreeConfig::with_leaves(leaves, 100 + seed).and_or_only())
+                    .expect("tree builds");
             let problem =
                 TpiProblem::min_cost(&circuit, Threshold::from_log2(-8.0)).expect("acyclic");
             let (dp, dp_time) = timed(|| DpOptimizer::default().solve(&problem));

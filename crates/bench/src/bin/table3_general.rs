@@ -5,23 +5,29 @@
 //! same independent fault simulation at 32k patterns. Points are capped so
 //! the comparison is at (approximately) equal hardware budget.
 
+use tpi_atpg::{redundancy, PodemConfig};
 use tpi_bench::{header, measure_coverage, pct, STANDARD_PATTERNS};
 use tpi_core::general::{ConstructiveConfig, ConstructiveOptimizer};
-use tpi_atpg::{redundancy, PodemConfig};
 use tpi_core::{GreedyConfig, GreedyOptimizer, RandomOptimizer, Threshold, TpiProblem};
 use tpi_netlist::transform::apply_plan;
 use tpi_sim::FaultUniverse;
 
 fn main() {
-    let threshold =
-        Threshold::from_test_length(STANDARD_PATTERNS, tpi_bench::STANDARD_CONFIDENCE)
-            .expect("valid threshold");
+    let threshold = Threshold::from_test_length(STANDARD_PATTERNS, tpi_bench::STANDARD_CONFIDENCE)
+        .expect("valid threshold");
     let budget = 16.0f64; // shared hardware budget, in cost units
     println!("# Table 3: fault coverage @32k after insertion (cost budget {budget} per method)");
     println!("# coverage over PODEM-certified testable faults (redundant faults removed)\n");
     header(&[
-        "circuit", "faults", "FC_base", "FC_constr", "cost_c", "FC_greedy", "cost_g",
-        "FC_random", "cost_r",
+        "circuit",
+        "faults",
+        "FC_base",
+        "FC_constr",
+        "cost_c",
+        "FC_greedy",
+        "cost_g",
+        "FC_random",
+        "cost_r",
     ]);
 
     for entry in tpi_gen::suite::standard_suite().expect("suite builds") {
@@ -30,8 +36,8 @@ fn main() {
         }
         let c = &entry.circuit;
         let collapsed = FaultUniverse::collapsed(c).expect("collapsible");
-        let sweep = redundancy::sweep(c, collapsed.faults(), PodemConfig::default())
-            .expect("atpg runs");
+        let sweep =
+            redundancy::sweep(c, collapsed.faults(), PodemConfig::default()).expect("atpg runs");
         let universe = FaultUniverse::from_faults(sweep.targets());
         let base = measure_coverage(c, &universe, STANDARD_PATTERNS, 1).coverage();
 

@@ -12,7 +12,9 @@ use tpi_gen::rpr;
 
 fn main() {
     println!("# Table 4: DP cost and point mix vs threshold\n");
-    header(&["circuit", "delta", "cost", "op", "cp_and", "cp_or", "full", "points"]);
+    header(&[
+        "circuit", "delta", "cost", "op", "cp_and", "cp_or", "full", "points",
+    ]);
     let circuits = [
         rpr::and_tree(16, 2).expect("builds"),
         rpr::and_tree(24, 4).expect("builds"),
@@ -39,7 +41,11 @@ fn main() {
                     );
                 }
                 Err(e) => {
-                    println!("{}\t2^{}\tinfeasible ({e})\t-\t-\t-\t-\t-", circuit.name(), exp);
+                    println!(
+                        "{}\t2^{}\tinfeasible ({e})\t-\t-\t-\t-\t-",
+                        circuit.name(),
+                        exp
+                    );
                 }
             }
         }

@@ -12,7 +12,14 @@ use tpi_core::reduction::{reduce, SetCoverInstance};
 fn main() {
     println!("# Table 5: Set-Cover ⟺ observation-point TPI\n");
     header(&[
-        "elements", "sets", "density", "seed", "min_cover", "min_ops", "match", "greedy_cover",
+        "elements",
+        "sets",
+        "density",
+        "seed",
+        "min_cover",
+        "min_ops",
+        "match",
+        "greedy_cover",
     ]);
     let mut matches = 0;
     let mut total = 0;
@@ -26,7 +33,9 @@ fn main() {
         for seed in 0..4u64 {
             let instance = SetCoverInstance::random(elements, sets, density, seed);
             let reduction = reduce(&instance).expect("reduction builds");
-            let cover = instance.min_cover_size().expect("coverable by construction");
+            let cover = instance
+                .min_cover_size()
+                .expect("coverable by construction");
             let ops = reduction
                 .min_observation_points()
                 .expect("evaluation runs")

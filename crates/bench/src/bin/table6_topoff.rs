@@ -12,16 +12,22 @@ use tpi_core::general::{ConstructiveConfig, ConstructiveOptimizer};
 use tpi_core::{DpOptimizer, Threshold, TpiProblem};
 use tpi_netlist::transform::apply_plan;
 use tpi_netlist::{ffr, Topology};
-use tpi_sim::{FaultUniverse, FaultSimulator, RandomPatterns};
+use tpi_sim::{FaultSimulator, FaultUniverse, RandomPatterns};
 
 fn main() {
-    let threshold =
-        Threshold::from_test_length(STANDARD_PATTERNS, tpi_bench::STANDARD_CONFIDENCE)
-            .expect("valid threshold");
+    let threshold = Threshold::from_test_length(STANDARD_PATTERNS, tpi_bench::STANDARD_CONFIDENCE)
+        .expect("valid threshold");
     println!("# Table 6: random + TPI + ATPG top-off to 100% of testable faults\n");
     header(&[
-        "circuit", "faults", "redundant", "FC_base", "points", "FC_tpi", "leftover",
-        "cubes", "seeds",
+        "circuit",
+        "faults",
+        "redundant",
+        "FC_base",
+        "points",
+        "FC_tpi",
+        "leftover",
+        "cubes",
+        "seeds",
     ]);
     for entry in tpi_gen::suite::standard_suite().expect("suite builds") {
         let c = &entry.circuit;
@@ -73,8 +79,8 @@ fn main() {
             .into_iter()
             .map(|i| targets[i])
             .collect();
-        let top = topoff::generate(&modified, &leftovers, PodemConfig::default(), 7)
-            .expect("atpg runs");
+        let top =
+            topoff::generate(&modified, &leftovers, PodemConfig::default(), 7).expect("atpg runs");
 
         println!(
             "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",

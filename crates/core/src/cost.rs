@@ -30,7 +30,10 @@ impl CostModel {
     pub fn total<'a, I: IntoIterator<Item = &'a tpi_netlist::TestPoint>>(&self, points: I) -> f64 {
         // fold, not sum: an empty f64 `sum()` is -0.0, which leaks into
         // printed tables.
-        points.into_iter().map(|tp| self.of(tp.kind)).fold(0.0, |a, b| a + b)
+        points
+            .into_iter()
+            .map(|tp| self.of(tp.kind))
+            .fold(0.0, |a, b| a + b)
     }
 
     /// A model that simply counts test points (all costs 1) — the

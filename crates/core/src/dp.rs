@@ -306,10 +306,7 @@ impl DpOptimizer {
         }
         let circuit = problem.circuit();
         let topo = Topology::of(circuit)?;
-        if let Some(stem) = circuit
-            .node_ids()
-            .find(|&id| topo.is_stem(circuit, id))
-        {
+        if let Some(stem) = circuit.node_ids().find(|&id| topo.is_stem(circuit, id)) {
             return Err(TpiError::NotFanoutFree {
                 stem: circuit.node_name(stem).to_string(),
             });
@@ -425,9 +422,7 @@ impl DpOptimizer {
                 continue; // interior line
             }
             let accept = if circuit.is_output(id) { rho } else { 0.0 };
-            let frontier = frontiers[id.index()]
-                .as_ref()
-                .expect("roots are processed");
+            let frontier = frontiers[id.index()].as_ref().expect("roots are processed");
             let best = frontier
                 .iter()
                 .filter(|s| s.demand <= accept + DEMAND_EPS)
@@ -495,8 +490,7 @@ impl DpOptimizer {
                 for a in &acc {
                     for s in &child_frontier {
                         let w = side_weight(kind, s.c1);
-                        let pending =
-                            div_demand(a.pending, w).max(div_demand(s.demand, a.wprod));
+                        let pending = div_demand(a.pending, w).max(div_demand(s.demand, a.wprod));
                         if pending > 1.0 + DEMAND_EPS {
                             continue;
                         }
@@ -522,7 +516,11 @@ impl DpOptimizer {
                         }
                     }
                 }
-                acc = map.into_values().flatten().collect();
+                // Drain in key order: hash order would let equal-cost ties
+                // (and the truncation below) resolve differently run to run.
+                let mut grouped: Vec<((u64, u64, u64), Vec<FoldState>)> = map.into_iter().collect();
+                grouped.sort_unstable_by_key(|(k, _)| *k);
+                acc = grouped.into_iter().flat_map(|(_, v)| v).collect();
                 if acc.len() > self.config.max_states_per_node {
                     acc.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite"));
                     acc.truncate(self.config.max_states_per_node);
@@ -654,7 +652,10 @@ impl DpOptimizer {
                 slot.push(s);
             }
         }
-        let mut kept: Vec<State> = map.into_values().flatten().collect();
+        // Key order, not hash order, so tie-breaking is deterministic.
+        let mut grouped: Vec<((u64, u64), Vec<State>)> = map.into_iter().collect();
+        grouped.sort_unstable_by_key(|(k, _)| *k);
+        let mut kept: Vec<State> = grouped.into_iter().flat_map(|(_, v)| v).collect();
         if !mode.allow_abandon {
             kept.sort_by(|a, b| {
                 let ka = self.keys(a.c1, a.demand);
@@ -831,7 +832,10 @@ mod tests {
         let p = TpiProblem::min_cost(&c, Threshold::from_log2(-6.0)).unwrap();
         let plan = DpOptimizer::default().solve(&p).unwrap();
         assert!(!plan.is_empty());
-        let eval = PlanEvaluator::new(&p).unwrap().evaluate(plan.test_points()).unwrap();
+        let eval = PlanEvaluator::new(&p)
+            .unwrap()
+            .evaluate(plan.test_points())
+            .unwrap();
         assert!(eval.feasible, "min prob {:.3e}", eval.min_probability);
     }
 
@@ -874,7 +878,10 @@ mod tests {
         let plan = DpOptimizer::default().solve(&p).unwrap();
         let (op, ..) = plan.kind_counts();
         assert!(op >= 1, "plan: {plan}");
-        let eval = PlanEvaluator::new(&p).unwrap().evaluate(plan.test_points()).unwrap();
+        let eval = PlanEvaluator::new(&p)
+            .unwrap()
+            .evaluate(plan.test_points())
+            .unwrap();
         assert!(eval.feasible);
     }
 
@@ -889,7 +896,10 @@ mod tests {
         let c = b.finish().unwrap();
         let p = TpiProblem::min_cost(&c, Threshold::from_log2(-3.0)).unwrap();
         let plan = DpOptimizer::default().solve(&p).unwrap();
-        let eval = PlanEvaluator::new(&p).unwrap().evaluate(plan.test_points()).unwrap();
+        let eval = PlanEvaluator::new(&p)
+            .unwrap()
+            .evaluate(plan.test_points())
+            .unwrap();
         assert!(eval.feasible);
     }
 
@@ -917,7 +927,12 @@ mod tests {
         let p = TpiProblem::min_cost(&c, Threshold::from_log2(-2.0)).unwrap();
         let d = DpOptimizer::default().solve(&p).unwrap();
         let e = DpOptimizer::new(DpConfig::exact()).solve(&p).unwrap();
-        assert!((d.cost() - e.cost()).abs() < 1e-9, "{} vs {}", d.cost(), e.cost());
+        assert!(
+            (d.cost() - e.cost()).abs() < 1e-9,
+            "{} vs {}",
+            d.cost(),
+            e.cost()
+        );
     }
 
     #[test]
@@ -992,9 +1007,7 @@ mod tests {
         let c = and_cone(16);
         let p = TpiProblem::min_cost(&c, Threshold::from_log2(-5.0)).unwrap();
         let min_cost = DpOptimizer::default().solve(&p).unwrap();
-        let (plan, missed) = DpOptimizer::default()
-            .solve_max_coverage(&p, 1e9)
-            .unwrap();
+        let (plan, missed) = DpOptimizer::default().solve_max_coverage(&p, 1e9).unwrap();
         assert_eq!(missed, 0);
         assert!(plan.is_feasible());
         assert!((plan.cost() - min_cost.cost()).abs() < 1e-9);

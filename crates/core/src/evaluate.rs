@@ -105,14 +105,21 @@ impl PlanEvaluator {
         seed: u64,
     ) -> Result<SimEval, TpiError> {
         let (modified, _) = apply_plan(self.problem.circuit(), plan)?;
-        let faults: Vec<Fault> = self.problem.targets().iter().map(|t| t.to_fault()).collect();
+        let faults: Vec<Fault> = self
+            .problem
+            .targets()
+            .iter()
+            .map(|t| t.to_fault())
+            .collect();
         let mut src = RandomPatterns::new(modified.inputs().len(), seed);
         let probabilities =
             montecarlo::detection_probabilities(&modified, &faults, &mut src, n_patterns)?;
         let delta = self.problem.threshold().value();
         // Statistical slack: a fault at exactly δ will measure below it
         // half the time; use a 3-sigma allowance at the given sample size.
-        let sigma = (delta / n_patterns as f64).sqrt().max(1.0 / n_patterns as f64);
+        let sigma = (delta / n_patterns as f64)
+            .sqrt()
+            .max(1.0 / n_patterns as f64);
         let meeting = probabilities
             .iter()
             .filter(|&&p| p >= delta - 3.0 * sigma)
@@ -198,9 +205,6 @@ mod tests {
     fn evaluation_rejects_broken_plans() {
         let p = and8_problem(-4.0);
         let bogus = TestPoint::observe(tpi_netlist::NodeId::from_index(10_000));
-        assert!(PlanEvaluator::new(&p)
-            .unwrap()
-            .evaluate(&[bogus])
-            .is_err());
+        assert!(PlanEvaluator::new(&p).unwrap().evaluate(&[bogus]).is_err());
     }
 }

@@ -89,10 +89,8 @@ impl ExactOptimizer {
         let mut options: Vec<Vec<(Vec<TestPointKind>, f64)>> = Vec::with_capacity(n);
         for id in circuit.node_ids() {
             let controllable = topo.fanout_count(id) > 0 || circuit.is_output(id);
-            let mut opts: Vec<(Vec<TestPointKind>, f64)> = vec![
-                (vec![], 0.0),
-                (vec![TestPointKind::Observe], c_o),
-            ];
+            let mut opts: Vec<(Vec<TestPointKind>, f64)> =
+                vec![(vec![], 0.0), (vec![TestPointKind::Observe], c_o)];
             if controllable {
                 opts.push((vec![TestPointKind::ControlAnd], c_c));
                 opts.push((vec![TestPointKind::ControlOr], c_c));
@@ -123,7 +121,15 @@ impl ExactOptimizer {
             best = Some((plan.test_points().to_vec(), eval.cost));
         }
         let mut current: Vec<TestPoint> = Vec::new();
-        self.dfs(&evaluator, &options, 0, 0.0, &mut current, &mut best, &mut stats)?;
+        self.dfs(
+            &evaluator,
+            &options,
+            0,
+            0.0,
+            &mut current,
+            &mut best,
+            &mut stats,
+        )?;
         match best {
             Some((points, cost)) => Ok((Plan::new(points, cost, true), stats)),
             None => Err(TpiError::Infeasible {

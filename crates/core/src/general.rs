@@ -171,9 +171,13 @@ impl ConstructiveOptimizer {
             }
 
             // 3. Solve each afflicted region; rank by benefit/cost.
+            // Regions are visited in NodeId order so benefit ties (common in
+            // symmetric circuits) break deterministically, not by hash order.
+            let mut regions: Vec<(NodeId, Vec<TargetFault>)> = region_targets.into_iter().collect();
+            regions.sort_by_key(|(root, _)| *root);
             let dp = DpOptimizer::new(self.config.dp.clone());
             let mut candidates: Vec<(Vec<TestPoint>, f64, f64)> = Vec::new(); // (points, cost, score)
-            for (root, targets) in &region_targets {
+            for (root, targets) in &regions {
                 let benefit = targets.len() as f64;
                 let Some(extraction) = extract_region(&current, &topo, &ffr, *root, &cop) else {
                     continue;
@@ -181,21 +185,17 @@ impl ConstructiveOptimizer {
                 let sub_targets: Vec<TargetFault> = targets
                     .iter()
                     .filter_map(|t| {
-                        extraction
-                            .to_sub
-                            .get(&t.node)
-                            .map(|&node| TargetFault {
-                                node,
-                                stuck: t.stuck,
-                            })
+                        extraction.to_sub.get(&t.node).map(|&node| TargetFault {
+                            node,
+                            stuck: t.stuck,
+                        })
                     })
                     .collect();
                 if sub_targets.is_empty() {
                     continue;
                 }
-                let problem =
-                    TpiProblem::with_targets(&extraction.circuit, threshold, sub_targets)
-                        .with_input_probs(extraction.input_probs.clone());
+                let problem = TpiProblem::with_targets(&extraction.circuit, threshold, sub_targets)
+                    .with_input_probs(extraction.input_probs.clone());
                 let rho = cop.observability(*root).clamp(0.0, 1.0);
                 let Ok((region_plan, _)) = dp.solve_region(&problem, rho) else {
                     continue;
@@ -220,13 +220,14 @@ impl ConstructiveOptimizer {
             // *measured* detections per cost, then commit the winner.
             // Fault simulation is the referee, so COP's blindness under
             // reconvergence cannot commit a bad plan twice.
-            let mut groups: Vec<Vec<TestPoint>> =
-                candidates.into_iter().map(|(points, _, _)| points).collect();
+            let mut groups: Vec<Vec<TestPoint>> = candidates
+                .into_iter()
+                .map(|(points, _, _)| points)
+                .collect();
             for tp in gather_candidates(&current, &universe, &undetected, &plan_points, 16) {
                 groups.push(vec![tp]);
             }
-            let committed =
-                self.pick_by_simulation(&current, &universe, &undetected, groups)?;
+            let committed = self.pick_by_simulation(&current, &universe, &undetected, groups)?;
             if committed.is_empty() {
                 break;
             }
@@ -269,10 +270,8 @@ impl ConstructiveOptimizer {
         undetected: &[usize],
         groups: Vec<Vec<TestPoint>>,
     ) -> Result<Vec<TestPoint>, TpiError> {
-        let faults: Vec<tpi_sim::Fault> = undetected
-            .iter()
-            .map(|&i| universe.faults()[i])
-            .collect();
+        let faults: Vec<tpi_sim::Fault> =
+            undetected.iter().map(|&i| universe.faults()[i]).collect();
         let costs = crate::CostModel::default();
         let budget = self.config.patterns_per_round.min(4096);
         let mut best: Option<(Vec<TestPoint>, f64)> = None;
@@ -288,8 +287,7 @@ impl ConstructiveOptimizer {
                 continue;
             }
             let mut sim = FaultSimulator::new(&scratch)?;
-            let mut src =
-                RandomPatterns::new(scratch.inputs().len(), self.config.seed ^ 0xe5ca);
+            let mut src = RandomPatterns::new(scratch.inputs().len(), self.config.seed ^ 0xe5ca);
             let result = sim.run(&mut src, budget, &faults)?;
             let score = result.detected_count() as f64 / costs.total(&group).max(1e-9);
             if score > 0.0
@@ -308,7 +306,10 @@ impl ConstructiveOptimizer {
 /// Candidate test points aimed at specific undetected faults: observe the
 /// fault's first visible line, force sibling pins non-controlling, raise
 /// the missing excitation, or cut. Deduplicated against `already`.
-fn gather_candidates(
+///
+/// Public so alternative drivers (the incremental `tpi-engine` loop) can
+/// reuse the same escalation heuristics as [`ConstructiveOptimizer`].
+pub fn gather_candidates(
     current: &Circuit,
     universe: &FaultUniverse,
     undetected: &[usize],
@@ -371,17 +372,28 @@ fn gather_candidates(
     picked
 }
 
-struct RegionExtraction {
-    circuit: Circuit,
-    to_sub: HashMap<NodeId, NodeId>,
-    to_parent: HashMap<NodeId, NodeId>,
-    input_probs: HashMap<NodeId, f64>,
+/// An FFR lifted out of its parent circuit as a standalone tree, ready for
+/// the exact DP, plus the node mappings needed to translate plans back.
+pub struct RegionExtraction {
+    /// The extracted single-output tree circuit.
+    pub circuit: Circuit,
+    /// Parent node id → extracted-circuit node id (members only).
+    pub to_sub: HashMap<NodeId, NodeId>,
+    /// Extracted-circuit node id → parent node id (members and boundary
+    /// pseudo-inputs).
+    pub to_parent: HashMap<NodeId, NodeId>,
+    /// Extracted-circuit input id → signal 1-probability inherited from
+    /// the parent's COP analysis.
+    pub input_probs: HashMap<NodeId, f64>,
 }
 
 /// Extract the FFR rooted at `root` as a standalone single-output circuit.
 /// Boundary nets become pseudo-inputs carrying their parent-circuit COP
 /// 1-probabilities.
-fn extract_region(
+///
+/// Public so alternative drivers (the incremental `tpi-engine` loop) can
+/// reuse the exact extraction [`ConstructiveOptimizer`] commits through.
+pub fn extract_region(
     parent: &Circuit,
     topo: &Topology,
     ffr: &FfrDecomposition,
@@ -457,7 +469,9 @@ mod tests {
         let g1 = b.gate(GateKind::And, vec![stem, xs[8]], "g1").unwrap();
         let g2 = b.gate(GateKind::And, vec![stem, xs[9]], "g2").unwrap();
         let m = b.gate(GateKind::Or, vec![g1, g2], "m").unwrap();
-        let tail = b.balanced_tree(GateKind::And, &[m, xs[10], xs[11]], "t").unwrap();
+        let tail = b
+            .balanced_tree(GateKind::And, &[m, xs[10], xs[11]], "t")
+            .unwrap();
         b.output(tail);
         b.finish().unwrap()
     }

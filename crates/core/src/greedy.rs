@@ -106,7 +106,8 @@ impl GreedyOptimizer {
                     let better = match best {
                         None => true,
                         Some((_, g, r)) => {
-                            gained > g + 1e-12 || ((gained - g).abs() <= 1e-12 && relief > r + 1e-12)
+                            gained > g + 1e-12
+                                || ((gained - g).abs() <= 1e-12 && relief > r + 1e-12)
                         }
                     };
                     if better {

@@ -66,7 +66,9 @@ impl Threshold {
                 message: format!("bad test length {l} / confidence {confidence}"),
             });
         }
-        Threshold::new(tpi_testability::testlen::threshold_for_length(l, confidence))
+        Threshold::new(tpi_testability::testlen::threshold_for_length(
+            l, confidence,
+        ))
     }
 
     /// The raw probability.
@@ -179,10 +181,7 @@ impl TpiProblem {
     /// style). Used when a sub-circuit's boundary nets carry biased
     /// probabilities from the enclosing circuit; unlisted inputs stay at
     /// 1/2.
-    pub fn with_input_probs(
-        mut self,
-        probs: std::collections::HashMap<NodeId, f64>,
-    ) -> TpiProblem {
+    pub fn with_input_probs(mut self, probs: std::collections::HashMap<NodeId, f64>) -> TpiProblem {
         self.input_probs = probs;
         self
     }

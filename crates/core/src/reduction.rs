@@ -201,8 +201,7 @@ pub fn reduce(instance: &SetCoverInstance) -> Result<TpiReduction, TpiError> {
         set_nodes.push(node);
     }
     let circuit = b.finish()?;
-    let threshold = Threshold::new(2f64.powi(-(max_set as i32)))
-        .expect("2^-s is always in (0, 1]");
+    let threshold = Threshold::new(2f64.powi(-(max_set as i32))).expect("2^-s is always in (0, 1]");
     Ok(TpiReduction {
         circuit,
         element_inputs,

@@ -62,7 +62,10 @@ impl InsertionReport {
     /// Render as Markdown.
     pub fn to_markdown(&self) -> String {
         let mut s = String::new();
-        s.push_str(&format!("# Test point insertion report — `{}`\n\n", self.circuit));
+        s.push_str(&format!(
+            "# Test point insertion report — `{}`\n\n",
+            self.circuit
+        ));
         s.push_str(&format!(
             "Objective: every targeted fault detectable per pattern with probability ≥ {}.\n\n",
             self.threshold

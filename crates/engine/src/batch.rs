@@ -1,0 +1,400 @@
+//! The batch job runner behind `tpi batch`.
+//!
+//! A *manifest* is a JSON document naming N circuits × M configurations;
+//! the runner executes every job across a worker pool and emits one JSON
+//! line per job (JSONL) in job order. A job that errors, panics or
+//! overruns its timeout is reported as such — it never aborts the
+//! remaining jobs.
+//!
+//! ```json
+//! {
+//!   "workers": 4,
+//!   "jobs": [
+//!     {"circuit": "c17.bench", "method": "optimize",
+//!      "threshold_log2": -8, "patterns": 4096, "max_rounds": 8,
+//!      "seed": 7, "timeout_ms": 60000},
+//!     {"circuit": "c17.bench", "method": "simulate", "patterns": 1024}
+//!   ]
+//! }
+//! ```
+//!
+//! `method` is `"optimize"` (default; the engine's constructive loop) or
+//! `"simulate"` (coverage measurement only). Relative circuit paths are
+//! resolved against the manifest's directory. The `"selftest-panic"` and
+//! `"selftest-sleep"` methods panic / stall on purpose, so the pool's
+//! isolation and timeout paths stay testable end to end.
+
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tpi_core::Threshold;
+use tpi_netlist::bench_format::parse_bench;
+
+use crate::json::Json;
+use crate::{EngineConfig, OptimizeConfig, TpiEngine};
+
+/// One job, fully resolved from the manifest.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Job index in manifest order.
+    pub index: usize,
+    /// Path of the `.bench` circuit.
+    pub circuit: PathBuf,
+    /// `optimize`, `simulate`, `selftest-panic` or `selftest-sleep`.
+    pub method: String,
+    /// Threshold exponent for `optimize` (δ = 2^x).
+    pub threshold_log2: f64,
+    /// Measurement pattern budget.
+    pub patterns: u64,
+    /// Round limit for `optimize`.
+    pub max_rounds: usize,
+    /// Pattern seed.
+    pub seed: u64,
+    /// Per-job wall-clock limit.
+    pub timeout_ms: u64,
+}
+
+/// Totals of a finished batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Jobs that completed and reported a result.
+    pub ok: usize,
+    /// Jobs that errored, panicked or timed out.
+    pub failed: usize,
+}
+
+/// Parse a manifest document into job specs.
+///
+/// # Errors
+///
+/// A description of the first malformed field.
+pub fn parse_manifest(manifest: &Json, base_dir: &Path) -> Result<(usize, Vec<JobSpec>), String> {
+    let workers = manifest
+        .get("workers")
+        .map(|w| w.as_u64().ok_or("'workers' must be a non-negative integer"))
+        .transpose()?
+        .unwrap_or(0) as usize;
+    let jobs = manifest
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .ok_or("manifest needs a 'jobs' array")?;
+    let mut specs = Vec::with_capacity(jobs.len());
+    for (index, job) in jobs.iter().enumerate() {
+        let circuit = job
+            .get("circuit")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("job {index}: missing 'circuit'"))?;
+        let circuit = if Path::new(circuit).is_absolute() {
+            PathBuf::from(circuit)
+        } else {
+            base_dir.join(circuit)
+        };
+        let method = job
+            .get("method")
+            .and_then(Json::as_str)
+            .unwrap_or("optimize")
+            .to_string();
+        if !matches!(
+            method.as_str(),
+            "optimize" | "simulate" | "selftest-panic" | "selftest-sleep"
+        ) {
+            return Err(format!("job {index}: unknown method '{method}'"));
+        }
+        specs.push(JobSpec {
+            index,
+            circuit,
+            method,
+            threshold_log2: job
+                .get("threshold_log2")
+                .and_then(Json::as_f64)
+                .unwrap_or(-10.0),
+            patterns: job.get("patterns").and_then(Json::as_u64).unwrap_or(4096),
+            max_rounds: job.get("max_rounds").and_then(Json::as_u64).unwrap_or(8) as usize,
+            seed: job.get("seed").and_then(Json::as_u64).unwrap_or(0xDAC_1987),
+            timeout_ms: job
+                .get("timeout_ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(60_000),
+        });
+    }
+    Ok((workers, specs))
+}
+
+/// Run every job of a parsed manifest across `workers` threads (0 = the
+/// machine's available parallelism) and write one JSONL line per job, in
+/// job order, to `out`.
+///
+/// # Errors
+///
+/// Only I/O failures on `out`; job-level failures land in their JSONL
+/// lines.
+pub fn run_jobs(
+    workers: usize,
+    specs: &[JobSpec],
+    out: &mut dyn std::io::Write,
+) -> Result<BatchSummary, std::io::Error> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        workers
+    }
+    .min(specs.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let lines: Mutex<Vec<Option<Json>>> = Mutex::new(vec![None; specs.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let line = run_job_isolated(spec);
+                lines.lock().expect("no poisoned locks")[i] = Some(line);
+            });
+        }
+    });
+
+    let lines = lines.into_inner().expect("no poisoned locks");
+    let mut summary = BatchSummary { ok: 0, failed: 0 };
+    for line in &lines {
+        let line = line.as_ref().expect("every job produces a line");
+        if line.get("status").and_then(Json::as_str) == Some("ok") {
+            summary.ok += 1;
+        } else {
+            summary.failed += 1;
+        }
+        writeln!(out, "{line}")?;
+    }
+    Ok(summary)
+}
+
+/// Execute one job on its own thread, translating a panic or a timeout
+/// overrun into a reported status instead of letting it take the pool
+/// down. A timed-out worker thread is left detached — it still holds its
+/// CPU until it finishes, but the batch no longer waits for it.
+fn run_job_isolated(spec: &JobSpec) -> Json {
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    let spec_for_worker = spec.clone();
+    let spawned = std::thread::Builder::new()
+        .name(format!("tpi-batch-job-{}", spec.index))
+        .spawn(move || {
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run_job(&spec_for_worker)));
+            let _ = tx.send(outcome);
+        });
+    if spawned.is_err() {
+        return job_line(
+            spec,
+            started,
+            Err("failed to spawn worker thread".to_string()),
+        );
+    }
+    match rx.recv_timeout(Duration::from_millis(spec.timeout_ms)) {
+        Ok(Ok(result)) => job_line(spec, started, result),
+        Ok(Err(panic)) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            let mut line = job_line(spec, started, Err(message));
+            if let Json::Obj(map) = &mut line {
+                map.insert("status".to_string(), Json::from("panic"));
+            }
+            line
+        }
+        Err(_) => {
+            let mut line = job_line(spec, started, Err("timed out".to_string()));
+            if let Json::Obj(map) = &mut line {
+                map.insert("status".to_string(), Json::from("timeout"));
+            }
+            line
+        }
+    }
+}
+
+fn job_line(spec: &JobSpec, started: Instant, result: Result<Json, String>) -> Json {
+    let mut line = Json::obj([
+        ("job", Json::from(spec.index)),
+        ("circuit", Json::from(spec.circuit.display().to_string())),
+        ("method", Json::from(spec.method.as_str())),
+        ("millis", Json::from(started.elapsed().as_millis() as u64)),
+    ]);
+    let Json::Obj(map) = &mut line else {
+        unreachable!("Json::obj returns an object")
+    };
+    match result {
+        Ok(Json::Obj(fields)) => {
+            map.insert("status".to_string(), Json::from("ok"));
+            map.extend(fields);
+        }
+        Ok(other) => {
+            map.insert("status".to_string(), Json::from("ok"));
+            map.insert("result".to_string(), other);
+        }
+        Err(message) => {
+            map.insert("status".to_string(), Json::from("error"));
+            map.insert("error".to_string(), Json::from(message));
+        }
+    }
+    line
+}
+
+/// The job body proper (runs inside the isolated worker thread).
+fn run_job(spec: &JobSpec) -> Result<Json, String> {
+    if spec.method == "selftest-panic" {
+        panic!("selftest-panic job requested a panic");
+    }
+    if spec.method == "selftest-sleep" {
+        // Out-sleep any configured timeout; the worker detaches the thread.
+        std::thread::sleep(Duration::from_millis(
+            spec.timeout_ms.saturating_add(60_000),
+        ));
+        return Ok(Json::obj([("slept", Json::from(true))]));
+    }
+    let text = std::fs::read_to_string(&spec.circuit)
+        .map_err(|e| format!("read {}: {e}", spec.circuit.display()))?;
+    let circuit = parse_bench(&text).map_err(|e| format!("parse: {e}"))?;
+    let mut engine = TpiEngine::new(
+        circuit,
+        EngineConfig {
+            patterns: spec.patterns,
+            seed: spec.seed,
+            verify_incremental: false,
+        },
+    )
+    .map_err(|e| format!("engine: {e}"))?;
+    match spec.method.as_str() {
+        "simulate" => {
+            let result = engine.simulate().map_err(|e| format!("simulate: {e}"))?;
+            Ok(Json::obj([
+                ("coverage", Json::from(result.coverage())),
+                ("faults", Json::from(result.fault_count())),
+                ("detected", Json::from(result.detected_count())),
+                ("patterns", Json::from(result.patterns_applied())),
+            ]))
+        }
+        "optimize" => {
+            let cfg = OptimizeConfig {
+                max_rounds: spec.max_rounds,
+                ..OptimizeConfig::default()
+            };
+            let outcome = engine
+                .optimize(Threshold::from_log2(spec.threshold_log2), &cfg)
+                .map_err(|e| format!("optimize: {e}"))?;
+            Ok(Json::obj([
+                ("coverage", Json::from(outcome.final_coverage)),
+                (
+                    "baseline_coverage",
+                    Json::from(outcome.rounds.first().map_or(0.0, |r| r.coverage)),
+                ),
+                ("points", Json::from(outcome.plan.len())),
+                ("cost", Json::from(outcome.plan.cost())),
+                ("rounds", Json::from(outcome.rounds.len())),
+                (
+                    "faults_resimulated",
+                    Json::from(engine.stats().faults_resimulated),
+                ),
+                ("faults_skipped", Json::from(engine.stats().faults_skipped)),
+            ]))
+        }
+        other => Err(format!("unknown method '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_bench(dir: &Path, name: &str) -> PathBuf {
+        let path = dir.join(name);
+        std::fs::write(
+            &path,
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\n\
+             g0 = AND(a, b)\ng1 = AND(c, d)\ny = AND(g0, g1)\nOUTPUT(y)\n",
+        )
+        .unwrap();
+        path
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tpi-batch-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn failing_jobs_do_not_abort_the_batch() {
+        let dir = temp_dir("isolation");
+        write_bench(&dir, "ok.bench");
+        let manifest = Json::parse(
+            r#"{
+              "workers": 2,
+              "jobs": [
+                {"circuit": "ok.bench", "method": "simulate", "patterns": 256},
+                {"circuit": "missing.bench", "method": "simulate"},
+                {"circuit": "ok.bench", "method": "selftest-panic", "timeout_ms": 30000},
+                {"circuit": "ok.bench", "method": "optimize",
+                 "threshold_log2": -4, "patterns": 256, "max_rounds": 2}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let (workers, specs) = parse_manifest(&manifest, &dir).unwrap();
+        let mut out = Vec::new();
+        let summary = run_jobs(workers, &specs, &mut out).unwrap();
+        assert_eq!(summary.ok, 2, "{}", String::from_utf8_lossy(&out));
+        assert_eq!(summary.failed, 2);
+
+        let lines: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 4);
+        // JSONL comes back in job order regardless of completion order.
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(line.get("job").unwrap().as_u64(), Some(i as u64));
+        }
+        assert_eq!(lines[0].get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(lines[1].get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(lines[2].get("status").unwrap().as_str(), Some("panic"));
+        assert_eq!(lines[3].get("status").unwrap().as_str(), Some("ok"));
+        assert!(lines[3].get("coverage").unwrap().as_f64().unwrap() > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_validation() {
+        assert!(parse_manifest(&Json::parse("{}").unwrap(), Path::new(".")).is_err());
+        let bad_method =
+            Json::parse(r#"{"jobs":[{"circuit":"x.bench","method":"frobnicate"}]}"#).unwrap();
+        assert!(parse_manifest(&bad_method, Path::new(".")).is_err());
+        let no_circuit = Json::parse(r#"{"jobs":[{"method":"simulate"}]}"#).unwrap();
+        assert!(parse_manifest(&no_circuit, Path::new(".")).is_err());
+    }
+
+    #[test]
+    fn timeout_is_reported_not_fatal() {
+        let dir = temp_dir("timeout");
+        let path = write_bench(&dir, "slow.bench");
+        // The sleeper out-sleeps any budget: the timeout path is forced
+        // deterministically however fast the machine is.
+        let spec = JobSpec {
+            index: 0,
+            circuit: path,
+            method: "selftest-sleep".to_string(),
+            threshold_log2: -8.0,
+            patterns: 4096,
+            max_rounds: 2,
+            seed: 1,
+            timeout_ms: 10,
+        };
+        let line = run_job_isolated(&spec);
+        assert_eq!(line.get("status").unwrap().as_str(), Some("timeout"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,872 @@
+//! The long-lived TPI session engine.
+
+use tpi_core::general::{extract_region, gather_candidates, ConstructiveOutcome, RoundReport};
+use tpi_core::{
+    CostModel, DpConfig, DpOptimizer, Plan, TargetFault, Threshold, TpiError, TpiProblem,
+};
+use tpi_netlist::analysis::fanout_cone_mask;
+use tpi_netlist::ffr::FfrDecomposition;
+use tpi_netlist::transform::{apply_test_point, AppliedTestPoint};
+use tpi_netlist::{Circuit, NodeId, TestPoint, Topology};
+use tpi_sim::{FaultSimResult, FaultSimulator, FaultSite, FaultUniverse, IndependentPatterns};
+use tpi_testability::CopAnalysis;
+
+use crate::memo::{region_fingerprint, DpMemo};
+
+/// Session-wide tuning for [`TpiEngine`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Pattern budget of every coverage measurement (full or incremental).
+    pub patterns: u64,
+    /// Seed of the session's [`IndependentPatterns`] stream.
+    pub seed: u64,
+    /// Cross-check every incremental re-simulation against a full
+    /// re-simulation and panic on divergence. Defaults to on in debug
+    /// builds — the "prove bit-identity" path — and off in release.
+    pub verify_incremental: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            patterns: 4096,
+            seed: 0xDAC_1987,
+            verify_incremental: cfg!(debug_assertions),
+        }
+    }
+}
+
+/// Counters exposing what the engine's caches actually did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Derived-analysis bundles rebuilt (topology + COP + FFR).
+    pub analysis_rebuilds: u64,
+    /// Derived-analysis requests served from cache.
+    pub analysis_hits: u64,
+    /// Full fault simulations over the whole universe.
+    pub full_sims: u64,
+    /// Incremental (dirty-cone) re-simulations.
+    pub incremental_sims: u64,
+    /// Faults re-simulated by incremental passes.
+    pub faults_resimulated: u64,
+    /// Faults whose previous result was reused by incremental passes.
+    pub faults_skipped: u64,
+    /// Region DP solutions replayed from the memo.
+    pub memo_hits: u64,
+    /// Region DP solutions computed and cached.
+    pub memo_misses: u64,
+}
+
+/// Derived analyses of the current circuit, rebuilt together whenever the
+/// netlist version moves.
+pub struct Analyses {
+    version: u64,
+    /// Levelized topology.
+    pub topo: Topology,
+    /// COP controllability/observability profile.
+    pub cop: CopAnalysis,
+    /// Fanout-free-region decomposition.
+    pub ffr: FfrDecomposition,
+}
+
+struct SimState {
+    version: u64,
+    result: FaultSimResult,
+}
+
+/// Loop tuning for [`TpiEngine::optimize`] (the engine-side constructive
+/// driver; measurement patterns and seed come from [`EngineConfig`]).
+#[derive(Clone, Debug)]
+pub struct OptimizeConfig {
+    /// Maximum insertion rounds.
+    pub max_rounds: usize,
+    /// Stop once fault coverage reaches this fraction.
+    pub target_coverage: f64,
+    /// Stop once plan cost reaches this budget.
+    pub max_cost: f64,
+    /// DP configuration used inside regions.
+    pub dp: DpConfig,
+    /// Region plans committed per round before re-measuring.
+    pub regions_per_round: usize,
+}
+
+impl Default for OptimizeConfig {
+    fn default() -> OptimizeConfig {
+        OptimizeConfig {
+            max_rounds: 24,
+            target_coverage: 1.0,
+            max_cost: f64::INFINITY,
+            dp: DpConfig::default(),
+            regions_per_round: 4,
+        }
+    }
+}
+
+/// A long-lived test-point-insertion session over one circuit.
+///
+/// The engine owns the circuit and keeps everything derived from it —
+/// topology, COP profile, FFR decomposition, the collapsed fault universe
+/// of the *base* circuit, and the latest coverage measurement — cached and
+/// keyed by [`Circuit::version`], so repeated queries cost nothing and
+/// edits invalidate exactly what they must.
+///
+/// Its differentiating capability is **dirty-cone incremental
+/// re-simulation**: after [`apply`](TpiEngine::apply) inserts a test
+/// point, only faults whose detection can have changed (those on lines
+/// structurally entangled with the edit) are re-simulated; every other
+/// fault keeps its previous first-detection verbatim. The session pattern
+/// source is [`IndependentPatterns`], whose per-input streams are
+/// invariant under input insertion, which is what makes the merged result
+/// bit-identical to a from-scratch simulation of the edited circuit
+/// (checked by [`EngineConfig::verify_incremental`] and property tests).
+pub struct TpiEngine {
+    circuit: Circuit,
+    config: EngineConfig,
+    universe: FaultUniverse,
+    analyses: Option<Analyses>,
+    sim: Option<SimState>,
+    memo: DpMemo,
+    stats: EngineStats,
+}
+
+impl TpiEngine {
+    /// Open a session on `circuit`. The collapsed stuck-at universe of
+    /// this base circuit is the coverage target for the whole session
+    /// (test-logic faults introduced later are excluded, as in the
+    /// literature's coverage tables).
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] if the circuit is malformed or cyclic.
+    pub fn new(circuit: Circuit, config: EngineConfig) -> Result<TpiEngine, TpiError> {
+        let universe = FaultUniverse::collapsed(&circuit)?;
+        Ok(TpiEngine {
+            circuit,
+            config,
+            universe,
+            analyses: None,
+            sim: None,
+            memo: DpMemo::default(),
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// The current (possibly edited) circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Mutable access for out-of-band edits. Any mutation bumps
+    /// [`Circuit::version`], so cached analyses and simulation state are
+    /// invalidated lazily; the next measurement falls back to a full
+    /// simulation (the incremental path needs the edit provenance that
+    /// only [`apply`](TpiEngine::apply) records).
+    pub fn circuit_mut(&mut self) -> &mut Circuit {
+        &mut self.circuit
+    }
+
+    /// The session's fault universe (collapsed faults of the base circuit).
+    pub fn universe(&self) -> &FaultUniverse {
+        &self.universe
+    }
+
+    /// Cache/simulation counters accumulated so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of distinct region subproblems memoized so far.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// The derived analyses of the current circuit, rebuilding them only
+    /// if the netlist changed since they were last computed.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] if the circuit became malformed.
+    pub fn analyses(&mut self) -> Result<&Analyses, TpiError> {
+        self.ensure_analyses()?;
+        Ok(self.analyses.as_ref().expect("just ensured"))
+    }
+
+    fn ensure_analyses(&mut self) -> Result<(), TpiError> {
+        let version = self.circuit.version();
+        if self.analyses.as_ref().is_some_and(|a| a.version == version) {
+            self.stats.analysis_hits += 1;
+            return Ok(());
+        }
+        let topo = Topology::of(&self.circuit)?;
+        let cop = CopAnalysis::new(&self.circuit)?;
+        let ffr = FfrDecomposition::of(&self.circuit, &topo);
+        self.analyses = Some(Analyses {
+            version,
+            topo,
+            cop,
+            ffr,
+        });
+        self.stats.analysis_rebuilds += 1;
+        Ok(())
+    }
+
+    fn pattern_source(&self) -> IndependentPatterns {
+        IndependentPatterns::new(self.circuit.inputs().len(), self.config.seed)
+    }
+
+    fn full_sim(&mut self) -> Result<FaultSimResult, TpiError> {
+        self.stats.full_sims += 1;
+        let mut sim = FaultSimulator::new(&self.circuit)?;
+        let mut src = self.pattern_source();
+        Ok(sim.run(&mut src, self.config.patterns, self.universe.faults())?)
+    }
+
+    /// The coverage measurement of the current circuit, computed at most
+    /// once per netlist version (edits through
+    /// [`apply`](TpiEngine::apply) refresh it incrementally instead).
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] if the circuit became malformed.
+    pub fn simulate(&mut self) -> Result<&FaultSimResult, TpiError> {
+        let version = self.circuit.version();
+        if self.sim.as_ref().is_none_or(|s| s.version != version) {
+            let result = self.full_sim()?;
+            self.sim = Some(SimState { version, result });
+        }
+        Ok(&self.sim.as_ref().expect("just stored").result)
+    }
+
+    /// Fault coverage of the current circuit over the session universe.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] if the circuit became malformed.
+    pub fn coverage(&mut self) -> Result<f64, TpiError> {
+        Ok(self.simulate()?.coverage())
+    }
+
+    /// Insert one test point and refresh the coverage measurement
+    /// incrementally: only faults inside the edit's dirty cone are
+    /// re-simulated, all others keep their previous first-detections.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] if the insertion or re-simulation fails.
+    pub fn apply(&mut self, tp: TestPoint) -> Result<AppliedTestPoint, TpiError> {
+        let old_nodes = self.circuit.node_count();
+        let prev = match self.sim.take() {
+            Some(s) if s.version == self.circuit.version() => Some(s.result),
+            _ => None,
+        };
+        let applied = apply_test_point(&mut self.circuit, tp)?;
+        if let Some(prev) = prev {
+            let merged = self.resimulate_dirty_cone(&applied, old_nodes, prev)?;
+            self.sim = Some(SimState {
+                version: self.circuit.version(),
+                result: merged,
+            });
+        }
+        Ok(applied)
+    }
+
+    /// Insert several test points in order (each one incrementally
+    /// re-measured, as [`apply`](TpiEngine::apply)).
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] if any insertion fails; earlier points stay
+    /// applied.
+    pub fn apply_all(&mut self, points: &[TestPoint]) -> Result<Vec<AppliedTestPoint>, TpiError> {
+        points.iter().map(|&tp| self.apply(tp)).collect()
+    }
+
+    /// Re-simulate only the faults dirtied by `applied` and merge with the
+    /// previous result. See [`dirty_line_mask`] for the dirtiness rule.
+    fn resimulate_dirty_cone(
+        &mut self,
+        applied: &AppliedTestPoint,
+        old_nodes: usize,
+        prev: FaultSimResult,
+    ) -> Result<FaultSimResult, TpiError> {
+        self.ensure_analyses()?;
+        let analyses = self.analyses.as_ref().expect("just ensured");
+        let observed: Vec<NodeId> = applied.observed.into_iter().collect();
+        let dirty = dirty_line_mask(&self.circuit, &analyses.topo, old_nodes, &observed);
+
+        let mut dirty_indices: Vec<usize> = Vec::new();
+        let mut dirty_faults: Vec<tpi_sim::Fault> = Vec::new();
+        for (i, &fault) in self.universe.faults().iter().enumerate() {
+            if dirty[fault_line(&self.circuit, fault).index()] {
+                dirty_indices.push(i);
+                dirty_faults.push(fault);
+            }
+        }
+        self.stats.incremental_sims += 1;
+        self.stats.faults_resimulated += dirty_faults.len() as u64;
+        self.stats.faults_skipped += (self.universe.len() - dirty_faults.len()) as u64;
+
+        let partial = {
+            let mut sim = FaultSimulator::new(&self.circuit)?;
+            let mut src = self.pattern_source();
+            sim.run(&mut src, self.config.patterns, &dirty_faults)?
+        };
+        let mut first: Vec<Option<u64>> = (0..prev.fault_count())
+            .map(|i| prev.first_detection(i))
+            .collect();
+        for (k, &i) in dirty_indices.iter().enumerate() {
+            first[i] = partial.first_detection(k);
+        }
+        let merged = FaultSimResult::from_parts(
+            first,
+            partial.patterns_applied().max(prev.patterns_applied()),
+        );
+
+        if self.config.verify_incremental {
+            let full = self.full_sim()?;
+            for i in 0..self.universe.len() {
+                assert_eq!(
+                    merged.first_detection(i),
+                    full.first_detection(i),
+                    "incremental re-simulation diverged from full re-simulation \
+                     at fault {} ({})",
+                    i,
+                    self.universe.faults()[i].describe(&self.circuit),
+                );
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Run the measure/decompose/solve/commit constructive loop on the
+    /// session, with every step going through the engine's caches: the
+    /// measurement is incremental after the first round, region DP
+    /// solutions are memoized across rounds, and candidate scoring
+    /// simulates only each candidate's dirty faults.
+    ///
+    /// Semantically this matches
+    /// [`ConstructiveOptimizer::solve`](tpi_core::general::ConstructiveOptimizer),
+    /// which remains the from-scratch baseline it is benchmarked against.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] on malformed circuits.
+    pub fn optimize(
+        &mut self,
+        threshold: Threshold,
+        cfg: &OptimizeConfig,
+    ) -> Result<ConstructiveOutcome, TpiError> {
+        let costs = CostModel::default();
+        let mut plan_points: Vec<TestPoint> = Vec::new();
+        let mut rounds: Vec<RoundReport> = Vec::new();
+        let mut coverage = 0.0;
+        let mut last_added = 0usize;
+
+        for round in 0..cfg.max_rounds.max(1) {
+            // 1. Measure (cached; incremental after the first commit).
+            let result = self.simulate()?.clone();
+            coverage = result.coverage();
+            let cost_so_far = costs.total(&plan_points);
+            rounds.push(RoundReport {
+                round,
+                coverage,
+                cost: cost_so_far,
+                points_added: last_added,
+            });
+            if coverage >= cfg.target_coverage || cost_so_far >= cfg.max_cost {
+                break;
+            }
+            let undetected = result.undetected_indices();
+            if undetected.is_empty() {
+                break;
+            }
+
+            // 2–3. Decompose on cached analyses; solve regions through
+            // the DP memo.
+            let mut groups = self.plan_region_groups(threshold, cfg, &undetected)?;
+            for tp in
+                gather_candidates(&self.circuit, &self.universe, &undetected, &plan_points, 16)
+            {
+                groups.push(vec![tp]);
+            }
+
+            // 4. Referee by simulation (dirty faults only) and commit.
+            let committed = self.pick_by_simulation(&undetected, groups)?;
+            if committed.is_empty() {
+                break;
+            }
+            last_added = 0;
+            let mut spent = costs.total(&plan_points);
+            for &tp in &committed {
+                let price = costs.of(tp.kind);
+                if spent + price > cfg.max_cost {
+                    break;
+                }
+                self.apply(tp)?;
+                plan_points.push(tp);
+                spent += price;
+                last_added += 1;
+            }
+            if last_added == 0 {
+                break; // budget exhausted mid-commit
+            }
+        }
+
+        let cost = costs.total(&plan_points);
+        let feasible = coverage >= cfg.target_coverage;
+        Ok(ConstructiveOutcome {
+            plan: Plan::new(plan_points, cost, feasible),
+            rounds,
+            final_coverage: coverage,
+            modified: self.circuit.clone(),
+        })
+    }
+
+    /// Group the undetected faults per FFR, solve each region's DP
+    /// subproblem (through the memo) and return the candidate point
+    /// groups ranked by benefit per cost.
+    fn plan_region_groups(
+        &mut self,
+        threshold: Threshold,
+        cfg: &OptimizeConfig,
+        undetected: &[usize],
+    ) -> Result<Vec<Vec<TestPoint>>, TpiError> {
+        self.ensure_analyses()?;
+        let analyses = self.analyses.as_ref().expect("just ensured");
+        let costs = CostModel::default();
+
+        let mut region_targets: std::collections::HashMap<NodeId, Vec<TargetFault>> =
+            std::collections::HashMap::new();
+        for &fi in undetected {
+            let fault = self.universe.faults()[fi];
+            let node = fault_line(&self.circuit, fault);
+            region_targets
+                .entry(analyses.ffr.root_of(node))
+                .or_default()
+                .push(TargetFault {
+                    node,
+                    stuck: fault.stuck,
+                });
+        }
+
+        // NodeId order, not hash order: benefit ties must break the same way
+        // as the baseline driver for run-to-run (and engine-vs-baseline)
+        // determinism.
+        let mut regions: Vec<(NodeId, Vec<TargetFault>)> = region_targets.into_iter().collect();
+        regions.sort_by_key(|(root, _)| *root);
+
+        let dp = DpOptimizer::new(cfg.dp.clone());
+        let mut candidates: Vec<(Vec<TestPoint>, f64, f64)> = Vec::new();
+        for (root, targets) in &regions {
+            let benefit = targets.len() as f64;
+            let Some(extraction) = extract_region(
+                &self.circuit,
+                &analyses.topo,
+                &analyses.ffr,
+                *root,
+                &analyses.cop,
+            ) else {
+                continue;
+            };
+            let sub_targets: Vec<TargetFault> = targets
+                .iter()
+                .filter_map(|t| {
+                    extraction.to_sub.get(&t.node).map(|&node| TargetFault {
+                        node,
+                        stuck: t.stuck,
+                    })
+                })
+                .collect();
+            if sub_targets.is_empty() {
+                continue;
+            }
+            let rho = analyses.cop.observability(*root).clamp(0.0, 1.0);
+            let fp = region_fingerprint(&extraction, &sub_targets, rho, threshold);
+            let sub_points: Option<Vec<TestPoint>> = match self.memo.get(fp) {
+                Some(cached) => {
+                    self.stats.memo_hits += 1;
+                    cached.clone()
+                }
+                None => {
+                    self.stats.memo_misses += 1;
+                    let problem =
+                        TpiProblem::with_targets(&extraction.circuit, threshold, sub_targets)
+                            .with_input_probs(extraction.input_probs.clone());
+                    let solved = dp
+                        .solve_region(&problem, rho)
+                        .ok()
+                        .map(|(plan, _)| plan.test_points().to_vec())
+                        .filter(|points| !points.is_empty());
+                    self.memo.insert(fp, solved.clone());
+                    solved
+                }
+            };
+            let Some(sub_points) = sub_points else {
+                continue;
+            };
+            let mapped: Vec<TestPoint> = sub_points
+                .iter()
+                .map(|tp| TestPoint::new(extraction.to_parent[&tp.node], tp.kind))
+                .collect();
+            let cost = costs.total(&mapped);
+            let score = benefit / cost.max(1e-9);
+            candidates.push((mapped, cost, score));
+        }
+        candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite scores"));
+        candidates.truncate(cfg.regions_per_round.max(1) * 3);
+        Ok(candidates
+            .into_iter()
+            .map(|(points, _, _)| points)
+            .collect())
+    }
+
+    /// Score candidate groups by measured detections per cost — but on
+    /// each candidate's scratch circuit only the *dirty* faults of that
+    /// candidate are simulated. Clean undetected faults stay undetected
+    /// by the bit-identity argument, so they contribute zero detections
+    /// and skipping them cannot change any score.
+    fn pick_by_simulation(
+        &mut self,
+        undetected: &[usize],
+        groups: Vec<Vec<TestPoint>>,
+    ) -> Result<Vec<TestPoint>, TpiError> {
+        let costs = CostModel::default();
+        let budget = self.config.patterns.min(4096);
+        let mut best: Option<(Vec<TestPoint>, f64)> = None;
+        for group in groups {
+            if group.is_empty() {
+                continue;
+            }
+            let old_nodes = self.circuit.node_count();
+            let mut scratch = self.circuit.clone();
+            let mut observed: Vec<NodeId> = Vec::new();
+            let mut broken = false;
+            for &tp in &group {
+                match apply_test_point(&mut scratch, tp) {
+                    Ok(applied) => observed.extend(applied.observed),
+                    Err(_) => {
+                        broken = true;
+                        break;
+                    }
+                }
+            }
+            if broken {
+                continue;
+            }
+            let topo = Topology::of(&scratch)?;
+            let dirty = dirty_line_mask(&scratch, &topo, old_nodes, &observed);
+            let faults: Vec<tpi_sim::Fault> = undetected
+                .iter()
+                .map(|&i| self.universe.faults()[i])
+                .filter(|&f| dirty[fault_line(&scratch, f).index()])
+                .collect();
+            if faults.is_empty() {
+                continue;
+            }
+            let mut sim = FaultSimulator::new(&scratch)?;
+            let mut src = IndependentPatterns::new(scratch.inputs().len(), self.config.seed);
+            let result = sim.run(&mut src, budget, &faults)?;
+            let score = result.detected_count() as f64 / costs.total(&group).max(1e-9);
+            if score > 0.0
+                && best
+                    .as_ref()
+                    .map(|(_, s)| score > s + 1e-12)
+                    .unwrap_or(true)
+            {
+                best = Some((group, score));
+            }
+        }
+        Ok(best.map(|(group, _)| group).unwrap_or_default())
+    }
+}
+
+/// The line a fault's detection is anchored to: its stem, or the driving
+/// line of a branch fault (resolved against the *current* circuit, where
+/// control points may have re-driven the branch).
+fn fault_line(circuit: &Circuit, fault: tpi_sim::Fault) -> NodeId {
+    match fault.site {
+        FaultSite::Stem(node) => node,
+        FaultSite::Branch { gate, pin } => circuit.fanins(gate)[pin as usize],
+    }
+}
+
+/// Node-level dirtiness after an edit that appended nodes `old_nodes..`
+/// and (possibly) tapped `observed` as new primary outputs.
+///
+/// A node is *marked* when its value can differ from the pre-edit circuit:
+/// the forward cone of the appended nodes. A node is *dirty* when the
+/// detection of a fault on its output line can have changed:
+///
+/// * it is marked (excitation may differ), or
+/// * one of its fanins is marked (its input values may differ), or
+/// * it is newly observed (a new output watches it), or
+/// * any consumer is dirty (its propagation paths run through changed
+///   logic or toward a new output).
+///
+/// The last rule makes dirtiness flow *upstream*; evaluating nodes in
+/// reverse topological order resolves it in one pass. Faults on clean
+/// lines provably keep their detection behaviour: no value, sensitization
+/// side-input or observing output anywhere in their cone changed.
+pub fn dirty_line_mask(
+    circuit: &Circuit,
+    topo: &Topology,
+    old_nodes: usize,
+    observed: &[NodeId],
+) -> Vec<bool> {
+    let n = circuit.node_count();
+    let new_nodes: Vec<NodeId> = (old_nodes..n).map(NodeId::from_index).collect();
+    let marked = fanout_cone_mask(circuit, topo, &new_nodes);
+    let mut dirty = vec![false; n];
+    for &id in topo.order().iter().rev() {
+        let i = id.index();
+        let seeded = marked[i]
+            || observed.contains(&id)
+            || circuit.fanins(id).iter().any(|f| marked[f.index()]);
+        dirty[i] = seeded || topo.fanouts(id).iter().any(|fo| dirty[fo.gate.index()]);
+    }
+    dirty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpi_netlist::{CircuitBuilder, GateKind, TestPointKind};
+
+    /// Two independent random-pattern-resistant cones sharing nothing: an
+    /// edit in one must leave the other's faults clean.
+    fn two_cones() -> Circuit {
+        let mut b = CircuitBuilder::new("twin");
+        let xs = b.inputs(16, "x");
+        let a = b.balanced_tree(GateKind::And, &xs[..8], "a").unwrap();
+        let o = b.balanced_tree(GateKind::And, &xs[8..], "o").unwrap();
+        b.output(a);
+        b.output(o);
+        b.finish().unwrap()
+    }
+
+    fn reconvergent() -> Circuit {
+        let mut b = CircuitBuilder::new("rr");
+        let xs = b.inputs(12, "x");
+        let stem = b.balanced_tree(GateKind::And, &xs[..8], "cone").unwrap();
+        let g1 = b.gate(GateKind::And, vec![stem, xs[8]], "g1").unwrap();
+        let g2 = b.gate(GateKind::And, vec![stem, xs[9]], "g2").unwrap();
+        let m = b.gate(GateKind::Or, vec![g1, g2], "m").unwrap();
+        let t = b
+            .balanced_tree(GateKind::And, &[m, xs[10], xs[11]], "t")
+            .unwrap();
+        b.output(t);
+        b.finish().unwrap()
+    }
+
+    fn engine(c: Circuit) -> TpiEngine {
+        // verify_incremental is intentionally off: the tests compare
+        // against an independently-constructed full simulation instead.
+        TpiEngine::new(
+            c,
+            EngineConfig {
+                patterns: 1024,
+                seed: 9,
+                verify_incremental: false,
+            },
+        )
+        .unwrap()
+    }
+
+    fn fresh_full(
+        circuit: &Circuit,
+        universe: &FaultUniverse,
+        patterns: u64,
+        seed: u64,
+    ) -> FaultSimResult {
+        let mut sim = FaultSimulator::new(circuit).unwrap();
+        let mut src = IndependentPatterns::new(circuit.inputs().len(), seed);
+        sim.run(&mut src, patterns, universe.faults()).unwrap()
+    }
+
+    #[test]
+    fn incremental_matches_full_for_every_kind() {
+        for kind in TestPointKind::ALL {
+            let c = reconvergent();
+            let node = c.find_node("g1").unwrap();
+            let mut eng = engine(c);
+            eng.simulate().unwrap();
+            eng.apply(TestPoint::new(node, kind)).unwrap();
+            let fresh = fresh_full(eng.circuit(), eng.universe(), 1024, 9);
+            let merged = eng.simulate().unwrap().clone();
+            for i in 0..eng.universe().len() {
+                assert_eq!(
+                    merged.first_detection(i),
+                    fresh.first_detection(i),
+                    "{kind:?} fault {i}"
+                );
+            }
+            assert_eq!(eng.stats().incremental_sims, 1);
+            assert_eq!(eng.stats().full_sims, 1, "{kind:?} re-ran a full sim");
+        }
+    }
+
+    #[test]
+    fn incremental_skips_the_untouched_cone() {
+        let c = two_cones();
+        let a = c.find_node("a_6").unwrap(); // root of the first cone
+        let mut eng = engine(c);
+        eng.simulate().unwrap();
+        eng.apply(TestPoint::control_or(a)).unwrap();
+        let stats = eng.stats();
+        assert!(
+            stats.faults_skipped > 0,
+            "an edit local to one cone must leave the other cone's faults clean"
+        );
+        assert!(stats.faults_resimulated > 0);
+        let fresh = fresh_full(eng.circuit(), eng.universe(), 1024, 9);
+        let merged = eng.simulate().unwrap().clone();
+        for i in 0..eng.universe().len() {
+            assert_eq!(
+                merged.first_detection(i),
+                fresh.first_detection(i),
+                "fault {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn chained_edits_stay_bit_identical() {
+        let c = reconvergent();
+        let g1 = c.find_node("g1").unwrap();
+        let g2 = c.find_node("g2").unwrap();
+        let cone = c.find_node("cone_6").unwrap();
+        let mut eng = engine(c);
+        eng.simulate().unwrap();
+        for tp in [
+            TestPoint::observe(g1),
+            TestPoint::control_or(g2),
+            TestPoint::full(cone),
+        ] {
+            eng.apply(tp).unwrap();
+            let fresh = fresh_full(eng.circuit(), eng.universe(), 1024, 9);
+            let merged = eng.simulate().unwrap().clone();
+            for i in 0..eng.universe().len() {
+                assert_eq!(
+                    merged.first_detection(i),
+                    fresh.first_detection(i),
+                    "after {tp}"
+                );
+            }
+        }
+        assert_eq!(eng.stats().incremental_sims, 3);
+    }
+
+    #[test]
+    fn analyses_cache_hits_and_invalidates() {
+        let mut eng = engine(reconvergent());
+        eng.analyses().unwrap();
+        eng.analyses().unwrap();
+        assert_eq!(eng.stats().analysis_rebuilds, 1);
+        assert_eq!(eng.stats().analysis_hits, 1);
+
+        let node = eng.circuit().find_node("m").unwrap();
+        eng.apply(TestPoint::observe(node)).unwrap();
+        eng.analyses().unwrap();
+        assert_eq!(eng.stats().analysis_rebuilds, 2);
+    }
+
+    #[test]
+    fn out_of_band_edit_invalidates_simulation() {
+        let mut eng = engine(two_cones());
+        eng.simulate().unwrap();
+        assert_eq!(eng.stats().full_sims, 1);
+        // An untracked edit: tap a node as an output behind the engine's
+        // back. The version bump must force a fresh full measurement.
+        let node = eng.circuit().find_node("a_0").unwrap();
+        eng.circuit_mut().add_output(node).unwrap();
+        eng.simulate().unwrap();
+        assert_eq!(eng.stats().full_sims, 2);
+        assert_eq!(eng.stats().incremental_sims, 0);
+    }
+
+    #[test]
+    fn optimize_improves_coverage_and_memoizes() {
+        let mut eng = TpiEngine::new(
+            reconvergent(),
+            EngineConfig {
+                patterns: 2048,
+                seed: 0xDAC_1987,
+                verify_incremental: true, // exercise the assert path too
+            },
+        )
+        .unwrap();
+        let cfg = OptimizeConfig {
+            max_rounds: 8,
+            target_coverage: 0.999,
+            ..OptimizeConfig::default()
+        };
+        let outcome = eng
+            .optimize(Threshold::from_test_length(2048, 0.9).unwrap(), &cfg)
+            .unwrap();
+        let baseline = outcome.rounds[0].coverage;
+        assert!(outcome.final_coverage > baseline);
+        assert!(outcome.final_coverage > 0.95, "{}", outcome.final_coverage);
+        assert!(!outcome.plan.is_empty());
+        let stats = eng.stats();
+        assert!(stats.memo_misses > 0);
+        assert!(stats.incremental_sims > 0);
+    }
+
+    #[test]
+    fn optimize_plan_replays_on_the_base_circuit() {
+        let base = reconvergent();
+        let mut eng = engine(base.clone());
+        let outcome = eng
+            .optimize(
+                Threshold::from_test_length(1024, 0.9).unwrap(),
+                &OptimizeConfig {
+                    max_rounds: 4,
+                    ..OptimizeConfig::default()
+                },
+            )
+            .unwrap();
+        let (replayed, _) =
+            tpi_netlist::transform::apply_plan(&base, outcome.plan.test_points()).unwrap();
+        assert_eq!(replayed.node_count(), outcome.modified.node_count());
+        for id in replayed.node_ids() {
+            assert_eq!(replayed.kind(id), outcome.modified.kind(id));
+            assert_eq!(replayed.fanins(id), outcome.modified.fanins(id));
+        }
+    }
+
+    #[test]
+    fn untouched_regions_hit_the_memo_across_rounds() {
+        // Two deep AND cones, both random-pattern resistant under a tiny
+        // budget. Each round commits at most one candidate group, so the
+        // other cone re-extracts to a byte-identical subproblem next
+        // round and must replay from the memo instead of re-running the
+        // DP.
+        let mut b = CircuitBuilder::new("deep-twin");
+        let xs = b.inputs(24, "x");
+        let a = b.balanced_tree(GateKind::And, &xs[..12], "a").unwrap();
+        let o = b.balanced_tree(GateKind::And, &xs[12..], "o").unwrap();
+        b.output(a);
+        b.output(o);
+        let c = b.finish().unwrap();
+
+        let mut eng = TpiEngine::new(
+            c,
+            EngineConfig {
+                patterns: 256,
+                seed: 3,
+                verify_incremental: false,
+            },
+        )
+        .unwrap();
+        let cfg = OptimizeConfig {
+            max_rounds: 3,
+            ..OptimizeConfig::default()
+        };
+        eng.optimize(Threshold::from_log2(-6.0), &cfg).unwrap();
+        assert!(
+            eng.stats().memo_hits > 0,
+            "unchanged regions must replay memoized DP solutions, stats: {:?}",
+            eng.stats()
+        );
+    }
+}

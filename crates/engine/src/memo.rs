@@ -1,0 +1,126 @@
+//! Memoization of per-region DP solutions.
+//!
+//! The constructive loop re-solves fanout-free regions round after round,
+//! and most regions do not change between rounds (an edit touches one
+//! region; the other 99 re-extract to byte-identical subproblems). The DP
+//! is deterministic, so identical subproblems have identical solutions —
+//! the memo keys a solved region by a structural fingerprint and replays
+//! the cached plan instead of re-running the DP.
+
+use std::collections::HashMap;
+
+use tpi_core::general::RegionExtraction;
+use tpi_core::{TargetFault, Threshold};
+use tpi_netlist::TestPoint;
+
+/// Cache of region-relative DP plans, keyed by [`region_fingerprint`].
+///
+/// Entries store test points in the *extracted* circuit's node ids; the
+/// caller maps them through the current extraction's `to_parent` table
+/// (valid because equal fingerprints imply identical extraction shapes,
+/// hence identical sub-circuit node numbering).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DpMemo {
+    entries: HashMap<u64, Option<Vec<TestPoint>>>,
+}
+
+impl DpMemo {
+    pub(crate) fn get(&self, fp: u64) -> Option<&Option<Vec<TestPoint>>> {
+        self.entries.get(&fp)
+    }
+
+    pub(crate) fn insert(&mut self, fp: u64, plan: Option<Vec<TestPoint>>) {
+        self.entries.insert(fp, plan);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// FNV-1a fingerprint of a region subproblem: extracted structure (gate
+/// kinds and local fanin wiring in sub-id order), quantized input
+/// probabilities, target faults, quantized root observability `ρ` and the
+/// threshold bits.
+///
+/// Probabilities are quantized to 2^-20 so that COP noise below the DP's
+/// own discretisation cannot split otherwise-identical regions.
+pub(crate) fn region_fingerprint(
+    extraction: &RegionExtraction,
+    targets: &[TargetFault],
+    rho: f64,
+    threshold: Threshold,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.word(threshold.value().to_bits());
+    h.word(quantize(rho));
+    let sub = &extraction.circuit;
+    h.word(sub.node_count() as u64);
+    for id in sub.node_ids() {
+        h.bytes(sub.kind(id).bench_name().as_bytes());
+        for &f in sub.fanins(id) {
+            h.word(f.index() as u64);
+        }
+        h.word(u64::MAX); // fanin-list terminator
+        if let Some(&p) = extraction.input_probs.get(&id) {
+            h.word(quantize(p));
+        }
+    }
+    let mut sorted: Vec<(usize, bool)> =
+        targets.iter().map(|t| (t.node.index(), t.stuck)).collect();
+    sorted.sort_unstable();
+    for (node, stuck) in sorted {
+        h.word(node as u64);
+        h.word(u64::from(stuck));
+    }
+    h.finish()
+}
+
+fn quantize(p: f64) -> u64 {
+    (p.clamp(0.0, 1.0) * (1u64 << 20) as f64).round() as u64
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.bytes(&w.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_order_sensitive() {
+        let mut a = Fnv::new();
+        a.word(1);
+        a.word(2);
+        let mut b = Fnv::new();
+        b.word(2);
+        b.word(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn quantization_is_stable_under_tiny_noise() {
+        assert_eq!(quantize(0.5), quantize(0.5 + 1e-9));
+        assert_ne!(quantize(0.5), quantize(0.51));
+    }
+}

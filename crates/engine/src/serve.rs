@@ -1,0 +1,347 @@
+//! The line-delimited JSON session server behind `tpi serve`.
+//!
+//! One request per line on stdin, one response per line on stdout — the
+//! engine session (and all of its caches) persists across requests, so a
+//! driving process pays for analyses and full simulation once and for
+//! incremental work afterwards.
+//!
+//! Requests (`cmd` selects the operation):
+//!
+//! * `{"cmd":"load","path":"c432.bench"}` or
+//!   `{"cmd":"load","bench":"INPUT(a)\n..."}` — open a session; optional
+//!   `"patterns"` and `"seed"` configure the measurement.
+//! * `{"cmd":"coverage"}` — measure (cached / incremental).
+//! * `{"cmd":"insert","node":"g17","kind":"op"}` — apply a test point
+//!   (`op`, `cp-and`, `cp-or`, `tp`) with incremental re-measurement.
+//! * `{"cmd":"optimize","threshold_log2":-8,"max_rounds":8}` — run the
+//!   constructive loop on the session.
+//! * `{"cmd":"stats"}` — cache/simulation counters.
+//! * `{"cmd":"quit"}` — end the session.
+//!
+//! Every response carries `"ok"`; failures carry `"error"` and leave the
+//! session usable.
+
+use std::io::{BufRead, Write};
+
+use tpi_core::Threshold;
+use tpi_netlist::bench_format::parse_bench;
+use tpi_netlist::{TestPoint, TestPointKind};
+
+use crate::json::Json;
+use crate::{EngineConfig, OptimizeConfig, TpiEngine};
+
+/// The mutable state of one serve session.
+#[derive(Default)]
+pub struct ServeState {
+    engine: Option<TpiEngine>,
+}
+
+impl ServeState {
+    /// Fresh, with no circuit loaded.
+    pub fn new() -> ServeState {
+        ServeState::default()
+    }
+
+    /// Handle one request line; returns the response line, or `None` for
+    /// `quit`.
+    pub fn handle_line(&mut self, line: &str) -> Option<String> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Some(error_line("empty request"));
+        }
+        let request = match Json::parse(trimmed) {
+            Ok(v) => v,
+            Err(e) => return Some(error_line(&format!("bad JSON: {e}"))),
+        };
+        let cmd = request.get("cmd").and_then(Json::as_str).unwrap_or("");
+        if cmd == "quit" {
+            return None;
+        }
+        let response = self.dispatch(cmd, &request).unwrap_or_else(error_json);
+        Some(response.to_string())
+    }
+
+    fn dispatch(&mut self, cmd: &str, request: &Json) -> Result<Json, String> {
+        match cmd {
+            "load" => self.cmd_load(request),
+            "coverage" => {
+                let engine = self.engine_mut()?;
+                let result = engine.simulate().map_err(|e| e.to_string())?;
+                Ok(Json::obj([
+                    ("ok", Json::from(true)),
+                    ("coverage", Json::from(result.coverage())),
+                    ("faults", Json::from(result.fault_count())),
+                    ("detected", Json::from(result.detected_count())),
+                    ("patterns", Json::from(result.patterns_applied())),
+                ]))
+            }
+            "insert" => self.cmd_insert(request),
+            "optimize" => self.cmd_optimize(request),
+            "stats" => {
+                let engine = self.engine_mut()?;
+                let s = engine.stats().clone();
+                Ok(Json::obj([
+                    ("ok", Json::from(true)),
+                    ("analysis_rebuilds", Json::from(s.analysis_rebuilds)),
+                    ("analysis_hits", Json::from(s.analysis_hits)),
+                    ("full_sims", Json::from(s.full_sims)),
+                    ("incremental_sims", Json::from(s.incremental_sims)),
+                    ("faults_resimulated", Json::from(s.faults_resimulated)),
+                    ("faults_skipped", Json::from(s.faults_skipped)),
+                    ("memo_hits", Json::from(s.memo_hits)),
+                    ("memo_misses", Json::from(s.memo_misses)),
+                    ("memo_entries", Json::from(engine.memo_len())),
+                ]))
+            }
+            "" => Err("missing 'cmd'".to_string()),
+            other => Err(format!("unknown cmd '{other}'")),
+        }
+    }
+
+    fn engine_mut(&mut self) -> Result<&mut TpiEngine, String> {
+        self.engine
+            .as_mut()
+            .ok_or_else(|| "no circuit loaded (send a 'load' first)".to_string())
+    }
+
+    fn cmd_load(&mut self, request: &Json) -> Result<Json, String> {
+        let text = if let Some(bench) = request.get("bench").and_then(Json::as_str) {
+            bench.to_string()
+        } else if let Some(path) = request.get("path").and_then(Json::as_str) {
+            std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?
+        } else {
+            return Err("'load' needs 'bench' text or a 'path'".to_string());
+        };
+        let circuit = parse_bench(&text).map_err(|e| format!("parse: {e}"))?;
+        let config = EngineConfig {
+            patterns: request
+                .get("patterns")
+                .and_then(Json::as_u64)
+                .unwrap_or(4096),
+            seed: request
+                .get("seed")
+                .and_then(Json::as_u64)
+                .unwrap_or(0xDAC_1987),
+            verify_incremental: false,
+        };
+        let engine = TpiEngine::new(circuit, config).map_err(|e| e.to_string())?;
+        let response = Json::obj([
+            ("ok", Json::from(true)),
+            ("name", Json::from(engine.circuit().name())),
+            ("nodes", Json::from(engine.circuit().node_count())),
+            ("inputs", Json::from(engine.circuit().inputs().len())),
+            ("outputs", Json::from(engine.circuit().outputs().len())),
+            ("faults", Json::from(engine.universe().len())),
+        ]);
+        self.engine = Some(engine);
+        Ok(response)
+    }
+
+    fn cmd_insert(&mut self, request: &Json) -> Result<Json, String> {
+        let node_name = request
+            .get("node")
+            .and_then(Json::as_str)
+            .ok_or("'insert' needs 'node'")?
+            .to_string();
+        let kind = match request.get("kind").and_then(Json::as_str).unwrap_or("op") {
+            "op" => TestPointKind::Observe,
+            "cp-and" => TestPointKind::ControlAnd,
+            "cp-or" => TestPointKind::ControlOr,
+            "tp" => TestPointKind::Full,
+            other => return Err(format!("unknown kind '{other}'")),
+        };
+        let engine = self.engine_mut()?;
+        let node = engine
+            .circuit()
+            .find_node(&node_name)
+            .ok_or_else(|| format!("no node named '{node_name}'"))?;
+        engine
+            .apply(TestPoint::new(node, kind))
+            .map_err(|e| e.to_string())?;
+        let coverage = engine.coverage().map_err(|e| e.to_string())?;
+        Ok(Json::obj([
+            ("ok", Json::from(true)),
+            ("coverage", Json::from(coverage)),
+            ("nodes", Json::from(engine.circuit().node_count())),
+            (
+                "faults_resimulated",
+                Json::from(engine.stats().faults_resimulated),
+            ),
+        ]))
+    }
+
+    fn cmd_optimize(&mut self, request: &Json) -> Result<Json, String> {
+        let threshold = Threshold::from_log2(
+            request
+                .get("threshold_log2")
+                .and_then(Json::as_f64)
+                .unwrap_or(-10.0),
+        );
+        let cfg = OptimizeConfig {
+            max_rounds: request
+                .get("max_rounds")
+                .and_then(Json::as_u64)
+                .unwrap_or(8) as usize,
+            max_cost: request
+                .get("max_cost")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::INFINITY),
+            target_coverage: request
+                .get("target_coverage")
+                .and_then(Json::as_f64)
+                .unwrap_or(1.0),
+            ..OptimizeConfig::default()
+        };
+        let engine = self.engine_mut()?;
+        let outcome = engine
+            .optimize(threshold, &cfg)
+            .map_err(|e| e.to_string())?;
+        let points: Vec<Json> = outcome
+            .plan
+            .test_points()
+            .iter()
+            .map(|tp| {
+                Json::obj([
+                    ("node", Json::from(outcome.modified.node_name(tp.node))),
+                    ("kind", Json::from(tp.kind.mnemonic())),
+                ])
+            })
+            .collect();
+        Ok(Json::obj([
+            ("ok", Json::from(true)),
+            ("coverage", Json::from(outcome.final_coverage)),
+            (
+                "baseline_coverage",
+                Json::from(outcome.rounds.first().map_or(0.0, |r| r.coverage)),
+            ),
+            ("cost", Json::from(outcome.plan.cost())),
+            ("rounds", Json::from(outcome.rounds.len())),
+            ("points", Json::Arr(points)),
+        ]))
+    }
+}
+
+fn error_json(message: String) -> Json {
+    Json::obj([("ok", Json::from(false)), ("error", Json::from(message))])
+}
+
+fn error_line(message: &str) -> String {
+    error_json(message.to_string()).to_string()
+}
+
+/// Serve requests from `input` until EOF or a `quit`, writing responses
+/// (and flushing after each, so pipes stay interactive) to `output`.
+///
+/// # Errors
+///
+/// Only I/O failures on the streams.
+pub fn serve(input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
+    let mut state = ServeState::new();
+    for line in input.lines() {
+        let line = line?;
+        match state.handle_line(&line) {
+            Some(response) => {
+                writeln!(output, "{response}")?;
+                output.flush()?;
+            }
+            None => break,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BENCH: &str = "INPUT(a)\\nINPUT(b)\\nINPUT(c)\\nINPUT(d)\\n\
+                         g0 = AND(a, b)\\ng1 = AND(c, d)\\ny = AND(g0, g1)\\nOUTPUT(y)\\n";
+
+    fn ok(response: &str) -> Json {
+        let v = Json::parse(response).unwrap();
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{response}"
+        );
+        v
+    }
+
+    #[test]
+    fn session_flow() {
+        let mut state = ServeState::new();
+        let load = state
+            .handle_line(&format!(
+                r#"{{"cmd":"load","bench":"{BENCH}","patterns":512}}"#
+            ))
+            .unwrap();
+        let load = ok(&load);
+        assert_eq!(load.get("inputs").unwrap().as_u64(), Some(4));
+
+        let coverage = ok(&state.handle_line(r#"{"cmd":"coverage"}"#).unwrap());
+        assert!(coverage.get("coverage").unwrap().as_f64().unwrap() > 0.5);
+
+        let insert = ok(&state
+            .handle_line(r#"{"cmd":"insert","node":"g0","kind":"op"}"#)
+            .unwrap());
+        assert!(insert.get("faults_resimulated").unwrap().as_u64().unwrap() > 0);
+
+        let stats = ok(&state.handle_line(r#"{"cmd":"stats"}"#).unwrap());
+        assert_eq!(stats.get("incremental_sims").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("full_sims").unwrap().as_u64(), Some(1));
+
+        assert!(state.handle_line(r#"{"cmd":"quit"}"#).is_none());
+    }
+
+    #[test]
+    fn optimize_over_serve() {
+        let mut state = ServeState::new();
+        ok(&state
+            .handle_line(&format!(
+                r#"{{"cmd":"load","bench":"{BENCH}","patterns":256}}"#
+            ))
+            .unwrap());
+        let response = ok(&state
+            .handle_line(r#"{"cmd":"optimize","threshold_log2":-4,"max_rounds":2}"#)
+            .unwrap());
+        assert!(response.get("rounds").unwrap().as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn errors_leave_the_session_usable() {
+        let mut state = ServeState::new();
+        let no_load = state.handle_line(r#"{"cmd":"coverage"}"#).unwrap();
+        assert_eq!(
+            Json::parse(&no_load)
+                .unwrap()
+                .get("ok")
+                .and_then(Json::as_bool),
+            Some(false)
+        );
+        let bad_json = state.handle_line("{nope").unwrap();
+        assert!(bad_json.contains("bad JSON"));
+        let unknown = state.handle_line(r#"{"cmd":"frobnicate"}"#).unwrap();
+        assert!(unknown.contains("unknown cmd"));
+
+        ok(&state
+            .handle_line(&format!(r#"{{"cmd":"load","bench":"{BENCH}"}}"#))
+            .unwrap());
+        let missing_node = state
+            .handle_line(r#"{"cmd":"insert","node":"ghost"}"#)
+            .unwrap();
+        assert!(missing_node.contains("no node named"));
+        ok(&state.handle_line(r#"{"cmd":"coverage"}"#).unwrap());
+    }
+
+    #[test]
+    fn serve_loop_reads_until_quit() {
+        let script = format!(
+            "{{\"cmd\":\"load\",\"bench\":\"{BENCH}\"}}\n{{\"cmd\":\"coverage\"}}\n{{\"cmd\":\"quit\"}}\n{{\"cmd\":\"coverage\"}}\n"
+        );
+        let mut out = Vec::new();
+        serve(script.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Two responses; the post-quit request is never processed.
+        assert_eq!(text.lines().count(), 2);
+    }
+}

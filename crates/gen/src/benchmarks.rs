@@ -57,9 +57,6 @@ mod tests {
     fn c17_truth_sample() {
         let c = c17().unwrap();
         // All zeros: 10=1, 11=1, 16=1, 19=1, 22=NAND(1,1)=0, 23=0.
-        assert_eq!(
-            c.evaluate_outputs(&[false; 5]).unwrap(),
-            [false, false]
-        );
+        assert_eq!(c.evaluate_outputs(&[false; 5]).unwrap(), [false, false]);
     }
 }

@@ -60,7 +60,10 @@ impl RandomDagConfig {
 /// [`NetlistError::InvalidArity`] for degenerate configurations
 /// (no inputs, no gates or an empty arity range).
 pub fn random_dag(config: &RandomDagConfig) -> Result<Circuit, NetlistError> {
-    if config.inputs == 0 || config.gates == 0 || config.arity.0 == 0 || config.arity.0 > config.arity.1
+    if config.inputs == 0
+        || config.gates == 0
+        || config.arity.0 == 0
+        || config.arity.0 > config.arity.1
     {
         return Err(NetlistError::InvalidArity {
             kind: "DAG",

@@ -84,7 +84,13 @@ pub fn decoder(sel: usize) -> Result<Circuit, NetlistError> {
         .collect::<Result<_, _>>()?;
     for line in 0..(1usize << sel) {
         let mut terms: Vec<NodeId> = (0..sel)
-            .map(|i| if line & (1 << i) != 0 { sels[i] } else { nsels[i] })
+            .map(|i| {
+                if line & (1 << i) != 0 {
+                    sels[i]
+                } else {
+                    nsels[i]
+                }
+            })
             .collect();
         terms.push(data);
         let y = b.balanced_tree(GateKind::And, &terms, &format!("line{line}"))?;

@@ -103,6 +103,32 @@ pub fn fanout_cone(circuit: &Circuit, topo: &Topology, root: NodeId) -> Vec<Node
     collect_seen(&seen)
 }
 
+/// The union of transitive fanout cones of `roots` (each root included),
+/// as a node-indexed membership mask.
+///
+/// This is the "dirty cone" primitive for incremental re-evaluation: after
+/// a structural edit, the nodes whose values can have changed are exactly
+/// the forward closure of the edited lines.
+pub fn fanout_cone_mask(circuit: &Circuit, topo: &Topology, roots: &[NodeId]) -> Vec<bool> {
+    let mut seen = vec![false; circuit.node_count()];
+    let mut stack: Vec<NodeId> = Vec::with_capacity(roots.len());
+    for &r in roots {
+        if !seen[r.index()] {
+            seen[r.index()] = true;
+            stack.push(r);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        for fo in topo.fanouts(id) {
+            if !seen[fo.gate.index()] {
+                seen[fo.gate.index()] = true;
+                stack.push(fo.gate);
+            }
+        }
+    }
+    seen
+}
+
 /// Primary outputs reachable from `root`.
 pub fn reachable_outputs(circuit: &Circuit, topo: &Topology, root: NodeId) -> Vec<NodeId> {
     let cone = fanout_cone(circuit, topo, root);
@@ -150,7 +176,10 @@ pub fn kind_histogram(circuit: &Circuit) -> Vec<(GateKind, usize)> {
         .map(|&k| {
             (
                 k,
-                circuit.node_ids().filter(|&id| circuit.kind(id) == k).count(),
+                circuit
+                    .node_ids()
+                    .filter(|&id| circuit.kind(id) == k)
+                    .count(),
             )
         })
         .filter(|&(_, n)| n > 0)

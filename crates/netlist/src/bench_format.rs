@@ -110,7 +110,10 @@ pub fn parse_bench_with(
                 .collect();
             if keyword.eq_ignore_ascii_case("DFF") {
                 if args.len() != 1 {
-                    return Err(parse_err(format!("DFF takes 1 argument, got {}", args.len())));
+                    return Err(parse_err(format!(
+                        "DFF takes 1 argument, got {}",
+                        args.len()
+                    )));
                 }
                 match scan_mode {
                     ScanMode::FullScan => {
@@ -289,10 +292,7 @@ OUTPUT(23)
         assert_eq!(c.gate_count(), 6);
         // All-ones: 10 = NAND(1,1)=0, 11=0, 16=NAND(1,0)=1, 19=NAND(0,1)=1,
         // 22=NAND(0,1)=1, 23=NAND(1,1)=0.
-        assert_eq!(
-            c.evaluate_outputs(&[true; 5]).unwrap(),
-            [true, false]
-        );
+        assert_eq!(c.evaluate_outputs(&[true; 5]).unwrap(), [true, false]);
     }
 
     #[test]

@@ -62,8 +62,16 @@ impl CircuitBuilder {
     /// # Errors
     ///
     /// [`NetlistError::DuplicateName`] if the name is taken.
-    pub fn constant(&mut self, value: bool, name: impl Into<String>) -> Result<NodeId, NetlistError> {
-        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+    pub fn constant(
+        &mut self,
+        value: bool,
+        name: impl Into<String>,
+    ) -> Result<NodeId, NetlistError> {
+        let kind = if value {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
         self.circuit.add_node(kind, vec![], name)
     }
 

@@ -64,14 +64,33 @@ impl Node {
 /// from `.bench` text ([`bench_format`](crate::bench_format)), or produced
 /// by generators; they are then modified only through the transforms in
 /// [`transform`](crate::transform).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Circuit {
     pub(crate) name: String,
     pub(crate) nodes: Vec<Node>,
     pub(crate) node_names: Vec<String>,
     pub(crate) inputs: Vec<NodeId>,
     pub(crate) outputs: Vec<NodeId>,
+    /// Structural edit counter: bumped by every mutation that can change
+    /// behaviour (`add_node`, `add_output`, `set_node`, `rewire`).
+    /// Derived-analysis caches key their validity on it.
+    pub(crate) version: u64,
 }
+
+impl PartialEq for Circuit {
+    /// Structural equality; the edit [`version`](Circuit::version) is
+    /// deliberately ignored (two circuits with identical structure are
+    /// equal regardless of their edit histories).
+    fn eq(&self, other: &Circuit) -> bool {
+        self.name == other.name
+            && self.nodes == other.nodes
+            && self.node_names == other.node_names
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+    }
+}
+
+impl Eq for Circuit {}
 
 impl Circuit {
     /// Create an empty circuit with the given name.
@@ -85,7 +104,19 @@ impl Circuit {
             node_names: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
+            version: 0,
         }
+    }
+
+    /// Structural edit counter: incremented by every mutating operation.
+    ///
+    /// Long-lived analyses (topology, COP, FFR decompositions, fault
+    /// universes) can record the version they were computed at and treat a
+    /// mismatch as "stale". Cloning preserves the counter; equal versions
+    /// on the *same* lineage imply an unchanged structure, but versions of
+    /// unrelated circuits are not comparable.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The circuit's name.
@@ -199,6 +230,7 @@ impl Circuit {
         if kind == GateKind::Input {
             self.inputs.push(id);
         }
+        self.version += 1;
         Ok(id)
     }
 
@@ -213,6 +245,7 @@ impl Circuit {
         }
         if !self.outputs.contains(&id) {
             self.outputs.push(id);
+            self.version += 1;
         }
         Ok(())
     }
@@ -231,6 +264,7 @@ impl Circuit {
             return Err(NetlistError::DanglingFanin { gate: id.index() });
         }
         self.nodes[id.index()] = Node { kind, fanins };
+        self.version += 1;
         Ok(())
     }
 
@@ -259,6 +293,9 @@ impl Circuit {
                 *out = to;
                 n += 1;
             }
+        }
+        if n > 0 {
+            self.version += 1;
         }
         n
     }
@@ -318,9 +355,7 @@ impl Circuit {
             if node.kind == GateKind::Input {
                 continue;
             }
-            out[id.index()] = node
-                .kind
-                .eval(node.fanins.iter().map(|f| out[f.index()]));
+            out[id.index()] = node.kind.eval(node.fanins.iter().map(|f| out[f.index()]));
         }
         Ok(out)
     }
@@ -383,7 +418,10 @@ mod tests {
         let c = xor_of_ands();
         assert!(matches!(
             c.evaluate(&[true]),
-            Err(NetlistError::InputCountMismatch { expected: 3, got: 1 })
+            Err(NetlistError::InputCountMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 

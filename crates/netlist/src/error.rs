@@ -111,14 +111,25 @@ mod tests {
     fn display_is_lowercase_and_nonempty() {
         let errs = [
             NetlistError::Cycle { node: "g1".into() },
-            NetlistError::InvalidArity { kind: "NOT", got: 3 },
+            NetlistError::InvalidArity {
+                kind: "NOT",
+                got: 3,
+            },
             NetlistError::DanglingFanin { gate: 7 },
             NetlistError::NoSuchNode { index: 9 },
             NetlistError::DuplicateName { name: "x".into() },
-            NetlistError::Parse { line: 2, message: "bad".into() },
+            NetlistError::Parse {
+                line: 2,
+                message: "bad".into(),
+            },
             NetlistError::UndefinedSignal { name: "y".into() },
-            NetlistError::InputCountMismatch { expected: 2, got: 3 },
-            NetlistError::InvalidTransform { message: "m".into() },
+            NetlistError::InputCountMismatch {
+                expected: 2,
+                got: 3,
+            },
+            NetlistError::InvalidTransform {
+                message: "m".into(),
+            },
             NetlistError::Sequential { name: "ff".into() },
         ];
         for e in errs {

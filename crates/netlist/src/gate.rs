@@ -254,7 +254,11 @@ mod tests {
         // Exhaust all 3-input patterns for every logic kind.
         for kind in GateKind::LOGIC {
             let (lo, _) = kind.arity_range();
-            let arity = if lo == 1 && kind.arity_range().1 == 1 { 1 } else { 3 };
+            let arity = if lo == 1 && kind.arity_range().1 == 1 {
+                1
+            } else {
+                3
+            };
             let mut words = vec![0u64; arity];
             let n = 1usize << arity;
             for p in 0..n {

@@ -228,10 +228,7 @@ mod tests {
         // n1's fanin a -> y creates cycle n1 -> y -> ... n1? y consumes n1,
         // rewiring a->y in gates gives n1 = NOT(y): cycle n1 <-> y.
         c.rewire(a, y, &[]);
-        assert!(matches!(
-            Topology::of(&c),
-            Err(NetlistError::Cycle { .. })
-        ));
+        assert!(matches!(Topology::of(&c), Err(NetlistError::Cycle { .. })));
         let _ = n1;
     }
 

@@ -238,7 +238,11 @@ fn set_kind(circuit: &mut Circuit, id: NodeId, kind: GateKind) -> Result<(), Net
 }
 
 fn find_or_add_const(circuit: &mut Circuit, value: bool) -> Result<NodeId, NetlistError> {
-    let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+    let kind = if value {
+        GateKind::Const1
+    } else {
+        GateKind::Const0
+    };
     if let Some(id) = circuit.node_ids().find(|&id| circuit.kind(id) == kind) {
         return Ok(id);
     }

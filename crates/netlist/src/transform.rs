@@ -333,11 +333,8 @@ mod tests {
     fn stacking_points_at_same_node() {
         let c = and_chain();
         let g1 = c.find_node("g1").unwrap();
-        let (m, applied) = apply_plan(
-            &c,
-            &[TestPoint::control_and(g1), TestPoint::observe(g1)],
-        )
-        .unwrap();
+        let (m, applied) =
+            apply_plan(&c, &[TestPoint::control_and(g1), TestPoint::observe(g1)]).unwrap();
         // The observe taps the original g1 line; the CP output feeds g2.
         assert!(m.is_output(g1));
         assert!(m.validate().is_ok());
@@ -348,11 +345,8 @@ mod tests {
     fn observe_then_control_leaves_op_on_modified_line() {
         let c = and_chain();
         let g1 = c.find_node("g1").unwrap();
-        let (m, applied) = apply_plan(
-            &c,
-            &[TestPoint::observe(g1), TestPoint::control_and(g1)],
-        )
-        .unwrap();
+        let (m, applied) =
+            apply_plan(&c, &[TestPoint::observe(g1), TestPoint::control_and(g1)]).unwrap();
         let cp = applied[1].cp_gate.unwrap();
         // The PO tap moved to the CP output (rewire covers outputs).
         assert!(m.is_output(cp));

@@ -79,7 +79,11 @@ pub fn to_verilog(circuit: &Circuit) -> String {
         let args: Vec<&str> = std::iter::once(names[id.index()].as_str())
             .chain(node.fanins().iter().map(|f| names[f.index()].as_str()))
             .collect();
-        s.push_str(&format!("  {prim} g{} ({});\n", id.index(), args.join(", ")));
+        s.push_str(&format!(
+            "  {prim} g{} ({});\n",
+            id.index(),
+            args.join(", ")
+        ));
     }
     s.push('\n');
     for (oi, &o) in circuit.outputs().iter().enumerate() {
@@ -96,7 +100,13 @@ pub fn to_verilog(circuit: &Circuit) -> String {
 fn sanitise(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         out.insert(0, 'n');
@@ -153,10 +163,9 @@ mod tests {
 
     #[test]
     fn sanitises_iscas_numeric_names() {
-        let c = crate::bench_format::parse_bench(
-            "INPUT(1)\nINPUT(2)\n10 = NAND(1, 2)\nOUTPUT(10)\n",
-        )
-        .unwrap();
+        let c =
+            crate::bench_format::parse_bench("INPUT(1)\nINPUT(2)\n10 = NAND(1, 2)\nOUTPUT(10)\n")
+                .unwrap();
         let v = to_verilog(&c);
         assert!(v.contains("n10"));
         assert!(!v.contains("wire 10;"));
@@ -181,8 +190,7 @@ mod tests {
         let g = b.gate(GateKind::Not, vec![x], "g").unwrap();
         b.output(g);
         let c = b.finish().unwrap();
-        let (m, _) =
-            crate::transform::apply_plan(&c, &[TestPoint::control_and(x)]).unwrap();
+        let (m, _) = crate::transform::apply_plan(&c, &[TestPoint::control_and(x)]).unwrap();
         let v = to_verilog(&m);
         assert!(v.contains("tp_r"));
         assert!(v.contains("tp_cp"));

@@ -37,11 +37,7 @@ pub fn equivalence_classes(
     faults: &[Fault],
 ) -> Result<Vec<Vec<usize>>, NetlistError> {
     let topo = Topology::of(circuit)?;
-    let index: HashMap<Fault, usize> = faults
-        .iter()
-        .enumerate()
-        .map(|(i, &f)| (f, i))
-        .collect();
+    let index: HashMap<Fault, usize> = faults.iter().enumerate().map(|(i, &f)| (f, i)).collect();
     let mut uf = UnionFind::new(faults.len());
 
     for id in circuit.node_ids() {

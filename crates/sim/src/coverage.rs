@@ -23,6 +23,17 @@ impl FaultSimResult {
         }
     }
 
+    /// Assemble a result from per-fault first detections and the applied
+    /// pattern count.
+    ///
+    /// Public so restartable/incremental drivers (the `tpi-engine` crate's
+    /// dirty-cone re-simulation, the parallel runner) can merge partial
+    /// runs into one result; plain simulation should use
+    /// [`FaultSimulator::run`](crate::FaultSimulator::run).
+    pub fn from_parts(first_detected: Vec<Option<u64>>, patterns_applied: u64) -> FaultSimResult {
+        FaultSimResult::new(first_detected, patterns_applied)
+    }
+
     /// Number of target faults.
     pub fn fault_count(&self) -> usize {
         self.first_detected.len()

@@ -3,7 +3,7 @@ use std::collections::BinaryHeap;
 
 use tpi_netlist::{Circuit, NetlistError, NodeId, Topology};
 
-use crate::{Fault, FaultSite, FaultSimResult, LogicSim, PatternSource};
+use crate::{Fault, FaultSimResult, FaultSite, LogicSim, PatternSource};
 
 /// Event-driven parallel-pattern single-fault-propagation (PPSFP) fault
 /// simulator.
@@ -367,9 +367,7 @@ mod tests {
         let universe = FaultUniverse::full(&c).unwrap();
         let mut sim = FaultSimulator::new(&c).unwrap();
         let mut src = ExhaustivePatterns::new(3);
-        let (counts, n) = sim
-            .run_counting(&mut src, 8, universe.faults())
-            .unwrap();
+        let (counts, n) = sim.run_counting(&mut src, 8, universe.faults()).unwrap();
         assert_eq!(n, 8);
         for (fi, &fault) in universe.faults().iter().enumerate() {
             let mut expected = 0u64;
@@ -379,12 +377,7 @@ mod tests {
                     expected += 1;
                 }
             }
-            assert_eq!(
-                counts[fi],
-                expected,
-                "fault {}",
-                fault.describe(&c)
-            );
+            assert_eq!(counts[fi], expected, "fault {}", fault.describe(&c));
         }
     }
 
@@ -480,11 +473,8 @@ mod tests {
         let r = sim.run(&mut src, 4, &[fault]).unwrap();
         assert_eq!(r.detected_count(), 0, "masked without observation");
 
-        let (obs, _) = tpi_netlist::transform::apply_plan(
-            &c,
-            &[tpi_netlist::TestPoint::observe(g)],
-        )
-        .unwrap();
+        let (obs, _) =
+            tpi_netlist::transform::apply_plan(&c, &[tpi_netlist::TestPoint::observe(g)]).unwrap();
         let mut sim2 = FaultSimulator::new(&obs).unwrap();
         let mut src2 = ExhaustivePatterns::new(2);
         let r2 = sim2.run(&mut src2, 4, &[fault]).unwrap();

@@ -176,10 +176,11 @@ impl LfsrPatterns {
         width: u32,
         seed: u64,
     ) -> Result<LfsrPatterns, tpi_netlist::NetlistError> {
-        let lfsr =
-            Lfsr::maximal(width, seed).ok_or_else(|| tpi_netlist::NetlistError::InvalidTransform {
+        let lfsr = Lfsr::maximal(width, seed).ok_or_else(|| {
+            tpi_netlist::NetlistError::InvalidTransform {
                 message: format!("LFSR width {width} outside 2..=32"),
-            })?;
+            }
+        })?;
         Ok(LfsrPatterns {
             lfsr,
             seed,

@@ -8,7 +8,9 @@
 //!   [`tpi_netlist::Circuit`]s;
 //! * [`PatternSource`] — pattern generation abstraction, with
 //!   [`RandomPatterns`] (seeded PRNG), [`LfsrPatterns`] (hardware-faithful
-//!   maximal-length LFSR) and [`ExhaustivePatterns`] implementations;
+//!   maximal-length LFSR), [`ExhaustivePatterns`] and
+//!   [`IndependentPatterns`] (per-input counter streams, stable under
+//!   input insertion — the incremental engine's source) implementations;
 //! * [`Misr`] — multiple-input signature register for response compaction;
 //! * [`Fault`], [`FaultUniverse`], [`collapse`] — single-stuck-at fault
 //!   model with structural equivalence collapsing;
@@ -60,5 +62,5 @@ pub use fsim::FaultSimulator;
 pub use lfsr::{Lfsr, LfsrPatterns};
 pub use logic::LogicSim;
 pub use misr::Misr;
-pub use patterns::{ExhaustivePatterns, PatternSource, RandomPatterns};
+pub use patterns::{ExhaustivePatterns, IndependentPatterns, PatternSource, RandomPatterns};
 pub use weighted::WeightedPatterns;

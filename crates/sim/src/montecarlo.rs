@@ -80,10 +80,7 @@ impl PropagationProfile {
 
     /// Probability that fault `f`'s effect is present at `node`.
     pub fn presence(&self, fault_index: usize, node: NodeId) -> f64 {
-        let count = self.per_fault[fault_index]
-            .get(&node)
-            .copied()
-            .unwrap_or(0);
+        let count = self.per_fault[fault_index].get(&node).copied().unwrap_or(0);
         count as f64 / self.patterns.max(1) as f64
     }
 
@@ -142,11 +139,9 @@ mod tests {
     fn exact_probabilities_on_and3() {
         let c = and3();
         let root = c.outputs()[0];
-        let probs = exact_detection_probabilities(
-            &c,
-            &[Fault::stem_sa0(root), Fault::stem_sa1(root)],
-        )
-        .unwrap();
+        let probs =
+            exact_detection_probabilities(&c, &[Fault::stem_sa0(root), Fault::stem_sa1(root)])
+                .unwrap();
         // SA0 at the root: detected when output is 1 → 1/8.
         assert!((probs[0] - 0.125).abs() < 1e-12);
         // SA1 at the root: detected when output is 0 → 7/8.
@@ -159,13 +154,9 @@ mod tests {
         let universe = FaultUniverse::collapsed(&c).unwrap();
         let exact = exact_detection_probabilities(&c, universe.faults()).unwrap();
         let mut src = RandomPatterns::new(3, 2024);
-        let sampled =
-            detection_probabilities(&c, universe.faults(), &mut src, 20_000).unwrap();
+        let sampled = detection_probabilities(&c, universe.faults(), &mut src, 20_000).unwrap();
         for (i, (&e, &s)) in exact.iter().zip(&sampled).enumerate() {
-            assert!(
-                (e - s).abs() < 0.02,
-                "fault {i}: exact {e} sampled {s}"
-            );
+            assert!((e - s).abs() < 0.02, "fault {i}: exact {e} sampled {s}");
         }
     }
 
@@ -193,8 +184,7 @@ mod tests {
         let c = and3();
         let x0 = c.inputs()[0];
         let mut src = ExhaustivePatterns::new(3);
-        let profile =
-            propagation_profile(&c, &[Fault::stem_sa0(x0)], &mut src, 8).unwrap();
+        let profile = propagation_profile(&c, &[Fault::stem_sa0(x0)], &mut src, 8).unwrap();
         let row: Vec<(NodeId, f64)> = profile.row(0).collect();
         assert!(!row.is_empty());
         assert!(row.iter().all(|&(_, p)| p > 0.0 && p <= 1.0));

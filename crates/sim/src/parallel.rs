@@ -42,12 +42,15 @@ where
     }
     let chunk_size = faults.len().div_ceil(threads);
     let results: Mutex<Vec<(usize, FaultSimResult)>> = Mutex::new(Vec::with_capacity(threads));
-    let errors: Mutex<Option<NetlistError>> = Mutex::new(None);
+    // The *first* worker error in chunk order wins, independent of thread
+    // scheduling — a last-writer slot would make the reported error (and
+    // thus caller behaviour) nondeterministic when several workers fail.
+    let first_error: Mutex<Option<(usize, NetlistError)>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         for (ti, chunk) in faults.chunks(chunk_size).enumerate() {
             let results = &results;
-            let errors = &errors;
+            let first_error = &first_error;
             let make_source = &make_source;
             scope.spawn(move || {
                 let outcome = (|| {
@@ -57,13 +60,18 @@ where
                 })();
                 match outcome {
                     Ok(r) => results.lock().expect("no poisoned locks").push((ti, r)),
-                    Err(e) => *errors.lock().expect("no poisoned locks") = Some(e),
+                    Err(e) => {
+                        let mut slot = first_error.lock().expect("no poisoned locks");
+                        if slot.as_ref().is_none_or(|(held, _)| ti < *held) {
+                            *slot = Some((ti, e));
+                        }
+                    }
                 }
             });
         }
     });
 
-    if let Some(e) = errors.into_inner().expect("no poisoned locks") {
+    if let Some((_, e)) = first_error.into_inner().expect("no poisoned locks") {
         return Err(e);
     }
     let mut chunks = results.into_inner().expect("no poisoned locks");
@@ -103,7 +111,7 @@ mod tests {
         let mut src = RandomPatterns::new(10, 77);
         let sequential = sim.run(&mut src, 700, universe.faults()).unwrap();
 
-        for threads in [2usize, 3, 8] {
+        for threads in [1usize, 2, 3, 7, 8] {
             let parallel = run_parallel(
                 &c,
                 || RandomPatterns::new(10, 77),
@@ -128,14 +136,7 @@ mod tests {
     fn single_thread_delegates() {
         let c = sample();
         let universe = FaultUniverse::collapsed(&c).unwrap();
-        let r = run_parallel(
-            &c,
-            || RandomPatterns::new(10, 5),
-            256,
-            universe.faults(),
-            1,
-        )
-        .unwrap();
+        let r = run_parallel(&c, || RandomPatterns::new(10, 5), 256, universe.faults(), 1).unwrap();
         assert_eq!(r.fault_count(), universe.len());
     }
 
@@ -150,14 +151,7 @@ mod tests {
     #[test]
     fn empty_fault_list() {
         let c = sample();
-        let r = run_parallel(
-            &c,
-            || RandomPatterns::new(10, 5),
-            64,
-            &[],
-            4,
-        )
-        .unwrap();
+        let r = run_parallel(&c, || RandomPatterns::new(10, 5), 64, &[], 4).unwrap();
         assert_eq!(r.fault_count(), 0);
         assert_eq!(r.coverage(), 1.0);
     }

@@ -74,6 +74,81 @@ impl PatternSource for RandomPatterns {
     }
 }
 
+/// Pseudo-random patterns where every primary input draws from its own
+/// counter-based stream, independent of how many inputs exist.
+///
+/// [`RandomPatterns`] draws one word per input from a *shared* sequential
+/// stream, so appending an input (as control/full test points do) shifts
+/// every later draw and changes all values. `IndependentPatterns` instead
+/// hashes `(seed, input index, block index)`, which makes the stream of
+/// input `i` invariant under the insertion of inputs `j > i`. This is the
+/// property the incremental engine relies on: after a test-point insertion
+/// appends aux inputs, all pre-existing inputs replay bit-identical
+/// values, so only the structural fanout cone of the edit can differ.
+///
+/// # Example
+///
+/// ```
+/// use tpi_sim::{IndependentPatterns, PatternSource};
+/// let mut narrow = IndependentPatterns::new(3, 7);
+/// let mut wide = IndependentPatterns::new(5, 7); // two extra inputs
+/// let (mut a, mut b) = ([0u64; 3], [0u64; 5]);
+/// narrow.fill(&mut a);
+/// wide.fill(&mut b);
+/// assert_eq!(a, b[..3], "existing inputs are unaffected by new ones");
+/// ```
+#[derive(Clone, Debug)]
+pub struct IndependentPatterns {
+    seed: u64,
+    block: u64,
+    n_inputs: usize,
+}
+
+impl IndependentPatterns {
+    /// Create a source for `n_inputs` primary inputs with a fixed seed.
+    pub fn new(n_inputs: usize, seed: u64) -> IndependentPatterns {
+        IndependentPatterns {
+            seed,
+            block: 0,
+            n_inputs,
+        }
+    }
+
+    /// Number of inputs this source was configured for.
+    pub fn input_count(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// The word for input `i` in block `b` — a pure function of
+    /// `(seed, i, b)`.
+    fn word(seed: u64, input: u64, block: u64) -> u64 {
+        // SplitMix64 finalizer over a mixed counter; full 64-bit
+        // avalanche keeps lanes statistically independent.
+        let mut z = seed
+            ^ input.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ block.wrapping_mul(0xD1B5_4A32_D192_ED03);
+        z = z.wrapping_add(0x2545_F491_4F6C_DD1D);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl PatternSource for IndependentPatterns {
+    fn fill(&mut self, words: &mut [u64]) -> usize {
+        debug_assert_eq!(words.len(), self.n_inputs);
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = IndependentPatterns::word(self.seed, i as u64, self.block);
+        }
+        self.block += 1;
+        64
+    }
+
+    fn reset(&mut self) {
+        self.block = 0;
+    }
+}
+
 /// Enumerates all `2^n` input patterns (for exact, exhaustive analyses on
 /// small circuits).
 ///
@@ -103,7 +178,10 @@ impl ExhaustivePatterns {
     ///
     /// Panics if `n_inputs > 63` (the pattern space would not fit `u64`).
     pub fn new(n_inputs: usize) -> ExhaustivePatterns {
-        assert!(n_inputs <= 63, "exhaustive enumeration limited to 63 inputs");
+        assert!(
+            n_inputs <= 63,
+            "exhaustive enumeration limited to 63 inputs"
+        );
         ExhaustivePatterns {
             n_inputs,
             next: 0,
@@ -176,6 +254,40 @@ mod tests {
         a.fill(&mut wa);
         b.fill(&mut wb);
         assert_ne!(wa, wb);
+    }
+
+    #[test]
+    fn independent_streams_ignore_input_count() {
+        let mut narrow = IndependentPatterns::new(2, 11);
+        let mut wide = IndependentPatterns::new(6, 11);
+        let (mut wn, mut ww) = ([0u64; 2], [0u64; 6]);
+        for _ in 0..8 {
+            assert_eq!(narrow.fill(&mut wn), 64);
+            assert_eq!(wide.fill(&mut ww), 64);
+            assert_eq!(wn, ww[..2]);
+        }
+    }
+
+    #[test]
+    fn independent_is_deterministic_and_balanced() {
+        let mut a = IndependentPatterns::new(3, 5);
+        let mut b = IndependentPatterns::new(3, 5);
+        let (mut wa, mut wb) = ([0u64; 3], [0u64; 3]);
+        a.fill(&mut wa);
+        b.fill(&mut wb);
+        assert_eq!(wa, wb);
+        a.reset();
+        a.fill(&mut wb);
+        assert_eq!(wa, wb, "reset replays the stream");
+        let mut src = IndependentPatterns::new(1, 99);
+        let mut ones = 0u32;
+        let mut w = [0u64; 1];
+        for _ in 0..256 {
+            src.fill(&mut w);
+            ones += w[0].count_ones();
+        }
+        let freq = f64::from(ones) / (256.0 * 64.0);
+        assert!((freq - 0.5).abs() < 0.02, "freq {freq}");
     }
 
     #[test]

@@ -361,10 +361,7 @@ mod tests {
         let c = b.finish().unwrap();
         let cop = CopAnalysis::new(&c).unwrap();
         assert_eq!(cop.observability(dead), 0.0);
-        assert_eq!(
-            cop.detection_probability(&c, Fault::stem_sa0(dead)),
-            0.0
-        );
+        assert_eq!(cop.detection_probability(&c, Fault::stem_sa0(dead)), 0.0);
     }
 
     #[test]

@@ -70,7 +70,11 @@ impl DetectionProfile {
         if self.probabilities.is_empty() {
             return 1.0;
         }
-        let ok = self.probabilities.iter().filter(|&&p| p >= threshold).count();
+        let ok = self
+            .probabilities
+            .iter()
+            .filter(|&&p| p >= threshold)
+            .count();
         ok as f64 / self.probabilities.len() as f64
     }
 

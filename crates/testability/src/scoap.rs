@@ -121,7 +121,10 @@ impl ScoapAnalysis {
     /// Combined SCOAP testability of the line's hardest stuck-at fault:
     /// `max(cc0, cc1) + co` (saturating).
     pub fn hardest_fault_effort(&self, id: NodeId) -> u32 {
-        sat_add(self.cc0[id.index()].max(self.cc1[id.index()]), self.co[id.index()])
+        sat_add(
+            self.cc0[id.index()].max(self.cc1[id.index()]),
+            self.co[id.index()],
+        )
     }
 }
 

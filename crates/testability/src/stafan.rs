@@ -73,7 +73,11 @@ impl StafanAnalysis {
                 break;
             }
             let lanes = filled.min(n_patterns - applied);
-            let mask = if lanes >= 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+            let mask = if lanes >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << lanes) - 1
+            };
             sim.simulate_into(&words, &mut values);
             for id in circuit.node_ids() {
                 one_counts[id.index()] += u64::from((values[id.index()] & mask).count_ones());

@@ -8,8 +8,8 @@ use krishnamurthy_tpi::core::evaluate::PlanEvaluator;
 use krishnamurthy_tpi::core::{
     DpOptimizer, GreedyOptimizer, RandomOptimizer, Threshold, TpiProblem,
 };
-use krishnamurthy_tpi::gen::trees::{random_tree, RandomTreeConfig};
 use krishnamurthy_tpi::gen::rpr;
+use krishnamurthy_tpi::gen::trees::{random_tree, RandomTreeConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threshold = Threshold::from_log2(-9.0);

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Part 1: observation-point insertion *is* set cover.
     println!("-- Set-Cover ⟶ observation-point TPI --");
     let instance = SetCoverInstance::random(6, 5, 0.4, 3);
-    println!("universe: {} elements, sets: {:?}", instance.elements, instance.sets);
+    println!(
+        "universe: {} elements, sets: {:?}",
+        instance.elements, instance.sets
+    );
     let reduction = reduce(&instance)?;
     println!(
         "reduction circuit: {} nodes, δ = {}",

@@ -62,7 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         modified.node_name(applied[0].cp_gate.unwrap()),
     );
 
-    println!("\nround-trip through .bench:\n{}", bench_format::to_bench(&modified));
-    println!("Graphviz of the modified circuit:\n{}", dot::to_dot(&modified));
+    println!(
+        "\nround-trip through .bench:\n{}",
+        bench_format::to_bench(&modified)
+    );
+    println!(
+        "Graphviz of the modified circuit:\n{}",
+        dot::to_dot(&modified)
+    );
     Ok(())
 }

@@ -2,15 +2,20 @@
 //!
 //! ```text
 //! tpi analyze  <file.bench>                      structural + testability report
-//! tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr]
+//! tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr] [--threads N]
 //! tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]
-//!              [--method dp|greedy|constructive] [--out FILE] [--verilog FILE]
+//!              [--method dp|greedy|constructive|constructive-baseline]
+//!              [--threads N] [--out FILE] [--verilog FILE]
 //! tpi atpg     <file.bench> [--patterns N]       redundancy sweep + top-off cubes
 //! tpi export   <file.bench> (--verilog FILE | --dot FILE)
+//! tpi batch    <manifest.json> [--out FILE]      N circuits × M configs, JSONL out
+//! tpi serve                                      line-delimited JSON on stdin/stdout
 //! ```
 //!
 //! Netlists are ISCAS-85 `.bench` files; `DFF`s are treated as full-scan
-//! pseudo-ports.
+//! pseudo-ports. `insert --method constructive` runs on the incremental
+//! [`TpiEngine`] session; `constructive-baseline` is the from-scratch
+//! loop it is benchmarked against.
 
 use std::process::ExitCode;
 
@@ -18,9 +23,13 @@ use krishnamurthy_tpi::atpg::{redundancy, topoff, PodemConfig};
 use krishnamurthy_tpi::core::general::{ConstructiveConfig, ConstructiveOptimizer};
 use krishnamurthy_tpi::core::report::InsertionReport;
 use krishnamurthy_tpi::core::{DpOptimizer, GreedyOptimizer, Threshold, TpiProblem};
+use krishnamurthy_tpi::engine::{
+    batch, json::Json, serve, EngineConfig, OptimizeConfig, TpiEngine,
+};
 use krishnamurthy_tpi::netlist::transform::apply_plan;
 use krishnamurthy_tpi::netlist::{analysis, bench_format, dot, ffr, verilog, Circuit, Topology};
-use krishnamurthy_tpi::sim::{FaultSimulator, FaultUniverse, LfsrPatterns, RandomPatterns};
+use krishnamurthy_tpi::sim::parallel::run_parallel;
+use krishnamurthy_tpi::sim::{FaultUniverse, LfsrPatterns, RandomPatterns};
 use krishnamurthy_tpi::testability::profile::TestabilityReport;
 
 fn main() -> ExitCode {
@@ -46,6 +55,11 @@ fn run(args: &[String]) -> Result<(), String> {
         "insert" => insert(rest),
         "atpg" => atpg(rest),
         "export" => export(rest),
+        "batch" => batch_cmd(rest),
+        "serve" => {
+            let stdin = std::io::stdin();
+            serve::serve(stdin.lock(), std::io::stdout().lock()).map_err(|e| format!("serve: {e}"))
+        }
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -59,11 +73,14 @@ fn print_usage() {
         "tpi — dynamic-programming test point insertion toolkit\n\n\
          usage:\n  \
          tpi analyze  <file.bench>\n  \
-         tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr]\n  \
+         tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr] [--threads N]\n  \
          tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]\n           \
-         [--method dp|greedy|constructive] [--out FILE] [--verilog FILE]\n  \
+         [--method dp|greedy|constructive|constructive-baseline] [--threads N]\n           \
+         [--out FILE] [--verilog FILE]\n  \
          tpi atpg     <file.bench> [--patterns N]\n  \
-         tpi export   <file.bench> (--verilog FILE | --dot FILE)"
+         tpi export   <file.bench> (--verilog FILE | --dot FILE)\n  \
+         tpi batch    <manifest.json> [--out FILE]\n  \
+         tpi serve"
     );
 }
 
@@ -164,20 +181,37 @@ fn analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `--threads` default: every available hardware thread.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn simulate(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["lfsr"])?;
     let circuit = load(flags.file)?;
     let patterns: u64 = flags.num("patterns", 32_000)?;
     let seed: u64 = flags.num("seed", 1)?;
+    let threads: usize = flags.num("threads", default_threads())?;
     let universe = FaultUniverse::collapsed(&circuit).map_err(|e| e.to_string())?;
-    let mut sim = FaultSimulator::new(&circuit).map_err(|e| e.to_string())?;
+    let n_inputs = circuit.inputs().len();
     let result = if flags.has("lfsr") {
-        let mut src =
-            LfsrPatterns::new(circuit.inputs().len(), seed).map_err(|e| e.to_string())?;
-        sim.run(&mut src, patterns, universe.faults())
+        // Validate the LFSR width once up front, then fan out.
+        LfsrPatterns::new(n_inputs, seed).map_err(|e| e.to_string())?;
+        run_parallel(
+            &circuit,
+            || LfsrPatterns::new(n_inputs, seed).expect("width checked above"),
+            patterns,
+            universe.faults(),
+            threads,
+        )
     } else {
-        let mut src = RandomPatterns::new(circuit.inputs().len(), seed);
-        sim.run(&mut src, patterns, universe.faults())
+        run_parallel(
+            &circuit,
+            || RandomPatterns::new(n_inputs, seed),
+            patterns,
+            universe.faults(),
+            threads,
+        )
     }
     .map_err(|e| e.to_string())?;
     println!(
@@ -209,6 +243,7 @@ fn insert(args: &[String]) -> Result<(), String> {
         Threshold::from_test_length(length, confidence).map_err(|e| e.to_string())?
     };
     let method = flags.get("method").unwrap_or("dp");
+    let threads: usize = flags.num("threads", default_threads())?;
     let problem = TpiProblem::min_cost(&circuit, threshold).map_err(|e| e.to_string())?;
 
     let plan = match method {
@@ -219,6 +254,31 @@ fn insert(args: &[String]) -> Result<(), String> {
             .solve(&problem)
             .map_err(|e| e.to_string())?,
         "constructive" => {
+            // The incremental engine session: cached analyses, dirty-cone
+            // re-measurement, memoized region DP.
+            let mut engine = TpiEngine::new(
+                circuit.clone(),
+                EngineConfig {
+                    verify_incremental: false,
+                    ..EngineConfig::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let outcome = engine
+                .optimize(threshold, &OptimizeConfig::default())
+                .map_err(|e| e.to_string())?;
+            let stats = engine.stats();
+            eprintln!(
+                "engine: {} incremental re-sims ({} faults re-simulated, {} reused), \
+                 {} DP memo hits",
+                stats.incremental_sims,
+                stats.faults_resimulated,
+                stats.faults_skipped,
+                stats.memo_hits
+            );
+            outcome.plan
+        }
+        "constructive-baseline" => {
             ConstructiveOptimizer::new(ConstructiveConfig::default())
                 .solve(&circuit, threshold)
                 .map_err(|e| e.to_string())?
@@ -231,6 +291,24 @@ fn insert(args: &[String]) -> Result<(), String> {
     print!("{}", report.to_text());
 
     let (modified, _) = apply_plan(&circuit, plan.test_points()).map_err(|e| e.to_string())?;
+    // Measured closing check of the committed plan, fanned out over the
+    // worker pool.
+    let universe = FaultUniverse::collapsed(&circuit).map_err(|e| e.to_string())?;
+    let n_inputs = modified.inputs().len();
+    let verified = run_parallel(
+        &modified,
+        || RandomPatterns::new(n_inputs, 1),
+        32_000,
+        universe.faults(),
+        threads,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "measured coverage after insertion: {:.2}% ({} patterns, {} threads)",
+        verified.coverage() * 100.0,
+        verified.patterns_applied(),
+        threads
+    );
     if let Some(out) = flags.get("out") {
         std::fs::write(out, bench_format::to_bench(&modified))
             .map_err(|e| format!("{out}: {e}"))?;
@@ -276,6 +354,31 @@ fn atpg(args: &[String]) -> Result<(), String> {
     for cube in &top.merged {
         println!("  seed: {}", cube.to_pattern_string());
     }
+    Ok(())
+}
+
+fn batch_cmd(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let path = std::path::Path::new(flags.file);
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let manifest = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let base_dir = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+    let (workers, specs) = batch::parse_manifest(&manifest, base_dir)?;
+    let summary = if let Some(out) = flags.get("out") {
+        let mut file = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+        let summary = batch::run_jobs(workers, &specs, &mut file).map_err(|e| e.to_string())?;
+        eprintln!("wrote {out}");
+        summary
+    } else {
+        let stdout = std::io::stdout();
+        batch::run_jobs(workers, &specs, &mut stdout.lock()).map_err(|e| e.to_string())?
+    };
+    eprintln!(
+        "batch: {} ok, {} failed of {} jobs",
+        summary.ok,
+        summary.failed,
+        specs.len()
+    );
     Ok(())
 }
 

@@ -15,6 +15,9 @@
 //!   ([`tpi_testability`]);
 //! * [`core`] — the dynamic-programming test point inserter and its
 //!   baselines ([`tpi_core`]);
+//! * [`engine`] — the long-lived incremental session engine with analysis
+//!   caching, dirty-cone re-simulation and batch/serve front ends
+//!   ([`tpi_engine`]);
 //! * [`gen`] — circuit generators and embedded benchmarks ([`tpi_gen`]).
 //!
 //! # Quickstart
@@ -40,6 +43,7 @@
 
 pub use tpi_atpg as atpg;
 pub use tpi_core as core;
+pub use tpi_engine as engine;
 pub use tpi_gen as gen;
 pub use tpi_netlist as netlist;
 pub use tpi_sim as sim;
@@ -52,6 +56,7 @@ pub mod prelude {
         evaluate::PlanEvaluator, DpConfig, DpOptimizer, ExactOptimizer, GreedyConfig,
         GreedyOptimizer, Plan, RandomOptimizer, Threshold, TpiProblem,
     };
+    pub use tpi_engine::{EngineConfig, OptimizeConfig, TpiEngine};
     pub use tpi_netlist::transform::apply_plan;
     pub use tpi_netlist::{
         Circuit, CircuitBuilder, GateKind, NodeId, TestPoint, TestPointKind, Topology,

@@ -59,7 +59,10 @@ fn flow_reaches_complete_coverage_of_testable_faults() {
 
     let mut src = RandomPatterns::new(c.inputs().len(), 3);
     let leftovers = topoff::undetected_after(&c, &targets, &mut src, 4_000).unwrap();
-    assert!(!leftovers.is_empty(), "an 18-wide cone must resist 4k patterns");
+    assert!(
+        !leftovers.is_empty(),
+        "an 18-wide cone must resist 4k patterns"
+    );
 
     let top = topoff::generate(&c, &leftovers, PodemConfig::default(), 3).unwrap();
     assert!(top.uncovered.is_empty());

@@ -3,9 +3,7 @@
 
 use krishnamurthy_tpi::core::evaluate::PlanEvaluator;
 use krishnamurthy_tpi::core::general::{ConstructiveConfig, ConstructiveOptimizer};
-use krishnamurthy_tpi::core::{
-    DpConfig, DpOptimizer, GreedyOptimizer, Threshold, TpiProblem,
-};
+use krishnamurthy_tpi::core::{DpConfig, DpOptimizer, GreedyOptimizer, Threshold, TpiProblem};
 use krishnamurthy_tpi::gen::{benchmarks, rpr, suite};
 use krishnamurthy_tpi::netlist::transform::apply_plan;
 use krishnamurthy_tpi::netlist::{ffr, Topology};
@@ -54,7 +52,9 @@ fn dp_plan_detection_probabilities_verified_exhaustively() {
     let circuit = rpr::and_tree(10, 1).unwrap();
     let threshold = Threshold::from_log2(-6.0);
     let problem = TpiProblem::min_cost(&circuit, threshold).unwrap();
-    let plan = DpOptimizer::new(DpConfig::default()).solve(&problem).unwrap();
+    let plan = DpOptimizer::new(DpConfig::default())
+        .solve(&problem)
+        .unwrap();
     let (modified, _) = apply_plan(&circuit, plan.test_points()).unwrap();
 
     let faults: Vec<_> = problem.targets().iter().map(|t| t.to_fault()).collect();
@@ -71,8 +71,8 @@ fn dp_plan_detection_probabilities_verified_exhaustively() {
 #[test]
 fn dp_at_most_greedy_cost_on_trees() {
     for (leaves, seed) in [(12usize, 1u64), (16, 2), (24, 3)] {
-        let cfg =
-            krishnamurthy_tpi::gen::trees::RandomTreeConfig::with_leaves(leaves, seed).and_or_only();
+        let cfg = krishnamurthy_tpi::gen::trees::RandomTreeConfig::with_leaves(leaves, seed)
+            .and_or_only();
         let circuit = krishnamurthy_tpi::gen::trees::random_tree(&cfg).unwrap();
         let problem = TpiProblem::min_cost(&circuit, Threshold::from_log2(-8.0)).unwrap();
         let dp = DpOptimizer::default().solve(&problem).unwrap();

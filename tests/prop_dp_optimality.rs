@@ -37,7 +37,9 @@ fn small_tree(recipe: &[(u8, bool)], leaves: usize) -> Circuit {
     }
     while open.len() > 1 {
         let fanins: Vec<_> = open.drain(..2).collect();
-        let g = b.gate(GateKind::And, fanins, format!("g{counter}")).unwrap();
+        let g = b
+            .gate(GateKind::And, fanins, format!("g{counter}"))
+            .unwrap();
         counter += 1;
         open.push(g);
     }

@@ -6,9 +6,7 @@ use proptest::prelude::*;
 use krishnamurthy_tpi::gen::dags::{random_dag, RandomDagConfig};
 use krishnamurthy_tpi::gen::trees::{random_tree, RandomTreeConfig};
 use krishnamurthy_tpi::netlist::transform::apply_plan;
-use krishnamurthy_tpi::netlist::{
-    bench_format, ffr, Circuit, TestPoint, TestPointKind, Topology,
-};
+use krishnamurthy_tpi::netlist::{bench_format, ffr, Circuit, TestPoint, TestPointKind, Topology};
 
 fn all_patterns(c: &Circuit) -> impl Iterator<Item = Vec<bool>> + '_ {
     let n = c.inputs().len();

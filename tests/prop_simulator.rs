@@ -47,7 +47,9 @@ fn reference_detects(c: &Circuit, fault: Fault, assignment: &[bool]) -> bool {
             vals[id.index()] = fault.stuck;
         }
     }
-    c.outputs().iter().any(|o| vals[o.index()] != good[o.index()])
+    c.outputs()
+        .iter()
+        .any(|o| vals[o.index()] != good[o.index()])
 }
 
 proptest! {

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`Throughput`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros and `Bencher::iter` —
+//! as a plain wall-clock harness: warm up, time a fixed-duration batch,
+//! report ns/iter (plus elements/s when a throughput is set).
+//!
+//! `cargo bench -- --test` (the CI smoke mode) runs every closure once
+//! and skips measurement, exactly like real criterion's test mode.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How work per iteration is scaled when reporting.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identify a data point by its parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// Identify by function name and parameter.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> BenchmarkId {
+        BenchmarkId { label }
+    }
+}
+
+/// Drives one benchmark closure.
+pub struct Bencher<'a> {
+    test_mode: bool,
+    measured: &'a mut Option<Duration>,
+    iters: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            *self.iters = 1;
+            *self.measured = Some(Duration::ZERO);
+            return;
+        }
+        // Warm-up: let caches/allocator settle and estimate per-iter cost.
+        let warmup = Instant::now();
+        let mut warm_iters = 0u64;
+        while warmup.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warmup.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        // Measure a batch sized for roughly 200 ms of work.
+        let target = Duration::from_millis(200).as_nanos();
+        let batch = (target / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        *self.measured = Some(start.elapsed());
+        *self.iters = batch;
+    }
+}
+
+/// A named collection of related measurements.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes batches by
+    /// wall-clock, not sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the throughput used for the group's subsequent reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` against `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, throughput, |b| f(b, input));
+    }
+
+    /// Benchmark a closure with no input under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let throughput = self.throughput;
+        self.criterion.run_one(&label, throughput, |b| f(b));
+    }
+
+    /// End the group (report separator).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point handed to every bench function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of measurements.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, None, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        label: &str,
+        throughput: Option<Throughput>,
+        f: F,
+    ) {
+        let mut measured = None;
+        let mut iters = 0u64;
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            measured: &mut measured,
+            iters: &mut iters,
+        };
+        f(&mut bencher);
+        let Some(elapsed) = measured else {
+            eprintln!("{label}: no measurement (Bencher::iter never called)");
+            return;
+        };
+        if self.test_mode {
+            println!("{label}: ok (test mode)");
+            return;
+        }
+        let ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 * 1e9 / ns_per_iter;
+                println!("{label}: {ns_per_iter:.1} ns/iter ({rate:.3e} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 * 1e9 / ns_per_iter;
+                println!("{label}: {ns_per_iter:.1} ns/iter ({rate:.3e} B/s)");
+            }
+            None => println!("{label}: {ns_per_iter:.1} ns/iter"),
+        }
+    }
+}
+
+/// Bundle bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(2 + 2)
+            })
+        });
+        assert_eq!(calls, 1, "test mode runs the routine exactly once");
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(128).label, "128");
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+    }
+}
