@@ -1,43 +1,274 @@
-//! Criterion benchmark for the PPSFP fault simulator: patterns × faults
-//! per second on reconvergent circuits of growing size.
+//! Fault-simulator throughput harness: PPSFP patterns × faults per
+//! second on reconvergent circuits of growing size, measured at block
+//! widths W = 1 and W = 4 on the compiled wide-block kernels.
+//!
+//! Unlike the Criterion micro-benchmarks, this harness emits a
+//! machine-readable **`BENCH_fsim.json`** at the repository root so the
+//! before/after comparison is scriptable: the pre-PR baseline is read
+//! from `results/fsim_pre_pr.json` (captured before the kernel rewrite)
+//! and embedded alongside the fresh numbers, together with the derived
+//! speedups. While measuring, the harness also cross-checks that W = 1
+//! and W = 4 produce bit-identical first-detection indices — a wrong
+//! but fast kernel must fail the bench, not win it.
+//!
+//! `cargo bench -p tpi-bench --bench fsim_throughput -- --test` runs a
+//! small smoke check (identity only, one iteration, no JSON) — this is
+//! what CI executes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::path::Path;
+use std::time::Instant;
+
+use tpi_engine::json::Json;
 use tpi_gen::dags::{random_dag, RandomDagConfig};
-use tpi_sim::{FaultSimulator, FaultUniverse, RandomPatterns};
+use tpi_sim::{FaultSimResult, FaultSimulator, FaultUniverse, RandomPatterns};
 
-fn bench_fault_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_sim_1k_patterns");
-    group.sample_size(10);
-    for gates in [100usize, 400, 1600] {
-        let circuit = random_dag(&RandomDagConfig::new(24, gates, 5)).expect("builds");
-        let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
-        let mut sim = FaultSimulator::new(&circuit).expect("acyclic");
-        group.throughput(Throughput::Elements(1_000 * universe.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, _| {
-            b.iter(|| {
-                let mut src = RandomPatterns::new(circuit.inputs().len(), 9);
-                sim.run(&mut src, 1_000, universe.faults()).expect("runs")
-            });
-        });
+/// Matches the Criterion groups this harness replaced: mean over 10
+/// timed iterations after warm-up.
+const SAMPLES: u32 = 10;
+const WARMUP: u32 = 2;
+const PATTERNS: u64 = 1_000;
+const SEED: u64 = 9;
+const WIDTHS: [usize; 2] = [1, 4];
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        smoke();
+        return;
     }
-    group.finish();
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline = load_baseline(&root);
+
+    let mut dropped = Vec::new();
+    for gates in [100usize, 400, 1600] {
+        dropped.push(bench_dropped(gates, baseline.as_ref()));
+    }
+    let no_dropping = bench_no_dropping(baseline.as_ref());
+
+    let report = Json::obj([
+        ("bench", Json::from("fsim_throughput")),
+        ("threads", Json::from(1u64)),
+        ("samples", Json::from(u64::from(SAMPLES))),
+        ("baseline", baseline.map_or(Json::Null, |(_, raw)| raw)),
+        ("dropped", Json::Arr(dropped)),
+        ("no_dropping", no_dropping),
+    ]);
+    let out = root.join("BENCH_fsim.json");
+    std::fs::write(&out, format!("{report}\n")).expect("write BENCH_fsim.json");
+    println!("wrote {}", out.display());
 }
 
-fn bench_fault_sim_counting(c: &mut Criterion) {
-    let circuit = random_dag(&RandomDagConfig::new(24, 400, 6)).expect("builds");
+/// The pre-PR `ns_per_iter` table, keyed `(group, gates)`, plus the raw
+/// JSON document for embedding in the report.
+type Baseline = (Vec<(String, u64, f64)>, Json);
+
+fn load_baseline(root: &Path) -> Option<Baseline> {
+    let path = root.join("results/fsim_pre_pr.json");
+    let text = std::fs::read_to_string(&path).ok()?;
+    let doc = Json::parse(&text).expect("results/fsim_pre_pr.json parses");
+    let mut table = Vec::new();
+    for group in ["dropped", "no_dropping"] {
+        for entry in doc.get(group).and_then(Json::as_arr).unwrap_or(&[]) {
+            table.push((
+                group.to_string(),
+                entry.get("gates").and_then(Json::as_u64).expect("gates"),
+                entry
+                    .get("ns_per_iter")
+                    .and_then(Json::as_f64)
+                    .expect("ns_per_iter"),
+            ));
+        }
+    }
+    Some((table, doc))
+}
+
+fn baseline_ns(baseline: Option<&Baseline>, group: &str, gates: usize) -> Option<f64> {
+    baseline?
+        .0
+        .iter()
+        .find(|(g, n, _)| g == group && *n as usize == gates)
+        .map(|&(_, _, ns)| ns)
+}
+
+fn ladder_circuit(gates: usize, seed: u64) -> tpi_netlist::Circuit {
+    random_dag(&RandomDagConfig::new(24, gates, seed)).expect("builds")
+}
+
+fn time_ns(mut iter: impl FnMut()) -> f64 {
+    for _ in 0..WARMUP {
+        iter();
+    }
+    let start = Instant::now();
+    for _ in 0..SAMPLES {
+        iter();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(SAMPLES)
+}
+
+/// Per-width metrics for one measured configuration.
+fn metrics(w: usize, ns: f64, patterns: u64, faults: usize, gates: usize) -> Json {
+    let secs = ns * 1e-9;
+    Json::obj([
+        ("block_words", Json::from(w)),
+        ("ns_per_iter", Json::from(ns)),
+        (
+            "fault_patterns_per_sec",
+            Json::from((patterns * faults as u64) as f64 / secs),
+        ),
+        ("patterns_per_sec", Json::from(patterns as f64 / secs)),
+        (
+            "mgate_evals_per_sec",
+            Json::from((patterns * gates as u64) as f64 / secs / 1e6),
+        ),
+    ])
+}
+
+fn bench_dropped(gates: usize, baseline: Option<&Baseline>) -> Json {
+    let circuit = ladder_circuit(gates, 5);
     let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
-    let mut sim = FaultSimulator::new(&circuit).expect("acyclic");
-    let mut group = c.benchmark_group("fault_sim_no_dropping");
-    group.sample_size(10);
-    group.bench_function("400_gates_512_patterns", |b| {
-        b.iter(|| {
-            let mut src = RandomPatterns::new(circuit.inputs().len(), 9);
-            sim.run_counting(&mut src, 512, universe.faults())
-                .expect("runs")
+    let n_inputs = circuit.inputs().len();
+    let mut widths = Vec::new();
+    let mut reference: Option<FaultSimResult> = None;
+    let mut ns_by_width = Vec::new();
+    for w in WIDTHS {
+        let mut sim = FaultSimulator::with_block_words(&circuit, w).expect("acyclic");
+        let mut result = None;
+        let ns = time_ns(|| {
+            let mut src = RandomPatterns::new(n_inputs, SEED);
+            result = Some(
+                sim.run(&mut src, PATTERNS, universe.faults())
+                    .expect("runs"),
+            );
         });
-    });
-    group.finish();
+        let result = result.expect("measured at least once");
+        match &reference {
+            None => reference = Some(result),
+            Some(narrow) => {
+                for i in 0..universe.len() {
+                    assert_eq!(
+                        narrow.first_detection(i),
+                        result.first_detection(i),
+                        "W={w} diverges from W=1 on fault {i} ({gates} gates)"
+                    );
+                }
+            }
+        }
+        println!(
+            "fault_sim_1k_patterns/{gates} (W={w}): {ns:.1} ns/iter ({:.3e} fault-patterns/s)",
+            (PATTERNS * universe.len() as u64) as f64 / (ns * 1e-9)
+        );
+        ns_by_width.push(ns);
+        widths.push(metrics(w, ns, PATTERNS, universe.len(), gates));
+    }
+    let mut entry = vec![
+        ("gates", Json::from(gates)),
+        ("inputs", Json::from(n_inputs)),
+        ("faults", Json::from(universe.len())),
+        ("patterns", Json::from(PATTERNS)),
+        ("widths", Json::Arr(widths)),
+        (
+            "speedup_w4_over_w1",
+            Json::from(ns_by_width[0] / ns_by_width[1]),
+        ),
+    ];
+    if let Some(before) = baseline_ns(baseline, "dropped", gates) {
+        entry.push(("baseline_ns_per_iter", Json::from(before)));
+        entry.push((
+            "speedup_vs_baseline_w1",
+            Json::from(before / ns_by_width[0]),
+        ));
+        entry.push((
+            "speedup_vs_baseline_w4",
+            Json::from(before / ns_by_width[1]),
+        ));
+    }
+    Json::obj(entry)
 }
 
-criterion_group!(benches, bench_fault_sim, bench_fault_sim_counting);
-criterion_main!(benches);
+fn bench_no_dropping(baseline: Option<&Baseline>) -> Json {
+    let gates = 400usize;
+    let patterns = 512u64;
+    let circuit = ladder_circuit(gates, 6);
+    let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
+    let n_inputs = circuit.inputs().len();
+    let mut widths = Vec::new();
+    let mut reference: Option<Vec<u64>> = None;
+    let mut ns_by_width = Vec::new();
+    for w in WIDTHS {
+        let mut sim = FaultSimulator::with_block_words(&circuit, w).expect("acyclic");
+        let mut counts = None;
+        let ns = time_ns(|| {
+            let mut src = RandomPatterns::new(n_inputs, SEED);
+            counts = Some(
+                sim.run_counting(&mut src, patterns, universe.faults())
+                    .expect("runs")
+                    .0,
+            );
+        });
+        let counts = counts.expect("measured at least once");
+        match &reference {
+            None => reference = Some(counts),
+            Some(narrow) => assert_eq!(narrow, &counts, "W={w} counts diverge from W=1"),
+        }
+        println!(
+            "fault_sim_no_dropping/{gates}_gates_{patterns}_patterns (W={w}): {ns:.1} ns/iter"
+        );
+        ns_by_width.push(ns);
+        widths.push(metrics(w, ns, patterns, universe.len(), gates));
+    }
+    let mut entry = vec![
+        ("gates", Json::from(gates)),
+        ("inputs", Json::from(n_inputs)),
+        ("faults", Json::from(universe.len())),
+        ("patterns", Json::from(patterns)),
+        ("widths", Json::Arr(widths)),
+        (
+            "speedup_w4_over_w1",
+            Json::from(ns_by_width[0] / ns_by_width[1]),
+        ),
+    ];
+    if let Some(before) = baseline_ns(baseline, "no_dropping", gates) {
+        entry.push(("baseline_ns_per_iter", Json::from(before)));
+        entry.push((
+            "speedup_vs_baseline_w1",
+            Json::from(before / ns_by_width[0]),
+        ));
+        entry.push((
+            "speedup_vs_baseline_w4",
+            Json::from(before / ns_by_width[1]),
+        ));
+    }
+    Json::obj(entry)
+}
+
+/// CI smoke: one small circuit, one iteration per width, W=1 vs W=4
+/// first detections and counts must be bit-identical. No JSON output.
+fn smoke() {
+    let circuit = ladder_circuit(100, 5);
+    let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
+    let n_inputs = circuit.inputs().len();
+    let mut narrow = FaultSimulator::with_block_words(&circuit, 1).expect("acyclic");
+    let mut src = RandomPatterns::new(n_inputs, SEED);
+    let reference = narrow.run(&mut src, 256, universe.faults()).expect("runs");
+    let mut src = RandomPatterns::new(n_inputs, SEED);
+    let (counts_ref, _) = narrow
+        .run_counting(&mut src, 256, universe.faults())
+        .expect("runs");
+    for w in [2usize, 4, 8] {
+        let mut wide = FaultSimulator::with_block_words(&circuit, w).expect("acyclic");
+        let mut src = RandomPatterns::new(n_inputs, SEED);
+        let result = wide.run(&mut src, 256, universe.faults()).expect("runs");
+        for i in 0..universe.len() {
+            assert_eq!(
+                reference.first_detection(i),
+                result.first_detection(i),
+                "W={w} diverges on fault {i}"
+            );
+        }
+        let mut src = RandomPatterns::new(n_inputs, SEED);
+        let (counts, _) = wide
+            .run_counting(&mut src, 256, universe.faults())
+            .expect("runs");
+        assert_eq!(counts_ref, counts, "W={w} counts diverge");
+    }
+    println!("fsim_throughput smoke: ok (W ∈ {{2,4,8}} bit-identical to W=1)");
+}

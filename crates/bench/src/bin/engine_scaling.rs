@@ -56,6 +56,7 @@ fn main() {
                     patterns: PATTERNS,
                     seed: SEED,
                     verify_incremental: false,
+                    ..EngineConfig::default()
                 },
             )
             .expect("engine builds");

@@ -264,6 +264,7 @@ fn run_job(spec: &JobSpec) -> Result<Json, String> {
             patterns: spec.patterns,
             seed: spec.seed,
             verify_incremental: false,
+            ..EngineConfig::default()
         },
     )
     .map_err(|e| format!("engine: {e}"))?;

@@ -24,6 +24,11 @@ pub struct EngineConfig {
     /// re-simulation and panic on divergence. Defaults to on in debug
     /// builds — the "prove bit-identity" path — and off in release.
     pub verify_incremental: bool,
+    /// Fault-simulation block width in 64-bit words (patterns per kernel
+    /// pass / 64); must be 1, 2, 4 or 8. Coverage measurements are
+    /// bit-identical at every width — this only trades memory for
+    /// throughput. Defaults to [`tpi_sim::DEFAULT_BLOCK_WORDS`].
+    pub block_words: usize,
 }
 
 impl Default for EngineConfig {
@@ -32,6 +37,7 @@ impl Default for EngineConfig {
             patterns: 4096,
             seed: 0xDAC_1987,
             verify_incremental: cfg!(debug_assertions),
+            block_words: tpi_sim::DEFAULT_BLOCK_WORDS,
         }
     }
 }
@@ -216,7 +222,7 @@ impl TpiEngine {
 
     fn full_sim(&mut self) -> Result<FaultSimResult, TpiError> {
         self.stats.full_sims += 1;
-        let mut sim = FaultSimulator::new(&self.circuit)?;
+        let mut sim = FaultSimulator::with_block_words(&self.circuit, self.config.block_words)?;
         let mut src = self.pattern_source();
         Ok(sim.run(&mut src, self.config.patterns, self.universe.faults())?)
     }
@@ -307,7 +313,7 @@ impl TpiEngine {
         self.stats.faults_skipped += (self.universe.len() - dirty_faults.len()) as u64;
 
         let partial = {
-            let mut sim = FaultSimulator::new(&self.circuit)?;
+            let mut sim = FaultSimulator::with_block_words(&self.circuit, self.config.block_words)?;
             let mut src = self.pattern_source();
             sim.run(&mut src, self.config.patterns, &dirty_faults)?
         };
@@ -563,7 +569,7 @@ impl TpiEngine {
             if faults.is_empty() {
                 continue;
             }
-            let mut sim = FaultSimulator::new(&scratch)?;
+            let mut sim = FaultSimulator::with_block_words(&scratch, self.config.block_words)?;
             let mut src = IndependentPatterns::new(scratch.inputs().len(), self.config.seed);
             let result = sim.run(&mut src, budget, &faults)?;
             let score = result.detected_count() as f64 / costs.total(&group).max(1e-9);
@@ -667,6 +673,7 @@ mod tests {
                 patterns: 1024,
                 seed: 9,
                 verify_incremental: false,
+                ..EngineConfig::default()
             },
         )
         .unwrap()
@@ -792,6 +799,7 @@ mod tests {
                 patterns: 2048,
                 seed: 0xDAC_1987,
                 verify_incremental: true, // exercise the assert path too
+                ..EngineConfig::default()
             },
         )
         .unwrap();
@@ -855,6 +863,7 @@ mod tests {
                 patterns: 256,
                 seed: 3,
                 verify_incremental: false,
+                ..EngineConfig::default()
             },
         )
         .unwrap();

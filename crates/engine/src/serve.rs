@@ -123,6 +123,7 @@ impl ServeState {
                 .and_then(Json::as_u64)
                 .unwrap_or(0xDAC_1987),
             verify_incremental: false,
+            ..EngineConfig::default()
         };
         let engine = TpiEngine::new(circuit, config).map_err(|e| e.to_string())?;
         let response = Json::obj([

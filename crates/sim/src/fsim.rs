@@ -1,18 +1,27 @@
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use tpi_netlist::{Circuit, GateKind, NetlistError, NodeId, Topology};
 
-use tpi_netlist::{Circuit, NetlistError, NodeId, Topology};
-
+use crate::compile::{block_words_supported, DEFAULT_BLOCK_WORDS, MAX_BLOCK_WORDS};
 use crate::{Fault, FaultSimResult, FaultSite, LogicSim, PatternSource};
 
 /// Event-driven parallel-pattern single-fault-propagation (PPSFP) fault
 /// simulator.
 ///
-/// Per block of 64 patterns the fault-free circuit is simulated once; each
-/// live fault is then injected and its effects propagated through its
-/// fanout cone only, in level order, comparing against the good values at
-/// the primary outputs. Faults are dropped at first detection in
+/// Per block of `w × 64` patterns (`w` is the *block width* in words,
+/// default 4 = 256 patterns) the fault-free circuit is simulated once
+/// through the compiled wide kernel; each live fault is then injected
+/// and its effects propagated through its fanout cone only, in level
+/// order, comparing against the good values at the primary outputs.
+/// Faults are dropped at first detection in
 /// [`run`](FaultSimulator::run).
+///
+/// Propagation is scheduled through level-bucketed worklists over a CSR
+/// consumer array: scheduling a gate is an O(1) push into its level's
+/// bucket and the buckets are swept in ascending level order (a
+/// consumer always sits at a strictly higher level than its producer,
+/// so a single sweep settles the cone). First-detection indices,
+/// detection counts and coverage are bit-identical for every supported
+/// block width — lane `j * 64 + l` of a wide block is exactly pattern
+/// `j * 64 + l` of the corresponding scalar blocks.
 ///
 /// # Example
 ///
@@ -33,49 +42,96 @@ use crate::{Fault, FaultSimResult, FaultSite, LogicSim, PatternSource};
 #[derive(Clone, Debug)]
 pub struct FaultSimulator {
     sim: LogicSim,
-    consumers: Vec<Vec<NodeId>>,
-    outputs: Vec<NodeId>,
+    w: usize,
+    // CSR consumer array: gates consuming node `i` are
+    // `consumer_idx[consumer_start[i]..consumer_start[i + 1]]`.
+    consumer_start: Vec<u32>,
+    consumer_idx: Vec<u32>,
+    is_output: Vec<bool>,
     n_inputs: usize,
-    // Scratch state, reused across faults and blocks.
+    // Scratch state, reused across faults and blocks (`w` words/node).
     good: Vec<u64>,
     overlay: Vec<u64>,
     dirty: Vec<bool>,
-    touched: Vec<NodeId>,
+    touched: Vec<u32>,
     queued: Vec<bool>,
-    queue: BinaryHeap<(Reverse<u32>, NodeId)>,
-    fanin_buf: Vec<u64>,
+    buckets: Vec<Vec<u32>>,
+    pending: usize,
+    input_block: Vec<u64>,
+    fill_scratch: Vec<u64>,
 }
 
 impl FaultSimulator {
-    /// Build a simulator for `circuit`.
+    /// Build a simulator for `circuit` at the default block width
+    /// ([`crate::DEFAULT_BLOCK_WORDS`] words = 256 patterns per pass).
     ///
     /// # Errors
     ///
     /// [`NetlistError::Cycle`] for cyclic circuits.
     pub fn new(circuit: &Circuit) -> Result<FaultSimulator, NetlistError> {
+        FaultSimulator::with_block_words(circuit, DEFAULT_BLOCK_WORDS)
+    }
+
+    /// Build a simulator processing `block_words × 64` patterns per
+    /// pass. Results are bit-identical for every width; wider blocks
+    /// amortise the good-value simulation and propagation sweeps over
+    /// more lanes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Cycle`] for cyclic circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_words` is not 1, 2, 4 or 8.
+    pub fn with_block_words(
+        circuit: &Circuit,
+        block_words: usize,
+    ) -> Result<FaultSimulator, NetlistError> {
+        assert!(
+            block_words_supported(block_words),
+            "unsupported block width {block_words} words (supported: 1, 2, 4, 8)"
+        );
         let sim = LogicSim::new(circuit)?;
         let topo = Topology::of(circuit)?;
         let n = circuit.node_count();
-        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let w = block_words;
+        let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); n];
         for id in circuit.node_ids() {
             for fo in topo.fanouts(id) {
+                let gate = fo.gate.index() as u32;
                 // Deduplicate gates consuming the same signal twice.
-                if consumers[id.index()].last() != Some(&fo.gate) {
-                    consumers[id.index()].push(fo.gate);
+                if per_node[id.index()].last() != Some(&gate) {
+                    per_node[id.index()].push(gate);
                 }
             }
         }
+        let mut consumer_start = Vec::with_capacity(n + 1);
+        let mut consumer_idx = Vec::new();
+        consumer_start.push(0u32);
+        for consumers in &per_node {
+            consumer_idx.extend_from_slice(consumers);
+            consumer_start.push(consumer_idx.len() as u32);
+        }
+        let mut is_output = vec![false; n];
+        for &po in circuit.outputs() {
+            is_output[po.index()] = true;
+        }
         Ok(FaultSimulator {
-            consumers,
-            outputs: circuit.outputs().to_vec(),
+            w,
+            consumer_start,
+            consumer_idx,
+            is_output,
             n_inputs: circuit.inputs().len(),
-            good: vec![0; n],
-            overlay: vec![0; n],
+            good: vec![0; n * w],
+            overlay: vec![0; n * w],
             dirty: vec![false; n],
             touched: Vec::with_capacity(64),
             queued: vec![false; n],
-            queue: BinaryHeap::new(),
-            fanin_buf: Vec::with_capacity(8),
+            buckets: vec![Vec::new(); topo.max_level() as usize + 1],
+            pending: 0,
+            input_block: vec![0; circuit.inputs().len() * w],
+            fill_scratch: vec![0; circuit.inputs().len()],
             sim,
         })
     }
@@ -85,11 +141,18 @@ impl FaultSimulator {
         self.sim.circuit()
     }
 
+    /// Block width in 64-bit words (patterns per pass / 64).
+    pub fn block_words(&self) -> usize {
+        self.w
+    }
+
     /// Fault-simulate with fault dropping: apply up to `max_patterns`
     /// patterns from `source`, recording each fault's first detection.
     ///
     /// Stops early when the source is exhausted or every fault is
-    /// detected.
+    /// detected. First-detection indices and the applied-pattern count
+    /// are bit-identical across block widths (the count replays where a
+    /// width-1 run would have stopped).
     ///
     /// # Errors
     ///
@@ -103,26 +166,36 @@ impl FaultSimulator {
     ) -> Result<FaultSimResult, NetlistError> {
         let mut first_detected: Vec<Option<u64>> = vec![None; faults.len()];
         let mut alive: Vec<usize> = (0..faults.len()).collect();
-        let mut input_words = vec![0u64; self.n_inputs];
         let mut base = 0u64;
         while base < max_patterns && !alive.is_empty() {
-            let filled = source.fill(&mut input_words) as u64;
+            let filled = self.next_block(source, max_patterns - base);
             if filled == 0 {
                 break;
             }
             let lanes = filled.min(max_patterns - base);
-            let mask = lane_mask(lanes);
-            self.sim.simulate_into(&input_words, &mut self.good);
+            let masks = lane_masks(lanes, self.w);
+            self.simulate_good();
+            let mut last_kill = 0u64;
             alive.retain(|&fi| {
-                let detect = self.propagate(faults[fi], mask, |_, _| {});
-                if detect != 0 {
-                    first_detected[fi] = Some(base + u64::from(detect.trailing_zeros()));
-                    false
-                } else {
-                    true
+                let detect = self.propagate(faults[fi], &masks, |_, _| {});
+                match first_lane(&detect) {
+                    Some(offset) => {
+                        first_detected[fi] = Some(base + offset);
+                        last_kill = last_kill.max(offset);
+                        false
+                    }
+                    None => true,
                 }
             });
-            base += lanes;
+            if alive.is_empty() {
+                // A width-1 run stops applying patterns after the
+                // 64-lane sub-block in which the last live fault died;
+                // replay that stopping point so `patterns_applied` is
+                // width-invariant.
+                base += lanes.min((last_kill / 64 + 1) * 64);
+            } else {
+                base += lanes;
+            }
         }
         Ok(FaultSimResult::new(first_detected, base))
     }
@@ -141,19 +214,18 @@ impl FaultSimulator {
         faults: &[Fault],
     ) -> Result<(Vec<u64>, u64), NetlistError> {
         let mut counts = vec![0u64; faults.len()];
-        let mut input_words = vec![0u64; self.n_inputs];
         let mut base = 0u64;
         while base < max_patterns {
-            let filled = source.fill(&mut input_words) as u64;
+            let filled = self.next_block(source, max_patterns - base);
             if filled == 0 {
                 break;
             }
             let lanes = filled.min(max_patterns - base);
-            let mask = lane_mask(lanes);
-            self.sim.simulate_into(&input_words, &mut self.good);
+            let masks = lane_masks(lanes, self.w);
+            self.simulate_good();
             for (fi, &fault) in faults.iter().enumerate() {
-                let detect = self.propagate(fault, mask, |_, _| {});
-                counts[fi] += u64::from(detect.count_ones());
+                let detect = self.propagate(fault, &masks, |_, _| {});
+                counts[fi] += ones(&detect);
             }
             base += lanes;
         }
@@ -161,10 +233,13 @@ impl FaultSimulator {
     }
 
     /// Like [`run_counting`](FaultSimulator::run_counting), but also calls
-    /// `visit(fault_index, node, present_mask)` for every node at which a
-    /// fault's effect is present during a block — the raw material for
+    /// `visit(fault_index, node, present_mask)` for every 64-lane word in
+    /// which a fault's effect is present at a node — the raw material for
     /// propagation profiles (see
     /// [`montecarlo::propagation_profile`](crate::montecarlo::propagation_profile)).
+    /// A node may be visited up to `block_words` times per block (once
+    /// per word with a nonzero mask); per-node popcount totals are
+    /// width-invariant.
     ///
     /// # Errors
     ///
@@ -177,132 +252,267 @@ impl FaultSimulator {
         mut visit: impl FnMut(usize, NodeId, u64),
     ) -> Result<(Vec<u64>, u64), NetlistError> {
         let mut counts = vec![0u64; faults.len()];
-        let mut input_words = vec![0u64; self.n_inputs];
         let mut base = 0u64;
         while base < max_patterns {
-            let filled = source.fill(&mut input_words) as u64;
+            let filled = self.next_block(source, max_patterns - base);
             if filled == 0 {
                 break;
             }
             let lanes = filled.min(max_patterns - base);
-            let mask = lane_mask(lanes);
-            self.sim.simulate_into(&input_words, &mut self.good);
+            let masks = lane_masks(lanes, self.w);
+            self.simulate_good();
             for (fi, &fault) in faults.iter().enumerate() {
-                let detect = self.propagate(fault, mask, |node, diff| visit(fi, node, diff));
-                counts[fi] += u64::from(detect.count_ones());
+                let detect = self.propagate(fault, &masks, |node, diff| visit(fi, node, diff));
+                counts[fi] += ones(&detect);
             }
             base += lanes;
         }
         Ok((counts, base))
     }
 
+    /// Pull up to `w` 64-pattern words from `source` into the staged
+    /// input block (word-major per input), zero-padding unused words.
+    /// Stops early at source exhaustion, at a partial word, or once
+    /// `remaining` patterns are covered — so the number of `fill` calls
+    /// matches what `remaining` sequential scalar blocks would consume.
+    fn next_block(&mut self, source: &mut dyn PatternSource, remaining: u64) -> u64 {
+        let w = self.w;
+        let max_words = w.min(remaining.div_ceil(64) as usize);
+        self.input_block.fill(0);
+        let mut filled = 0u64;
+        for j in 0..max_words {
+            let n = source.fill(&mut self.fill_scratch);
+            if n == 0 {
+                break;
+            }
+            for i in 0..self.n_inputs {
+                self.input_block[i * w + j] = self.fill_scratch[i];
+            }
+            filled += n as u64;
+            if n < 64 {
+                break;
+            }
+        }
+        filled
+    }
+
+    fn simulate_good(&mut self) {
+        self.sim
+            .simulate_block_into(&self.input_block, &mut self.good, self.w);
+    }
+
     /// Inject `fault` against the current good values and propagate its
-    /// effects; returns the mask of lanes detected at any primary output.
-    /// `on_diff` observes every node whose value differs (after masking).
-    fn propagate(&mut self, fault: Fault, mask: u64, mut on_diff: impl FnMut(NodeId, u64)) -> u64 {
-        debug_assert!(self.touched.is_empty() && self.queue.is_empty());
+    /// effects; returns per-word masks of lanes detected at any primary
+    /// output. `on_diff` observes every (node, word) whose value differs
+    /// (after masking).
+    fn propagate(
+        &mut self,
+        fault: Fault,
+        masks: &[u64; MAX_BLOCK_WORDS],
+        mut on_diff: impl FnMut(NodeId, u64),
+    ) -> [u64; MAX_BLOCK_WORDS] {
+        debug_assert!(self.touched.is_empty() && self.pending == 0);
+        let w = self.w;
         let stuck_word = if fault.stuck { u64::MAX } else { 0 };
-        let mut buf = std::mem::take(&mut self.fanin_buf);
-        match fault.site {
+        let mut injected = [0u64; MAX_BLOCK_WORDS];
+        let site = match fault.site {
             FaultSite::Stem(v) => {
-                if (stuck_word ^ self.good[v.index()]) & mask == 0 {
-                    self.fanin_buf = buf;
-                    return 0;
-                }
-                self.set_overlay(v, stuck_word);
-                self.push_consumers(v);
+                injected[..w].fill(stuck_word);
+                v.index()
             }
             FaultSite::Branch { gate, pin } => {
-                let kind = self.sim.circuit().kind(gate);
-                buf.clear();
-                for (i, f) in self.sim.circuit().fanins(gate).iter().enumerate() {
-                    buf.push(if i == pin as usize {
-                        stuck_word
-                    } else {
-                        self.good[f.index()]
-                    });
+                self.eval_inject(gate, pin as usize, stuck_word, &mut injected);
+                gate.index()
+            }
+        };
+        let mut any = 0u64;
+        for (j, &mask) in masks.iter().take(w).enumerate() {
+            any |= (injected[j] ^ self.good[site * w + j]) & mask;
+        }
+        if any == 0 {
+            return [0; MAX_BLOCK_WORDS];
+        }
+        self.set_overlay(site, &injected);
+        self.push_consumers(site);
+
+        let mut new_vals = [0u64; MAX_BLOCK_WORDS];
+        let mut level = 0usize;
+        while self.pending > 0 {
+            debug_assert!(level < self.buckets.len());
+            if self.buckets[level].is_empty() {
+                level += 1;
+                continue;
+            }
+            // Take the bucket so `push_consumers` (which only ever
+            // targets strictly higher levels) can borrow freely.
+            let mut bucket = std::mem::take(&mut self.buckets[level]);
+            self.pending -= bucket.len();
+            for &gate in &bucket {
+                let gi = gate as usize;
+                self.queued[gi] = false;
+                self.eval_node(gi, &mut new_vals);
+                let changed = (0..w).any(|j| new_vals[j] != self.value_word(gi, j));
+                if changed {
+                    self.set_overlay(gi, &new_vals);
+                    self.push_consumers(gi);
                 }
-                let new = kind.eval_words(&buf);
-                if (new ^ self.good[gate.index()]) & mask == 0 {
-                    self.fanin_buf = buf;
-                    return 0;
+            }
+            bucket.clear();
+            self.buckets[level] = bucket;
+            level += 1;
+        }
+
+        let mut detect = [0u64; MAX_BLOCK_WORDS];
+        for ti in 0..self.touched.len() {
+            let ni = self.touched[ti] as usize;
+            if self.is_output[ni] {
+                for j in 0..w {
+                    detect[j] |= (self.overlay[ni * w + j] ^ self.good[ni * w + j]) & masks[j];
                 }
-                self.set_overlay(gate, new);
-                self.push_consumers(gate);
             }
         }
-        while let Some((Reverse(_), id)) = self.queue.pop() {
-            self.queued[id.index()] = false;
-            let kind = self.sim.circuit().kind(id);
-            buf.clear();
-            for i in 0..self.sim.circuit().fanins(id).len() {
-                let f = self.sim.circuit().fanins(id)[i];
-                buf.push(self.value(f));
-            }
-            let new = kind.eval_words(&buf);
-            if new != self.value(id) {
-                self.set_overlay(id, new);
-                self.push_consumers(id);
-            }
-        }
-        self.fanin_buf = buf;
-        let mut detect = 0u64;
-        for &po in &self.outputs {
-            detect |= self.value(po) ^ self.good[po.index()];
-        }
-        detect &= mask;
-        for i in 0..self.touched.len() {
-            let id = self.touched[i];
-            let diff = (self.overlay[id.index()] ^ self.good[id.index()]) & mask;
-            if diff != 0 {
-                on_diff(id, diff);
+        for ti in 0..self.touched.len() {
+            let ni = self.touched[ti] as usize;
+            for (j, &mask) in masks.iter().enumerate().take(w) {
+                let diff = (self.overlay[ni * w + j] ^ self.good[ni * w + j]) & mask;
+                if diff != 0 {
+                    on_diff(NodeId::from_index(ni), diff);
+                }
             }
         }
         self.cleanup();
         detect
     }
 
-    fn value(&self, id: NodeId) -> u64 {
-        if self.dirty[id.index()] {
-            self.overlay[id.index()]
+    /// Re-evaluate compiled gate `gi` against the overlaid values.
+    fn eval_node(&self, gi: usize, out: &mut [u64; MAX_BLOCK_WORDS]) {
+        let w = self.w;
+        let op_idx = self
+            .sim
+            .program()
+            .op_index(gi)
+            .expect("scheduled node is a compiled gate");
+        self.sim.program().eval_op_wide(
+            op_idx,
+            w,
+            |node, j| {
+                if self.dirty[node] {
+                    self.overlay[node * w + j]
+                } else {
+                    self.good[node * w + j]
+                }
+            },
+            out,
+        );
+    }
+
+    /// Evaluate `gate` with fanin `pin` forced to `stuck_word` (branch-
+    /// fault injection) against the *good* values.
+    fn eval_inject(&self, gate: NodeId, pin: usize, stuck_word: u64, out: &mut [u64]) {
+        let w = self.w;
+        let kind = self.sim.circuit().kind(gate);
+        let fanins = self.sim.circuit().fanins(gate);
+        enum FoldOp {
+            And,
+            Or,
+            Xor,
+        }
+        let (fold, init, invert) = match kind {
+            GateKind::Buf | GateKind::And => (FoldOp::And, u64::MAX, false),
+            GateKind::Not | GateKind::Nand => (FoldOp::And, u64::MAX, true),
+            GateKind::Or => (FoldOp::Or, 0, false),
+            GateKind::Nor => (FoldOp::Or, 0, true),
+            GateKind::Xor => (FoldOp::Xor, 0, false),
+            GateKind::Xnor => (FoldOp::Xor, 0, true),
+            GateKind::Const0 | GateKind::Const1 | GateKind::Input => {
+                unreachable!("branch faults only exist on gates")
+            }
+        };
+        for (j, o) in out.iter_mut().take(w).enumerate() {
+            let mut acc = init;
+            for (pi, f) in fanins.iter().enumerate() {
+                let v = if pi == pin {
+                    stuck_word
+                } else {
+                    self.good[f.index() * w + j]
+                };
+                match fold {
+                    FoldOp::And => acc &= v,
+                    FoldOp::Or => acc |= v,
+                    FoldOp::Xor => acc ^= v,
+                }
+            }
+            *o = if invert { !acc } else { acc };
+        }
+    }
+
+    fn value_word(&self, ni: usize, j: usize) -> u64 {
+        if self.dirty[ni] {
+            self.overlay[ni * self.w + j]
         } else {
-            self.good[id.index()]
+            self.good[ni * self.w + j]
         }
     }
 
-    fn set_overlay(&mut self, id: NodeId, word: u64) {
-        if !self.dirty[id.index()] {
-            self.dirty[id.index()] = true;
-            self.touched.push(id);
+    fn set_overlay(&mut self, ni: usize, words: &[u64; MAX_BLOCK_WORDS]) {
+        let w = self.w;
+        if !self.dirty[ni] {
+            self.dirty[ni] = true;
+            self.touched.push(ni as u32);
         }
-        self.overlay[id.index()] = word;
+        self.overlay[ni * w..ni * w + w].copy_from_slice(&words[..w]);
     }
 
-    fn push_consumers(&mut self, id: NodeId) {
-        // Split borrows: consumers is disjoint from queue/queued.
-        let consumers = std::mem::take(&mut self.consumers[id.index()]);
-        for &gate in &consumers {
-            if !self.queued[gate.index()] {
-                self.queued[gate.index()] = true;
-                self.queue.push((Reverse(self.sim.level(gate)), gate));
+    fn push_consumers(&mut self, ni: usize) {
+        let start = self.consumer_start[ni] as usize;
+        let end = self.consumer_start[ni + 1] as usize;
+        for k in start..end {
+            let gate = self.consumer_idx[k];
+            let gi = gate as usize;
+            if !self.queued[gi] {
+                self.queued[gi] = true;
+                let level = self.sim.level(NodeId::from_index(gi)) as usize;
+                self.buckets[level].push(gate);
+                self.pending += 1;
             }
         }
-        self.consumers[id.index()] = consumers;
     }
 
     fn cleanup(&mut self) {
-        for id in self.touched.drain(..) {
-            self.dirty[id.index()] = false;
+        for ni in self.touched.drain(..) {
+            self.dirty[ni as usize] = false;
         }
     }
 }
 
-fn lane_mask(lanes: u64) -> u64 {
-    if lanes >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << lanes) - 1
+/// Per-word valid-lane masks for a block carrying `lanes` patterns.
+fn lane_masks(lanes: u64, w: usize) -> [u64; MAX_BLOCK_WORDS] {
+    let mut masks = [0u64; MAX_BLOCK_WORDS];
+    for (j, mask) in masks.iter_mut().take(w).enumerate() {
+        let lo = j as u64 * 64;
+        *mask = if lanes >= lo + 64 {
+            u64::MAX
+        } else if lanes > lo {
+            (1u64 << (lanes - lo)) - 1
+        } else {
+            0
+        };
     }
+    masks
+}
+
+/// Offset of the first set lane across detect words (word-major).
+fn first_lane(detect: &[u64; MAX_BLOCK_WORDS]) -> Option<u64> {
+    detect
+        .iter()
+        .enumerate()
+        .find(|(_, &word)| word != 0)
+        .map(|(j, &word)| j as u64 * 64 + u64::from(word.trailing_zeros()))
+}
+
+/// Total set lanes across detect words.
+fn ones(detect: &[u64; MAX_BLOCK_WORDS]) -> u64 {
+    detect.iter().map(|word| u64::from(word.count_ones())).sum()
 }
 
 #[cfg(test)]
@@ -530,5 +740,120 @@ mod tests {
             .run_counting(&mut src, 2, &[Fault::stem_sa1(g)])
             .unwrap();
         assert_eq!(counts[0], 1);
+    }
+
+    /// Wider circuit exercising deep propagation under every width.
+    fn tree_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new("t");
+        let xs = b.inputs(9, "x");
+        let a = b.balanced_tree(GateKind::Nand, &xs[..3], "a").unwrap();
+        let o = b.balanced_tree(GateKind::Nor, &xs[3..6], "o").unwrap();
+        let x = b.balanced_tree(GateKind::Xor, &xs[6..], "p").unwrap();
+        let m = b.gate(GateKind::And, vec![a, o, x], "m").unwrap();
+        let y = b.gate(GateKind::Xor, vec![m, a], "y").unwrap();
+        b.output(y);
+        b.output(o);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn wide_blocks_match_narrow_first_detections() {
+        let c = tree_circuit();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut narrow = FaultSimulator::with_block_words(&c, 1).unwrap();
+        let mut src = RandomPatterns::new(9, 5);
+        let reference = narrow.run(&mut src, 1000, universe.faults()).unwrap();
+        for w in [2usize, 4, 8] {
+            let mut wide = FaultSimulator::with_block_words(&c, w).unwrap();
+            assert_eq!(wide.block_words(), w);
+            let mut src = RandomPatterns::new(9, 5);
+            let result = wide.run(&mut src, 1000, universe.faults()).unwrap();
+            assert_eq!(
+                result.patterns_applied(),
+                reference.patterns_applied(),
+                "w={w}"
+            );
+            for i in 0..universe.len() {
+                assert_eq!(
+                    result.first_detection(i),
+                    reference.first_detection(i),
+                    "fault {i} at w={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_blocks_match_narrow_counts_and_visits() {
+        let c = tree_circuit();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut narrow = FaultSimulator::with_block_words(&c, 1).unwrap();
+        let mut src = ExhaustivePatterns::new(9);
+        let mut visits_narrow = std::collections::HashMap::new();
+        let (counts_ref, n_ref) = narrow
+            .run_visiting(&mut src, 512, universe.faults(), |fi, node, diff| {
+                *visits_narrow.entry((fi, node)).or_insert(0u64) += u64::from(diff.count_ones());
+            })
+            .unwrap();
+        for w in [2usize, 4, 8] {
+            let mut wide = FaultSimulator::with_block_words(&c, w).unwrap();
+            let mut src = ExhaustivePatterns::new(9);
+            let mut visits = std::collections::HashMap::new();
+            let (counts, n) = wide
+                .run_visiting(&mut src, 512, universe.faults(), |fi, node, diff| {
+                    *visits.entry((fi, node)).or_insert(0u64) += u64::from(diff.count_ones());
+                })
+                .unwrap();
+            assert_eq!(n, n_ref, "w={w}");
+            assert_eq!(counts, counts_ref, "w={w}");
+            assert_eq!(visits, visits_narrow, "w={w}");
+        }
+    }
+
+    #[test]
+    fn wide_tail_respects_max_patterns() {
+        // 300 is not a multiple of any supported block width × 64.
+        let c = tree_circuit();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut narrow = FaultSimulator::with_block_words(&c, 1).unwrap();
+        let mut src = RandomPatterns::new(9, 77);
+        let (counts_ref, n_ref) = narrow
+            .run_counting(&mut src, 300, universe.faults())
+            .unwrap();
+        assert_eq!(n_ref, 300);
+        for w in [2usize, 4, 8] {
+            let mut wide = FaultSimulator::with_block_words(&c, w).unwrap();
+            let mut src = RandomPatterns::new(9, 77);
+            let (counts, n) = wide.run_counting(&mut src, 300, universe.faults()).unwrap();
+            assert_eq!(n, 300, "w={w}");
+            assert_eq!(counts, counts_ref, "w={w}");
+        }
+    }
+
+    #[test]
+    fn partial_source_blocks_stop_a_wide_block_early() {
+        // ExhaustivePatterns over 3 inputs yields one 8-lane block; a
+        // wide simulator must not mix further (empty) words into it.
+        let c = sample();
+        let universe = FaultUniverse::full(&c).unwrap();
+        for w in [2usize, 4, 8] {
+            let mut wide = FaultSimulator::with_block_words(&c, w).unwrap();
+            let mut src = ExhaustivePatterns::new(3);
+            let (counts, n) = wide.run_counting(&mut src, 64, universe.faults()).unwrap();
+            assert_eq!(n, 8, "w={w}");
+            let mut narrow = FaultSimulator::with_block_words(&c, 1).unwrap();
+            let mut src = ExhaustivePatterns::new(3);
+            let (counts_ref, _) = narrow
+                .run_counting(&mut src, 64, universe.faults())
+                .unwrap();
+            assert_eq!(counts, counts_ref, "w={w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported block width")]
+    fn rejects_unsupported_block_width() {
+        let c = sample();
+        let _ = FaultSimulator::with_block_words(&c, 3);
     }
 }

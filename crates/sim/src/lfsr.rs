@@ -213,6 +213,38 @@ impl PatternSource for LfsrPatterns {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{FaultSimulator, FaultUniverse};
+    use tpi_netlist::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn lfsr_stream_is_block_width_invariant_under_fault_sim() {
+        // The wide fault simulator composes sequential LFSR fills into
+        // one block; coverage must not depend on the block width.
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.inputs(6, "x");
+        let a = b.balanced_tree(GateKind::And, &xs[..3], "a").unwrap();
+        let o = b.balanced_tree(GateKind::Or, &xs[3..], "o").unwrap();
+        let y = b.gate(GateKind::Xor, vec![a, o], "y").unwrap();
+        b.output(y);
+        let c = b.finish().unwrap();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut narrow = FaultSimulator::with_block_words(&c, 1).unwrap();
+        let mut src = LfsrPatterns::new(6, 0xace1).unwrap();
+        let reference = narrow.run(&mut src, 500, universe.faults()).unwrap();
+        for w in [2usize, 4, 8] {
+            let mut wide = FaultSimulator::with_block_words(&c, w).unwrap();
+            let mut src = LfsrPatterns::new(6, 0xace1).unwrap();
+            let result = wide.run(&mut src, 500, universe.faults()).unwrap();
+            assert_eq!(result.patterns_applied(), reference.patterns_applied());
+            for i in 0..universe.len() {
+                assert_eq!(
+                    result.first_detection(i),
+                    reference.first_detection(i),
+                    "fault {i} at w={w}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn maximal_period_for_small_widths() {

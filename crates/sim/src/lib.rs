@@ -4,8 +4,10 @@
 //! workspace: every test-point-insertion result is ultimately verified by
 //! the fault simulator in this crate ("must write fault simulator").
 //!
-//! * [`LogicSim`] — 64-patterns-per-word logic simulation over
-//!   [`tpi_netlist::Circuit`]s;
+//! * [`LogicSim`] — bit-parallel logic simulation over
+//!   [`tpi_netlist::Circuit`]s through a compiled structure-of-arrays
+//!   kernel processing configurable wide blocks of
+//!   `block_words × 64` patterns per pass (see [`DEFAULT_BLOCK_WORDS`]);
 //! * [`PatternSource`] — pattern generation abstraction, with
 //!   [`RandomPatterns`] (seeded PRNG), [`LfsrPatterns`] (hardware-faithful
 //!   maximal-length LFSR), [`ExhaustivePatterns`] and
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod collapse;
+mod compile;
 mod coverage;
 mod fault;
 mod fsim;
@@ -56,6 +59,7 @@ pub mod parallel;
 mod patterns;
 mod weighted;
 
+pub use compile::{block_words_supported, DEFAULT_BLOCK_WORDS, MAX_BLOCK_WORDS};
 pub use coverage::{CoveragePoint, FaultSimResult};
 pub use fault::{Fault, FaultSite, FaultUniverse};
 pub use fsim::FaultSimulator;

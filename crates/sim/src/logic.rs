@@ -1,9 +1,22 @@
-use tpi_netlist::{Circuit, GateKind, NetlistError, NodeId, Topology};
+use tpi_netlist::{Circuit, NetlistError, NodeId, Topology};
+
+use crate::compile::{block_words_supported, fill_slot, Program};
 
 /// Bit-parallel (64 patterns per word) logic simulator.
 ///
-/// The simulator snapshots a levelised evaluation order at construction;
-/// rebuild it after transforming the circuit.
+/// At construction the levelised circuit is *compiled* into a flat
+/// structure-of-arrays program (see the [`crate::compile`] module docs):
+/// a contiguous opcode array with CSR-packed fanins, executed over dense
+/// value slots with specialised two-input fast paths. The same program
+/// runs at any supported block width `w` (1, 2, 4 or 8 words = 64–512
+/// patterns per pass) via [`simulate_block_into`]
+/// (LogicSim::simulate_block_into); the scalar [`simulate`]
+/// (LogicSim::simulate)/[`simulate_into`](LogicSim::simulate_into) API
+/// is the `w = 1` special case. Lane values are bit-identical across
+/// widths.
+///
+/// The simulator snapshots the order at construction; rebuild it after
+/// transforming the circuit.
 ///
 /// # Example
 ///
@@ -24,8 +37,8 @@ use tpi_netlist::{Circuit, GateKind, NetlistError, NodeId, Topology};
 #[derive(Clone, Debug)]
 pub struct LogicSim {
     circuit: Circuit,
+    program: Program,
     order: Vec<NodeId>,
-    constants: Vec<(NodeId, u64)>,
     level_of: Vec<u32>,
     max_level: u32,
 }
@@ -46,21 +59,19 @@ impl LogicSim {
             .filter(|&id| !circuit.kind(id).is_source())
             .collect();
         let level_of = circuit.node_ids().map(|id| topo.level(id)).collect();
-        let constants = circuit
-            .node_ids()
-            .filter_map(|id| match circuit.kind(id) {
-                GateKind::Const0 => Some((id, 0)),
-                GateKind::Const1 => Some((id, u64::MAX)),
-                _ => None,
-            })
-            .collect();
+        let program = Program::compile(circuit, &topo);
         Ok(LogicSim {
             circuit: circuit.clone(),
+            program,
             order,
-            constants,
             level_of,
             max_level: topo.max_level(),
         })
+    }
+
+    /// The compiled program backing this simulator.
+    pub(crate) fn program(&self) -> &Program {
+        &self.program
     }
 
     /// The circuit this simulator was built for.
@@ -99,21 +110,38 @@ impl LogicSim {
     /// Like [`LogicSim::simulate`] but reusing a caller-provided buffer
     /// (`values.len()` must equal the node count).
     pub fn simulate_into(&self, input_words: &[u64], values: &mut [u64]) {
-        debug_assert_eq!(input_words.len(), self.circuit.inputs().len());
-        debug_assert_eq!(values.len(), self.circuit.node_count());
-        for (&input, &w) in self.circuit.inputs().iter().zip(input_words) {
-            values[input.index()] = w;
+        self.simulate_block_into(input_words, values, 1);
+    }
+
+    /// Simulate one *wide* block of `w × 64` patterns through the
+    /// compiled kernel.
+    ///
+    /// `input_words[i * w + j]` carries word `j` (patterns
+    /// `j * 64 .. j * 64 + 64` of the block) for primary input `i`;
+    /// `values` receives `w` words per node at
+    /// `values[id.index() * w ..][..w]` with the same word-major layout.
+    /// At `w = 1` this is exactly [`LogicSim::simulate_into`]; wider
+    /// blocks produce bit-identical lanes, one kernel pass per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not 1, 2, 4 or 8, and in debug builds on buffer
+    /// length mismatches.
+    pub fn simulate_block_into(&self, input_words: &[u64], values: &mut [u64], w: usize) {
+        assert!(
+            block_words_supported(w),
+            "unsupported block width {w} words (supported: 1, 2, 4, 8)"
+        );
+        debug_assert_eq!(input_words.len(), self.circuit.inputs().len() * w);
+        debug_assert_eq!(values.len(), self.circuit.node_count() * w);
+        for (i, &input) in self.circuit.inputs().iter().enumerate() {
+            values[input.index() * w..input.index() * w + w]
+                .copy_from_slice(&input_words[i * w..i * w + w]);
         }
-        for &(id, w) in &self.constants {
-            values[id.index()] = w;
+        for &(idx, word) in self.program.constants() {
+            fill_slot(values, NodeId::from_index(idx as usize), w, word);
         }
-        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
-        for &id in &self.order {
-            let node = self.circuit.node(id);
-            fanin_buf.clear();
-            fanin_buf.extend(node.fanins().iter().map(|f| values[f.index()]));
-            values[id.index()] = node.kind().eval_words(&fanin_buf);
-        }
+        self.program.execute_block(values, w);
     }
 
     /// Extract the primary-output words from a value vector produced by
@@ -131,7 +159,7 @@ impl LogicSim {
 mod tests {
     use super::*;
     use crate::{ExhaustivePatterns, PatternSource};
-    use tpi_netlist::CircuitBuilder;
+    use tpi_netlist::{CircuitBuilder, GateKind};
 
     fn build_sample() -> Circuit {
         let mut b = CircuitBuilder::new("s");
@@ -203,6 +231,41 @@ mod tests {
         sim.simulate_into(&[1, 1, 0], &mut buf);
         let fresh = sim.simulate(&[1, 1, 0]);
         assert_eq!(buf, fresh);
+    }
+
+    #[test]
+    fn wide_blocks_are_bit_identical_to_narrow() {
+        let c = build_sample();
+        let sim = LogicSim::new(&c).unwrap();
+        for w in [1usize, 2, 4, 8] {
+            // Word j of input i gets a distinct deterministic pattern.
+            let inputs: Vec<u64> = (0..3 * w)
+                .map(|k| (k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            let mut wide = vec![0u64; c.node_count() * w];
+            sim.simulate_block_into(&inputs, &mut wide, w);
+            for j in 0..w {
+                let narrow_inputs: Vec<u64> = (0..3).map(|i| inputs[i * w + j]).collect();
+                let narrow = sim.simulate(&narrow_inputs);
+                for id in c.node_ids() {
+                    assert_eq!(
+                        wide[id.index() * w + j],
+                        narrow[id.index()],
+                        "node {} word {j} at w={w}",
+                        c.node_name(id)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported block width")]
+    fn rejects_unsupported_block_width() {
+        let c = build_sample();
+        let sim = LogicSim::new(&c).unwrap();
+        let mut values = vec![0u64; c.node_count() * 3];
+        sim.simulate_block_into(&[0; 9], &mut values, 3);
     }
 
     #[test]

@@ -9,12 +9,12 @@ use std::sync::Mutex;
 
 use tpi_netlist::{Circuit, NetlistError};
 
-use crate::{Fault, FaultSimResult, FaultSimulator, PatternSource};
+use crate::{Fault, FaultSimResult, FaultSimulator, PatternSource, DEFAULT_BLOCK_WORDS};
 
 /// Fault-simulate `faults` across `threads` worker threads, with fault
 /// dropping, producing the same [`FaultSimResult`] the sequential
 /// [`FaultSimulator::run`] would (each thread replays the same seeded
-/// pattern stream).
+/// pattern stream) at the default block width.
 ///
 /// `make_source` is called once per thread and must yield identical
 /// streams (e.g. closures constructing a seeded
@@ -34,9 +34,48 @@ where
     S: PatternSource,
     F: Fn() -> S + Sync,
 {
+    run_parallel_with(
+        circuit,
+        make_source,
+        max_patterns,
+        faults,
+        threads,
+        DEFAULT_BLOCK_WORDS,
+    )
+}
+
+/// [`run_parallel`] with an explicit block width (words per pass; see
+/// [`FaultSimulator::with_block_words`]).
+///
+/// Every worker replays its pattern stream through a simulator of the
+/// same width, so the per-block tail masking against `max_patterns` is
+/// applied identically in every chunk — first detections,
+/// `patterns_applied` and coverage match the sequential run bit for bit
+/// at any width and thread count, including when `max_patterns` is not
+/// a multiple of `block_words × 64`.
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] for cyclic circuits; worker panics propagate.
+///
+/// # Panics
+///
+/// Panics if `block_words` is not 1, 2, 4 or 8.
+pub fn run_parallel_with<S, F>(
+    circuit: &Circuit,
+    make_source: F,
+    max_patterns: u64,
+    faults: &[Fault],
+    threads: usize,
+    block_words: usize,
+) -> Result<FaultSimResult, NetlistError>
+where
+    S: PatternSource,
+    F: Fn() -> S + Sync,
+{
     let threads = threads.max(1).min(faults.len().max(1));
     if threads <= 1 {
-        let mut sim = FaultSimulator::new(circuit)?;
+        let mut sim = FaultSimulator::with_block_words(circuit, block_words)?;
         let mut source = make_source();
         return sim.run(&mut source, max_patterns, faults);
     }
@@ -54,7 +93,7 @@ where
             let make_source = &make_source;
             scope.spawn(move || {
                 let outcome = (|| {
-                    let mut sim = FaultSimulator::new(circuit)?;
+                    let mut sim = FaultSimulator::with_block_words(circuit, block_words)?;
                     let mut source = make_source();
                     sim.run(&mut source, max_patterns, chunk)
                 })();
@@ -128,6 +167,44 @@ mod tests {
                     sequential.first_detection(i),
                     "fault {i} with {threads} threads"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn tail_masking_is_identical_across_threads_and_widths() {
+        // 300 patterns is not a multiple of 64, 128, 256 or 512: every
+        // width ends on a partially-masked block, and every worker must
+        // mask its replayed source the same way the sequential run does.
+        let c = sample();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut sim = FaultSimulator::with_block_words(&c, 1).unwrap();
+        let mut src = RandomPatterns::new(10, 13);
+        let sequential = sim.run(&mut src, 300, universe.faults()).unwrap();
+
+        for threads in [1usize, 3, 8] {
+            for block_words in [1usize, 2, 4, 8] {
+                let parallel = run_parallel_with(
+                    &c,
+                    || RandomPatterns::new(10, 13),
+                    300,
+                    universe.faults(),
+                    threads,
+                    block_words,
+                )
+                .unwrap();
+                assert_eq!(
+                    parallel.patterns_applied(),
+                    sequential.patterns_applied(),
+                    "threads={threads} w={block_words}"
+                );
+                for i in 0..universe.len() {
+                    assert_eq!(
+                        parallel.first_detection(i),
+                        sequential.first_detection(i),
+                        "fault {i} threads={threads} w={block_words}"
+                    );
+                }
             }
         }
     }

@@ -9,6 +9,16 @@ use rand::{RngCore, SeedableRng};
 ///
 /// Implementations must be deterministic for a given construction seed so
 /// that experiments are reproducible.
+///
+/// # Wide blocks
+///
+/// Consumers simulating `w × 64`-pattern wide blocks (see
+/// [`FaultSimulator::with_block_words`](crate::FaultSimulator::with_block_words))
+/// compose up to `w` sequential `fill` calls into one block, word-major:
+/// call `j` supplies patterns `j * 64 .. (j + 1) * 64` of the block. A
+/// short fill (`< 64`) or exhaustion (`0`) terminates the block early,
+/// so the pattern sequence a source produces — and therefore every
+/// simulation result — is independent of the consumer's block width.
 pub trait PatternSource {
     /// Fill `words` (one word per primary input) with the next block of
     /// patterns. Returns the number of valid patterns in the block

@@ -121,6 +121,29 @@ mod tests {
     }
 
     #[test]
+    fn weighted_stream_is_block_width_invariant_under_fault_sim() {
+        use crate::{FaultSimulator, FaultUniverse};
+        use tpi_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.inputs(5, "x");
+        let root = b.balanced_tree(GateKind::And, &xs, "g").unwrap();
+        b.output(root);
+        let c = b.finish().unwrap();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut narrow = FaultSimulator::with_block_words(&c, 1).unwrap();
+        let mut src = WeightedPatterns::uniform(5, 0.8, 11).unwrap();
+        let (counts_ref, n_ref) = narrow
+            .run_counting(&mut src, 640, universe.faults())
+            .unwrap();
+        for w in [2usize, 4, 8] {
+            let mut wide = FaultSimulator::with_block_words(&c, w).unwrap();
+            let mut src = WeightedPatterns::uniform(5, 0.8, 11).unwrap();
+            let (counts, n) = wide.run_counting(&mut src, 640, universe.faults()).unwrap();
+            assert_eq!((counts, n), (counts_ref.clone(), n_ref), "w={w}");
+        }
+    }
+
+    #[test]
     fn invalid_weights_rejected() {
         assert!(WeightedPatterns::new(vec![0.5, 1.1], 0).is_none());
         assert!(WeightedPatterns::new(vec![-0.1], 0).is_none());

@@ -2,11 +2,13 @@
 //! screens built on [`CopAnalysis`].
 
 use tpi_netlist::{Circuit, NetlistError};
-use tpi_sim::Fault;
+use tpi_sim::{montecarlo, Fault, PatternSource};
 
 use crate::CopAnalysis;
 
-/// COP-estimated detection probabilities for a fault list, with
+/// Detection probabilities for a fault list — COP-estimated
+/// ([`estimate`](DetectionProfile::estimate)) or measured by wide-block
+/// fault simulation ([`measured`](DetectionProfile::measured)) — with
 /// convenience queries used throughout the insertion algorithms.
 #[derive(Clone, Debug)]
 pub struct DetectionProfile {
@@ -22,6 +24,29 @@ impl DetectionProfile {
     pub fn estimate(circuit: &Circuit, faults: &[Fault]) -> Result<DetectionProfile, NetlistError> {
         let cop = CopAnalysis::new(circuit)?;
         Ok(DetectionProfile::from_analysis(&cop, circuit, faults))
+    }
+
+    /// *Measure* detection probabilities by fault simulation instead of
+    /// the analytic COP estimate: `n_patterns` patterns from `source`
+    /// through the compiled wide-block fault simulator (no dropping).
+    /// Same queries, simulation-grade numbers — use this to screen
+    /// random-pattern-resistant faults when COP's independence
+    /// assumption is too coarse (reconvergent fanout).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Cycle`] for cyclic circuits.
+    pub fn measured(
+        circuit: &Circuit,
+        faults: &[Fault],
+        source: &mut dyn PatternSource,
+        n_patterns: u64,
+    ) -> Result<DetectionProfile, NetlistError> {
+        Ok(DetectionProfile {
+            probabilities: montecarlo::detection_probabilities(
+                circuit, faults, source, n_patterns,
+            )?,
+        })
     }
 
     /// Build from an existing analysis (avoids recomputing COP).
@@ -118,6 +143,26 @@ mod tests {
         assert!(profile.min_probability() <= 2f64.powi(-8) + 1e-12);
         // Everything is at least detectable (no zero-prob faults).
         assert!(profile.min_probability() > 0.0);
+    }
+
+    #[test]
+    fn measured_profile_matches_exact_probabilities() {
+        let c = and8();
+        let u = FaultUniverse::collapsed(&c).unwrap();
+        // Exhaustive patterns make the "measurement" exact, so it must
+        // agree with brute-force enumeration bit for bit.
+        let mut src = tpi_sim::ExhaustivePatterns::new(8);
+        let measured = DetectionProfile::measured(&c, u.faults(), &mut src, 256).unwrap();
+        let exact = tpi_sim::montecarlo::exact_detection_probabilities(&c, u.faults()).unwrap();
+        for (i, (&m, &e)) in measured.probabilities().iter().zip(&exact).enumerate() {
+            assert!(
+                (m - e).abs() < 1e-12,
+                "fault {i}: measured {m} vs exact {e}"
+            );
+        }
+        // The same queries work on a measured profile.
+        assert!(measured.min_probability() > 0.0);
+        assert!(!measured.resistant_indices(0.01).is_empty());
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! ```text
 //! tpi analyze  <file.bench>                      structural + testability report
 //! tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr] [--threads N]
+//!              [--block-words W]
 //! tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]
 //!              [--method dp|greedy|constructive|constructive-baseline]
-//!              [--threads N] [--out FILE] [--verilog FILE]
+//!              [--threads N] [--block-words W] [--out FILE] [--verilog FILE]
 //! tpi atpg     <file.bench> [--patterns N]       redundancy sweep + top-off cubes
 //! tpi export   <file.bench> (--verilog FILE | --dot FILE)
 //! tpi batch    <manifest.json> [--out FILE]      N circuits × M configs, JSONL out
@@ -28,8 +29,10 @@ use krishnamurthy_tpi::engine::{
 };
 use krishnamurthy_tpi::netlist::transform::apply_plan;
 use krishnamurthy_tpi::netlist::{analysis, bench_format, dot, ffr, verilog, Circuit, Topology};
-use krishnamurthy_tpi::sim::parallel::run_parallel;
-use krishnamurthy_tpi::sim::{FaultUniverse, LfsrPatterns, RandomPatterns};
+use krishnamurthy_tpi::sim::parallel::run_parallel_with;
+use krishnamurthy_tpi::sim::{
+    block_words_supported, FaultUniverse, LfsrPatterns, RandomPatterns, DEFAULT_BLOCK_WORDS,
+};
 use krishnamurthy_tpi::testability::profile::TestabilityReport;
 
 fn main() -> ExitCode {
@@ -73,10 +76,11 @@ fn print_usage() {
         "tpi — dynamic-programming test point insertion toolkit\n\n\
          usage:\n  \
          tpi analyze  <file.bench>\n  \
-         tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr] [--threads N]\n  \
+         tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr] [--threads N]\n           \
+         [--block-words W]\n  \
          tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]\n           \
          [--method dp|greedy|constructive|constructive-baseline] [--threads N]\n           \
-         [--out FILE] [--verilog FILE]\n  \
+         [--block-words W] [--out FILE] [--verilog FILE]\n  \
          tpi atpg     <file.bench> [--patterns N]\n  \
          tpi export   <file.bench> (--verilog FILE | --dot FILE)\n  \
          tpi batch    <manifest.json> [--out FILE]\n  \
@@ -186,31 +190,43 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// `--block-words`: words per simulation block (W×64 patterns per pass).
+fn block_words_flag(flags: &Flags) -> Result<usize, String> {
+    let w: usize = flags.num("block-words", DEFAULT_BLOCK_WORDS)?;
+    if !block_words_supported(w) {
+        return Err(format!("--block-words must be 1, 2, 4 or 8 (got {w})"));
+    }
+    Ok(w)
+}
+
 fn simulate(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["lfsr"])?;
     let circuit = load(flags.file)?;
     let patterns: u64 = flags.num("patterns", 32_000)?;
     let seed: u64 = flags.num("seed", 1)?;
     let threads: usize = flags.num("threads", default_threads())?;
+    let block_words = block_words_flag(&flags)?;
     let universe = FaultUniverse::collapsed(&circuit).map_err(|e| e.to_string())?;
     let n_inputs = circuit.inputs().len();
     let result = if flags.has("lfsr") {
         // Validate the LFSR width once up front, then fan out.
         LfsrPatterns::new(n_inputs, seed).map_err(|e| e.to_string())?;
-        run_parallel(
+        run_parallel_with(
             &circuit,
             || LfsrPatterns::new(n_inputs, seed).expect("width checked above"),
             patterns,
             universe.faults(),
             threads,
+            block_words,
         )
     } else {
-        run_parallel(
+        run_parallel_with(
             &circuit,
             || RandomPatterns::new(n_inputs, seed),
             patterns,
             universe.faults(),
             threads,
+            block_words,
         )
     }
     .map_err(|e| e.to_string())?;
@@ -244,6 +260,7 @@ fn insert(args: &[String]) -> Result<(), String> {
     };
     let method = flags.get("method").unwrap_or("dp");
     let threads: usize = flags.num("threads", default_threads())?;
+    let block_words = block_words_flag(&flags)?;
     let problem = TpiProblem::min_cost(&circuit, threshold).map_err(|e| e.to_string())?;
 
     let plan = match method {
@@ -260,6 +277,7 @@ fn insert(args: &[String]) -> Result<(), String> {
                 circuit.clone(),
                 EngineConfig {
                     verify_incremental: false,
+                    block_words,
                     ..EngineConfig::default()
                 },
             )
@@ -295,12 +313,13 @@ fn insert(args: &[String]) -> Result<(), String> {
     // worker pool.
     let universe = FaultUniverse::collapsed(&circuit).map_err(|e| e.to_string())?;
     let n_inputs = modified.inputs().len();
-    let verified = run_parallel(
+    let verified = run_parallel_with(
         &modified,
         || RandomPatterns::new(n_inputs, 1),
         32_000,
         universe.faults(),
         threads,
+        block_words,
     )
     .map_err(|e| e.to_string())?;
     println!(

@@ -32,6 +32,7 @@ proptest! {
                 seed: seed ^ 0xABCD,
                 // Off: this test IS the independent bit-identity check.
                 verify_incremental: false,
+                ..EngineConfig::default()
             },
         )
         .unwrap();

@@ -78,6 +78,45 @@ proptest! {
         }
     }
 
+    /// The compiled wide-block kernel (`simulate_block_into`) equals the
+    /// naive per-pattern evaluator for every node and every lane of the
+    /// block, at every supported width under test.
+    #[test]
+    fn wide_kernel_matches_reference(seed in 0u64..5000, gates in 5usize..40) {
+        let c = small_dag(seed, 5, gates);
+        let sim = LogicSim::new(&c).unwrap();
+        for w in [1usize, 2, 4] {
+            // Compose the block word-major exactly as FaultSimulator does:
+            // fill j supplies patterns j*64 .. (j+1)*64.
+            let mut src = RandomPatterns::new(5, seed ^ 0xb10c);
+            let mut input_words = vec![0u64; 5 * w];
+            let mut fill = vec![0u64; 5];
+            for j in 0..w {
+                prop_assert_eq!(src.fill(&mut fill), 64);
+                for i in 0..5 {
+                    input_words[i * w + j] = fill[i];
+                }
+            }
+            let mut values = vec![0u64; c.node_count() * w];
+            sim.simulate_block_into(&input_words, &mut values, w);
+            for j in 0..w {
+                for lane in 0..64 {
+                    let assignment: Vec<bool> = (0..5)
+                        .map(|i| (input_words[i * w + j] >> lane) & 1 == 1)
+                        .collect();
+                    let reference = c.evaluate(&assignment).unwrap();
+                    for id in c.node_ids() {
+                        prop_assert_eq!(
+                            (values[id.index() * w + j] >> lane) & 1 == 1,
+                            reference[id.index()],
+                            "node {} word {} lane {} (w={})", c.node_name(id), j, lane, w
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// The event-driven fault simulator agrees with the naive faulty
     /// evaluator for every fault and every pattern.
     #[test]
