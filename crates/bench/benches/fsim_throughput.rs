@@ -1,14 +1,17 @@
 //! Fault-simulator throughput harness: PPSFP patterns × faults per
 //! second on reconvergent circuits of growing size, measured at block
-//! widths W = 1 and W = 4 on the compiled wide-block kernels.
+//! widths W = 1 and W = 4 on the compiled wide-block kernels, in both
+//! detection modes (explicit event-driven and critical path tracing).
 //!
 //! Unlike the Criterion micro-benchmarks, this harness emits a
 //! machine-readable **`BENCH_fsim.json`** at the repository root so the
 //! before/after comparison is scriptable: the pre-PR baseline is read
 //! from `results/fsim_pre_pr.json` (captured before the kernel rewrite)
-//! and embedded alongside the fresh numbers, together with the derived
-//! speedups. While measuring, the harness also cross-checks that W = 1
-//! and W = 4 produce bit-identical first-detection indices — a wrong
+//! and the PR-2 snapshot from `results/fsim_pr2.json` (explicit mode
+//! with block-granular dropping), both embedded alongside the fresh
+//! numbers together with the derived speedups. While measuring, the
+//! harness also cross-checks that every width and every detection mode
+//! produces bit-identical first-detection indices and counts — a wrong
 //! but fast kernel must fail the bench, not win it.
 //!
 //! `cargo bench -p tpi-bench --bench fsim_throughput -- --test` runs a
@@ -20,7 +23,9 @@ use std::time::Instant;
 
 use tpi_engine::json::Json;
 use tpi_gen::dags::{random_dag, RandomDagConfig};
-use tpi_sim::{FaultSimResult, FaultSimulator, FaultUniverse, RandomPatterns};
+use tpi_sim::{
+    DetectionMode, FaultSimResult, FaultSimulator, FaultUniverse, RandomPatterns, SimOptions,
+};
 
 /// Matches the Criterion groups this harness replaced: mean over 10
 /// timed iterations after warm-up.
@@ -36,61 +41,101 @@ fn main() {
         return;
     }
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let baseline = load_baseline(&root);
+    let baseline = load_baseline(&root, "results/fsim_pre_pr.json");
+    let pr2 = load_baseline(&root, "results/fsim_pr2.json");
 
     let mut dropped = Vec::new();
+    let mut cpt_dropped = Vec::new();
     for gates in [100usize, 400, 1600] {
-        dropped.push(bench_dropped(gates, baseline.as_ref()));
+        let (explicit, cpt) = bench_dropped(gates, baseline.as_ref(), pr2.as_ref());
+        dropped.push(explicit);
+        cpt_dropped.push(cpt);
     }
-    let no_dropping = bench_no_dropping(baseline.as_ref());
+    let (no_dropping, cpt_no_dropping) = bench_no_dropping(baseline.as_ref(), pr2.as_ref());
 
     let report = Json::obj([
         ("bench", Json::from("fsim_throughput")),
         ("threads", Json::from(1u64)),
         ("samples", Json::from(u64::from(SAMPLES))),
         ("baseline", baseline.map_or(Json::Null, |(_, raw)| raw)),
+        ("baseline_pr2", pr2.map_or(Json::Null, |(_, raw)| raw)),
         ("dropped", Json::Arr(dropped)),
         ("no_dropping", no_dropping),
+        (
+            "cpt",
+            Json::obj([
+                ("dropped", Json::Arr(cpt_dropped)),
+                ("no_dropping", cpt_no_dropping),
+            ]),
+        ),
     ]);
     let out = root.join("BENCH_fsim.json");
     std::fs::write(&out, format!("{report}\n")).expect("write BENCH_fsim.json");
     println!("wrote {}", out.display());
 }
 
-/// The pre-PR `ns_per_iter` table, keyed `(group, gates)`, plus the raw
-/// JSON document for embedding in the report.
-type Baseline = (Vec<(String, u64, f64)>, Json);
+/// A historical `ns_per_iter` table keyed `(group, gates, block_words)`,
+/// plus the raw JSON document for embedding in the report. `block_words`
+/// is 0 for documents predating per-width metrics (the pre-PR baseline,
+/// measured at the then-only width).
+type Baseline = (Vec<(String, u64, u64, f64)>, Json);
 
-fn load_baseline(root: &Path) -> Option<Baseline> {
-    let path = root.join("results/fsim_pre_pr.json");
+fn load_baseline(root: &Path, rel: &str) -> Option<Baseline> {
+    let path = root.join(rel);
     let text = std::fs::read_to_string(&path).ok()?;
-    let doc = Json::parse(&text).expect("results/fsim_pre_pr.json parses");
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("{rel} parses: {e}"));
     let mut table = Vec::new();
     for group in ["dropped", "no_dropping"] {
-        for entry in doc.get(group).and_then(Json::as_arr).unwrap_or(&[]) {
-            table.push((
-                group.to_string(),
-                entry.get("gates").and_then(Json::as_u64).expect("gates"),
-                entry
-                    .get("ns_per_iter")
-                    .and_then(Json::as_f64)
-                    .expect("ns_per_iter"),
-            ));
+        let entries = match doc.get(group) {
+            Some(Json::Arr(entries)) => entries.clone(),
+            Some(entry @ Json::Obj(_)) => vec![entry.clone()],
+            _ => Vec::new(),
+        };
+        for entry in entries {
+            let gates = entry.get("gates").and_then(Json::as_u64).expect("gates");
+            if let Some(widths) = entry.get("widths").and_then(Json::as_arr) {
+                for m in widths {
+                    table.push((
+                        group.to_string(),
+                        gates,
+                        m.get("block_words").and_then(Json::as_u64).expect("width"),
+                        m.get("ns_per_iter").and_then(Json::as_f64).expect("ns"),
+                    ));
+                }
+            } else {
+                table.push((
+                    group.to_string(),
+                    gates,
+                    0,
+                    entry
+                        .get("ns_per_iter")
+                        .and_then(Json::as_f64)
+                        .expect("ns_per_iter"),
+                ));
+            }
         }
     }
     Some((table, doc))
 }
 
-fn baseline_ns(baseline: Option<&Baseline>, group: &str, gates: usize) -> Option<f64> {
+fn baseline_ns(baseline: Option<&Baseline>, group: &str, gates: usize, w: u64) -> Option<f64> {
     baseline?
         .0
         .iter()
-        .find(|(g, n, _)| g == group && *n as usize == gates)
-        .map(|&(_, _, ns)| ns)
+        .find(|(g, n, bw, _)| g == group && *n as usize == gates && *bw == w)
+        .map(|&(_, _, _, ns)| ns)
 }
 
 fn ladder_circuit(gates: usize, seed: u64) -> tpi_netlist::Circuit {
     random_dag(&RandomDagConfig::new(24, gates, seed)).expect("builds")
+}
+
+fn simulator(circuit: &tpi_netlist::Circuit, w: usize, detection: DetectionMode) -> FaultSimulator {
+    let opts = SimOptions {
+        block_words: w,
+        detection,
+    };
+    FaultSimulator::with_options(circuit, opts).expect("acyclic")
 }
 
 fn time_ns(mut iter: impl FnMut()) -> f64 {
@@ -122,103 +167,186 @@ fn metrics(w: usize, ns: f64, patterns: u64, faults: usize, gates: usize) -> Jso
     ])
 }
 
-fn bench_dropped(gates: usize, baseline: Option<&Baseline>) -> Json {
+fn bench_dropped(
+    gates: usize,
+    baseline: Option<&Baseline>,
+    pr2: Option<&Baseline>,
+) -> (Json, Json) {
     let circuit = ladder_circuit(gates, 5);
     let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
     let n_inputs = circuit.inputs().len();
     let mut widths = Vec::new();
+    let mut cpt_widths = Vec::new();
     let mut reference: Option<FaultSimResult> = None;
     let mut ns_by_width = Vec::new();
-    for w in WIDTHS {
-        let mut sim = FaultSimulator::with_block_words(&circuit, w).expect("acyclic");
-        let mut result = None;
-        let ns = time_ns(|| {
-            let mut src = RandomPatterns::new(n_inputs, SEED);
-            result = Some(
-                sim.run(&mut src, PATTERNS, universe.faults())
-                    .expect("runs"),
-            );
-        });
-        let result = result.expect("measured at least once");
-        match &reference {
-            None => reference = Some(result),
-            Some(narrow) => {
-                for i in 0..universe.len() {
+    let mut cpt_ns_by_width = Vec::new();
+    for mode in [DetectionMode::Explicit, DetectionMode::CriticalPathTracing] {
+        for w in WIDTHS {
+            let mut sim = simulator(&circuit, w, mode);
+            let mut result = None;
+            let ns = time_ns(|| {
+                let mut src = RandomPatterns::new(n_inputs, SEED);
+                result = Some(
+                    sim.run(&mut src, PATTERNS, universe.faults())
+                        .expect("runs"),
+                );
+            });
+            let result = result.expect("measured at least once");
+            match &reference {
+                None => reference = Some(result),
+                Some(narrow) => {
                     assert_eq!(
-                        narrow.first_detection(i),
-                        result.first_detection(i),
-                        "W={w} diverges from W=1 on fault {i} ({gates} gates)"
+                        narrow.patterns_applied(),
+                        result.patterns_applied(),
+                        "{mode:?} W={w} patterns diverge ({gates} gates)"
                     );
+                    for i in 0..universe.len() {
+                        assert_eq!(
+                            narrow.first_detection(i),
+                            result.first_detection(i),
+                            "{mode:?} W={w} diverges from explicit W=1 on fault {i} \
+                             ({gates} gates)"
+                        );
+                    }
+                }
+            }
+            let tag = match mode {
+                DetectionMode::Explicit => "explicit",
+                DetectionMode::CriticalPathTracing => "cpt",
+            };
+            println!(
+                "fault_sim_1k_patterns/{gates} ({tag}, W={w}): {ns:.1} ns/iter \
+                 ({:.3e} fault-patterns/s)",
+                (PATTERNS * universe.len() as u64) as f64 / (ns * 1e-9)
+            );
+            match mode {
+                DetectionMode::Explicit => {
+                    ns_by_width.push(ns);
+                    widths.push(metrics(w, ns, PATTERNS, universe.len(), gates));
+                }
+                DetectionMode::CriticalPathTracing => {
+                    cpt_ns_by_width.push(ns);
+                    cpt_widths.push(metrics(w, ns, PATTERNS, universe.len(), gates));
                 }
             }
         }
-        println!(
-            "fault_sim_1k_patterns/{gates} (W={w}): {ns:.1} ns/iter ({:.3e} fault-patterns/s)",
-            (PATTERNS * universe.len() as u64) as f64 / (ns * 1e-9)
-        );
-        ns_by_width.push(ns);
-        widths.push(metrics(w, ns, PATTERNS, universe.len(), gates));
     }
-    let mut entry = vec![
-        ("gates", Json::from(gates)),
-        ("inputs", Json::from(n_inputs)),
-        ("faults", Json::from(universe.len())),
-        ("patterns", Json::from(PATTERNS)),
-        ("widths", Json::Arr(widths)),
-        (
-            "speedup_w4_over_w1",
-            Json::from(ns_by_width[0] / ns_by_width[1]),
-        ),
-    ];
-    if let Some(before) = baseline_ns(baseline, "dropped", gates) {
-        entry.push(("baseline_ns_per_iter", Json::from(before)));
-        entry.push((
-            "speedup_vs_baseline_w1",
-            Json::from(before / ns_by_width[0]),
-        ));
-        entry.push((
-            "speedup_vs_baseline_w4",
-            Json::from(before / ns_by_width[1]),
-        ));
-    }
-    Json::obj(entry)
+    let explicit = group_entry(
+        gates,
+        n_inputs,
+        universe.len(),
+        PATTERNS,
+        widths,
+        &ns_by_width,
+        baseline_ns(baseline, "dropped", gates, 0),
+    );
+    let cpt = cpt_entry(
+        gates,
+        universe.len(),
+        PATTERNS,
+        cpt_widths,
+        &cpt_ns_by_width,
+        &ns_by_width,
+        pr2_pair(pr2, "dropped", gates),
+    );
+    (explicit, cpt)
 }
 
-fn bench_no_dropping(baseline: Option<&Baseline>) -> Json {
+fn bench_no_dropping(baseline: Option<&Baseline>, pr2: Option<&Baseline>) -> (Json, Json) {
     let gates = 400usize;
     let patterns = 512u64;
     let circuit = ladder_circuit(gates, 6);
     let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
     let n_inputs = circuit.inputs().len();
     let mut widths = Vec::new();
+    let mut cpt_widths = Vec::new();
     let mut reference: Option<Vec<u64>> = None;
     let mut ns_by_width = Vec::new();
-    for w in WIDTHS {
-        let mut sim = FaultSimulator::with_block_words(&circuit, w).expect("acyclic");
-        let mut counts = None;
-        let ns = time_ns(|| {
-            let mut src = RandomPatterns::new(n_inputs, SEED);
-            counts = Some(
-                sim.run_counting(&mut src, patterns, universe.faults())
-                    .expect("runs")
-                    .0,
+    let mut cpt_ns_by_width = Vec::new();
+    for mode in [DetectionMode::Explicit, DetectionMode::CriticalPathTracing] {
+        for w in WIDTHS {
+            let mut sim = simulator(&circuit, w, mode);
+            let mut counts = None;
+            let ns = time_ns(|| {
+                let mut src = RandomPatterns::new(n_inputs, SEED);
+                counts = Some(
+                    sim.run_counting(&mut src, patterns, universe.faults())
+                        .expect("runs")
+                        .0,
+                );
+            });
+            let counts = counts.expect("measured at least once");
+            match &reference {
+                None => reference = Some(counts),
+                Some(narrow) => assert_eq!(
+                    narrow, &counts,
+                    "{mode:?} W={w} counts diverge from explicit W=1"
+                ),
+            }
+            let tag = match mode {
+                DetectionMode::Explicit => "explicit",
+                DetectionMode::CriticalPathTracing => "cpt",
+            };
+            println!(
+                "fault_sim_no_dropping/{gates}_gates_{patterns}_patterns ({tag}, W={w}): \
+                 {ns:.1} ns/iter"
             );
-        });
-        let counts = counts.expect("measured at least once");
-        match &reference {
-            None => reference = Some(counts),
-            Some(narrow) => assert_eq!(narrow, &counts, "W={w} counts diverge from W=1"),
+            match mode {
+                DetectionMode::Explicit => {
+                    ns_by_width.push(ns);
+                    widths.push(metrics(w, ns, patterns, universe.len(), gates));
+                }
+                DetectionMode::CriticalPathTracing => {
+                    cpt_ns_by_width.push(ns);
+                    cpt_widths.push(metrics(w, ns, patterns, universe.len(), gates));
+                }
+            }
         }
-        println!(
-            "fault_sim_no_dropping/{gates}_gates_{patterns}_patterns (W={w}): {ns:.1} ns/iter"
-        );
-        ns_by_width.push(ns);
-        widths.push(metrics(w, ns, patterns, universe.len(), gates));
     }
+    let explicit = group_entry(
+        gates,
+        n_inputs,
+        universe.len(),
+        patterns,
+        widths,
+        &ns_by_width,
+        baseline_ns(baseline, "no_dropping", gates, 0),
+    );
+    let cpt = cpt_entry(
+        gates,
+        universe.len(),
+        patterns,
+        cpt_widths,
+        &cpt_ns_by_width,
+        &ns_by_width,
+        pr2_pair(pr2, "no_dropping", gates),
+    );
+    (explicit, cpt)
+}
+
+/// PR-2 `(W=1, W=4)` ns for a group, if the snapshot is present.
+fn pr2_pair(pr2: Option<&Baseline>, group: &str, gates: usize) -> (Option<f64>, Option<f64>) {
+    (
+        baseline_ns(pr2, group, gates, 1),
+        baseline_ns(pr2, group, gates, 4),
+    )
+}
+
+/// The explicit-mode entry, shaped exactly like the PR-2 report so the
+/// trajectory tooling keeps parsing.
+fn group_entry(
+    gates: usize,
+    inputs: usize,
+    faults: usize,
+    patterns: u64,
+    widths: Vec<Json>,
+    ns_by_width: &[f64],
+    baseline: Option<f64>,
+) -> Json {
     let mut entry = vec![
         ("gates", Json::from(gates)),
-        ("inputs", Json::from(n_inputs)),
-        ("faults", Json::from(universe.len())),
+        ("inputs", Json::from(inputs)),
+        ("faults", Json::from(faults)),
         ("patterns", Json::from(patterns)),
         ("widths", Json::Arr(widths)),
         (
@@ -226,7 +354,7 @@ fn bench_no_dropping(baseline: Option<&Baseline>) -> Json {
             Json::from(ns_by_width[0] / ns_by_width[1]),
         ),
     ];
-    if let Some(before) = baseline_ns(baseline, "no_dropping", gates) {
+    if let Some(before) = baseline {
         entry.push(("baseline_ns_per_iter", Json::from(before)));
         entry.push((
             "speedup_vs_baseline_w1",
@@ -240,35 +368,81 @@ fn bench_no_dropping(baseline: Option<&Baseline>) -> Json {
     Json::obj(entry)
 }
 
-/// CI smoke: one small circuit, one iteration per width, W=1 vs W=4
-/// first detections and counts must be bit-identical. No JSON output.
+/// The CPT entry: same metrics plus speedups against this run's explicit
+/// mode and against the PR-2 snapshot (the pre-CPT trajectory point).
+fn cpt_entry(
+    gates: usize,
+    faults: usize,
+    patterns: u64,
+    widths: Vec<Json>,
+    cpt_ns: &[f64],
+    explicit_ns: &[f64],
+    pr2: (Option<f64>, Option<f64>),
+) -> Json {
+    let mut entry = vec![
+        ("gates", Json::from(gates)),
+        ("faults", Json::from(faults)),
+        ("patterns", Json::from(patterns)),
+        ("widths", Json::Arr(widths)),
+        ("speedup_w4_over_w1", Json::from(cpt_ns[0] / cpt_ns[1])),
+        (
+            "speedup_vs_explicit_w1",
+            Json::from(explicit_ns[0] / cpt_ns[0]),
+        ),
+        (
+            "speedup_vs_explicit_w4",
+            Json::from(explicit_ns[1] / cpt_ns[1]),
+        ),
+    ];
+    if let Some(before) = pr2.0 {
+        entry.push(("pr2_ns_per_iter_w1", Json::from(before)));
+        entry.push(("speedup_vs_pr2_w1", Json::from(before / cpt_ns[0])));
+        entry.push(("speedup_vs_pr2_w1_at_w4", Json::from(before / cpt_ns[1])));
+    }
+    if let Some(before) = pr2.1 {
+        entry.push(("pr2_ns_per_iter_w4", Json::from(before)));
+        entry.push(("speedup_vs_pr2_w4", Json::from(before / cpt_ns[1])));
+    }
+    Json::obj(entry)
+}
+
+/// CI smoke: one small circuit, one iteration per width and mode; every
+/// (width, mode) combination's first detections and counts must be
+/// bit-identical to explicit W=1. No JSON output.
 fn smoke() {
     let circuit = ladder_circuit(100, 5);
     let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
     let n_inputs = circuit.inputs().len();
-    let mut narrow = FaultSimulator::with_block_words(&circuit, 1).expect("acyclic");
+    let mut narrow = simulator(&circuit, 1, DetectionMode::Explicit);
     let mut src = RandomPatterns::new(n_inputs, SEED);
     let reference = narrow.run(&mut src, 256, universe.faults()).expect("runs");
     let mut src = RandomPatterns::new(n_inputs, SEED);
     let (counts_ref, _) = narrow
         .run_counting(&mut src, 256, universe.faults())
         .expect("runs");
-    for w in [2usize, 4, 8] {
-        let mut wide = FaultSimulator::with_block_words(&circuit, w).expect("acyclic");
-        let mut src = RandomPatterns::new(n_inputs, SEED);
-        let result = wide.run(&mut src, 256, universe.faults()).expect("runs");
-        for i in 0..universe.len() {
+    for mode in [DetectionMode::Explicit, DetectionMode::CriticalPathTracing] {
+        for w in [1usize, 2, 4, 8] {
+            let mut sim = simulator(&circuit, w, mode);
+            let mut src = RandomPatterns::new(n_inputs, SEED);
+            let result = sim.run(&mut src, 256, universe.faults()).expect("runs");
             assert_eq!(
-                reference.first_detection(i),
-                result.first_detection(i),
-                "W={w} diverges on fault {i}"
+                reference.patterns_applied(),
+                result.patterns_applied(),
+                "{mode:?} W={w} patterns diverge"
             );
+            for i in 0..universe.len() {
+                assert_eq!(
+                    reference.first_detection(i),
+                    result.first_detection(i),
+                    "{mode:?} W={w} diverges on fault {i}"
+                );
+            }
+            let mut src = RandomPatterns::new(n_inputs, SEED);
+            let (counts, _) = sim
+                .run_counting(&mut src, 256, universe.faults())
+                .expect("runs");
+            assert_eq!(counts_ref, counts, "{mode:?} W={w} counts diverge");
         }
-        let mut src = RandomPatterns::new(n_inputs, SEED);
-        let (counts, _) = wide
-            .run_counting(&mut src, 256, universe.faults())
-            .expect("runs");
-        assert_eq!(counts_ref, counts, "W={w} counts diverge");
     }
-    println!("fsim_throughput smoke: ok (W ∈ {{2,4,8}} bit-identical to W=1)");
+    println!("fsim_throughput smoke: ok (explicit and CPT bit-identical across W ∈ {{1,2,4,8}})");
 }

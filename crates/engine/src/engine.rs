@@ -8,7 +8,10 @@ use tpi_netlist::analysis::fanout_cone_mask;
 use tpi_netlist::ffr::FfrDecomposition;
 use tpi_netlist::transform::{apply_test_point, AppliedTestPoint};
 use tpi_netlist::{Circuit, NodeId, TestPoint, Topology};
-use tpi_sim::{FaultSimResult, FaultSimulator, FaultSite, FaultUniverse, IndependentPatterns};
+use tpi_sim::{
+    DetectionMode, FaultSimResult, FaultSimulator, FaultSite, FaultUniverse, IndependentPatterns,
+    SimOptions,
+};
 use tpi_testability::CopAnalysis;
 
 use crate::memo::{region_fingerprint, DpMemo};
@@ -29,6 +32,10 @@ pub struct EngineConfig {
     /// bit-identical at every width — this only trades memory for
     /// throughput. Defaults to [`tpi_sim::DEFAULT_BLOCK_WORDS`].
     pub block_words: usize,
+    /// Fault-detection algorithm for every coverage measurement. Both
+    /// modes are bit-identical; critical path tracing (the default) is
+    /// faster on circuits with substantial fanout-free regions.
+    pub detection: DetectionMode,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +45,7 @@ impl Default for EngineConfig {
             seed: 0xDAC_1987,
             verify_incremental: cfg!(debug_assertions),
             block_words: tpi_sim::DEFAULT_BLOCK_WORDS,
+            detection: DetectionMode::default(),
         }
     }
 }
@@ -220,9 +228,16 @@ impl TpiEngine {
         IndependentPatterns::new(self.circuit.inputs().len(), self.config.seed)
     }
 
+    fn sim_options(&self) -> SimOptions {
+        SimOptions {
+            block_words: self.config.block_words,
+            detection: self.config.detection,
+        }
+    }
+
     fn full_sim(&mut self) -> Result<FaultSimResult, TpiError> {
         self.stats.full_sims += 1;
-        let mut sim = FaultSimulator::with_block_words(&self.circuit, self.config.block_words)?;
+        let mut sim = FaultSimulator::with_options(&self.circuit, self.sim_options())?;
         let mut src = self.pattern_source();
         Ok(sim.run(&mut src, self.config.patterns, self.universe.faults())?)
     }
@@ -313,7 +328,7 @@ impl TpiEngine {
         self.stats.faults_skipped += (self.universe.len() - dirty_faults.len()) as u64;
 
         let partial = {
-            let mut sim = FaultSimulator::with_block_words(&self.circuit, self.config.block_words)?;
+            let mut sim = FaultSimulator::with_options(&self.circuit, self.sim_options())?;
             let mut src = self.pattern_source();
             sim.run(&mut src, self.config.patterns, &dirty_faults)?
         };
@@ -569,7 +584,7 @@ impl TpiEngine {
             if faults.is_empty() {
                 continue;
             }
-            let mut sim = FaultSimulator::with_block_words(&scratch, self.config.block_words)?;
+            let mut sim = FaultSimulator::with_options(&scratch, self.sim_options())?;
             let mut src = IndependentPatterns::new(scratch.inputs().len(), self.config.seed);
             let result = sim.run(&mut src, budget, &faults)?;
             let score = result.detected_count() as f64 / costs.total(&group).max(1e-9);

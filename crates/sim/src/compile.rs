@@ -36,6 +36,14 @@ pub const fn block_words_supported(w: usize) -> bool {
     matches!(w, 1 | 2 | 4 | 8)
 }
 
+/// Gather one node's `W`-word slot into a stack array.
+#[inline(always)]
+fn load<const W: usize>(values: &[u64], node: u32) -> [u64; W] {
+    let mut v = [0u64; W];
+    v.copy_from_slice(&values[node as usize * W..][..W]);
+    v
+}
+
 /// One lowered gate. For two-operand opcodes `a`/`b` are fanin node
 /// indices (`b` unused by `Buf`/`Not`); for `*N` opcodes `a` is the
 /// start offset into the CSR fanin pool and `b` the fanin count.
@@ -170,6 +178,111 @@ impl Program {
         (op != u32::MAX).then_some(op as usize)
     }
 
+    /// Number of lowered ops.
+    pub(crate) fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Output node index of the op at `op_idx`.
+    pub(crate) fn op_out(&self, op_idx: usize) -> u32 {
+        self.ops[op_idx].out
+    }
+
+    /// Backward sensitization kernel for the op at `op_idx`,
+    /// monomorphised over the block width `W`.
+    ///
+    /// Given the observability words of the op's *output* line
+    /// (`out_sens`) and the fault-free values of the block (`good`,
+    /// `node * W + j` layout), computes for every input pin the
+    /// observability of that *input* line — `out_sens` AND-ed with the
+    /// pin's boolean sensitivity under the good side-input values — and
+    /// calls `emit(pin, fanin_node, line_obs)` once per pin (pin order
+    /// unspecified). Sensitivity is exact for a single-line change:
+    ///
+    /// * AND/NAND: pin sensitive where every *other* fanin is 1;
+    /// * OR/NOR: pin sensitive where every other fanin is 0;
+    /// * XOR/XNOR, Buf/Not: always sensitive (output inversion never
+    ///   affects whether a flip propagates).
+    ///
+    /// N-ary ops use a prefix/suffix product over the CSR fanin slice
+    /// (`scratch` holds the prefix rows), so the whole gate costs
+    /// `O(fanins)` instead of `O(fanins²)`.
+    pub(crate) fn sens_op_wide<const W: usize>(
+        &self,
+        op_idx: usize,
+        out_sens: &[u64; W],
+        good: &[u64],
+        scratch: &mut Vec<u64>,
+        emit: &mut impl FnMut(u32, u32, &[u64; W]),
+    ) {
+        let op = self.ops[op_idx];
+        macro_rules! binary_sens {
+            (|$x:ident| $side:expr) => {{
+                let a = load::<W>(good, op.a);
+                let b = load::<W>(good, op.b);
+                let mut s = [0u64; W];
+                for j in 0..W {
+                    let $x = b[j];
+                    s[j] = out_sens[j] & $side;
+                }
+                emit(0, op.a, &s);
+                for j in 0..W {
+                    let $x = a[j];
+                    s[j] = out_sens[j] & $side;
+                }
+                emit(1, op.b, &s);
+            }};
+        }
+        macro_rules! nary_sens {
+            (|$x:ident| $side:expr) => {{
+                let fanins = &self.fanin_idx[op.a as usize..(op.a + op.b) as usize];
+                // Prefix rows: scratch[i] = out_sens & side(0) & .. & side(i-1).
+                scratch.clear();
+                scratch.reserve(fanins.len() * W);
+                let mut acc = *out_sens;
+                for &f in fanins {
+                    scratch.extend_from_slice(&acc);
+                    let v = load::<W>(good, f);
+                    for j in 0..W {
+                        let $x = v[j];
+                        acc[j] &= $side;
+                    }
+                }
+                // Suffix sweep emits line_obs(i) = prefix(i) & side(i+1..).
+                let mut suffix = [u64::MAX; W];
+                for (i, &f) in fanins.iter().enumerate().rev() {
+                    let mut line = [0u64; W];
+                    for j in 0..W {
+                        line[j] = scratch[i * W + j] & suffix[j];
+                    }
+                    emit(i as u32, f, &line);
+                    let v = load::<W>(good, f);
+                    for j in 0..W {
+                        let $x = v[j];
+                        suffix[j] &= $side;
+                    }
+                }
+            }};
+        }
+        match op.code {
+            OpCode::Buf | OpCode::Not => emit(0, op.a, out_sens),
+            OpCode::And2 | OpCode::Nand2 => binary_sens!(|x| x),
+            OpCode::Or2 | OpCode::Nor2 => binary_sens!(|x| !x),
+            OpCode::Xor2 | OpCode::Xnor2 => {
+                emit(0, op.a, out_sens);
+                emit(1, op.b, out_sens);
+            }
+            OpCode::AndN | OpCode::NandN => nary_sens!(|x| x),
+            OpCode::OrN | OpCode::NorN => nary_sens!(|x| !x),
+            OpCode::XorN | OpCode::XnorN => {
+                let fanins = &self.fanin_idx[op.a as usize..(op.a + op.b) as usize];
+                for (i, &f) in fanins.iter().enumerate() {
+                    emit(i as u32, f, out_sens);
+                }
+            }
+        }
+    }
+
     /// Run the whole program over `values` (`node_count * w` words,
     /// inputs and constants already seeded), dispatching to a
     /// monomorphised kernel for the supported widths.
@@ -196,12 +309,6 @@ impl Program {
     /// `W`-lane loops run over exact-length arrays, so LLVM unrolls and
     /// autovectorises them without per-word bounds checks.
     fn execute<const W: usize>(&self, values: &mut [u64]) {
-        #[inline(always)]
-        fn load<const W: usize>(values: &[u64], node: u32) -> [u64; W] {
-            let mut v = [0u64; W];
-            v.copy_from_slice(&values[node as usize * W..][..W]);
-            v
-        }
         macro_rules! unary {
             ($op:expr, |$x:ident| $e:expr) => {{
                 let a = load::<W>(values, $op.a);
@@ -339,6 +446,46 @@ impl Program {
                     *o = !(resolve(a, j) ^ resolve(b, j));
                 }
             }
+            OpCode::AndN => nary!(u64::MAX, |acc, x| acc & x, false),
+            OpCode::NandN => nary!(u64::MAX, |acc, x| acc & x, true),
+            OpCode::OrN => nary!(0, |acc, x| acc | x, false),
+            OpCode::NorN => nary!(0, |acc, x| acc | x, true),
+            OpCode::XorN => nary!(0, |acc, x| acc ^ x, false),
+            OpCode::XnorN => nary!(0, |acc, x| acc ^ x, true),
+        }
+    }
+
+    /// Single-word variant of [`Self::eval_op_wide`]: returns the value
+    /// word directly instead of filling a slice. The dropping and
+    /// observability paths propagate one word at a time, and this skips
+    /// the per-word loop plumbing on that hot path.
+    pub(crate) fn eval_op_word(&self, op_idx: usize, resolve: impl Fn(usize) -> u64) -> u64 {
+        let op = self.ops[op_idx];
+        macro_rules! nary {
+            ($init:expr, |$acc:ident, $x:ident| $fold:expr, $inv:expr) => {{
+                let mut folded = $init;
+                for &f in &self.fanin_idx[op.a as usize..(op.a + op.b) as usize] {
+                    let $acc = folded;
+                    let $x = resolve(f as usize);
+                    folded = $fold;
+                }
+                if $inv {
+                    !folded
+                } else {
+                    folded
+                }
+            }};
+        }
+        let (a, b) = (op.a as usize, op.b as usize);
+        match op.code {
+            OpCode::Buf => resolve(a),
+            OpCode::Not => !resolve(a),
+            OpCode::And2 => resolve(a) & resolve(b),
+            OpCode::Nand2 => !(resolve(a) & resolve(b)),
+            OpCode::Or2 => resolve(a) | resolve(b),
+            OpCode::Nor2 => !(resolve(a) | resolve(b)),
+            OpCode::Xor2 => resolve(a) ^ resolve(b),
+            OpCode::Xnor2 => !(resolve(a) ^ resolve(b)),
             OpCode::AndN => nary!(u64::MAX, |acc, x| acc & x, false),
             OpCode::NandN => nary!(u64::MAX, |acc, x| acc & x, true),
             OpCode::OrN => nary!(0, |acc, x| acc | x, false),

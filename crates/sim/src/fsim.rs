@@ -1,7 +1,73 @@
+use tpi_netlist::ffr::FfrDecomposition;
 use tpi_netlist::{Circuit, GateKind, NetlistError, NodeId, Topology};
 
 use crate::compile::{block_words_supported, DEFAULT_BLOCK_WORDS, MAX_BLOCK_WORDS};
 use crate::{Fault, FaultSimResult, FaultSite, LogicSim, PatternSource};
+
+/// How per-fault detection words are computed within each pattern block.
+///
+/// Both modes are **bit-identical**: detection counts, first-detection
+/// pattern indices and coverage match exactly on every circuit, block
+/// width and thread count (property-tested and bench-asserted). They
+/// differ only in cost.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DetectionMode {
+    /// Inject every fault and propagate its effects event-driven through
+    /// its fanout cone (the classic PPSFP loop). Exact but pays one cone
+    /// sweep per live fault per block.
+    Explicit,
+    /// Critical path tracing over fanout-free regions: faults *inside* an
+    /// FFR get their detection words from one word-parallel backward
+    /// sensitization sweep per region (no injection at all); only stem
+    /// faults — FFR roots, whose flip must cross reconvergent fanout —
+    /// go through explicit propagation, and that observability word is
+    /// shared by every fault collapsing onto the stem. Exact because an
+    /// FFR is a tree: a fault effect inside it reaches the root along a
+    /// unique path whose side inputs keep their fault-free values.
+    #[default]
+    CriticalPathTracing,
+}
+
+/// Construction options for [`FaultSimulator`] (block width × detection
+/// mode). `Default` is the fast configuration: 4-word blocks with
+/// critical path tracing.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Block width in 64-bit words (see
+    /// [`FaultSimulator::with_block_words`]); 0 is replaced by
+    /// [`DEFAULT_BLOCK_WORDS`].
+    pub block_words: usize,
+    /// Detection-word algorithm.
+    pub detection: DetectionMode,
+}
+
+impl SimOptions {
+    /// Options with an explicit block width and the default mode.
+    pub fn with_block_words(block_words: usize) -> SimOptions {
+        SimOptions {
+            block_words,
+            ..SimOptions::default()
+        }
+    }
+
+    fn effective_block_words(self) -> usize {
+        if self.block_words == 0 {
+            DEFAULT_BLOCK_WORDS
+        } else {
+            self.block_words
+        }
+    }
+}
+
+/// What `propagate_words` drives into the faulty overlay at the site.
+enum Injection {
+    /// A stuck-at fault (stem overwrite or branch pin override).
+    Fault(Fault),
+    /// The complement of the good value at a node — propagating it yields
+    /// the node's *observability* word: the lanes in which flipping the
+    /// node is visible at some primary output.
+    Flip(usize),
+}
 
 /// Event-driven parallel-pattern single-fault-propagation (PPSFP) fault
 /// simulator.
@@ -43,33 +109,59 @@ use crate::{Fault, FaultSimResult, FaultSite, LogicSim, PatternSource};
 pub struct FaultSimulator {
     sim: LogicSim,
     w: usize,
+    mode: DetectionMode,
     // CSR consumer array: gates consuming node `i` are
-    // `consumer_idx[consumer_start[i]..consumer_start[i + 1]]`.
+    // `consumer_idx[consumer_start[i]..consumer_start[i + 1]]`;
+    // `consumer_level[k]` caches the level of `consumer_idx[k]`.
     consumer_start: Vec<u32>,
     consumer_idx: Vec<u32>,
+    consumer_level: Vec<u32>,
     is_output: Vec<bool>,
     n_inputs: usize,
     // Scratch state, reused across faults and blocks (`w` words/node).
+    // `values` mirrors `good` between propagations; a propagation writes
+    // faulty words in place (each node at most once — level order with
+    // queue dedup) and `undo`/`touched` roll them back afterwards, so
+    // fanin reads in the hot loop are single unconditional loads instead
+    // of a dirty-flag branch over two arrays.
     good: Vec<u64>,
-    overlay: Vec<u64>,
-    dirty: Vec<bool>,
+    values: Vec<u64>,
+    undo: Vec<u64>,
     touched: Vec<u32>,
     queued: Vec<bool>,
     buckets: Vec<Vec<u32>>,
     pending: usize,
     input_block: Vec<u64>,
     fill_scratch: Vec<u64>,
+    // Critical-path-tracing state (valid within one block).
+    // `ffr_root[i]` is the root node of the FFR containing node `i`;
+    // `sens[i * w + j]` is line `i`'s *local* sensitization word (path
+    // sensitization up to its region root, lane-masked) once its region
+    // has been swept (stale and never read for inactive regions).
+    // `stem_obs[r * w + j]` caches root `r`'s observability for the
+    // current block, computed lazily per word — a flip propagation runs
+    // only the first time a locally-detected fault actually asks for
+    // that word (`obs_ready[r]` is a per-word bitmask, `w <= 8`).
+    ffr_root: Vec<u32>,
+    sens: Vec<u64>,
+    region_active: Vec<bool>,
+    active_roots: Vec<u32>,
+    sens_scratch: Vec<u64>,
+    stem_obs: Vec<u64>,
+    obs_ready: Vec<u8>,
+    obs_ready_list: Vec<u32>,
 }
 
 impl FaultSimulator {
-    /// Build a simulator for `circuit` at the default block width
-    /// ([`crate::DEFAULT_BLOCK_WORDS`] words = 256 patterns per pass).
+    /// Build a simulator for `circuit` with the default options
+    /// ([`crate::DEFAULT_BLOCK_WORDS`] words = 256 patterns per pass,
+    /// critical path tracing).
     ///
     /// # Errors
     ///
     /// [`NetlistError::Cycle`] for cyclic circuits.
     pub fn new(circuit: &Circuit) -> Result<FaultSimulator, NetlistError> {
-        FaultSimulator::with_block_words(circuit, DEFAULT_BLOCK_WORDS)
+        FaultSimulator::with_options(circuit, SimOptions::default())
     }
 
     /// Build a simulator processing `block_words × 64` patterns per
@@ -92,10 +184,30 @@ impl FaultSimulator {
             block_words_supported(block_words),
             "unsupported block width {block_words} words (supported: 1, 2, 4, 8)"
         );
+        FaultSimulator::with_options(circuit, SimOptions::with_block_words(block_words))
+    }
+
+    /// Build a simulator with explicit [`SimOptions`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Cycle`] for cyclic circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.block_words` is not 0 (default), 1, 2, 4 or 8.
+    pub fn with_options(
+        circuit: &Circuit,
+        options: SimOptions,
+    ) -> Result<FaultSimulator, NetlistError> {
+        let w = options.effective_block_words();
+        assert!(
+            block_words_supported(w),
+            "unsupported block width {w} words (supported: 1, 2, 4, 8)"
+        );
         let sim = LogicSim::new(circuit)?;
         let topo = Topology::of(circuit)?;
         let n = circuit.node_count();
-        let w = block_words;
         let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); n];
         for id in circuit.node_ids() {
             for fo in topo.fanouts(id) {
@@ -113,25 +225,43 @@ impl FaultSimulator {
             consumer_idx.extend_from_slice(consumers);
             consumer_start.push(consumer_idx.len() as u32);
         }
+        let consumer_level: Vec<u32> = consumer_idx
+            .iter()
+            .map(|&g| sim.level(NodeId::from_index(g as usize)))
+            .collect();
         let mut is_output = vec![false; n];
         for &po in circuit.outputs() {
             is_output[po.index()] = true;
         }
+        let ffr = FfrDecomposition::of(circuit, &topo);
+        let ffr_root: Vec<u32> = (0..n)
+            .map(|i| ffr.root_of(NodeId::from_index(i)).index() as u32)
+            .collect();
         Ok(FaultSimulator {
             w,
+            mode: options.detection,
             consumer_start,
             consumer_idx,
+            consumer_level,
             is_output,
             n_inputs: circuit.inputs().len(),
             good: vec![0; n * w],
-            overlay: vec![0; n * w],
-            dirty: vec![false; n],
+            values: vec![0; n * w],
+            undo: Vec::new(),
             touched: Vec::with_capacity(64),
             queued: vec![false; n],
             buckets: vec![Vec::new(); topo.max_level() as usize + 1],
             pending: 0,
             input_block: vec![0; circuit.inputs().len() * w],
             fill_scratch: vec![0; circuit.inputs().len()],
+            ffr_root,
+            sens: vec![0; n * w],
+            region_active: vec![false; n],
+            active_roots: Vec::new(),
+            sens_scratch: Vec::new(),
+            stem_obs: vec![0; n * w],
+            obs_ready: vec![0; n],
+            obs_ready_list: Vec::new(),
             sim,
         })
     }
@@ -144,6 +274,11 @@ impl FaultSimulator {
     /// Block width in 64-bit words (patterns per pass / 64).
     pub fn block_words(&self) -> usize {
         self.w
+    }
+
+    /// The configured detection mode.
+    pub fn detection(&self) -> DetectionMode {
+        self.mode
     }
 
     /// Fault-simulate with fault dropping: apply up to `max_patterns`
@@ -166,6 +301,12 @@ impl FaultSimulator {
     ) -> Result<FaultSimResult, NetlistError> {
         let mut first_detected: Vec<Option<u64>> = vec![None; faults.len()];
         let mut alive: Vec<usize> = (0..faults.len()).collect();
+        let fault_roots: Vec<u32> = match self.mode {
+            DetectionMode::Explicit => Vec::new(),
+            DetectionMode::CriticalPathTracing => {
+                faults.iter().map(|&f| self.fault_root(f)).collect()
+            }
+        };
         let mut base = 0u64;
         while base < max_patterns && !alive.is_empty() {
             let filled = self.next_block(source, max_patterns - base);
@@ -175,9 +316,37 @@ impl FaultSimulator {
             let lanes = filled.min(max_patterns - base);
             let masks = lane_masks(lanes, self.w);
             self.simulate_good();
+            if self.mode == DetectionMode::CriticalPathTracing {
+                for &fi in &alive {
+                    self.mark_region(fault_roots[fi]);
+                }
+                self.cpt_sweep_active(&masks);
+            }
+            let words = (lanes.div_ceil(64) as usize).min(self.w);
             let mut last_kill = 0u64;
             alive.retain(|&fi| {
-                let detect = self.propagate(faults[fi], &masks, |_, _| {});
+                let detect = match self.mode {
+                    DetectionMode::CriticalPathTracing => {
+                        self.cpt_detect(faults[fi], fault_roots[fi], &masks, true)
+                    }
+                    DetectionMode::Explicit => {
+                        // Evaluate one 64-lane word at a time and stop at
+                        // the first detecting word: a fault killed in word
+                        // `j` never pays for words `> j`, so dropping
+                        // keeps its scalar granularity at any width (lanes
+                        // are independent, so per-word propagation yields
+                        // the same detect bits as a full-width pass).
+                        let mut detect = [0u64; MAX_BLOCK_WORDS];
+                        for j in 0..words {
+                            detect[j] =
+                                self.propagate_word(&Injection::Fault(faults[fi]), masks[j], j);
+                            if detect[j] != 0 {
+                                break;
+                            }
+                        }
+                        detect
+                    }
+                };
                 match first_lane(&detect) {
                     Some(offset) => {
                         first_detected[fi] = Some(base + offset);
@@ -187,6 +356,7 @@ impl FaultSimulator {
                     None => true,
                 }
             });
+            self.clear_regions();
             if alive.is_empty() {
                 // A width-1 run stops applying patterns after the
                 // 64-lane sub-block in which the last live fault died;
@@ -214,6 +384,12 @@ impl FaultSimulator {
         faults: &[Fault],
     ) -> Result<(Vec<u64>, u64), NetlistError> {
         let mut counts = vec![0u64; faults.len()];
+        let fault_roots: Vec<u32> = match self.mode {
+            DetectionMode::Explicit => Vec::new(),
+            DetectionMode::CriticalPathTracing => {
+                faults.iter().map(|&f| self.fault_root(f)).collect()
+            }
+        };
         let mut base = 0u64;
         while base < max_patterns {
             let filled = self.next_block(source, max_patterns - base);
@@ -223,9 +399,24 @@ impl FaultSimulator {
             let lanes = filled.min(max_patterns - base);
             let masks = lane_masks(lanes, self.w);
             self.simulate_good();
-            for (fi, &fault) in faults.iter().enumerate() {
-                let detect = self.propagate(fault, &masks, |_, _| {});
-                counts[fi] += ones(&detect);
+            match self.mode {
+                DetectionMode::Explicit => {
+                    for (fi, &fault) in faults.iter().enumerate() {
+                        let detect = self.propagate(fault, &masks, true, |_, _| {});
+                        counts[fi] += ones(&detect);
+                    }
+                }
+                DetectionMode::CriticalPathTracing => {
+                    for &r in &fault_roots {
+                        self.mark_region(r);
+                    }
+                    self.cpt_sweep_active(&masks);
+                    for (fi, &fault) in faults.iter().enumerate() {
+                        let detect = self.cpt_detect(fault, fault_roots[fi], &masks, false);
+                        counts[fi] += ones(&detect);
+                    }
+                    self.clear_regions();
+                }
             }
             base += lanes;
         }
@@ -240,6 +431,10 @@ impl FaultSimulator {
     /// A node may be visited up to `block_words` times per block (once
     /// per word with a nonzero mask); per-node popcount totals are
     /// width-invariant.
+    ///
+    /// Always propagates explicitly regardless of the configured
+    /// [`DetectionMode`]: the visitor needs the per-node fault-effect
+    /// words, which critical path tracing never materialises.
     ///
     /// # Errors
     ///
@@ -262,7 +457,8 @@ impl FaultSimulator {
             let masks = lane_masks(lanes, self.w);
             self.simulate_good();
             for (fi, &fault) in faults.iter().enumerate() {
-                let detect = self.propagate(fault, &masks, |node, diff| visit(fi, node, diff));
+                let detect =
+                    self.propagate(fault, &masks, false, |node, diff| visit(fi, node, diff));
                 counts[fi] += ones(&detect);
             }
             base += lanes;
@@ -299,44 +495,100 @@ impl FaultSimulator {
     fn simulate_good(&mut self) {
         self.sim
             .simulate_block_into(&self.input_block, &mut self.good, self.w);
+        self.values.copy_from_slice(&self.good);
     }
 
     /// Inject `fault` against the current good values and propagate its
     /// effects; returns per-word masks of lanes detected at any primary
     /// output. `on_diff` observes every (node, word) whose value differs
-    /// (after masking).
+    /// (after masking); `saturate` must be `false` when the caller needs
+    /// that enumeration to be exhaustive.
     fn propagate(
         &mut self,
         fault: Fault,
         masks: &[u64; MAX_BLOCK_WORDS],
+        saturate: bool,
+        on_diff: impl FnMut(NodeId, u64),
+    ) -> [u64; MAX_BLOCK_WORDS] {
+        self.propagate_words(
+            &Injection::Fault(fault),
+            masks,
+            0,
+            self.w,
+            saturate,
+            on_diff,
+        )
+    }
+
+    /// Event-driven propagation restricted to block words `j0..j1`
+    /// (absolute indices; detect and scratch slots stay absolute).
+    /// Lanes are independent, so propagating a sub-range yields exactly
+    /// the detect bits a full-width pass would produce in those words —
+    /// the dropping loop exploits this to stop at the first detecting
+    /// word, and the observability pass runs single words.
+    ///
+    /// With `saturate`, the propagation stops evaluating as soon as
+    /// every masked lane of every word in the range has been detected at
+    /// some primary output (the detect words cannot grow further;
+    /// remaining events only have their queue flags cleared). Detect
+    /// words are exact either way, but the `on_diff` enumeration is
+    /// truncated — visitors that need every differing node must pass
+    /// `false`.
+    fn propagate_words(
+        &mut self,
+        injection: &Injection,
+        masks: &[u64; MAX_BLOCK_WORDS],
+        j0: usize,
+        j1: usize,
+        saturate: bool,
         mut on_diff: impl FnMut(NodeId, u64),
     ) -> [u64; MAX_BLOCK_WORDS] {
-        debug_assert!(self.touched.is_empty() && self.pending == 0);
+        debug_assert!(self.touched.is_empty() && self.undo.is_empty() && self.pending == 0);
         let w = self.w;
-        let stuck_word = if fault.stuck { u64::MAX } else { 0 };
         let mut injected = [0u64; MAX_BLOCK_WORDS];
-        let site = match fault.site {
-            FaultSite::Stem(v) => {
-                injected[..w].fill(stuck_word);
-                v.index()
+        let site = match *injection {
+            Injection::Fault(fault) => {
+                let stuck_word = if fault.stuck { u64::MAX } else { 0 };
+                match fault.site {
+                    FaultSite::Stem(v) => {
+                        injected[j0..j1].fill(stuck_word);
+                        v.index()
+                    }
+                    FaultSite::Branch { gate, pin } => {
+                        self.eval_inject(gate, pin as usize, stuck_word, &mut injected, j0, j1);
+                        gate.index()
+                    }
+                }
             }
-            FaultSite::Branch { gate, pin } => {
-                self.eval_inject(gate, pin as usize, stuck_word, &mut injected);
-                gate.index()
+            Injection::Flip(ni) => {
+                let good = &self.good[ni * w + j0..ni * w + j1];
+                for (o, g) in injected[j0..j1].iter_mut().zip(good) {
+                    *o = !g;
+                }
+                ni
             }
         };
         let mut any = 0u64;
-        for (j, &mask) in masks.iter().take(w).enumerate() {
-            any |= (injected[j] ^ self.good[site * w + j]) & mask;
+        for j in j0..j1 {
+            any |= (injected[j] ^ self.good[site * w + j]) & masks[j];
         }
         if any == 0 {
             return [0; MAX_BLOCK_WORDS];
         }
-        self.set_overlay(site, &injected);
+        self.set_value(site, &injected, j0, j1);
         self.push_consumers(site);
+        let mut online = [0u64; MAX_BLOCK_WORDS];
+        if saturate && self.is_output[site] {
+            for j in j0..j1 {
+                online[j] = (injected[j] ^ self.good[site * w + j]) & masks[j];
+            }
+        }
+        let mut saturated = saturate && (j0..j1).all(|j| online[j] == masks[j]);
 
         let mut new_vals = [0u64; MAX_BLOCK_WORDS];
-        let mut level = 0usize;
+        // Consumers sit strictly above the site's level; the buckets
+        // below it are necessarily empty, so skip them.
+        let mut level = self.sim.level(NodeId::from_index(site)) as usize;
         while self.pending > 0 {
             debug_assert!(level < self.buckets.len());
             if self.buckets[level].is_empty() {
@@ -350,11 +602,20 @@ impl FaultSimulator {
             for &gate in &bucket {
                 let gi = gate as usize;
                 self.queued[gi] = false;
-                self.eval_node(gi, &mut new_vals);
-                let changed = (0..w).any(|j| new_vals[j] != self.value_word(gi, j));
+                if saturated {
+                    continue;
+                }
+                self.eval_node(gi, &mut new_vals, j0, j1);
+                let changed = (j0..j1).any(|j| new_vals[j] != self.value_word(gi, j));
                 if changed {
-                    self.set_overlay(gi, &new_vals);
+                    self.set_value(gi, &new_vals, j0, j1);
                     self.push_consumers(gi);
+                    if saturate && self.is_output[gi] {
+                        for j in j0..j1 {
+                            online[j] |= (new_vals[j] ^ self.good[gi * w + j]) & masks[j];
+                        }
+                        saturated = (j0..j1).all(|j| online[j] == masks[j]);
+                    }
                 }
             }
             bucket.clear();
@@ -363,52 +624,151 @@ impl FaultSimulator {
         }
 
         let mut detect = [0u64; MAX_BLOCK_WORDS];
-        for ti in 0..self.touched.len() {
-            let ni = self.touched[ti] as usize;
-            if self.is_output[ni] {
-                for j in 0..w {
-                    detect[j] |= (self.overlay[ni * w + j] ^ self.good[ni * w + j]) & masks[j];
-                }
-            }
+        if saturated {
+            // Every masked lane in range was seen at an output; the
+            // detect words cannot be anything other than the masks, so
+            // skip the touched scan (`on_diff` is truncated by contract).
+            detect[j0..j1].copy_from_slice(&masks[j0..j1]);
+            self.cleanup(j0, j1);
+            return detect;
         }
         for ti in 0..self.touched.len() {
             let ni = self.touched[ti] as usize;
-            for (j, &mask) in masks.iter().enumerate().take(w) {
-                let diff = (self.overlay[ni * w + j] ^ self.good[ni * w + j]) & mask;
+            let at_output = self.is_output[ni];
+            for j in j0..j1 {
+                let diff = (self.values[ni * w + j] ^ self.good[ni * w + j]) & masks[j];
                 if diff != 0 {
+                    if at_output {
+                        detect[j] |= diff;
+                    }
                     on_diff(NodeId::from_index(ni), diff);
                 }
             }
         }
-        self.cleanup();
+        self.cleanup(j0, j1);
         detect
     }
 
-    /// Re-evaluate compiled gate `gi` against the overlaid values.
-    fn eval_node(&self, gi: usize, out: &mut [u64; MAX_BLOCK_WORDS]) {
+    /// Scalar specialization of [`Self::propagate_words`] for a single
+    /// word `j` with saturation on and no diff visitor — the shape every
+    /// dropping propagation and every stem-observability flip takes.
+    /// Keeping the frontier word in a register instead of word-range
+    /// slices trims the per-gate constant on this hottest path.
+    fn propagate_word(&mut self, injection: &Injection, mask: u64, j: usize) -> u64 {
+        debug_assert!(self.touched.is_empty() && self.undo.is_empty() && self.pending == 0);
         let w = self.w;
+        let (site, injected) = match *injection {
+            Injection::Fault(fault) => {
+                let stuck_word = if fault.stuck { u64::MAX } else { 0 };
+                match fault.site {
+                    FaultSite::Stem(v) => (v.index(), stuck_word),
+                    FaultSite::Branch { gate, pin } => {
+                        let mut out = [0u64; MAX_BLOCK_WORDS];
+                        self.eval_inject(gate, pin as usize, stuck_word, &mut out, j, j + 1);
+                        (gate.index(), out[j])
+                    }
+                }
+            }
+            Injection::Flip(ni) => (ni, !self.good[ni * w + j]),
+        };
+        let site_diff = (injected ^ self.good[site * w + j]) & mask;
+        if site_diff == 0 {
+            return 0;
+        }
+        self.touched.push(site as u32);
+        self.undo.push(self.values[site * w + j]);
+        self.values[site * w + j] = injected;
+        self.push_consumers(site);
+        let mut online = if self.is_output[site] { site_diff } else { 0 };
+        let mut saturated = online == mask;
+        let mut level = self.sim.level(NodeId::from_index(site)) as usize;
+        while self.pending > 0 {
+            debug_assert!(level < self.buckets.len());
+            if self.buckets[level].is_empty() {
+                level += 1;
+                continue;
+            }
+            let mut bucket = std::mem::take(&mut self.buckets[level]);
+            self.pending -= bucket.len();
+            for &gate in &bucket {
+                let gi = gate as usize;
+                self.queued[gi] = false;
+                if saturated {
+                    continue;
+                }
+                let program = self.sim.program();
+                let op_idx = program
+                    .op_index(gi)
+                    .expect("scheduled node is a compiled gate");
+                let new = program.eval_op_word(op_idx, |node| self.values[node * w + j]);
+                if new != self.values[gi * w + j] {
+                    self.touched.push(gate);
+                    self.undo.push(self.values[gi * w + j]);
+                    self.values[gi * w + j] = new;
+                    self.push_consumers(gi);
+                    if self.is_output[gi] {
+                        online |= (new ^ self.good[gi * w + j]) & mask;
+                        saturated = online == mask;
+                    }
+                }
+            }
+            bucket.clear();
+            self.buckets[level] = bucket;
+            level += 1;
+        }
+        let detect = if saturated {
+            mask
+        } else {
+            let mut d = 0u64;
+            for &ni in &self.touched {
+                let ni = ni as usize;
+                if self.is_output[ni] {
+                    d |= (self.values[ni * w + j] ^ self.good[ni * w + j]) & mask;
+                }
+            }
+            d
+        };
+        while let Some(ni) = self.touched.pop() {
+            let old = self.undo.pop().expect("one undo word per touched node");
+            self.values[ni as usize * w + j] = old;
+        }
+        detect
+    }
+
+    /// Re-evaluate compiled gate `gi` against the overlaid values for
+    /// words `j0..j1` of `out`.
+    fn eval_node(&self, gi: usize, out: &mut [u64; MAX_BLOCK_WORDS], j0: usize, j1: usize) {
         let op_idx = self
             .sim
             .program()
             .op_index(gi)
             .expect("scheduled node is a compiled gate");
+        self.eval_op(op_idx, out, j0, j1);
+    }
+
+    /// Re-evaluate compiled op `op_idx` against the overlaid values for
+    /// words `j0..j1` of `out`.
+    fn eval_op(&self, op_idx: usize, out: &mut [u64; MAX_BLOCK_WORDS], j0: usize, j1: usize) {
+        let w = self.w;
         self.sim.program().eval_op_wide(
             op_idx,
-            w,
-            |node, j| {
-                if self.dirty[node] {
-                    self.overlay[node * w + j]
-                } else {
-                    self.good[node * w + j]
-                }
-            },
-            out,
+            j1 - j0,
+            |node, j| self.values[node * w + j0 + j],
+            &mut out[j0..j1],
         );
     }
 
     /// Evaluate `gate` with fanin `pin` forced to `stuck_word` (branch-
-    /// fault injection) against the *good* values.
-    fn eval_inject(&self, gate: NodeId, pin: usize, stuck_word: u64, out: &mut [u64]) {
+    /// fault injection) against the *good* values, for words `j0..j1`.
+    fn eval_inject(
+        &self,
+        gate: NodeId,
+        pin: usize,
+        stuck_word: u64,
+        out: &mut [u64],
+        j0: usize,
+        j1: usize,
+    ) {
         let w = self.w;
         let kind = self.sim.circuit().kind(gate);
         let fanins = self.sim.circuit().fanins(gate);
@@ -428,7 +788,7 @@ impl FaultSimulator {
                 unreachable!("branch faults only exist on gates")
             }
         };
-        for (j, o) in out.iter_mut().take(w).enumerate() {
+        for (j, o) in out.iter_mut().enumerate().take(j1).skip(j0) {
             let mut acc = init;
             for (pi, f) in fanins.iter().enumerate() {
                 let v = if pi == pin {
@@ -447,20 +807,19 @@ impl FaultSimulator {
     }
 
     fn value_word(&self, ni: usize, j: usize) -> u64 {
-        if self.dirty[ni] {
-            self.overlay[ni * self.w + j]
-        } else {
-            self.good[ni * self.w + j]
-        }
+        self.values[ni * self.w + j]
     }
 
-    fn set_overlay(&mut self, ni: usize, words: &[u64; MAX_BLOCK_WORDS]) {
+    /// Overwrite node `ni`'s words `j0..j1`, logging the old words for
+    /// rollback. Each node is written at most once per propagation (the
+    /// site once, gates once each via queue dedup), and `cleanup`
+    /// restores in reverse order regardless.
+    fn set_value(&mut self, ni: usize, words: &[u64; MAX_BLOCK_WORDS], j0: usize, j1: usize) {
         let w = self.w;
-        if !self.dirty[ni] {
-            self.dirty[ni] = true;
-            self.touched.push(ni as u32);
-        }
-        self.overlay[ni * w..ni * w + w].copy_from_slice(&words[..w]);
+        self.touched.push(ni as u32);
+        self.undo
+            .extend_from_slice(&self.values[ni * w + j0..ni * w + j1]);
+        self.values[ni * w + j0..ni * w + j1].copy_from_slice(&words[j0..j1]);
     }
 
     fn push_consumers(&mut self, ni: usize) {
@@ -471,17 +830,260 @@ impl FaultSimulator {
             let gi = gate as usize;
             if !self.queued[gi] {
                 self.queued[gi] = true;
-                let level = self.sim.level(NodeId::from_index(gi)) as usize;
-                self.buckets[level].push(gate);
+                self.buckets[self.consumer_level[k] as usize].push(gate);
                 self.pending += 1;
             }
         }
     }
 
-    fn cleanup(&mut self) {
-        for ni in self.touched.drain(..) {
-            self.dirty[ni as usize] = false;
+    /// Roll back every `set_value` of the current propagation (LIFO, so
+    /// repeated writes to a node would also unwind correctly).
+    fn cleanup(&mut self, j0: usize, j1: usize) {
+        let w = self.w;
+        let nw = j1 - j0;
+        while let Some(ni) = self.touched.pop() {
+            let ni = ni as usize;
+            let base = self.undo.len() - nw;
+            self.values[ni * w + j0..ni * w + j1].copy_from_slice(&self.undo[base..]);
+            self.undo.truncate(base);
         }
+    }
+
+    // ----- critical path tracing -------------------------------------
+
+    /// Root of the FFR containing `fault`'s site. A branch fault lives on
+    /// an input line of its gate, which always belongs to the gate's
+    /// region (the driver may be a stem, but the *line* past the fanout
+    /// point does not).
+    fn fault_root(&self, fault: Fault) -> u32 {
+        let anchor = match fault.site {
+            FaultSite::Stem(v) => v.index(),
+            FaultSite::Branch { gate, .. } => gate.index(),
+        };
+        self.ffr_root[anchor]
+    }
+
+    /// Mark the region rooted at `root` for this block's sweep.
+    fn mark_region(&mut self, root: u32) {
+        if !self.region_active[root as usize] {
+            self.region_active[root as usize] = true;
+            self.active_roots.push(root);
+        }
+    }
+
+    fn clear_regions(&mut self) {
+        for r in self.active_roots.drain(..) {
+            self.region_active[r as usize] = false;
+        }
+        for r in self.obs_ready_list.drain(..) {
+            self.obs_ready[r as usize] = 0;
+        }
+    }
+
+    /// Compute this block's *local* line sensitizations for every active
+    /// region: seed each root's `sens` slot with the lane masks, then run
+    /// one backward sweep distributing path sensitization down to every
+    /// line inside the active regions. Stem observability is *not* folded
+    /// in here — it is fetched lazily per root by [`Self::cpt_detect`],
+    /// so regions whose faults are never locally detected in this block
+    /// (unexcited or locally masked — the common case for the
+    /// hard-to-detect tail that dominates dropping runs) never pay for a
+    /// flip propagation at all.
+    fn cpt_sweep_active(&mut self, masks: &[u64; MAX_BLOCK_WORDS]) {
+        let w = self.w;
+        for k in 0..self.active_roots.len() {
+            let r = self.active_roots[k] as usize;
+            self.sens[r * w..r * w + w].copy_from_slice(&masks[..w]);
+        }
+        match w {
+            1 => self.cpt_sweep::<1>(),
+            2 => self.cpt_sweep::<2>(),
+            4 => self.cpt_sweep::<4>(),
+            8 => self.cpt_sweep::<8>(),
+            _ => unreachable!("width validated at construction"),
+        }
+    }
+
+    /// Observability word `j` of stem `r` for the current block: lanes
+    /// where flipping `r` is visible at a primary output. Computed by one
+    /// dense flip propagation over the stem's cached cone, then memoized
+    /// until [`Self::clear_regions`]; all faults collapsing onto the stem
+    /// share the cached word, and words a block never asks for (every
+    /// fault on the stem already killed by an earlier word, or not
+    /// locally detected there) are never computed.
+    fn stem_obs_word(&mut self, r: usize, j: usize, masks: &[u64; MAX_BLOCK_WORDS]) -> u64 {
+        let w = self.w;
+        if self.obs_ready[r] & (1 << j) == 0 {
+            let word = self.flip_obs_word(r, j, masks);
+            self.stem_obs[r * w + j] = word;
+            if self.obs_ready[r] == 0 {
+                self.obs_ready_list.push(r as u32);
+            }
+            self.obs_ready[r] |= 1 << j;
+        }
+        self.stem_obs[r * w + j]
+    }
+
+    /// One single-word flip propagation from stem `r`: the lanes in
+    /// which `!good` at `r` reaches some primary output. Runs the same
+    /// event-driven kernel as fault propagation, with saturation enabled
+    /// — once every masked lane of the word has been detected at some
+    /// output the remaining events only clear their flags.
+    fn flip_obs_word(&mut self, r: usize, j: usize, masks: &[u64; MAX_BLOCK_WORDS]) -> u64 {
+        self.propagate_word(&Injection::Flip(r), masks[j], j)
+    }
+
+    /// One backward pass over the compiled program (reverse level order,
+    /// so a gate's output observability is final before the gate is
+    /// processed), AND-ing each active region's root observability down
+    /// through per-pin sensitivity words. Writes stay within the region:
+    /// a fanin whose root differs is a stem, whose own observability is
+    /// *not* the one path through this gate.
+    fn cpt_sweep<const W: usize>(&mut self) {
+        debug_assert_eq!(self.w, W);
+        let FaultSimulator {
+            sim,
+            sens,
+            sens_scratch,
+            good,
+            ffr_root,
+            region_active,
+            ..
+        } = self;
+        let good: &[u64] = good;
+        let program = sim.program();
+        for op_idx in (0..program.op_count()).rev() {
+            let out = program.op_out(op_idx) as usize;
+            let r = ffr_root[out];
+            if !region_active[r as usize] {
+                continue;
+            }
+            let mut out_sens = [0u64; W];
+            out_sens.copy_from_slice(&sens[out * W..][..W]);
+            program.sens_op_wide::<W>(
+                op_idx,
+                &out_sens,
+                good,
+                sens_scratch,
+                &mut |_pin, fanin, line| {
+                    let fi = fanin as usize;
+                    if ffr_root[fi] == r {
+                        sens[fi * W..][..W].copy_from_slice(line);
+                    }
+                },
+            );
+        }
+    }
+
+    /// Detection words for `fault` from the swept sensitization state:
+    /// excitation (lanes whose good value differs from the stuck value)
+    /// AND local path sensitization to the region root AND the root's
+    /// stem observability. Exact because the line's path to its region
+    /// root is unique and all side inputs keep their fault-free values.
+    ///
+    /// Work is ordered cheapest-first so the hard-to-detect tail that
+    /// dominates dropping runs pays almost nothing per block: an
+    /// unexcited fault exits before its line sensitization is even
+    /// computed, a locally-masked fault exits before any stem
+    /// observability is fetched, and the per-word fetch itself is
+    /// memoized across the faults collapsing onto the stem (and skipped
+    /// wholesale when the root is a primary output, where the local
+    /// words are already final). With `first_only`, words after the
+    /// first detecting one are left zero — callers that only take the
+    /// first set lane (the dropping loop) never pay for them.
+    fn cpt_detect(
+        &mut self,
+        fault: Fault,
+        root: u32,
+        masks: &[u64; MAX_BLOCK_WORDS],
+        first_only: bool,
+    ) -> [u64; MAX_BLOCK_WORDS] {
+        let w = self.w;
+        let mut detect = [0u64; MAX_BLOCK_WORDS];
+        let driver = match fault.site {
+            FaultSite::Stem(v) => v.index(),
+            FaultSite::Branch { gate, pin } => {
+                self.sim.circuit().fanins(gate)[pin as usize].index()
+            }
+        };
+        let mut excite = [0u64; MAX_BLOCK_WORDS];
+        let mut any = 0u64;
+        for j in 0..w {
+            let good = self.good[driver * w + j];
+            excite[j] = if fault.stuck { !good } else { good } & masks[j];
+            any |= excite[j];
+        }
+        if any == 0 {
+            return detect;
+        }
+        let local = match fault.site {
+            FaultSite::Stem(v) => {
+                let ni = v.index();
+                let mut local = [0u64; MAX_BLOCK_WORDS];
+                local[..w].copy_from_slice(&self.sens[ni * w..ni * w + w]);
+                local
+            }
+            FaultSite::Branch { gate, pin } => self.branch_line_obs(gate.index(), pin as usize),
+        };
+        let root = root as usize;
+        let root_is_output = self.is_output[root];
+        for j in 0..w {
+            let mut d = local[j] & excite[j];
+            if d != 0 && !root_is_output {
+                d &= self.stem_obs_word(root, j, masks);
+            }
+            detect[j] = d;
+            if first_only && d != 0 {
+                break;
+            }
+        }
+        detect
+    }
+
+    /// Observability of the branch line feeding `pin` of gate `gi`: the
+    /// gate's output observability AND-ed with that pin's sensitivity.
+    fn branch_line_obs(&mut self, gi: usize, pin: usize) -> [u64; MAX_BLOCK_WORDS] {
+        match self.w {
+            1 => self.branch_line_obs_w::<1>(gi, pin),
+            2 => self.branch_line_obs_w::<2>(gi, pin),
+            4 => self.branch_line_obs_w::<4>(gi, pin),
+            8 => self.branch_line_obs_w::<8>(gi, pin),
+            _ => unreachable!("width validated at construction"),
+        }
+    }
+
+    fn branch_line_obs_w<const W: usize>(
+        &mut self,
+        gi: usize,
+        pin: usize,
+    ) -> [u64; MAX_BLOCK_WORDS] {
+        let op_idx = self
+            .sim
+            .program()
+            .op_index(gi)
+            .expect("branch faults only exist on compiled gates");
+        let mut out_sens = [0u64; W];
+        out_sens.copy_from_slice(&self.sens[gi * W..][..W]);
+        let mut obs = [0u64; MAX_BLOCK_WORDS];
+        let FaultSimulator {
+            sim,
+            sens_scratch,
+            good,
+            ..
+        } = self;
+        let good: &[u64] = good;
+        sim.program().sens_op_wide::<W>(
+            op_idx,
+            &out_sens,
+            good,
+            sens_scratch,
+            &mut |p, _fanin, line| {
+                if p as usize == pin {
+                    obs[..W].copy_from_slice(line);
+                }
+            },
+        );
+        obs
     }
 }
 
@@ -855,5 +1457,137 @@ mod tests {
     fn rejects_unsupported_block_width() {
         let c = sample();
         let _ = FaultSimulator::with_block_words(&c, 3);
+    }
+
+    #[test]
+    fn default_options_use_cpt() {
+        let c = sample();
+        let sim = FaultSimulator::new(&c).unwrap();
+        assert_eq!(sim.detection(), DetectionMode::CriticalPathTracing);
+        assert_eq!(sim.block_words(), DEFAULT_BLOCK_WORDS);
+        let opts = SimOptions {
+            detection: DetectionMode::Explicit,
+            ..SimOptions::default()
+        };
+        let sim = FaultSimulator::with_options(&c, opts).unwrap();
+        assert_eq!(sim.detection(), DetectionMode::Explicit);
+    }
+
+    fn explicit(c: &Circuit, w: usize) -> FaultSimulator {
+        let opts = SimOptions {
+            block_words: w,
+            detection: DetectionMode::Explicit,
+        };
+        FaultSimulator::with_options(c, opts).unwrap()
+    }
+
+    fn cpt(c: &Circuit, w: usize) -> FaultSimulator {
+        let opts = SimOptions {
+            block_words: w,
+            detection: DetectionMode::CriticalPathTracing,
+        };
+        FaultSimulator::with_options(c, opts).unwrap()
+    }
+
+    /// CPT equals explicit mode bit for bit — dropping runs (first
+    /// detections, patterns applied) and counting runs — on a circuit
+    /// mixing reconvergent stems, multi-output regions, XOR trees and
+    /// wide gates, at every supported width.
+    #[test]
+    fn cpt_matches_explicit_on_reconvergent_circuit() {
+        let c = tree_circuit();
+        let universe = FaultUniverse::full(&c).unwrap();
+        for w in [1usize, 2, 4, 8] {
+            let mut src = RandomPatterns::new(9, 11);
+            let reference = explicit(&c, w)
+                .run(&mut src, 1000, universe.faults())
+                .unwrap();
+            let mut src = RandomPatterns::new(9, 11);
+            let result = cpt(&c, w).run(&mut src, 1000, universe.faults()).unwrap();
+            assert_eq!(
+                result.patterns_applied(),
+                reference.patterns_applied(),
+                "w={w}"
+            );
+            for i in 0..universe.len() {
+                assert_eq!(
+                    result.first_detection(i),
+                    reference.first_detection(i),
+                    "fault {} at w={w}",
+                    universe.faults()[i].describe(&c)
+                );
+            }
+
+            let mut src = ExhaustivePatterns::new(9);
+            let (counts_ref, _) = explicit(&c, w)
+                .run_counting(&mut src, 512, universe.faults())
+                .unwrap();
+            let mut src = ExhaustivePatterns::new(9);
+            let (counts, _) = cpt(&c, w)
+                .run_counting(&mut src, 512, universe.faults())
+                .unwrap();
+            assert_eq!(counts, counts_ref, "w={w}");
+        }
+    }
+
+    /// CPT handles the degenerate region shapes exactly: gates consuming
+    /// a signal twice (pin-level fanout makes the driver a root),
+    /// constant drivers, dangling stems and undetectable faults.
+    #[test]
+    fn cpt_matches_explicit_on_degenerate_shapes() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let x = b.input("x");
+        let g = b.gate(GateKind::Xor, vec![a, a], "g").unwrap(); // constant 0
+        let nx = b.gate(GateKind::Not, vec![x], "nx").unwrap();
+        let t = b.gate(GateKind::Or, vec![x, nx], "t").unwrap(); // constant 1
+        let h = b.gate(GateKind::And, vec![g, t, a], "h").unwrap();
+        let dangle = b.gate(GateKind::Not, vec![h], "dangle").unwrap();
+        let _ = dangle; // no output tap: h is a root via the dangling branch
+        b.output(h);
+        let c = b.finish().unwrap();
+        let universe = FaultUniverse::full(&c).unwrap();
+        for w in [1usize, 4] {
+            let mut src = ExhaustivePatterns::new(2);
+            let (counts_ref, _) = explicit(&c, w)
+                .run_counting(&mut src, 4, universe.faults())
+                .unwrap();
+            let mut src = ExhaustivePatterns::new(2);
+            let (counts, _) = cpt(&c, w)
+                .run_counting(&mut src, 4, universe.faults())
+                .unwrap();
+            assert_eq!(counts, counts_ref, "w={w}");
+        }
+    }
+
+    /// The explicit word-at-a-time dropping loop is exact at every width
+    /// (a fault killed in word j is never evaluated past word j, but its
+    /// first detection must not move).
+    #[test]
+    fn explicit_dropping_matches_across_widths() {
+        let c = tree_circuit();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let mut src = RandomPatterns::new(9, 5);
+        let reference = explicit(&c, 1)
+            .run(&mut src, 1000, universe.faults())
+            .unwrap();
+        for w in [2usize, 4, 8] {
+            let mut src = RandomPatterns::new(9, 5);
+            let result = explicit(&c, w)
+                .run(&mut src, 1000, universe.faults())
+                .unwrap();
+            assert_eq!(
+                result.patterns_applied(),
+                reference.patterns_applied(),
+                "w={w}"
+            );
+            for i in 0..universe.len() {
+                assert_eq!(
+                    result.first_detection(i),
+                    reference.first_detection(i),
+                    "fault {i} at w={w}"
+                );
+            }
+        }
     }
 }

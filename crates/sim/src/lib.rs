@@ -16,8 +16,9 @@
 //! * [`Misr`] — multiple-input signature register for response compaction;
 //! * [`Fault`], [`FaultUniverse`], [`collapse`] — single-stuck-at fault
 //!   model with structural equivalence collapsing;
-//! * [`FaultSimulator`] — event-driven parallel-pattern single-fault
-//!   propagation (PPSFP) with fault dropping;
+//! * [`FaultSimulator`] — parallel-pattern fault simulation with fault
+//!   dropping, either event-driven per fault (PPSFP) or via critical
+//!   path tracing over fanout-free regions (see [`DetectionMode`]);
 //! * [`montecarlo`] — detection-probability estimation (sampled and
 //!   exhaustive) and node-level propagation profiles.
 //!
@@ -62,7 +63,7 @@ mod weighted;
 pub use compile::{block_words_supported, DEFAULT_BLOCK_WORDS, MAX_BLOCK_WORDS};
 pub use coverage::{CoveragePoint, FaultSimResult};
 pub use fault::{Fault, FaultSite, FaultUniverse};
-pub use fsim::FaultSimulator;
+pub use fsim::{DetectionMode, FaultSimulator, SimOptions};
 pub use lfsr::{Lfsr, LfsrPatterns};
 pub use logic::LogicSim;
 pub use misr::Misr;

@@ -1,15 +1,20 @@
 //! Multi-threaded fault simulation.
 //!
-//! PPSFP parallelises naturally across faults: every thread owns a private
-//! simulator (good-value buffers and scratch state) and an identical
-//! pattern stream, and processes a contiguous slice of the fault list.
-//! Results are bit-identical to the sequential run.
+//! Fault simulation parallelises naturally across faults: every thread
+//! owns a private simulator (good-value buffers and scratch state) and an
+//! identical pattern stream, and processes its own share of the fault
+//! list. Per-fault results don't depend on which other faults share a
+//! simulator, so results are bit-identical to the sequential run for any
+//! partition — which frees the partitioner to load-balance: faults are
+//! dealt out round-robin in descending estimated propagation cost, so no
+//! single thread draws all the deep-cone stems.
 
+use std::cmp::Reverse;
 use std::sync::Mutex;
 
-use tpi_netlist::{Circuit, NetlistError};
+use tpi_netlist::{Circuit, NetlistError, Topology};
 
-use crate::{Fault, FaultSimResult, FaultSimulator, PatternSource, DEFAULT_BLOCK_WORDS};
+use crate::{Fault, FaultSimResult, FaultSimulator, FaultSite, PatternSource, SimOptions};
 
 /// Fault-simulate `faults` across `threads` worker threads, with fault
 /// dropping, producing the same [`FaultSimResult`] the sequential
@@ -34,13 +39,13 @@ where
     S: PatternSource,
     F: Fn() -> S + Sync,
 {
-    run_parallel_with(
+    run_parallel_opts(
         circuit,
         make_source,
         max_patterns,
         faults,
         threads,
-        DEFAULT_BLOCK_WORDS,
+        SimOptions::default(),
     )
 }
 
@@ -73,27 +78,75 @@ where
     S: PatternSource,
     F: Fn() -> S + Sync,
 {
+    run_parallel_opts(
+        circuit,
+        make_source,
+        max_patterns,
+        faults,
+        threads,
+        SimOptions::with_block_words(block_words),
+    )
+}
+
+/// [`run_parallel`] with explicit [`SimOptions`] (block width and
+/// detection mode).
+///
+/// Every worker replays its pattern stream through a simulator of the
+/// same configuration, so the per-block tail masking against
+/// `max_patterns` is applied identically in every chunk — first
+/// detections, `patterns_applied` and coverage match the sequential run
+/// bit for bit at any width, detection mode and thread count, including
+/// when `max_patterns` is not a multiple of `block_words × 64`.
+///
+/// Faults are assigned to workers round-robin in descending estimated
+/// propagation cost (a saturating over-count of the fault site's
+/// transitive consumer cone), which balances deep-cone stems across
+/// threads; the assignment never affects results, only wall-clock.
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] for cyclic circuits; worker panics propagate.
+///
+/// # Panics
+///
+/// Panics if `options.block_words` is not 0 (default), 1, 2, 4 or 8.
+pub fn run_parallel_opts<S, F>(
+    circuit: &Circuit,
+    make_source: F,
+    max_patterns: u64,
+    faults: &[Fault],
+    threads: usize,
+    options: SimOptions,
+) -> Result<FaultSimResult, NetlistError>
+where
+    S: PatternSource,
+    F: Fn() -> S + Sync,
+{
     let threads = threads.max(1).min(faults.len().max(1));
     if threads <= 1 {
-        let mut sim = FaultSimulator::with_block_words(circuit, block_words)?;
+        let mut sim = FaultSimulator::with_options(circuit, options)?;
         let mut source = make_source();
         return sim.run(&mut source, max_patterns, faults);
     }
-    let chunk_size = faults.len().div_ceil(threads);
+    let assignment = balanced_assignment(circuit, faults, threads)?;
+    let worker_faults: Vec<Vec<Fault>> = assignment
+        .iter()
+        .map(|idxs| idxs.iter().map(|&i| faults[i]).collect())
+        .collect();
     let results: Mutex<Vec<(usize, FaultSimResult)>> = Mutex::new(Vec::with_capacity(threads));
-    // The *first* worker error in chunk order wins, independent of thread
+    // The *first* worker error in worker order wins, independent of thread
     // scheduling — a last-writer slot would make the reported error (and
     // thus caller behaviour) nondeterministic when several workers fail.
     let first_error: Mutex<Option<(usize, NetlistError)>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
-        for (ti, chunk) in faults.chunks(chunk_size).enumerate() {
+        for (ti, chunk) in worker_faults.iter().enumerate() {
             let results = &results;
             let first_error = &first_error;
             let make_source = &make_source;
             scope.spawn(move || {
                 let outcome = (|| {
-                    let mut sim = FaultSimulator::with_block_words(circuit, block_words)?;
+                    let mut sim = FaultSimulator::with_options(circuit, options)?;
                     let mut source = make_source();
                     sim.run(&mut source, max_patterns, chunk)
                 })();
@@ -113,17 +166,50 @@ where
     if let Some((_, e)) = first_error.into_inner().expect("no poisoned locks") {
         return Err(e);
     }
-    let mut chunks = results.into_inner().expect("no poisoned locks");
-    chunks.sort_by_key(|&(ti, _)| ti);
-    let mut first_detected = Vec::with_capacity(faults.len());
+    let chunks = results.into_inner().expect("no poisoned locks");
+    let mut first_detected = vec![None; faults.len()];
     let mut patterns_applied = 0;
-    for (_, r) in chunks {
+    for (ti, r) in chunks {
         patterns_applied = patterns_applied.max(r.patterns_applied());
-        for i in 0..r.fault_count() {
-            first_detected.push(r.first_detection(i));
+        for (pos, &orig) in assignment[ti].iter().enumerate() {
+            first_detected[orig] = r.first_detection(pos);
         }
     }
     Ok(FaultSimResult::new(first_detected, patterns_applied))
+}
+
+/// Deal fault indices onto `threads` workers, round-robin in descending
+/// estimated propagation cost so the expensive deep-cone faults spread
+/// evenly. The estimate is a reverse-topological saturating sum over
+/// consumer gates — it over-counts reconvergent cones, but stays monotone
+/// with cone depth, which is all a load heuristic needs.
+fn balanced_assignment(
+    circuit: &Circuit,
+    faults: &[Fault],
+    threads: usize,
+) -> Result<Vec<Vec<usize>>, NetlistError> {
+    let topo = Topology::of(circuit)?;
+    let mut cone_cost = vec![1u64; circuit.node_count()];
+    for &id in topo.order().iter().rev() {
+        let mut cost = 1u64;
+        for fo in topo.fanouts(id) {
+            cost = cost.saturating_add(cone_cost[fo.gate.index()]);
+        }
+        cone_cost[id.index()] = cost;
+    }
+    let mut order: Vec<usize> = (0..faults.len()).collect();
+    order.sort_by_key(|&i| {
+        let anchor = match faults[i].site {
+            FaultSite::Stem(v) => v,
+            FaultSite::Branch { gate, .. } => gate,
+        };
+        (Reverse(cone_cost[anchor.index()]), i)
+    });
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    for (k, &i) in order.iter().enumerate() {
+        assignment[k % threads].push(i);
+    }
+    Ok(assignment)
 }
 
 #[cfg(test)]

@@ -3,10 +3,11 @@
 //! ```text
 //! tpi analyze  <file.bench>                      structural + testability report
 //! tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr] [--threads N]
-//!              [--block-words W]
+//!              [--block-words W] [--detection cpt|explicit]
 //! tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]
 //!              [--method dp|greedy|constructive|constructive-baseline]
-//!              [--threads N] [--block-words W] [--out FILE] [--verilog FILE]
+//!              [--threads N] [--block-words W] [--detection cpt|explicit]
+//!              [--out FILE] [--verilog FILE]
 //! tpi atpg     <file.bench> [--patterns N]       redundancy sweep + top-off cubes
 //! tpi export   <file.bench> (--verilog FILE | --dot FILE)
 //! tpi batch    <manifest.json> [--out FILE]      N circuits × M configs, JSONL out
@@ -29,9 +30,10 @@ use krishnamurthy_tpi::engine::{
 };
 use krishnamurthy_tpi::netlist::transform::apply_plan;
 use krishnamurthy_tpi::netlist::{analysis, bench_format, dot, ffr, verilog, Circuit, Topology};
-use krishnamurthy_tpi::sim::parallel::run_parallel_with;
+use krishnamurthy_tpi::sim::parallel::run_parallel_opts;
 use krishnamurthy_tpi::sim::{
-    block_words_supported, FaultUniverse, LfsrPatterns, RandomPatterns, DEFAULT_BLOCK_WORDS,
+    block_words_supported, DetectionMode, FaultUniverse, LfsrPatterns, RandomPatterns, SimOptions,
+    DEFAULT_BLOCK_WORDS,
 };
 use krishnamurthy_tpi::testability::profile::TestabilityReport;
 
@@ -77,10 +79,10 @@ fn print_usage() {
          usage:\n  \
          tpi analyze  <file.bench>\n  \
          tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr] [--threads N]\n           \
-         [--block-words W]\n  \
+         [--block-words W] [--detection cpt|explicit]\n  \
          tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]\n           \
          [--method dp|greedy|constructive|constructive-baseline] [--threads N]\n           \
-         [--block-words W] [--out FILE] [--verilog FILE]\n  \
+         [--block-words W] [--detection cpt|explicit] [--out FILE] [--verilog FILE]\n  \
          tpi atpg     <file.bench> [--patterns N]\n  \
          tpi export   <file.bench> (--verilog FILE | --dot FILE)\n  \
          tpi batch    <manifest.json> [--out FILE]\n  \
@@ -199,34 +201,51 @@ fn block_words_flag(flags: &Flags) -> Result<usize, String> {
     Ok(w)
 }
 
+/// `--detection`: detection-word algorithm (results are bit-identical;
+/// `cpt` is the fast default).
+fn detection_flag(flags: &Flags) -> Result<DetectionMode, String> {
+    match flags.get("detection") {
+        None | Some("cpt") => Ok(DetectionMode::CriticalPathTracing),
+        Some("explicit") => Ok(DetectionMode::Explicit),
+        Some(other) => Err(format!("--detection must be cpt or explicit (got {other})")),
+    }
+}
+
+fn sim_options_flags(flags: &Flags) -> Result<SimOptions, String> {
+    Ok(SimOptions {
+        block_words: block_words_flag(flags)?,
+        detection: detection_flag(flags)?,
+    })
+}
+
 fn simulate(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["lfsr"])?;
     let circuit = load(flags.file)?;
     let patterns: u64 = flags.num("patterns", 32_000)?;
     let seed: u64 = flags.num("seed", 1)?;
     let threads: usize = flags.num("threads", default_threads())?;
-    let block_words = block_words_flag(&flags)?;
+    let options = sim_options_flags(&flags)?;
     let universe = FaultUniverse::collapsed(&circuit).map_err(|e| e.to_string())?;
     let n_inputs = circuit.inputs().len();
     let result = if flags.has("lfsr") {
         // Validate the LFSR width once up front, then fan out.
         LfsrPatterns::new(n_inputs, seed).map_err(|e| e.to_string())?;
-        run_parallel_with(
+        run_parallel_opts(
             &circuit,
             || LfsrPatterns::new(n_inputs, seed).expect("width checked above"),
             patterns,
             universe.faults(),
             threads,
-            block_words,
+            options,
         )
     } else {
-        run_parallel_with(
+        run_parallel_opts(
             &circuit,
             || RandomPatterns::new(n_inputs, seed),
             patterns,
             universe.faults(),
             threads,
-            block_words,
+            options,
         )
     }
     .map_err(|e| e.to_string())?;
@@ -260,7 +279,7 @@ fn insert(args: &[String]) -> Result<(), String> {
     };
     let method = flags.get("method").unwrap_or("dp");
     let threads: usize = flags.num("threads", default_threads())?;
-    let block_words = block_words_flag(&flags)?;
+    let options = sim_options_flags(&flags)?;
     let problem = TpiProblem::min_cost(&circuit, threshold).map_err(|e| e.to_string())?;
 
     let plan = match method {
@@ -277,7 +296,8 @@ fn insert(args: &[String]) -> Result<(), String> {
                 circuit.clone(),
                 EngineConfig {
                     verify_incremental: false,
-                    block_words,
+                    block_words: options.block_words,
+                    detection: options.detection,
                     ..EngineConfig::default()
                 },
             )
@@ -313,13 +333,13 @@ fn insert(args: &[String]) -> Result<(), String> {
     // worker pool.
     let universe = FaultUniverse::collapsed(&circuit).map_err(|e| e.to_string())?;
     let n_inputs = modified.inputs().len();
-    let verified = run_parallel_with(
+    let verified = run_parallel_opts(
         &modified,
         || RandomPatterns::new(n_inputs, 1),
         32_000,
         universe.faults(),
         threads,
-        block_words,
+        options,
     )
     .map_err(|e| e.to_string())?;
     println!(
