@@ -11,7 +11,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tpi_netlist::{Circuit, NetlistError};
-use tpi_sim::{Fault, FaultSimulator, PatternSource};
+use tpi_sim::{Fault, FaultSimulator, PatternSource, RunControl, StopReason};
 
 use crate::{Podem, PodemConfig, PodemResult, TestCube};
 
@@ -25,8 +25,12 @@ pub struct TopoffResult {
     pub merged: Vec<TestCube>,
     /// Faults proven redundant along the way.
     pub redundant: Vec<Fault>,
-    /// Faults left uncovered (ATPG aborts).
+    /// Faults left uncovered (ATPG aborts, plus every fault not yet
+    /// processed when a [`RunControl`] token stopped the run).
     pub uncovered: Vec<Fault>,
+    /// `Some` when a [`RunControl`] token stopped the run early; the
+    /// cubes generated so far are still valid (an anytime result).
+    pub interrupted: Option<StopReason>,
 }
 
 impl TopoffResult {
@@ -52,6 +56,26 @@ pub fn generate(
     config: PodemConfig,
     seed: u64,
 ) -> Result<TopoffResult, NetlistError> {
+    generate_controlled(circuit, faults, config, seed, &RunControl::unlimited())
+}
+
+/// [`generate`] under a [`RunControl`] token, polled once per target
+/// fault (one PODEM search plus one drop simulation per poll). On
+/// interruption the cubes generated so far are returned as an anytime
+/// result, the remaining faults are reported in
+/// [`TopoffResult::uncovered`], and
+/// [`TopoffResult::interrupted`] records the reason.
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] for cyclic circuits.
+pub fn generate_controlled(
+    circuit: &Circuit,
+    faults: &[Fault],
+    config: PodemConfig,
+    seed: u64,
+    control: &RunControl,
+) -> Result<TopoffResult, NetlistError> {
     let mut podem = Podem::with_config(circuit, config)?;
     let mut sim = FaultSimulator::new(circuit)?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -59,8 +83,14 @@ pub fn generate(
     let mut cubes = Vec::new();
     let mut redundant = Vec::new();
     let mut uncovered = Vec::new();
+    let mut interrupted = None;
 
     while let Some(&fault) = remaining.first() {
+        interrupted = control.poll();
+        if interrupted.is_some() {
+            uncovered.extend(remaining.iter().copied());
+            break;
+        }
         match podem.generate(fault)? {
             PodemResult::Test(cube) => {
                 let pattern = cube.filled_with(|| rng.gen());
@@ -97,6 +127,7 @@ pub fn generate(
         merged,
         redundant,
         uncovered,
+        interrupted,
     })
 }
 
@@ -265,6 +296,20 @@ mod tests {
         .unwrap();
         assert_eq!(result.redundant, vec![Fault::stem_sa1(y)]);
         assert_eq!(result.cubes.len(), 1);
+    }
+
+    #[test]
+    fn cancelled_topoff_returns_generated_cubes_and_remaining_faults() {
+        let c = resistant_circuit();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let control = RunControl::cancellable();
+        control.cancel();
+        let result =
+            generate_controlled(&c, universe.faults(), PodemConfig::default(), 9, &control)
+                .unwrap();
+        assert_eq!(result.interrupted, Some(StopReason::Cancelled));
+        assert!(result.cubes.is_empty());
+        assert_eq!(result.uncovered.len(), universe.len());
     }
 
     #[test]

@@ -19,12 +19,13 @@
 //! what CI executes.
 
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tpi_engine::json::Json;
 use tpi_gen::dags::{random_dag, RandomDagConfig};
 use tpi_sim::{
-    DetectionMode, FaultSimResult, FaultSimulator, FaultUniverse, RandomPatterns, SimOptions,
+    DetectionMode, FaultSimResult, FaultSimulator, FaultUniverse, RandomPatterns, RunControl,
+    SimOptions,
 };
 
 /// Matches the Criterion groups this harness replaced: mean over 10
@@ -43,6 +44,7 @@ fn main() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let baseline = load_baseline(&root, "results/fsim_pre_pr.json");
     let pr2 = load_baseline(&root, "results/fsim_pr2.json");
+    let pr3 = load_baseline(&root, "results/fsim_pr3.json");
 
     let mut dropped = Vec::new();
     let mut cpt_dropped = Vec::new();
@@ -52,6 +54,7 @@ fn main() {
         cpt_dropped.push(cpt);
     }
     let (no_dropping, cpt_no_dropping) = bench_no_dropping(baseline.as_ref(), pr2.as_ref());
+    let polling = bench_polling_overhead(pr3.as_ref(), &dropped);
 
     let report = Json::obj([
         ("bench", Json::from("fsim_throughput")),
@@ -68,6 +71,7 @@ fn main() {
                 ("no_dropping", cpt_no_dropping),
             ]),
         ),
+        ("polling", polling),
     ]);
     let out = root.join("BENCH_fsim.json");
     std::fs::write(&out, format!("{report}\n")).expect("write BENCH_fsim.json");
@@ -404,6 +408,116 @@ fn cpt_entry(
         entry.push(("speedup_vs_pr2_w4", Json::from(before / cpt_ns[1])));
     }
     Json::obj(entry)
+}
+
+/// Cancellation-polling overhead at W=4 (acceptance bound: <1% of
+/// fault-sim throughput).
+///
+/// Two independent checks, both asserted:
+///
+/// 1. **Direct A/B** — the production `run` path (unlimited token: one
+///    `Option` branch per block) against `run_controlled` under a
+///    far-future deadline token (the most expensive poll: `Arc` deref,
+///    atomic load, `Instant::now` per block). Both are min-of-N
+///    back-to-back on the same circuit, so machine noise is largely
+///    common-mode; bounding the expensive variant bounds every
+///    cancellation configuration.
+/// 2. **PR-3 snapshot** — this run's explicit W=4 `ns_per_iter` against
+///    `results/fsim_pr3.json`, captured immediately before the polling
+///    loop landed. The *minimum* overhead across circuit sizes must stay
+///    under 1%: a real per-block polling cost would show at every size,
+///    while a single-size wobble is scheduler noise.
+fn bench_polling_overhead(pr3: Option<&Baseline>, dropped_entries: &[Json]) -> Json {
+    const POLL_SAMPLES: u32 = 30;
+    let time_ns_min = |iter: &mut dyn FnMut()| -> f64 {
+        for _ in 0..3 {
+            iter();
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..POLL_SAMPLES {
+            let start = Instant::now();
+            iter();
+            best = best.min(start.elapsed().as_nanos() as f64);
+        }
+        best
+    };
+
+    let gates = 1600usize;
+    let circuit = ladder_circuit(gates, 5);
+    let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
+    let n_inputs = circuit.inputs().len();
+    let mut sim = simulator(&circuit, 4, DetectionMode::Explicit);
+    let unlimited_ns = time_ns_min(&mut || {
+        let mut src = RandomPatterns::new(n_inputs, SEED);
+        sim.run(&mut src, PATTERNS, universe.faults())
+            .expect("runs");
+    });
+    let control = RunControl::with_deadline(Duration::from_secs(3600));
+    let deadline_ns = time_ns_min(&mut || {
+        let mut src = RandomPatterns::new(n_inputs, SEED);
+        let run = sim
+            .run_controlled(&mut src, PATTERNS, universe.faults(), &control)
+            .expect("runs");
+        assert!(run.stopped.is_none(), "a 1h deadline must not trip");
+    });
+    let direct_overhead = deadline_ns / unlimited_ns - 1.0;
+    println!(
+        "polling overhead (direct, {gates} gates, W=4): unlimited {unlimited_ns:.0} ns, \
+         deadline-token {deadline_ns:.0} ns → {:.3}%",
+        direct_overhead * 100.0
+    );
+    assert!(
+        direct_overhead < 0.01,
+        "deadline-token polling costs {:.3}% at W=4 (must stay under 1%)",
+        direct_overhead * 100.0
+    );
+
+    let mut vs_pr3 = Vec::new();
+    let mut min_pr3_overhead: Option<f64> = None;
+    for entry in dropped_entries {
+        let Some(gates) = entry.get("gates").and_then(Json::as_u64) else {
+            continue;
+        };
+        let now_w4 = entry.get("widths").and_then(Json::as_arr).and_then(|ws| {
+            ws.iter()
+                .find(|m| m.get("block_words").and_then(Json::as_u64) == Some(4))
+                .and_then(|m| m.get("ns_per_iter").and_then(Json::as_f64))
+        });
+        let (Some(now), Some(before)) = (now_w4, baseline_ns(pr3, "dropped", gates as usize, 4))
+        else {
+            continue;
+        };
+        let overhead = now / before - 1.0;
+        println!(
+            "polling overhead vs PR-3 ({gates} gates, W=4): {before:.0} → {now:.0} ns \
+             ({:+.3}%)",
+            overhead * 100.0
+        );
+        min_pr3_overhead = Some(min_pr3_overhead.map_or(overhead, |m: f64| m.min(overhead)));
+        vs_pr3.push(Json::obj([
+            ("gates", Json::from(gates)),
+            ("pr3_ns_per_iter", Json::from(before)),
+            ("ns_per_iter", Json::from(now)),
+            ("overhead", Json::from(overhead)),
+        ]));
+    }
+    if let Some(min_overhead) = min_pr3_overhead {
+        assert!(
+            min_overhead < 0.01,
+            "W=4 throughput regressed {:.3}% vs the PR-3 snapshot at every size \
+             (polling must cost under 1%)",
+            min_overhead * 100.0
+        );
+    }
+
+    Json::obj([
+        ("gates", Json::from(gates)),
+        ("block_words", Json::from(4u64)),
+        ("unlimited_ns_per_iter", Json::from(unlimited_ns)),
+        ("deadline_token_ns_per_iter", Json::from(deadline_ns)),
+        ("direct_overhead", Json::from(direct_overhead)),
+        ("vs_pr3_w4", Json::Arr(vs_pr3)),
+    ])
 }
 
 /// CI smoke: one small circuit, one iteration per width and mode; every

@@ -43,6 +43,7 @@
 use std::rc::Rc;
 
 use tpi_netlist::{GateKind, NodeId, TestPoint, Topology};
+use tpi_sim::RunControl;
 
 use crate::{Plan, TpiError, TpiProblem};
 
@@ -254,11 +255,31 @@ impl DpOptimizer {
         problem: &TpiProblem,
         rho: f64,
     ) -> Result<(Plan, DpStats), TpiError> {
+        self.solve_region_controlled(problem, rho, &RunControl::unlimited())
+    }
+
+    /// [`solve_region`](DpOptimizer::solve_region) under a
+    /// [`RunControl`] token, polled every 64 DP nodes. The bottom-up DP
+    /// holds no meaningful partial plan before the root is reached, so
+    /// interruption surfaces as [`TpiError::Interrupted`] — callers with
+    /// committed state (the constructive loop, the engine) treat it as
+    /// "stop after the previous commit".
+    ///
+    /// # Errors
+    ///
+    /// See [`solve`](DpOptimizer::solve); additionally
+    /// [`TpiError::Interrupted`] when the token fires.
+    pub fn solve_region_controlled(
+        &self,
+        problem: &TpiProblem,
+        rho: f64,
+        control: &RunControl,
+    ) -> Result<(Plan, DpStats), TpiError> {
         let mode = RunMode {
             budget: f64::INFINITY,
             allow_abandon: false,
         };
-        let (plan, missed, stats) = self.run(problem, rho, mode)?;
+        let (plan, missed, stats) = self.run(problem, rho, mode, control)?;
         debug_assert_eq!(missed, 0);
         Ok((plan, stats))
     }
@@ -289,7 +310,7 @@ impl DpOptimizer {
             budget,
             allow_abandon: true,
         };
-        let (plan, missed, _) = self.run(problem, 1.0, mode)?;
+        let (plan, missed, _) = self.run(problem, 1.0, mode, &RunControl::unlimited())?;
         Ok((plan, missed))
     }
 
@@ -298,6 +319,7 @@ impl DpOptimizer {
         problem: &TpiProblem,
         rho: f64,
         mode: RunMode,
+        control: &RunControl,
     ) -> Result<(Plan, usize, DpStats), TpiError> {
         if !(0.0..=1.0).contains(&rho) {
             return Err(TpiError::InvalidParameter {
@@ -328,7 +350,12 @@ impl DpOptimizer {
         let mut stats = DpStats::default();
         let mut frontiers: Vec<Option<Vec<State>>> = vec![None; circuit.node_count()];
 
-        for &id in topo.order() {
+        for (step, &id) in topo.order().iter().enumerate() {
+            if step & 63 == 0 {
+                if let Some(reason) = control.poll() {
+                    return Err(TpiError::Interrupted { reason });
+                }
+            }
             let node = circuit.node(id);
             let kind = node.kind();
             // 1. Combine children into (c1_pre, pending) states.

@@ -2,6 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 use tpi_netlist::NetlistError;
+use tpi_sim::StopReason;
 
 /// Errors produced by the test-point-insertion optimizers.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +28,13 @@ pub enum TpiError {
     },
     /// Underlying netlist failure.
     Netlist(NetlistError),
+    /// A [`RunControl`](tpi_sim::RunControl) token stopped the
+    /// computation before any partial result was committed (layers with
+    /// a meaningful best-so-far return it instead of this error).
+    Interrupted {
+        /// Why the run was stopped.
+        reason: StopReason,
+    },
 }
 
 impl fmt::Display for TpiError {
@@ -40,6 +48,7 @@ impl fmt::Display for TpiError {
             }
             TpiError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
             TpiError::Netlist(e) => write!(f, "netlist error: {e}"),
+            TpiError::Interrupted { reason } => write!(f, "interrupted: {reason}"),
         }
     }
 }

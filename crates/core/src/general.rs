@@ -28,7 +28,7 @@ use std::collections::HashMap;
 use tpi_netlist::ffr::FfrDecomposition;
 use tpi_netlist::transform::apply_test_point;
 use tpi_netlist::{Circuit, GateKind, NodeId, TestPoint, Topology};
-use tpi_sim::{FaultSimulator, FaultSite, FaultUniverse, RandomPatterns};
+use tpi_sim::{FaultSimulator, FaultSite, FaultUniverse, RandomPatterns, RunControl, StopReason};
 use tpi_testability::CopAnalysis;
 
 use crate::{DpConfig, DpOptimizer, Plan, TargetFault, Threshold, TpiError, TpiProblem};
@@ -92,6 +92,10 @@ pub struct ConstructiveOutcome {
     pub final_coverage: f64,
     /// The final modified circuit.
     pub modified: Circuit,
+    /// `Some` when a [`RunControl`] token stopped the loop early; the
+    /// plan then holds the points committed before interruption (an
+    /// anytime prefix of the uninterrupted run).
+    pub interrupted: Option<StopReason>,
 }
 
 /// The FFR-decomposed constructive inserter for general circuits.
@@ -120,6 +124,28 @@ impl ConstructiveOptimizer {
         circuit: &Circuit,
         threshold: Threshold,
     ) -> Result<ConstructiveOutcome, TpiError> {
+        self.solve_controlled(circuit, threshold, &RunControl::unlimited())
+    }
+
+    /// [`solve`](ConstructiveOptimizer::solve) under a [`RunControl`]
+    /// token: the token is polled inside every measurement's pattern
+    /// block loop (with applied lanes charged against any work budget),
+    /// inside the region DP, and before every commit. Interruption never
+    /// commits a partially-refereed round, so the returned plan is an
+    /// exact prefix of what the uninterrupted run would commit — its
+    /// cost cannot exceed the uninterrupted plan's (property-tested) —
+    /// and [`ConstructiveOutcome::interrupted`] records the reason.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] on malformed circuits. Interruption is not
+    /// an error.
+    pub fn solve_controlled(
+        &self,
+        circuit: &Circuit,
+        threshold: Threshold,
+        control: &RunControl,
+    ) -> Result<ConstructiveOutcome, TpiError> {
         let universe = FaultUniverse::collapsed(circuit)?;
         let costs = crate::CostModel::default();
         let mut current = circuit.clone();
@@ -127,13 +153,26 @@ impl ConstructiveOptimizer {
         let mut rounds: Vec<RoundReport> = Vec::new();
         let mut coverage = 0.0;
         let mut last_added = 0usize;
+        let mut interrupted: Option<StopReason> = None;
 
         for round in 0..self.config.max_rounds.max(1) {
             // 1. Measure.
             let mut fsim = FaultSimulator::new(&current)?;
             let mut src =
                 RandomPatterns::new(current.inputs().len(), self.config.seed ^ round as u64);
-            let result = fsim.run(&mut src, self.config.patterns_per_round, universe.faults())?;
+            let run = fsim.run_controlled(
+                &mut src,
+                self.config.patterns_per_round,
+                universe.faults(),
+                control,
+            )?;
+            if let Some(reason) = run.stopped {
+                // A truncated measurement would referee the round on too
+                // few patterns; keep the previous round's answer instead.
+                interrupted = Some(reason);
+                break;
+            }
+            let result = run.result;
             coverage = result.coverage();
             let cost_so_far = costs.total(&plan_points);
             rounds.push(RoundReport {
@@ -178,6 +217,10 @@ impl ConstructiveOptimizer {
             let dp = DpOptimizer::new(self.config.dp.clone());
             let mut candidates: Vec<(Vec<TestPoint>, f64, f64)> = Vec::new(); // (points, cost, score)
             for (root, targets) in &regions {
+                if let Some(reason) = control.poll() {
+                    interrupted = Some(reason);
+                    break;
+                }
                 let benefit = targets.len() as f64;
                 let Some(extraction) = extract_region(&current, &topo, &ffr, *root, &cop) else {
                     continue;
@@ -197,8 +240,13 @@ impl ConstructiveOptimizer {
                 let problem = TpiProblem::with_targets(&extraction.circuit, threshold, sub_targets)
                     .with_input_probs(extraction.input_probs.clone());
                 let rho = cop.observability(*root).clamp(0.0, 1.0);
-                let Ok((region_plan, _)) = dp.solve_region(&problem, rho) else {
-                    continue;
+                let region_plan = match dp.solve_region_controlled(&problem, rho, control) {
+                    Ok((region_plan, _)) => region_plan,
+                    Err(TpiError::Interrupted { reason }) => {
+                        interrupted = Some(reason);
+                        break;
+                    }
+                    Err(_) => continue,
                 };
                 if region_plan.is_empty() {
                     continue; // analytically fine, statistically unlucky
@@ -211,6 +259,9 @@ impl ConstructiveOptimizer {
                 let cost = costs.total(&mapped);
                 let score = benefit / cost.max(1e-9);
                 candidates.push((mapped, cost, score));
+            }
+            if interrupted.is_some() {
+                break;
             }
             candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite scores"));
             candidates.truncate(self.config.regions_per_round.max(1) * 3);
@@ -227,7 +278,13 @@ impl ConstructiveOptimizer {
             for tp in gather_candidates(&current, &universe, &undetected, &plan_points, 16) {
                 groups.push(vec![tp]);
             }
-            let committed = self.pick_by_simulation(&current, &universe, &undetected, groups)?;
+            let (committed, stopped) =
+                self.pick_by_simulation(&current, &universe, &undetected, groups, control)?;
+            if let Some(reason) = stopped {
+                // A partially-refereed pick must not be committed.
+                interrupted = Some(reason);
+                break;
+            }
             if committed.is_empty() {
                 break;
             }
@@ -255,6 +312,7 @@ impl ConstructiveOptimizer {
             rounds,
             final_coverage: coverage,
             modified: current,
+            interrupted,
         })
     }
 }
@@ -269,7 +327,8 @@ impl ConstructiveOptimizer {
         universe: &FaultUniverse,
         undetected: &[usize],
         groups: Vec<Vec<TestPoint>>,
-    ) -> Result<Vec<TestPoint>, TpiError> {
+        control: &RunControl,
+    ) -> Result<(Vec<TestPoint>, Option<StopReason>), TpiError> {
         let faults: Vec<tpi_sim::Fault> =
             undetected.iter().map(|&i| universe.faults()[i]).collect();
         let costs = crate::CostModel::default();
@@ -288,7 +347,13 @@ impl ConstructiveOptimizer {
             }
             let mut sim = FaultSimulator::new(&scratch)?;
             let mut src = RandomPatterns::new(scratch.inputs().len(), self.config.seed ^ 0xe5ca);
-            let result = sim.run(&mut src, budget, &faults)?;
+            let run = sim.run_controlled(&mut src, budget, &faults, control)?;
+            if let Some(reason) = run.stopped {
+                // The referee was cut short: scores so far are not
+                // comparable, so report nothing committed.
+                return Ok((Vec::new(), Some(reason)));
+            }
+            let result = run.result;
             let score = result.detected_count() as f64 / costs.total(&group).max(1e-9);
             if score > 0.0
                 && best
@@ -299,7 +364,7 @@ impl ConstructiveOptimizer {
                 best = Some((group, score));
             }
         }
-        Ok(best.map(|(group, _)| group).unwrap_or_default())
+        Ok((best.map(|(group, _)| group).unwrap_or_default(), None))
     }
 }
 

@@ -1,4 +1,5 @@
 use tpi_netlist::{TestPoint, TestPointKind, Topology};
+use tpi_sim::{RunControl, StopReason};
 
 use crate::evaluate::PlanEvaluator;
 use crate::{Plan, TpiError, TpiProblem};
@@ -57,6 +58,25 @@ impl GreedyOptimizer {
     ///
     /// [`TpiError::Netlist`] for cyclic circuits.
     pub fn solve(&self, problem: &TpiProblem) -> Result<Plan, TpiError> {
+        self.solve_controlled(problem, &RunControl::unlimited())
+            .map(|(plan, _)| plan)
+    }
+
+    /// [`solve`](GreedyOptimizer::solve) under a [`RunControl`] token,
+    /// polled once per greedy iteration. Greedy is naturally *anytime*:
+    /// on interruption the points committed so far are returned as a
+    /// valid (possibly infeasible) plan together with the
+    /// [`StopReason`]; the partial plan is a prefix of the uninterrupted
+    /// run's, so its cost never exceeds it.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] for cyclic circuits.
+    pub fn solve_controlled(
+        &self,
+        problem: &TpiProblem,
+        control: &RunControl,
+    ) -> Result<(Plan, Option<StopReason>), TpiError> {
         let evaluator = PlanEvaluator::new(problem)?;
         let circuit = problem.circuit();
         let topo = Topology::of(circuit)?;
@@ -82,10 +102,15 @@ impl GreedyOptimizer {
         let mut plan: Vec<TestPoint> = Vec::new();
         let mut current = evaluator.evaluate(&plan)?;
         let mut current_deficit = deficit(&current.probabilities);
+        let mut stopped = None;
         while !current.feasible
             && plan.len() < self.config.max_points
             && current.cost < self.config.max_cost
         {
+            stopped = control.poll();
+            if stopped.is_some() {
+                break;
+            }
             // (candidate, gained-per-cost, deficit-reduction-per-cost)
             let mut best: Option<(TestPoint, f64, f64)> = None;
             for id in circuit.node_ids() {
@@ -124,7 +149,7 @@ impl GreedyOptimizer {
                 None => break, // no candidate helps: stuck
             }
         }
-        Ok(Plan::new(plan, current.cost, current.feasible))
+        Ok((Plan::new(plan, current.cost, current.feasible), stopped))
     }
 }
 
@@ -192,6 +217,22 @@ mod tests {
         let p = TpiProblem::min_cost(&c, Threshold::from_log2(-4.0)).unwrap();
         let plan = GreedyOptimizer::default().solve(&p).unwrap();
         assert!(plan.is_feasible(), "plan: {plan}");
+    }
+
+    #[test]
+    fn cancelled_before_first_iteration_returns_empty_anytime_plan() {
+        let c = and_cone(16);
+        let p = TpiProblem::min_cost(&c, Threshold::from_log2(-6.0)).unwrap();
+        let control = RunControl::cancellable();
+        control.cancel();
+        let (plan, stopped) = GreedyOptimizer::default()
+            .solve_controlled(&p, &control)
+            .unwrap();
+        assert_eq!(stopped, Some(StopReason::Cancelled));
+        assert!(plan.is_empty());
+        assert!(!plan.is_feasible());
+        let full = GreedyOptimizer::default().solve(&p).unwrap();
+        assert!(plan.cost() <= full.cost());
     }
 
     #[test]

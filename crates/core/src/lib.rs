@@ -84,3 +84,4 @@ pub use greedy::{GreedyConfig, GreedyOptimizer};
 pub use plan::Plan;
 pub use problem::{TargetFault, Threshold, TpiProblem};
 pub use random::RandomOptimizer;
+pub use tpi_sim::{RunControl, StopReason};

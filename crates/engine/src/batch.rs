@@ -20,10 +20,32 @@
 //!
 //! `method` is `"optimize"` (default; the engine's constructive loop) or
 //! `"simulate"` (coverage measurement only). Relative circuit paths are
-//! resolved against the manifest's directory. The `"selftest-panic"` and
-//! `"selftest-sleep"` methods panic / stall on purpose, so the pool's
-//! isolation and timeout paths stay testable end to end.
+//! resolved against the manifest's directory. The `"selftest-panic"`,
+//! `"selftest-sleep"` and `"selftest-flaky"` methods panic / stall /
+//! fail-once on purpose, so the pool's isolation, timeout and retry
+//! paths stay testable end to end.
+//!
+//! # Cancellation, timeouts and resume
+//!
+//! Every job runs under a [`RunControl`] token: a child of the
+//! batch-global token ([`BatchOptions::control`]) carrying the job's
+//! own deadline. A job that overruns its `timeout_ms` is *cooperatively
+//! cancelled* — the worker observes the token at its next poll, exits,
+//! and is joined (never detached while responsive), so a timed-out job
+//! stops consuming CPU within one poll interval. The per-job status
+//! distinguishes `"timeout"` (the job's own deadline) from
+//! `"cancelled"` (the batch-global token fired); each line records
+//! whether the worker actually exited (`"worker_exited"`).
+//!
+//! Jobs that fail transiently (`"error"` / `"panic"`) are retried up to
+//! [`BatchOptions::retries`] times with exponential backoff; timeouts
+//! and cancellations are not retried. Output lines are flushed in job
+//! order as soon as their prefix completes, so a killed batch leaves a
+//! valid JSONL checkpoint; [`completed_indices`] recovers the
+//! successfully finished jobs from it and [`BatchOptions::skip`] makes
+//! a resumed run skip (and not re-execute) exactly those.
 
+use std::collections::BTreeSet;
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,9 +55,16 @@ use std::time::{Duration, Instant};
 
 use tpi_core::Threshold;
 use tpi_netlist::bench_format::parse_bench;
+use tpi_sim::{RunControl, StopReason};
 
 use crate::json::Json;
 use crate::{EngineConfig, OptimizeConfig, TpiEngine};
+
+/// How long after a job's deadline the pool waits for the worker to
+/// observe its token and exit before giving up and detaching it. Covers
+/// one poll interval (a fault-sim block or a DP chunk) with a wide
+/// margin.
+const COOPERATIVE_GRACE: Duration = Duration::from_millis(2_000);
 
 /// One job, fully resolved from the manifest.
 #[derive(Clone, Debug)]
@@ -44,7 +73,8 @@ pub struct JobSpec {
     pub index: usize,
     /// Path of the `.bench` circuit.
     pub circuit: PathBuf,
-    /// `optimize`, `simulate`, `selftest-panic` or `selftest-sleep`.
+    /// `optimize`, `simulate`, `selftest-panic`, `selftest-sleep` or
+    /// `selftest-flaky`.
     pub method: String,
     /// Threshold exponent for `optimize` (δ = 2^x).
     pub threshold_log2: f64,
@@ -59,12 +89,30 @@ pub struct JobSpec {
 }
 
 /// Totals of a finished batch.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BatchSummary {
     /// Jobs that completed and reported a result.
     pub ok: usize,
-    /// Jobs that errored, panicked or timed out.
+    /// Jobs that errored, panicked, timed out or were cancelled.
     pub failed: usize,
+    /// Jobs skipped because a resumed output already holds their result.
+    pub skipped: usize,
+}
+
+/// Pool-level options for [`run_jobs_with`].
+#[derive(Clone, Debug, Default)]
+pub struct BatchOptions {
+    /// Worker threads (0 = the machine's available parallelism).
+    pub workers: usize,
+    /// Retries per job after a transient failure (`error`/`panic`);
+    /// timeouts and cancellations are never retried.
+    pub retries: usize,
+    /// Job indices to skip (resume): no execution, no output line.
+    pub skip: Vec<usize>,
+    /// Batch-global cancellation token; every job token is its child,
+    /// so one [`RunControl::cancel`] drains the whole pool (running
+    /// jobs report `"cancelled"`, unstarted jobs are not run).
+    pub control: RunControl,
 }
 
 /// Parse a manifest document into job specs.
@@ -100,7 +148,7 @@ pub fn parse_manifest(manifest: &Json, base_dir: &Path) -> Result<(usize, Vec<Jo
             .to_string();
         if !matches!(
             method.as_str(),
-            "optimize" | "simulate" | "selftest-panic" | "selftest-sleep"
+            "optimize" | "simulate" | "selftest-panic" | "selftest-sleep" | "selftest-flaky"
         ) {
             return Err(format!("job {index}: unknown method '{method}'"));
         }
@@ -124,9 +172,35 @@ pub fn parse_manifest(manifest: &Json, base_dir: &Path) -> Result<(usize, Vec<Jo
     Ok((workers, specs))
 }
 
+/// Job indices holding a `"status": "ok"` line in an existing JSONL
+/// output — the set a resumed run skips. Later lines win over earlier
+/// ones for the same index (a resumed run appends), and unparsable
+/// lines are ignored.
+pub fn completed_indices(jsonl: &str) -> Vec<usize> {
+    let mut done: BTreeSet<usize> = BTreeSet::new();
+    for line in jsonl.lines() {
+        let Ok(parsed) = Json::parse(line) else {
+            continue;
+        };
+        let Some(index) = parsed.get("job").and_then(Json::as_u64) else {
+            continue;
+        };
+        if parsed.get("status").and_then(Json::as_str) == Some("ok") {
+            done.insert(index as usize);
+        } else {
+            done.remove(&(index as usize));
+        }
+    }
+    done.into_iter().collect()
+}
+
 /// Run every job of a parsed manifest across `workers` threads (0 = the
 /// machine's available parallelism) and write one JSONL line per job, in
 /// job order, to `out`.
+///
+/// Compatibility wrapper over [`run_jobs_with`] with default options
+/// (no retries, no skips, no batch-global token); output is buffered
+/// and written at the end, so `out` need not be [`Send`].
 ///
 /// # Errors
 ///
@@ -137,128 +211,357 @@ pub fn run_jobs(
     specs: &[JobSpec],
     out: &mut dyn std::io::Write,
 ) -> Result<BatchSummary, std::io::Error> {
-    let workers = if workers == 0 {
+    let opts = BatchOptions {
+        workers,
+        ..BatchOptions::default()
+    };
+    let mut buffer = Vec::new();
+    let summary = run_jobs_with(&opts, specs, &mut buffer)?;
+    out.write_all(&buffer)?;
+    Ok(summary)
+}
+
+/// [`run_jobs`] with explicit [`BatchOptions`] and streaming output:
+/// each line is written as soon as every earlier job's line is, so an
+/// interrupted batch leaves a resumable JSONL prefix. Skipped jobs
+/// (resume) produce no line — the pre-existing output already holds
+/// theirs.
+///
+/// # Errors
+///
+/// Only I/O failures on `out`; job-level failures land in their JSONL
+/// lines.
+pub fn run_jobs_with(
+    opts: &BatchOptions,
+    specs: &[JobSpec],
+    out: &mut (dyn std::io::Write + Send),
+) -> Result<BatchSummary, std::io::Error> {
+    let workers = if opts.workers == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
-        workers
+        opts.workers
     }
     .min(specs.len().max(1));
+    let skip: BTreeSet<usize> = opts.skip.iter().copied().collect();
 
-    let next = AtomicUsize::new(0);
-    let lines: Mutex<Vec<Option<Json>>> = Mutex::new(vec![None; specs.len()]);
+    enum Slot {
+        Pending,
+        Skipped,
+        Done(Json),
+        Flushed,
+    }
+    struct Stream<'a> {
+        slots: Vec<Slot>,
+        next: usize,
+        out: &'a mut (dyn std::io::Write + Send),
+        io_error: Option<std::io::Error>,
+    }
+    impl Stream<'_> {
+        /// Write the contiguous prefix of finished lines (skips emit
+        /// nothing). I/O errors are latched; workers keep finishing.
+        fn flush_ready(&mut self) {
+            while let Some(slot) = self.slots.get_mut(self.next) {
+                match std::mem::replace(slot, Slot::Flushed) {
+                    Slot::Pending => {
+                        *slot = Slot::Pending;
+                        break;
+                    }
+                    Slot::Skipped | Slot::Flushed => {}
+                    Slot::Done(line) => {
+                        if self.io_error.is_none() {
+                            if let Err(e) = writeln!(self.out, "{line}") {
+                                self.io_error = Some(e);
+                            }
+                        }
+                    }
+                }
+                self.next += 1;
+            }
+        }
+    }
+
+    let mut slots: Vec<Slot> = specs
+        .iter()
+        .map(|s| {
+            if skip.contains(&s.index) {
+                Slot::Skipped
+            } else {
+                Slot::Pending
+            }
+        })
+        .collect();
+    let mut summary = BatchSummary {
+        skipped: specs.iter().filter(|s| skip.contains(&s.index)).count(),
+        ..BatchSummary::default()
+    };
+
+    let next_job = AtomicUsize::new(0);
+    let stream = Mutex::new(Stream {
+        slots: std::mem::take(&mut slots),
+        next: 0,
+        out,
+        io_error: None,
+    });
+    let statuses: Mutex<Vec<Option<String>>> = Mutex::new(vec![None; specs.len()]);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
-                let line = run_job_isolated(spec);
-                lines.lock().expect("no poisoned locks")[i] = Some(line);
+                if skip.contains(&spec.index) {
+                    continue;
+                }
+                let line = if opts.control.is_cancelled() {
+                    // The batch was cancelled before this job started.
+                    cancelled_line(spec)
+                } else {
+                    run_job_isolated(spec, &opts.control, opts.retries)
+                };
+                let status = line
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .unwrap_or("error")
+                    .to_string();
+                statuses.lock().expect("no poisoned locks")[i] = Some(status);
+                let mut stream = stream.lock().expect("no poisoned locks");
+                stream.slots[i] = Slot::Done(line);
+                stream.flush_ready();
             });
         }
     });
 
-    let lines = lines.into_inner().expect("no poisoned locks");
-    let mut summary = BatchSummary { ok: 0, failed: 0 };
-    for line in &lines {
-        let line = line.as_ref().expect("every job produces a line");
-        if line.get("status").and_then(Json::as_str) == Some("ok") {
-            summary.ok += 1;
-        } else {
-            summary.failed += 1;
+    let mut stream = stream.into_inner().expect("no poisoned locks");
+    stream.flush_ready();
+    if let Some(e) = stream.io_error {
+        return Err(e);
+    }
+    for status in statuses.into_inner().expect("no poisoned locks") {
+        match status.as_deref() {
+            None => {}
+            Some("ok") => summary.ok += 1,
+            Some(_) => summary.failed += 1,
         }
-        writeln!(out, "{line}")?;
     }
     Ok(summary)
 }
 
-/// Execute one job on its own thread, translating a panic or a timeout
-/// overrun into a reported status instead of letting it take the pool
-/// down. A timed-out worker thread is left detached — it still holds its
-/// CPU until it finishes, but the batch no longer waits for it.
-fn run_job_isolated(spec: &JobSpec) -> Json {
+/// What one attempt of a job's body reports back.
+enum JobOutcome {
+    Ok(Json),
+    Error(String),
+    /// The job's [`RunControl`] token fired; `partial` carries any
+    /// anytime result (an interrupted optimize's prefix plan).
+    Interrupted {
+        reason: StopReason,
+        partial: Option<Json>,
+    },
+}
+
+/// Execute one job under the batch-global token, retrying transient
+/// failures, translating panics and deadline overruns into reported
+/// statuses instead of letting them take the pool down. The worker
+/// thread is *joined* whenever it responds within the cooperative grace
+/// window; only a worker stuck outside any polling loop is detached
+/// (reported via `"worker_exited": false`).
+fn run_job_isolated(spec: &JobSpec, batch: &RunControl, retries: usize) -> Json {
     let started = Instant::now();
+    let mut attempt = 0usize;
+    loop {
+        attempt += 1;
+        let line = run_job_attempt(spec, batch, started, attempt);
+        let status = line.get("status").and_then(Json::as_str).unwrap_or("ok");
+        let transient = matches!(status, "error" | "panic");
+        if !transient || attempt > retries || batch.is_cancelled() {
+            return line;
+        }
+        // Exponential backoff: 10, 20, 40, ... ms.
+        std::thread::sleep(Duration::from_millis(10u64 << (attempt - 1).min(6)));
+    }
+}
+
+fn run_job_attempt(spec: &JobSpec, batch: &RunControl, started: Instant, attempt: usize) -> Json {
+    let control = batch.child_with_deadline(Some(Duration::from_millis(spec.timeout_ms)));
     let (tx, rx) = mpsc::channel();
     let spec_for_worker = spec.clone();
+    let worker_control = control.clone();
     let spawned = std::thread::Builder::new()
         .name(format!("tpi-batch-job-{}", spec.index))
         .spawn(move || {
-            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run_job(&spec_for_worker)));
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_job(&spec_for_worker, &worker_control)
+            }));
             let _ = tx.send(outcome);
         });
-    if spawned.is_err() {
-        return job_line(
+    let Ok(handle) = spawned else {
+        return finish_line(
             spec,
             started,
-            Err("failed to spawn worker thread".to_string()),
+            attempt,
+            true,
+            JobOutcome::Error("failed to spawn worker thread".to_string()),
         );
-    }
-    match rx.recv_timeout(Duration::from_millis(spec.timeout_ms)) {
-        Ok(Ok(result)) => job_line(spec, started, result),
-        Ok(Err(panic)) => {
-            let message = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "worker panicked".to_string());
-            let mut line = job_line(spec, started, Err(message));
-            if let Json::Obj(map) = &mut line {
-                map.insert("status".to_string(), Json::from("panic"));
-            }
-            line
+    };
+
+    let received = rx
+        .recv_timeout(Duration::from_millis(spec.timeout_ms))
+        .or_else(|_| {
+            // Deadline passed: the worker's token (created before this
+            // wait began) has already expired on its own — no cancel()
+            // needed, which would misreport the reason as "cancelled".
+            // Give the worker one grace window to poll, unwind and send.
+            rx.recv_timeout(COOPERATIVE_GRACE)
+        });
+    match received {
+        Ok(outcome) => {
+            handle.join().ok(); // the worker already sent; join is immediate
+            let outcome = match outcome {
+                Ok(outcome) => outcome,
+                Err(panic) => {
+                    let message = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".to_string());
+                    let mut line =
+                        finish_line(spec, started, attempt, true, JobOutcome::Error(message));
+                    if let Json::Obj(map) = &mut line {
+                        map.insert("status".to_string(), Json::from("panic"));
+                    }
+                    return line;
+                }
+            };
+            finish_line(spec, started, attempt, true, outcome)
         }
         Err(_) => {
-            let mut line = job_line(spec, started, Err("timed out".to_string()));
-            if let Json::Obj(map) = &mut line {
-                map.insert("status".to_string(), Json::from("timeout"));
-            }
-            line
+            // The worker ignored its token for a full grace window —
+            // stuck outside any polling loop. Detaching is the last
+            // resort; the line records that the thread leaked.
+            finish_line(
+                spec,
+                started,
+                attempt,
+                false,
+                JobOutcome::Interrupted {
+                    reason: StopReason::DeadlineExpired,
+                    partial: None,
+                },
+            )
         }
     }
 }
 
-fn job_line(spec: &JobSpec, started: Instant, result: Result<Json, String>) -> Json {
-    let mut line = Json::obj([
+/// The line for a job the batch-global cancel reached before it started.
+fn cancelled_line(spec: &JobSpec) -> Json {
+    let mut line = base_line(spec, Duration::ZERO, 0, true);
+    if let Json::Obj(map) = &mut line {
+        map.insert("status".to_string(), Json::from("cancelled"));
+        map.insert("error".to_string(), Json::from("batch cancelled"));
+    }
+    line
+}
+
+fn base_line(spec: &JobSpec, elapsed: Duration, attempts: usize, worker_exited: bool) -> Json {
+    Json::obj([
         ("job", Json::from(spec.index)),
         ("circuit", Json::from(spec.circuit.display().to_string())),
         ("method", Json::from(spec.method.as_str())),
-        ("millis", Json::from(started.elapsed().as_millis() as u64)),
-    ]);
+        ("millis", Json::from(elapsed.as_millis() as u64)),
+        ("attempts", Json::from(attempts)),
+        ("worker_exited", Json::from(worker_exited)),
+    ])
+}
+
+fn finish_line(
+    spec: &JobSpec,
+    started: Instant,
+    attempt: usize,
+    worker_exited: bool,
+    outcome: JobOutcome,
+) -> Json {
+    let mut line = base_line(spec, started.elapsed(), attempt, worker_exited);
     let Json::Obj(map) = &mut line else {
         unreachable!("Json::obj returns an object")
     };
-    match result {
-        Ok(Json::Obj(fields)) => {
+    match outcome {
+        JobOutcome::Ok(Json::Obj(fields)) => {
             map.insert("status".to_string(), Json::from("ok"));
             map.extend(fields);
         }
-        Ok(other) => {
+        JobOutcome::Ok(other) => {
             map.insert("status".to_string(), Json::from("ok"));
             map.insert("result".to_string(), other);
         }
-        Err(message) => {
+        JobOutcome::Error(message) => {
             map.insert("status".to_string(), Json::from("error"));
             map.insert("error".to_string(), Json::from(message));
+        }
+        JobOutcome::Interrupted { reason, partial } => {
+            let status = match reason {
+                StopReason::Cancelled => "cancelled",
+                StopReason::DeadlineExpired | StopReason::BudgetExhausted => "timeout",
+            };
+            map.insert("status".to_string(), Json::from(status));
+            map.insert("error".to_string(), Json::from(reason.to_string()));
+            if let Some(Json::Obj(fields)) = partial {
+                map.insert("partial".to_string(), Json::from(true));
+                map.extend(fields);
+            }
         }
     }
     line
 }
 
-/// The job body proper (runs inside the isolated worker thread).
-fn run_job(spec: &JobSpec) -> Result<Json, String> {
-    if spec.method == "selftest-panic" {
-        panic!("selftest-panic job requested a panic");
+/// The job body proper (runs inside the isolated worker thread, under
+/// the job's own [`RunControl`] token).
+fn run_job(spec: &JobSpec, control: &RunControl) -> JobOutcome {
+    match spec.method.as_str() {
+        "selftest-panic" => panic!("selftest-panic job requested a panic"),
+        "selftest-sleep" => {
+            // Out-sleep any configured timeout — but observe the token,
+            // so the sleeper exits within one poll interval instead of
+            // outliving the batch (the pre-cancellation thread leak).
+            let total = Duration::from_millis(spec.timeout_ms.saturating_add(60_000));
+            let slept_from = Instant::now();
+            while slept_from.elapsed() < total {
+                if let Some(reason) = control.poll() {
+                    return JobOutcome::Interrupted {
+                        reason,
+                        partial: None,
+                    };
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            JobOutcome::Ok(Json::obj([("slept", Json::from(true))]))
+        }
+        "selftest-flaky" => {
+            // Deterministic transient failure: the first attempt drops a
+            // marker file next to the circuit and errors; any later
+            // attempt sees the marker and succeeds. Exercises the
+            // retry-with-backoff path end to end.
+            let marker = spec.circuit.with_extension("flaky-marker");
+            if marker.exists() {
+                JobOutcome::Ok(Json::obj([("recovered", Json::from(true))]))
+            } else {
+                match std::fs::write(&marker, b"flaky") {
+                    Ok(()) => JobOutcome::Error("selftest-flaky first attempt fails".to_string()),
+                    Err(e) => JobOutcome::Error(format!("selftest-flaky marker: {e}")),
+                }
+            }
+        }
+        _ => run_engine_job(spec, control),
     }
-    if spec.method == "selftest-sleep" {
-        // Out-sleep any configured timeout; the worker detaches the thread.
-        std::thread::sleep(Duration::from_millis(
-            spec.timeout_ms.saturating_add(60_000),
-        ));
-        return Ok(Json::obj([("slept", Json::from(true))]));
-    }
-    let text = std::fs::read_to_string(&spec.circuit)
-        .map_err(|e| format!("read {}: {e}", spec.circuit.display()))?;
-    let circuit = parse_bench(&text).map_err(|e| format!("parse: {e}"))?;
-    let mut engine = TpiEngine::new(
+}
+
+fn run_engine_job(spec: &JobSpec, control: &RunControl) -> JobOutcome {
+    let text = match std::fs::read_to_string(&spec.circuit) {
+        Ok(text) => text,
+        Err(e) => return JobOutcome::Error(format!("read {}: {e}", spec.circuit.display())),
+    };
+    let circuit = match parse_bench(&text) {
+        Ok(circuit) => circuit,
+        Err(e) => return JobOutcome::Error(format!("parse: {e}")),
+    };
+    let engine = TpiEngine::new(
         circuit,
         EngineConfig {
             patterns: spec.patterns,
@@ -266,27 +569,36 @@ fn run_job(spec: &JobSpec) -> Result<Json, String> {
             verify_incremental: false,
             ..EngineConfig::default()
         },
-    )
-    .map_err(|e| format!("engine: {e}"))?;
+    );
+    let mut engine = match engine {
+        Ok(engine) => engine,
+        Err(e) => return JobOutcome::Error(format!("engine: {e}")),
+    };
+    engine.set_control(control.clone());
     match spec.method.as_str() {
-        "simulate" => {
-            let result = engine.simulate().map_err(|e| format!("simulate: {e}"))?;
-            Ok(Json::obj([
+        "simulate" => match engine.simulate() {
+            Ok(result) => JobOutcome::Ok(Json::obj([
                 ("coverage", Json::from(result.coverage())),
                 ("faults", Json::from(result.fault_count())),
                 ("detected", Json::from(result.detected_count())),
                 ("patterns", Json::from(result.patterns_applied())),
-            ]))
-        }
+            ])),
+            Err(tpi_core::TpiError::Interrupted { reason }) => JobOutcome::Interrupted {
+                reason,
+                partial: None,
+            },
+            Err(e) => JobOutcome::Error(format!("simulate: {e}")),
+        },
         "optimize" => {
             let cfg = OptimizeConfig {
                 max_rounds: spec.max_rounds,
                 ..OptimizeConfig::default()
             };
-            let outcome = engine
-                .optimize(Threshold::from_log2(spec.threshold_log2), &cfg)
-                .map_err(|e| format!("optimize: {e}"))?;
-            Ok(Json::obj([
+            let outcome = match engine.optimize(Threshold::from_log2(spec.threshold_log2), &cfg) {
+                Ok(outcome) => outcome,
+                Err(e) => return JobOutcome::Error(format!("optimize: {e}")),
+            };
+            let fields = Json::obj([
                 ("coverage", Json::from(outcome.final_coverage)),
                 (
                     "baseline_coverage",
@@ -300,9 +612,16 @@ fn run_job(spec: &JobSpec) -> Result<Json, String> {
                     Json::from(engine.stats().faults_resimulated),
                 ),
                 ("faults_skipped", Json::from(engine.stats().faults_skipped)),
-            ]))
+            ]);
+            match outcome.interrupted {
+                None => JobOutcome::Ok(fields),
+                Some(reason) => JobOutcome::Interrupted {
+                    reason,
+                    partial: Some(fields),
+                },
+            }
         }
-        other => Err(format!("unknown method '{other}'")),
+        other => JobOutcome::Error(format!("unknown method '{other}'")),
     }
 }
 
@@ -349,6 +668,7 @@ mod tests {
         let summary = run_jobs(workers, &specs, &mut out).unwrap();
         assert_eq!(summary.ok, 2, "{}", String::from_utf8_lossy(&out));
         assert_eq!(summary.failed, 2);
+        assert_eq!(summary.skipped, 0);
 
         let lines: Vec<Json> = String::from_utf8(out)
             .unwrap()
@@ -359,6 +679,7 @@ mod tests {
         // JSONL comes back in job order regardless of completion order.
         for (i, line) in lines.iter().enumerate() {
             assert_eq!(line.get("job").unwrap().as_u64(), Some(i as u64));
+            assert_eq!(line.get("worker_exited").unwrap().as_bool(), Some(true));
         }
         assert_eq!(lines[0].get("status").unwrap().as_str(), Some("ok"));
         assert_eq!(lines[1].get("status").unwrap().as_str(), Some("error"));
@@ -378,13 +699,8 @@ mod tests {
         assert!(parse_manifest(&no_circuit, Path::new(".")).is_err());
     }
 
-    #[test]
-    fn timeout_is_reported_not_fatal() {
-        let dir = temp_dir("timeout");
-        let path = write_bench(&dir, "slow.bench");
-        // The sleeper out-sleeps any budget: the timeout path is forced
-        // deterministically however fast the machine is.
-        let spec = JobSpec {
+    fn sleep_spec(path: PathBuf, timeout_ms: u64) -> JobSpec {
+        JobSpec {
             index: 0,
             circuit: path,
             method: "selftest-sleep".to_string(),
@@ -392,10 +708,195 @@ mod tests {
             patterns: 4096,
             max_rounds: 2,
             seed: 1,
-            timeout_ms: 10,
-        };
-        let line = run_job_isolated(&spec);
+            timeout_ms,
+        }
+    }
+
+    #[test]
+    fn timeout_is_reported_not_fatal() {
+        let dir = temp_dir("timeout");
+        let path = write_bench(&dir, "slow.bench");
+        // The sleeper out-sleeps any budget: the timeout path is forced
+        // deterministically however fast the machine is.
+        let line = run_job_isolated(&sleep_spec(path, 10), &RunControl::unlimited(), 0);
         assert_eq!(line.get("status").unwrap().as_str(), Some("timeout"));
+        // Cooperative cancellation: the sleeper observed its token and
+        // exited — no detached thread.
+        assert_eq!(line.get("worker_exited").unwrap().as_bool(), Some(true));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Current thread count of this process (Linux: /proc/self/status).
+    #[cfg(target_os = "linux")]
+    fn thread_count() -> usize {
+        let status = std::fs::read_to_string("/proc/self/status").unwrap();
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap()
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn timed_out_sleeper_does_not_leak_its_thread() {
+        let dir = temp_dir("thread-leak");
+        let path = write_bench(&dir, "slow.bench");
+        let baseline = thread_count();
+        let line = run_job_isolated(&sleep_spec(path, 20), &RunControl::unlimited(), 0);
+        assert_eq!(line.get("status").unwrap().as_str(), Some("timeout"));
+        assert_eq!(line.get("worker_exited").unwrap().as_bool(), Some(true));
+        // The worker was joined, so the count returns to baseline (allow
+        // a short settle for the OS to reap the thread).
+        let mut settled = thread_count();
+        for _ in 0..100 {
+            if settled <= baseline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            settled = thread_count();
+        }
+        assert!(
+            settled <= baseline,
+            "worker thread leaked: {settled} > baseline {baseline}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_cancel_drains_the_pool() {
+        let dir = temp_dir("cancel");
+        write_bench(&dir, "ok.bench");
+        let manifest = Json::parse(
+            r#"{"workers": 1, "jobs": [
+                {"circuit": "ok.bench", "method": "selftest-sleep", "timeout_ms": 60000},
+                {"circuit": "ok.bench", "method": "simulate", "patterns": 256}
+            ]}"#,
+        )
+        .unwrap();
+        let (_, specs) = parse_manifest(&manifest, &dir).unwrap();
+        let control = RunControl::cancellable();
+        control.cancel();
+        let opts = BatchOptions {
+            workers: 1,
+            control: control.clone(),
+            ..BatchOptions::default()
+        };
+        let mut out = Vec::new();
+        let started = Instant::now();
+        let summary = run_jobs_with(&opts, &specs, &mut out).unwrap();
+        // The 60-second sleeper never ran to its own deadline.
+        assert!(started.elapsed() < Duration::from_secs(30));
+        assert_eq!(summary.ok, 0);
+        assert_eq!(summary.failed, 2);
+        for line in String::from_utf8(out).unwrap().lines() {
+            let line = Json::parse(line).unwrap();
+            assert_eq!(line.get("status").unwrap().as_str(), Some("cancelled"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flaky_job_recovers_with_retries() {
+        let dir = temp_dir("flaky");
+        let path = write_bench(&dir, "flaky.bench");
+        let marker = path.with_extension("flaky-marker");
+        std::fs::remove_file(&marker).ok();
+        let spec = JobSpec {
+            index: 0,
+            circuit: path.clone(),
+            method: "selftest-flaky".to_string(),
+            threshold_log2: -8.0,
+            patterns: 256,
+            max_rounds: 2,
+            seed: 1,
+            timeout_ms: 30_000,
+        };
+        // Without retries the transient failure is final.
+        std::fs::remove_file(&marker).ok();
+        let line = run_job_isolated(&spec, &RunControl::unlimited(), 0);
+        assert_eq!(line.get("status").unwrap().as_str(), Some("error"));
+        // With one retry the second attempt recovers.
+        std::fs::remove_file(&marker).ok();
+        let line = run_job_isolated(&spec, &RunControl::unlimited(), 1);
+        assert_eq!(line.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(line.get("attempts").unwrap().as_u64(), Some(2));
+        assert_eq!(line.get("recovered").unwrap().as_bool(), Some(true));
+        std::fs::remove_file(&marker).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_skips_completed_jobs_and_appends() {
+        let dir = temp_dir("resume");
+        write_bench(&dir, "ok.bench");
+        let manifest = Json::parse(
+            r#"{"workers": 2, "jobs": [
+                {"circuit": "ok.bench", "method": "simulate", "patterns": 256},
+                {"circuit": "missing.bench", "method": "simulate"},
+                {"circuit": "ok.bench", "method": "simulate", "patterns": 128}
+            ]}"#,
+        )
+        .unwrap();
+        let (workers, specs) = parse_manifest(&manifest, &dir).unwrap();
+        let mut first = Vec::new();
+        run_jobs(workers, &specs, &mut first).unwrap();
+        let first = String::from_utf8(first).unwrap();
+        let done = completed_indices(&first);
+        assert_eq!(done, vec![0, 2]);
+
+        let opts = BatchOptions {
+            workers,
+            skip: done,
+            ..BatchOptions::default()
+        };
+        let mut second = Vec::new();
+        let summary = run_jobs_with(&opts, &specs, &mut second).unwrap();
+        assert_eq!(summary.skipped, 2);
+        assert_eq!(summary.ok, 0);
+        assert_eq!(summary.failed, 1); // only the missing-circuit job re-ran
+        let second = String::from_utf8(second).unwrap();
+        let lines: Vec<Json> = second.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].get("job").unwrap().as_u64(), Some(1));
+        // Appending the resumed lines keeps the checkpoint parseable.
+        let merged = format!("{first}{second}");
+        assert_eq!(completed_indices(&merged), vec![0, 2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn completed_indices_takes_the_last_line_per_job() {
+        let jsonl = concat!(
+            "{\"job\": 0, \"status\": \"ok\"}\n",
+            "{\"job\": 1, \"status\": \"timeout\"}\n",
+            "not json at all\n",
+            "{\"job\": 1, \"status\": \"ok\"}\n",
+            "{\"job\": 2, \"status\": \"ok\"}\n",
+            "{\"job\": 2, \"status\": \"error\"}\n",
+        );
+        assert_eq!(completed_indices(jsonl), vec![0, 1]);
+    }
+
+    #[test]
+    fn deadline_interrupted_optimize_reports_partial_timeout() {
+        let dir = temp_dir("partial");
+        let path = write_bench(&dir, "deep.bench");
+        // A zero-ish deadline interrupts the first measurement; the job
+        // reports a timeout with no partial plan rather than an error.
+        let spec = JobSpec {
+            index: 0,
+            circuit: path,
+            method: "optimize".to_string(),
+            threshold_log2: -8.0,
+            patterns: 1 << 20,
+            max_rounds: 4,
+            seed: 1,
+            timeout_ms: 0,
+        };
+        let line = run_job_isolated(&spec, &RunControl::unlimited(), 0);
+        assert_eq!(line.get("status").unwrap().as_str(), Some("timeout"));
+        assert_eq!(line.get("worker_exited").unwrap().as_bool(), Some(true));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -10,7 +10,7 @@ use tpi_netlist::transform::{apply_test_point, AppliedTestPoint};
 use tpi_netlist::{Circuit, NodeId, TestPoint, Topology};
 use tpi_sim::{
     DetectionMode, FaultSimResult, FaultSimulator, FaultSite, FaultUniverse, IndependentPatterns,
-    SimOptions,
+    RunControl, SimOptions, StopReason,
 };
 use tpi_testability::CopAnalysis;
 
@@ -141,6 +141,7 @@ pub struct TpiEngine {
     sim: Option<SimState>,
     memo: DpMemo,
     stats: EngineStats,
+    control: RunControl,
 }
 
 impl TpiEngine {
@@ -162,7 +163,22 @@ impl TpiEngine {
             sim: None,
             memo: DpMemo::default(),
             stats: EngineStats::default(),
+            control: RunControl::unlimited(),
         })
+    }
+
+    /// Install a [`RunControl`] token governing every subsequent
+    /// measurement and optimize round (front ends set a per-request or
+    /// per-job token; [`RunControl::unlimited`] restores free running).
+    /// Interrupted measurements are never cached, so a session survives
+    /// interruption and serves the next request normally.
+    pub fn set_control(&mut self, control: RunControl) {
+        self.control = control;
+    }
+
+    /// The currently installed [`RunControl`] token.
+    pub fn control(&self) -> &RunControl {
+        &self.control
     }
 
     /// The current (possibly edited) circuit.
@@ -235,11 +251,17 @@ impl TpiEngine {
         }
     }
 
-    fn full_sim(&mut self) -> Result<FaultSimResult, TpiError> {
+    fn full_sim(&mut self) -> Result<(FaultSimResult, Option<StopReason>), TpiError> {
         self.stats.full_sims += 1;
         let mut sim = FaultSimulator::with_options(&self.circuit, self.sim_options())?;
         let mut src = self.pattern_source();
-        Ok(sim.run(&mut src, self.config.patterns, self.universe.faults())?)
+        let run = sim.run_controlled(
+            &mut src,
+            self.config.patterns,
+            self.universe.faults(),
+            &self.control,
+        )?;
+        Ok((run.result, run.stopped))
     }
 
     /// The coverage measurement of the current circuit, computed at most
@@ -248,11 +270,17 @@ impl TpiEngine {
     ///
     /// # Errors
     ///
-    /// [`TpiError::Netlist`] if the circuit became malformed.
+    /// [`TpiError::Netlist`] if the circuit became malformed;
+    /// [`TpiError::Interrupted`] when the session's [`RunControl`] token
+    /// fires mid-measurement (a truncated measurement is never cached —
+    /// the next call under a fresh token measures from scratch).
     pub fn simulate(&mut self) -> Result<&FaultSimResult, TpiError> {
         let version = self.circuit.version();
         if self.sim.as_ref().is_none_or(|s| s.version != version) {
-            let result = self.full_sim()?;
+            let (result, stopped) = self.full_sim()?;
+            if let Some(reason) = stopped {
+                return Err(TpiError::Interrupted { reason });
+            }
             self.sim = Some(SimState { version, result });
         }
         Ok(&self.sim.as_ref().expect("just stored").result)
@@ -271,6 +299,12 @@ impl TpiEngine {
     /// incrementally: only faults inside the edit's dirty cone are
     /// re-simulated, all others keep their previous first-detections.
     ///
+    /// If the session's [`RunControl`] token fires during the
+    /// re-measurement, the point *stays applied* (the structural edit is
+    /// already committed) but the truncated measurement is discarded —
+    /// the next [`simulate`](TpiEngine::simulate) under a fresh token
+    /// measures from scratch.
+    ///
     /// # Errors
     ///
     /// [`TpiError::Netlist`] if the insertion or re-simulation fails.
@@ -282,11 +316,16 @@ impl TpiEngine {
         };
         let applied = apply_test_point(&mut self.circuit, tp)?;
         if let Some(prev) = prev {
-            let merged = self.resimulate_dirty_cone(&applied, old_nodes, prev)?;
-            self.sim = Some(SimState {
-                version: self.circuit.version(),
-                result: merged,
-            });
+            match self.resimulate_dirty_cone(&applied, old_nodes, prev) {
+                Ok(merged) => {
+                    self.sim = Some(SimState {
+                        version: self.circuit.version(),
+                        result: merged,
+                    });
+                }
+                Err(TpiError::Interrupted { .. }) => {} // sim stays invalidated
+                Err(e) => return Err(e),
+            }
         }
         Ok(applied)
     }
@@ -330,7 +369,12 @@ impl TpiEngine {
         let partial = {
             let mut sim = FaultSimulator::with_options(&self.circuit, self.sim_options())?;
             let mut src = self.pattern_source();
-            sim.run(&mut src, self.config.patterns, &dirty_faults)?
+            let run =
+                sim.run_controlled(&mut src, self.config.patterns, &dirty_faults, &self.control)?;
+            if let Some(reason) = run.stopped {
+                return Err(TpiError::Interrupted { reason });
+            }
+            run.result
         };
         let mut first: Vec<Option<u64>> = (0..prev.fault_count())
             .map(|i| prev.first_detection(i))
@@ -344,7 +388,13 @@ impl TpiEngine {
         );
 
         if self.config.verify_incremental {
-            let full = self.full_sim()?;
+            // An interrupted verification sim can't prove anything —
+            // skip the cross-check rather than assert against a truncated
+            // reference.
+            let (full, stopped) = self.full_sim()?;
+            if stopped.is_some() {
+                return Ok(merged);
+            }
             for i in 0..self.universe.len() {
                 assert_eq!(
                     merged.first_detection(i),
@@ -369,9 +419,21 @@ impl TpiEngine {
     /// [`ConstructiveOptimizer::solve`](tpi_core::general::ConstructiveOptimizer),
     /// which remains the from-scratch baseline it is benchmarked against.
     ///
+    /// When the session's [`RunControl`] token fires mid-run, the loop
+    /// stops cleanly after the last fully-refereed commit and the
+    /// outcome carries the best partial plan so far:
+    /// [`ConstructiveOutcome::interrupted`] records the reason, the plan
+    /// is an exact prefix of what the uninterrupted run would commit
+    /// (so its cost never exceeds the uninterrupted plan's), and
+    /// `final_coverage` is the coverage last measured before
+    /// interruption. Front ends wanting coverage *at* interruption
+    /// re-measure under a fresh token (interrupted measurements are
+    /// never cached).
+    ///
     /// # Errors
     ///
-    /// [`TpiError::Netlist`] on malformed circuits.
+    /// [`TpiError::Netlist`] on malformed circuits. Interruption is not
+    /// an error.
     pub fn optimize(
         &mut self,
         threshold: Threshold,
@@ -382,10 +444,18 @@ impl TpiEngine {
         let mut rounds: Vec<RoundReport> = Vec::new();
         let mut coverage = 0.0;
         let mut last_added = 0usize;
+        let mut interrupted: Option<StopReason> = None;
 
         for round in 0..cfg.max_rounds.max(1) {
             // 1. Measure (cached; incremental after the first commit).
-            let result = self.simulate()?.clone();
+            let result = match self.simulate() {
+                Ok(result) => result.clone(),
+                Err(TpiError::Interrupted { reason }) => {
+                    interrupted = Some(reason);
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
             coverage = result.coverage();
             let cost_so_far = costs.total(&plan_points);
             rounds.push(RoundReport {
@@ -404,7 +474,14 @@ impl TpiEngine {
 
             // 2–3. Decompose on cached analyses; solve regions through
             // the DP memo.
-            let mut groups = self.plan_region_groups(threshold, cfg, &undetected)?;
+            let mut groups = match self.plan_region_groups(threshold, cfg, &undetected) {
+                Ok(groups) => groups,
+                Err(TpiError::Interrupted { reason }) => {
+                    interrupted = Some(reason);
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
             for tp in
                 gather_candidates(&self.circuit, &self.universe, &undetected, &plan_points, 16)
             {
@@ -412,7 +489,12 @@ impl TpiEngine {
             }
 
             // 4. Referee by simulation (dirty faults only) and commit.
-            let committed = self.pick_by_simulation(&undetected, groups)?;
+            let (committed, stopped) = self.pick_by_simulation(&undetected, groups)?;
+            if let Some(reason) = stopped {
+                // A partially-refereed pick must not be committed.
+                interrupted = Some(reason);
+                break;
+            }
             if committed.is_empty() {
                 break;
             }
@@ -440,6 +522,7 @@ impl TpiEngine {
             rounds,
             final_coverage: coverage,
             modified: self.circuit.clone(),
+            interrupted,
         })
     }
 
@@ -513,11 +596,17 @@ impl TpiEngine {
                     let problem =
                         TpiProblem::with_targets(&extraction.circuit, threshold, sub_targets)
                             .with_input_probs(extraction.input_probs.clone());
-                    let solved = dp
-                        .solve_region(&problem, rho)
-                        .ok()
-                        .map(|(plan, _)| plan.test_points().to_vec())
-                        .filter(|points| !points.is_empty());
+                    let solved = match dp.solve_region_controlled(&problem, rho, &self.control) {
+                        Ok((plan, _)) => {
+                            Some(plan.test_points().to_vec()).filter(|points| !points.is_empty())
+                        }
+                        // Propagate interruption without memoizing: the
+                        // subproblem was never solved.
+                        Err(TpiError::Interrupted { reason }) => {
+                            return Err(TpiError::Interrupted { reason });
+                        }
+                        Err(_) => None,
+                    };
                     self.memo.insert(fp, solved.clone());
                     solved
                 }
@@ -550,7 +639,7 @@ impl TpiEngine {
         &mut self,
         undetected: &[usize],
         groups: Vec<Vec<TestPoint>>,
-    ) -> Result<Vec<TestPoint>, TpiError> {
+    ) -> Result<(Vec<TestPoint>, Option<StopReason>), TpiError> {
         let costs = CostModel::default();
         let budget = self.config.patterns.min(4096);
         let mut best: Option<(Vec<TestPoint>, f64)> = None;
@@ -586,7 +675,13 @@ impl TpiEngine {
             }
             let mut sim = FaultSimulator::with_options(&scratch, self.sim_options())?;
             let mut src = IndependentPatterns::new(scratch.inputs().len(), self.config.seed);
-            let result = sim.run(&mut src, budget, &faults)?;
+            let run = sim.run_controlled(&mut src, budget, &faults, &self.control)?;
+            if let Some(reason) = run.stopped {
+                // The referee was cut short: scores so far are not
+                // comparable, so report nothing committed.
+                return Ok((Vec::new(), Some(reason)));
+            }
+            let result = run.result;
             let score = result.detected_count() as f64 / costs.total(&group).max(1e-9);
             if score > 0.0
                 && best
@@ -597,7 +692,7 @@ impl TpiEngine {
                 best = Some((group, score));
             }
         }
-        Ok(best.map(|(group, _)| group).unwrap_or_default())
+        Ok((best.map(|(group, _)| group).unwrap_or_default(), None))
     }
 }
 

@@ -53,3 +53,4 @@ mod memo;
 pub mod serve;
 
 pub use engine::{dirty_line_mask, Analyses, EngineConfig, EngineStats, OptimizeConfig, TpiEngine};
+pub use tpi_sim::{RunControl, StopReason};

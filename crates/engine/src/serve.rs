@@ -5,7 +5,8 @@
 //! driving process pays for analyses and full simulation once and for
 //! incremental work afterwards.
 //!
-//! Requests (`cmd` selects the operation):
+//! Requests (`cmd` — `method` is accepted as an alias — selects the
+//! operation):
 //!
 //! * `{"cmd":"load","path":"c432.bench"}` or
 //!   `{"cmd":"load","bench":"INPUT(a)\n..."}` — open a session; optional
@@ -16,57 +17,161 @@
 //! * `{"cmd":"optimize","threshold_log2":-8,"max_rounds":8}` — run the
 //!   constructive loop on the session.
 //! * `{"cmd":"stats"}` — cache/simulation counters.
-//! * `{"cmd":"quit"}` — end the session.
+//! * `{"cmd":"shutdown"}` — acknowledge, then stop serving (graceful:
+//!   the in-flight request — this one — is answered before the loop
+//!   exits; EOF on the input behaves the same without the ack).
+//! * `{"cmd":"quit"}` — end the session without a response.
 //!
-//! Every response carries `"ok"`; failures carry `"error"` and leave the
-//! session usable.
+//! # Robustness
+//!
+//! The server never dies on a request: malformed JSON, unknown methods,
+//! oversized circuits and even panics inside the engine come back as
+//! error responses (`"ok": false` plus a machine-readable `"code"`) and
+//! leave the loop serving. Two per-request/han-wide guards:
+//!
+//! * **Deadlines** — any request may carry `"deadline_ms"`; the engine
+//!   runs the operation under a [`RunControl`](crate::RunControl) token
+//!   with that deadline. An interrupted `optimize` still succeeds with
+//!   the best plan committed so far and `"partial": true`; an
+//!   interrupted measurement reports code `"deadline_expired"` and the
+//!   next request (under a fresh token) simply re-measures.
+//! * **Resource caps** — [`ServeLimits`] bounds circuit size and
+//!   pattern budget; a request beyond a cap is rejected with code
+//!   `"limit_exceeded"` before any work happens.
 
 use std::io::{BufRead, Write};
+use std::panic::AssertUnwindSafe;
+use std::time::Duration;
 
-use tpi_core::Threshold;
+use tpi_core::{Threshold, TpiError};
 use tpi_netlist::bench_format::parse_bench;
 use tpi_netlist::{TestPoint, TestPointKind};
+use tpi_sim::RunControl;
 
 use crate::json::Json;
 use crate::{EngineConfig, OptimizeConfig, TpiEngine};
+
+/// Resource caps enforced per request (`None` = uncapped).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeLimits {
+    /// Largest circuit (node count) a `load` accepts.
+    pub max_gates: Option<usize>,
+    /// Largest measurement pattern budget a `load` accepts.
+    pub max_patterns: Option<u64>,
+}
+
+/// A structured request failure: a machine-readable code plus a
+/// human-readable message.
+struct ServeError {
+    code: &'static str,
+    message: String,
+}
+
+fn err(code: &'static str, message: impl Into<String>) -> ServeError {
+    ServeError {
+        code,
+        message: message.into(),
+    }
+}
 
 /// The mutable state of one serve session.
 #[derive(Default)]
 pub struct ServeState {
     engine: Option<TpiEngine>,
+    limits: ServeLimits,
+    done: bool,
 }
 
 impl ServeState {
-    /// Fresh, with no circuit loaded.
+    /// Fresh, with no circuit loaded and no resource caps.
     pub fn new() -> ServeState {
         ServeState::default()
     }
 
+    /// Fresh, with resource caps.
+    pub fn with_limits(limits: ServeLimits) -> ServeState {
+        ServeState {
+            limits,
+            ..ServeState::default()
+        }
+    }
+
+    /// `true` once a `shutdown` request has been acknowledged; the serve
+    /// loop stops reading after the current response is written.
+    pub fn finished(&self) -> bool {
+        self.done
+    }
+
     /// Handle one request line; returns the response line, or `None` for
-    /// `quit`.
+    /// `quit` (no response, stop serving).
     pub fn handle_line(&mut self, line: &str) -> Option<String> {
         let trimmed = line.trim();
         if trimmed.is_empty() {
-            return Some(error_line("empty request"));
+            return Some(error_line("bad_request", "empty request"));
         }
         let request = match Json::parse(trimmed) {
             Ok(v) => v,
-            Err(e) => return Some(error_line(&format!("bad JSON: {e}"))),
+            Err(e) => return Some(error_line("bad_json", &format!("bad JSON: {e}"))),
         };
-        let cmd = request.get("cmd").and_then(Json::as_str).unwrap_or("");
-        if cmd == "quit" {
+        // `method` is accepted as an alias of `cmd`.
+        let method = request
+            .get("cmd")
+            .or_else(|| request.get("method"))
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        if method == "quit" {
             return None;
         }
-        let response = self.dispatch(cmd, &request).unwrap_or_else(error_json);
+        if method == "shutdown" {
+            self.done = true;
+            return Some(
+                Json::obj([("ok", Json::from(true)), ("shutdown", Json::from(true))]).to_string(),
+            );
+        }
+
+        // Run the operation under the request's deadline (if any); the
+        // token is reset afterwards so later requests start fresh.
+        let deadline = request
+            .get("deadline_ms")
+            .and_then(Json::as_u64)
+            .map(Duration::from_millis);
+        if let Some(engine) = self.engine.as_mut() {
+            engine.set_control(RunControl::with_limits(deadline, None));
+        }
+        let dispatched =
+            std::panic::catch_unwind(AssertUnwindSafe(|| self.dispatch(&method, &request)));
+        if let Some(engine) = self.engine.as_mut() {
+            engine.set_control(RunControl::unlimited());
+        }
+        let response = match dispatched {
+            Ok(Ok(response)) => response,
+            Ok(Err(e)) => error_json(e),
+            Err(panic) => {
+                // A panicked operation may have left the session's caches
+                // inconsistent: drop the session rather than serve from a
+                // corrupted one. The server itself stays alive.
+                self.engine = None;
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "engine panicked".to_string());
+                error_json(err(
+                    "panic",
+                    format!("engine panicked ({message}); session reset, send 'load' again"),
+                ))
+            }
+        };
         Some(response.to_string())
     }
 
-    fn dispatch(&mut self, cmd: &str, request: &Json) -> Result<Json, String> {
-        match cmd {
+    fn dispatch(&mut self, method: &str, request: &Json) -> Result<Json, ServeError> {
+        match method {
             "load" => self.cmd_load(request),
             "coverage" => {
                 let engine = self.engine_mut()?;
-                let result = engine.simulate().map_err(|e| e.to_string())?;
+                let result = engine.simulate().map_err(engine_error)?;
                 Ok(Json::obj([
                     ("ok", Json::from(true)),
                     ("coverage", Json::from(result.coverage())),
@@ -93,31 +198,51 @@ impl ServeState {
                     ("memo_entries", Json::from(engine.memo_len())),
                 ]))
             }
-            "" => Err("missing 'cmd'".to_string()),
-            other => Err(format!("unknown cmd '{other}'")),
+            "" => Err(err("bad_request", "missing 'cmd'")),
+            other => Err(err("unknown_method", format!("unknown cmd '{other}'"))),
         }
     }
 
-    fn engine_mut(&mut self) -> Result<&mut TpiEngine, String> {
+    fn engine_mut(&mut self) -> Result<&mut TpiEngine, ServeError> {
         self.engine
             .as_mut()
-            .ok_or_else(|| "no circuit loaded (send a 'load' first)".to_string())
+            .ok_or_else(|| err("no_session", "no circuit loaded (send a 'load' first)"))
     }
 
-    fn cmd_load(&mut self, request: &Json) -> Result<Json, String> {
+    fn cmd_load(&mut self, request: &Json) -> Result<Json, ServeError> {
         let text = if let Some(bench) = request.get("bench").and_then(Json::as_str) {
             bench.to_string()
         } else if let Some(path) = request.get("path").and_then(Json::as_str) {
-            std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?
+            std::fs::read_to_string(path).map_err(|e| err("io", format!("read {path}: {e}")))?
         } else {
-            return Err("'load' needs 'bench' text or a 'path'".to_string());
+            return Err(err("bad_request", "'load' needs 'bench' text or a 'path'"));
         };
-        let circuit = parse_bench(&text).map_err(|e| format!("parse: {e}"))?;
+        let patterns = request
+            .get("patterns")
+            .and_then(Json::as_u64)
+            .unwrap_or(4096);
+        if let Some(cap) = self.limits.max_patterns {
+            if patterns > cap {
+                return Err(err(
+                    "limit_exceeded",
+                    format!("{patterns} patterns exceed the server cap of {cap}"),
+                ));
+            }
+        }
+        let circuit = parse_bench(&text).map_err(|e| err("parse", format!("parse: {e}")))?;
+        if let Some(cap) = self.limits.max_gates {
+            if circuit.node_count() > cap {
+                return Err(err(
+                    "limit_exceeded",
+                    format!(
+                        "circuit has {} nodes, exceeding the server cap of {cap}",
+                        circuit.node_count()
+                    ),
+                ));
+            }
+        }
         let config = EngineConfig {
-            patterns: request
-                .get("patterns")
-                .and_then(Json::as_u64)
-                .unwrap_or(4096),
+            patterns,
             seed: request
                 .get("seed")
                 .and_then(Json::as_u64)
@@ -125,7 +250,7 @@ impl ServeState {
             verify_incremental: false,
             ..EngineConfig::default()
         };
-        let engine = TpiEngine::new(circuit, config).map_err(|e| e.to_string())?;
+        let engine = TpiEngine::new(circuit, config).map_err(engine_error)?;
         let response = Json::obj([
             ("ok", Json::from(true)),
             ("name", Json::from(engine.circuit().name())),
@@ -138,28 +263,28 @@ impl ServeState {
         Ok(response)
     }
 
-    fn cmd_insert(&mut self, request: &Json) -> Result<Json, String> {
+    fn cmd_insert(&mut self, request: &Json) -> Result<Json, ServeError> {
         let node_name = request
             .get("node")
             .and_then(Json::as_str)
-            .ok_or("'insert' needs 'node'")?
+            .ok_or_else(|| err("bad_request", "'insert' needs 'node'"))?
             .to_string();
         let kind = match request.get("kind").and_then(Json::as_str).unwrap_or("op") {
             "op" => TestPointKind::Observe,
             "cp-and" => TestPointKind::ControlAnd,
             "cp-or" => TestPointKind::ControlOr,
             "tp" => TestPointKind::Full,
-            other => return Err(format!("unknown kind '{other}'")),
+            other => return Err(err("bad_request", format!("unknown kind '{other}'"))),
         };
         let engine = self.engine_mut()?;
         let node = engine
             .circuit()
             .find_node(&node_name)
-            .ok_or_else(|| format!("no node named '{node_name}'"))?;
+            .ok_or_else(|| err("not_found", format!("no node named '{node_name}'")))?;
         engine
             .apply(TestPoint::new(node, kind))
-            .map_err(|e| e.to_string())?;
-        let coverage = engine.coverage().map_err(|e| e.to_string())?;
+            .map_err(engine_error)?;
+        let coverage = engine.coverage().map_err(engine_error)?;
         Ok(Json::obj([
             ("ok", Json::from(true)),
             ("coverage", Json::from(coverage)),
@@ -171,7 +296,7 @@ impl ServeState {
         ]))
     }
 
-    fn cmd_optimize(&mut self, request: &Json) -> Result<Json, String> {
+    fn cmd_optimize(&mut self, request: &Json) -> Result<Json, ServeError> {
         let threshold = Threshold::from_log2(
             request
                 .get("threshold_log2")
@@ -194,9 +319,7 @@ impl ServeState {
             ..OptimizeConfig::default()
         };
         let engine = self.engine_mut()?;
-        let outcome = engine
-            .optimize(threshold, &cfg)
-            .map_err(|e| e.to_string())?;
+        let outcome = engine.optimize(threshold, &cfg).map_err(engine_error)?;
         let points: Vec<Json> = outcome
             .plan
             .test_points()
@@ -208,7 +331,7 @@ impl ServeState {
                 ])
             })
             .collect();
-        Ok(Json::obj([
+        let mut response = Json::obj([
             ("ok", Json::from(true)),
             ("coverage", Json::from(outcome.final_coverage)),
             (
@@ -218,26 +341,65 @@ impl ServeState {
             ("cost", Json::from(outcome.plan.cost())),
             ("rounds", Json::from(outcome.rounds.len())),
             ("points", Json::Arr(points)),
-        ]))
+        ]);
+        // Interrupted optimizes are still successes: the plan is the
+        // exact prefix committed before the deadline (an anytime result),
+        // flagged so the caller knows the loop did not run to completion.
+        if let Some(reason) = outcome.interrupted {
+            if let Json::Obj(map) = &mut response {
+                map.insert("partial".to_string(), Json::from(true));
+                map.insert("stopped".to_string(), Json::from(reason.to_string()));
+            }
+        }
+        Ok(response)
     }
 }
 
-fn error_json(message: String) -> Json {
-    Json::obj([("ok", Json::from(false)), ("error", Json::from(message))])
+/// Map an engine failure to a structured serve error (interruptions get
+/// their own code so drivers can tell "ran out of deadline" from "broke").
+fn engine_error(e: TpiError) -> ServeError {
+    match e {
+        TpiError::Interrupted { reason } => {
+            err("deadline_expired", format!("interrupted: {reason}"))
+        }
+        other => err("engine", other.to_string()),
+    }
 }
 
-fn error_line(message: &str) -> String {
-    error_json(message.to_string()).to_string()
+fn error_json(e: ServeError) -> Json {
+    Json::obj([
+        ("ok", Json::from(false)),
+        ("code", Json::from(e.code)),
+        ("error", Json::from(e.message)),
+    ])
 }
 
-/// Serve requests from `input` until EOF or a `quit`, writing responses
-/// (and flushing after each, so pipes stay interactive) to `output`.
+fn error_line(code: &'static str, message: &str) -> String {
+    error_json(err(code, message)).to_string()
+}
+
+/// Serve requests from `input` until EOF, a `quit`, or an acknowledged
+/// `shutdown`, writing responses (and flushing after each, so pipes stay
+/// interactive) to `output`. Default (uncapped) [`ServeLimits`].
 ///
 /// # Errors
 ///
 /// Only I/O failures on the streams.
-pub fn serve(input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
-    let mut state = ServeState::new();
+pub fn serve(input: impl BufRead, output: impl Write) -> std::io::Result<()> {
+    serve_with(ServeLimits::default(), input, output)
+}
+
+/// [`serve`] with explicit resource caps.
+///
+/// # Errors
+///
+/// Only I/O failures on the streams.
+pub fn serve_with(
+    limits: ServeLimits,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<()> {
+    let mut state = ServeState::with_limits(limits);
     for line in input.lines() {
         let line = line?;
         match state.handle_line(&line) {
@@ -246,6 +408,9 @@ pub fn serve(input: impl BufRead, mut output: impl Write) -> std::io::Result<()>
                 output.flush()?;
             }
             None => break,
+        }
+        if state.finished() {
+            break;
         }
     }
     Ok(())
@@ -263,6 +428,21 @@ mod tests {
         assert_eq!(
             v.get("ok").and_then(Json::as_bool),
             Some(true),
+            "{response}"
+        );
+        v
+    }
+
+    fn failed(response: &str, code: &str) -> Json {
+        let v = Json::parse(response).unwrap();
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{response}"
+        );
+        assert_eq!(
+            v.get("code").and_then(Json::as_str),
+            Some(code),
             "{response}"
         );
         v
@@ -306,32 +486,120 @@ mod tests {
             .handle_line(r#"{"cmd":"optimize","threshold_log2":-4,"max_rounds":2}"#)
             .unwrap());
         assert!(response.get("rounds").unwrap().as_u64().unwrap() >= 1);
+        assert!(response.get("partial").is_none());
     }
 
     #[test]
     fn errors_leave_the_session_usable() {
         let mut state = ServeState::new();
-        let no_load = state.handle_line(r#"{"cmd":"coverage"}"#).unwrap();
-        assert_eq!(
-            Json::parse(&no_load)
-                .unwrap()
-                .get("ok")
-                .and_then(Json::as_bool),
-            Some(false)
+        failed(
+            &state.handle_line(r#"{"cmd":"coverage"}"#).unwrap(),
+            "no_session",
         );
-        let bad_json = state.handle_line("{nope").unwrap();
-        assert!(bad_json.contains("bad JSON"));
-        let unknown = state.handle_line(r#"{"cmd":"frobnicate"}"#).unwrap();
-        assert!(unknown.contains("unknown cmd"));
+        failed(&state.handle_line("{nope").unwrap(), "bad_json");
+        failed(
+            &state.handle_line(r#"{"cmd":"frobnicate"}"#).unwrap(),
+            "unknown_method",
+        );
+        failed(&state.handle_line("").unwrap(), "bad_request");
 
         ok(&state
             .handle_line(&format!(r#"{{"cmd":"load","bench":"{BENCH}"}}"#))
             .unwrap());
-        let missing_node = state
-            .handle_line(r#"{"cmd":"insert","node":"ghost"}"#)
-            .unwrap();
-        assert!(missing_node.contains("no node named"));
+        failed(
+            &state
+                .handle_line(r#"{"cmd":"insert","node":"ghost"}"#)
+                .unwrap(),
+            "not_found",
+        );
         ok(&state.handle_line(r#"{"cmd":"coverage"}"#).unwrap());
+    }
+
+    #[test]
+    fn method_is_an_alias_for_cmd() {
+        let mut state = ServeState::new();
+        ok(&state
+            .handle_line(&format!(r#"{{"method":"load","bench":"{BENCH}"}}"#))
+            .unwrap());
+        ok(&state.handle_line(r#"{"method":"coverage"}"#).unwrap());
+    }
+
+    #[test]
+    fn resource_caps_reject_oversized_requests() {
+        let mut state = ServeState::with_limits(ServeLimits {
+            max_gates: Some(3),
+            max_patterns: Some(1024),
+        });
+        // 7 nodes > 3: rejected before any analysis runs.
+        failed(
+            &state
+                .handle_line(&format!(r#"{{"cmd":"load","bench":"{BENCH}"}}"#))
+                .unwrap(),
+            "limit_exceeded",
+        );
+        failed(
+            &state
+                .handle_line(&format!(
+                    r#"{{"cmd":"load","bench":"{BENCH}","patterns":4096}}"#
+                ))
+                .unwrap(),
+            "limit_exceeded",
+        );
+        // The server survives and accepts an in-budget load.
+        let mut roomy = ServeState::with_limits(ServeLimits {
+            max_gates: Some(64),
+            max_patterns: Some(1024),
+        });
+        ok(&roomy
+            .handle_line(&format!(
+                r#"{{"cmd":"load","bench":"{BENCH}","patterns":512}}"#
+            ))
+            .unwrap());
+    }
+
+    #[test]
+    fn mid_stream_deadline_interrupts_and_session_recovers() {
+        let mut state = ServeState::new();
+        ok(&state
+            .handle_line(&format!(
+                r#"{{"cmd":"load","bench":"{BENCH}","patterns":512}}"#
+            ))
+            .unwrap());
+        // A zero deadline interrupts the measurement immediately.
+        failed(
+            &state
+                .handle_line(r#"{"cmd":"coverage","deadline_ms":0}"#)
+                .unwrap(),
+            "deadline_expired",
+        );
+        // An interrupted optimize is an anytime success: empty prefix
+        // plan, flagged partial.
+        let partial = ok(&state
+            .handle_line(r#"{"cmd":"optimize","deadline_ms":0,"max_rounds":4}"#)
+            .unwrap());
+        assert_eq!(partial.get("partial").and_then(Json::as_bool), Some(true));
+        assert_eq!(partial.get("points").unwrap().as_arr().unwrap().len(), 0);
+        // The deadline does not outlive its request: a fresh token lets
+        // the same session measure to completion.
+        ok(&state.handle_line(r#"{"cmd":"coverage"}"#).unwrap());
+    }
+
+    #[test]
+    fn shutdown_acks_then_stops_the_loop() {
+        let script = format!(
+            "{{\"cmd\":\"load\",\"bench\":\"{BENCH}\"}}\n{{\"method\":\"shutdown\"}}\n{{\"cmd\":\"coverage\"}}\n"
+        );
+        let mut out = Vec::new();
+        serve(script.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // The in-flight request is answered, the shutdown acknowledged,
+        // the post-shutdown request never processed.
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            ok(lines[1]).get("shutdown").and_then(Json::as_bool),
+            Some(true)
+        );
     }
 
     #[test]

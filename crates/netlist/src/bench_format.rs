@@ -88,11 +88,16 @@ pub fn parse_bench_with(
         } else if let Some(rest) = strip_keyword(line, "OUTPUT") {
             output_names.push(parse_paren_arg(rest, lineno)?);
         } else if let Some(eq) = line.find('=') {
-            let target = line[..eq].trim();
+            // All slice indices come from `find`/`rfind`, so they sit on
+            // char boundaries — but malformed input is exactly where
+            // assumptions go to die, so slice fallibly and report a
+            // parse error instead of ever panicking.
+            let sliced = parse_err("malformed line (bad byte boundary)".into());
+            let target = line.get(..eq).ok_or_else(|| sliced.clone())?.trim();
             if target.is_empty() {
                 return Err(parse_err("missing target name before `=`".into()));
             }
-            let rhs = line[eq + 1..].trim();
+            let rhs = line.get(eq + 1..).ok_or_else(|| sliced.clone())?.trim();
             let open = rhs
                 .find('(')
                 .ok_or_else(|| parse_err(format!("expected GATE(...) after `=`, got `{rhs}`")))?;
@@ -102,8 +107,10 @@ pub fn parse_bench_with(
             if close < open {
                 return Err(parse_err("mismatched parentheses".into()));
             }
-            let keyword = rhs[..open].trim();
-            let args: Vec<String> = rhs[open + 1..close]
+            let keyword = rhs.get(..open).ok_or_else(|| sliced.clone())?.trim();
+            let args: Vec<String> = rhs
+                .get(open + 1..close)
+                .ok_or_else(|| sliced.clone())?
                 .split(',')
                 .map(|a| a.trim().to_string())
                 .filter(|a| !a.is_empty())
@@ -202,8 +209,12 @@ pub fn parse_bench_with(
 
 fn strip_keyword<'a>(line: &'a str, kw: &str) -> Option<&'a str> {
     let trimmed = line.trim_start();
-    if trimmed.len() >= kw.len() && trimmed[..kw.len()].eq_ignore_ascii_case(kw) {
-        let rest = &trimmed[kw.len()..];
+    // Fallible slicing: `kw.len()` may land inside a multi-byte UTF-8
+    // sequence of malformed input, where `trimmed[..kw.len()]` would
+    // panic the whole process.
+    let head = trimmed.get(..kw.len())?;
+    if head.eq_ignore_ascii_case(kw) {
+        let rest = trimmed.get(kw.len()..)?;
         rest.trim_start().starts_with('(').then_some(rest)
     } else {
         None
@@ -410,6 +421,44 @@ y = NOT(q)
             parse_bench(text),
             Err(NetlistError::UndefinedSignal { .. })
         ));
+    }
+
+    #[test]
+    fn malformed_input_errors_instead_of_panicking() {
+        // Every line here used to (or plausibly could) trip a byte-slice
+        // panic or unchecked assumption; each must come back as a clean
+        // error — a batch/serve front end feeds the parser untrusted
+        // files and must never die on one.
+        let nasty = [
+            "ééé(a)\n",                  // byte 5 of "ééé" splits a UTF-8 char
+            "é\n",                       // shorter than any keyword
+            "ÍNPUT(a)\n",                // non-ASCII near-keyword
+            "ñ = AND(a)\n",              // non-ASCII target
+            "y = ÑAND(a, b)\n",          // non-ASCII gate keyword
+            "y = (a, b)\n",              // empty keyword
+            "= AND(a, b)\n",             // empty target
+            "y = AND)a, b(\n",           // reversed parens
+            "y = AND(a, b\n",            // missing close
+            "INPUT()\n",                 // empty name
+            "INPUT(a b)\n",              // whitespace in name
+            "INPUT\n",                   // keyword without parens
+            "OUTPUT(\n",                 // unclosed OUTPUT
+            "y = DFF(a, b)\n",           // DFF arity
+            "\u{0}\u{0}=\u{0}(\u{0})\n", // control characters
+        ];
+        for text in nasty {
+            match parse_bench(text) {
+                Ok(_) => {}
+                Err(e) => {
+                    let _ = e.to_string(); // Display must not panic either
+                }
+            }
+        }
+        // And the reported line number survives the hardening.
+        match parse_bench("INPUT(a)\nééé(a)\n") {
+            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Cooperative cancellation, deadlines and work budgets.
+//!
+//! Long-running layers (fault-sim block loops, parallel workers, the
+//! DP/greedy/constructive search loops, ATPG top-off) poll a shared
+//! [`RunControl`] token at coarse grain — once per pattern block, per
+//! search round, per target fault — and unwind cleanly with a
+//! [`StopReason`] instead of running to completion. The token is cheap
+//! to clone (an `Arc`) and an *unlimited* token is a `None`, so the
+//! polling fast path in a hot loop is a single branch.
+//!
+//! Interruption is cooperative, never preemptive: a caller that stops a
+//! run always gets back whatever the interrupted layer had already
+//! committed (an *anytime* result), and the worker thread actually
+//! exits rather than being detached.
+//!
+//! Budget-based interruption ([`RunControl::with_budget`]) is
+//! deterministic: work is charged in pattern units at block granularity,
+//! so two runs of the same configuration stop at the same point. The
+//! wall-clock deadline is inherently not.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a controlled run stopped before completing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// [`RunControl::cancel`] was called (directly or on a parent token).
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExpired,
+    /// The charged work exceeded the configured budget.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::Cancelled => write!(f, "cancelled"),
+            StopReason::DeadlineExpired => write!(f, "deadline expired"),
+            StopReason::BudgetExhausted => write!(f, "work budget exhausted"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    /// Work budget in caller-defined units (the fault simulator charges
+    /// pattern lanes). `u64::MAX` means unbudgeted.
+    budget: u64,
+    spent: AtomicU64,
+    /// Hierarchical cancellation: a batch-global token parents every
+    /// per-job token, so one `cancel()` stops the whole pool.
+    parent: Option<RunControl>,
+}
+
+/// A shared cancellation/deadline/budget token (see module docs).
+///
+/// Clones share state: cancelling any clone stops every holder at its
+/// next poll. The [`Default`]/[`RunControl::unlimited`] token has no
+/// shared state at all and never stops anything — polling it is free.
+#[derive(Clone, Debug, Default)]
+pub struct RunControl {
+    inner: Option<Arc<Inner>>,
+}
+
+impl RunControl {
+    /// A token that never interrupts; polling is a single `None` check.
+    pub fn unlimited() -> Self {
+        Self { inner: None }
+    }
+
+    /// A token with no limits that can still be [`cancel`led](Self::cancel).
+    pub fn cancellable() -> Self {
+        Self::build(None, u64::MAX, None)
+    }
+
+    /// A token that expires `timeout` from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::build(Instant::now().checked_add(timeout), u64::MAX, None)
+    }
+
+    /// A token that expires after `units` of charged work (deterministic;
+    /// see [`charge`](Self::charge)).
+    pub fn with_budget(units: u64) -> Self {
+        Self::build(None, units, None)
+    }
+
+    /// A token with an optional deadline and an optional budget.
+    pub fn with_limits(timeout: Option<Duration>, budget: Option<u64>) -> Self {
+        match (timeout, budget) {
+            (None, None) => Self::unlimited(),
+            _ => Self::build(
+                timeout.and_then(|t| Instant::now().checked_add(t)),
+                budget.unwrap_or(u64::MAX),
+                None,
+            ),
+        }
+    }
+
+    /// A child token with its own optional deadline that also observes
+    /// cancellation/expiry of `self` (checked first on every poll).
+    pub fn child_with_deadline(&self, timeout: Option<Duration>) -> Self {
+        Self::build(
+            timeout.and_then(|t| Instant::now().checked_add(t)),
+            u64::MAX,
+            Some(self.clone()),
+        )
+    }
+
+    fn build(deadline: Option<Instant>, budget: u64, parent: Option<RunControl>) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline,
+                budget,
+                spent: AtomicU64::new(0),
+                parent,
+            })),
+        }
+    }
+
+    /// Request cancellation; every holder of a clone (or of a child
+    /// token) observes it at its next [`poll`](Self::poll).
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on this token or
+    /// any ancestor.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.cancelled.load(Ordering::Acquire)
+                    || inner.parent.as_ref().is_some_and(RunControl::is_cancelled)
+            }
+        }
+    }
+
+    /// Charge `units` of completed work against the budget (a no-op on
+    /// tokens without one). The fault simulator charges applied pattern
+    /// lanes once per block.
+    pub fn charge(&self, units: u64) {
+        if let Some(inner) = &self.inner {
+            if inner.budget != u64::MAX {
+                inner.spent.fetch_add(units, Ordering::Relaxed);
+            }
+            if let Some(parent) = &inner.parent {
+                parent.charge(units);
+            }
+        }
+    }
+
+    /// Check for interruption. Returns the first applicable reason, in
+    /// the order parent → cancel → deadline → budget, or `None` to keep
+    /// running. Intended to be called at coarse grain (per block / per
+    /// round); an unlimited token costs one branch.
+    pub fn poll(&self) -> Option<StopReason> {
+        let inner = self.inner.as_ref()?;
+        if let Some(parent) = &inner.parent {
+            if let Some(reason) = parent.poll() {
+                return Some(reason);
+            }
+        }
+        if inner.cancelled.load(Ordering::Acquire) {
+            return Some(StopReason::Cancelled);
+        }
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::DeadlineExpired);
+            }
+        }
+        if inner.budget != u64::MAX && inner.spent.load(Ordering::Relaxed) >= inner.budget {
+            return Some(StopReason::BudgetExhausted);
+        }
+        None
+    }
+}
+
+/// A fault-sim result that may have been interrupted: `result` covers
+/// the patterns applied before `stopped` (if any) fired.
+#[derive(Debug)]
+pub struct ControlledRun {
+    /// First detections over the patterns actually applied.
+    pub result: crate::FaultSimResult,
+    /// `None` if the run completed normally.
+    pub stopped: Option<StopReason>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_stops() {
+        let c = RunControl::unlimited();
+        c.charge(u64::MAX);
+        assert_eq!(c.poll(), None);
+        assert!(!c.is_cancelled());
+        c.cancel(); // no-op on unlimited tokens
+        assert_eq!(c.poll(), None);
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let a = RunControl::cancellable();
+        let b = a.clone();
+        assert_eq!(b.poll(), None);
+        a.cancel();
+        assert_eq!(b.poll(), Some(StopReason::Cancelled));
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let c = RunControl::with_deadline(Duration::ZERO);
+        assert_eq!(c.poll(), Some(StopReason::DeadlineExpired));
+    }
+
+    #[test]
+    fn budget_exhausts_after_charge() {
+        let c = RunControl::with_budget(100);
+        assert_eq!(c.poll(), None);
+        c.charge(99);
+        assert_eq!(c.poll(), None);
+        c.charge(1);
+        assert_eq!(c.poll(), Some(StopReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn child_observes_parent_cancel() {
+        let parent = RunControl::cancellable();
+        let child = parent.child_with_deadline(Some(Duration::from_secs(3600)));
+        assert_eq!(child.poll(), None);
+        parent.cancel();
+        assert_eq!(child.poll(), Some(StopReason::Cancelled));
+        assert!(child.is_cancelled());
+    }
+
+    #[test]
+    fn child_deadline_is_its_own() {
+        let parent = RunControl::cancellable();
+        let child = parent.child_with_deadline(Some(Duration::ZERO));
+        assert_eq!(child.poll(), Some(StopReason::DeadlineExpired));
+        assert_eq!(parent.poll(), None);
+    }
+
+    #[test]
+    fn with_limits_none_is_unlimited() {
+        let c = RunControl::with_limits(None, None);
+        assert!(c.inner.is_none());
+    }
+}

@@ -2,7 +2,7 @@ use tpi_netlist::ffr::FfrDecomposition;
 use tpi_netlist::{Circuit, GateKind, NetlistError, NodeId, Topology};
 
 use crate::compile::{block_words_supported, DEFAULT_BLOCK_WORDS, MAX_BLOCK_WORDS};
-use crate::{Fault, FaultSimResult, FaultSite, LogicSim, PatternSource};
+use crate::{ControlledRun, Fault, FaultSimResult, FaultSite, LogicSim, PatternSource, RunControl};
 
 /// How per-fault detection words are computed within each pattern block.
 ///
@@ -299,6 +299,31 @@ impl FaultSimulator {
         max_patterns: u64,
         faults: &[Fault],
     ) -> Result<FaultSimResult, NetlistError> {
+        self.run_controlled(source, max_patterns, faults, &RunControl::unlimited())
+            .map(|run| run.result)
+    }
+
+    /// [`run`](FaultSimulator::run) under a [`RunControl`] token: the
+    /// token is polled once per pattern block (before the block is
+    /// pulled from the source) and applied lanes are charged against any
+    /// work budget, so an interrupted run stops within one block and
+    /// returns the detections accumulated so far as an anytime result.
+    ///
+    /// Budget-interrupted runs are deterministic for a fixed block
+    /// width; deadline-interrupted runs are not (wall clock).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; the `Result` mirrors the
+    /// other run methods. Interruption is *not* an error — it is
+    /// reported in [`ControlledRun::stopped`].
+    pub fn run_controlled(
+        &mut self,
+        source: &mut dyn PatternSource,
+        max_patterns: u64,
+        faults: &[Fault],
+        control: &RunControl,
+    ) -> Result<ControlledRun, NetlistError> {
         let mut first_detected: Vec<Option<u64>> = vec![None; faults.len()];
         let mut alive: Vec<usize> = (0..faults.len()).collect();
         let fault_roots: Vec<u32> = match self.mode {
@@ -307,8 +332,13 @@ impl FaultSimulator {
                 faults.iter().map(|&f| self.fault_root(f)).collect()
             }
         };
+        let mut stopped = None;
         let mut base = 0u64;
         while base < max_patterns && !alive.is_empty() {
+            stopped = control.poll();
+            if stopped.is_some() {
+                break;
+            }
             let filled = self.next_block(source, max_patterns - base);
             if filled == 0 {
                 break;
@@ -366,8 +396,12 @@ impl FaultSimulator {
             } else {
                 base += lanes;
             }
+            control.charge(lanes);
         }
-        Ok(FaultSimResult::new(first_detected, base))
+        Ok(ControlledRun {
+            result: FaultSimResult::new(first_detected, base),
+            stopped,
+        })
     }
 
     /// Count detections per fault without dropping (for detection-

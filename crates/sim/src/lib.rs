@@ -20,7 +20,11 @@
 //!   dropping, either event-driven per fault (PPSFP) or via critical
 //!   path tracing over fanout-free regions (see [`DetectionMode`]);
 //! * [`montecarlo`] — detection-probability estimation (sampled and
-//!   exhaustive) and node-level propagation profiles.
+//!   exhaustive) and node-level propagation profiles;
+//! * [`RunControl`] — cooperative cancellation/deadline/budget token
+//!   polled per pattern block, yielding anytime
+//!   [`ControlledRun`] results (see
+//!   [`FaultSimulator::run_controlled`]).
 //!
 //! # Example: fault coverage of `c17` under 1 000 LFSR patterns
 //!
@@ -49,6 +53,7 @@
 
 pub mod collapse;
 mod compile;
+mod control;
 mod coverage;
 mod fault;
 mod fsim;
@@ -61,6 +66,7 @@ mod patterns;
 mod weighted;
 
 pub use compile::{block_words_supported, DEFAULT_BLOCK_WORDS, MAX_BLOCK_WORDS};
+pub use control::{ControlledRun, RunControl, StopReason};
 pub use coverage::{CoveragePoint, FaultSimResult};
 pub use fault::{Fault, FaultSite, FaultUniverse};
 pub use fsim::{DetectionMode, FaultSimulator, SimOptions};

@@ -14,7 +14,10 @@ use std::sync::Mutex;
 
 use tpi_netlist::{Circuit, NetlistError, Topology};
 
-use crate::{Fault, FaultSimResult, FaultSimulator, FaultSite, PatternSource, SimOptions};
+use crate::{
+    ControlledRun, Fault, FaultSimResult, FaultSimulator, FaultSite, PatternSource, RunControl,
+    SimOptions, StopReason,
+};
 
 /// Fault-simulate `faults` across `threads` worker threads, with fault
 /// dropping, producing the same [`FaultSimResult`] the sequential
@@ -122,18 +125,63 @@ where
     S: PatternSource,
     F: Fn() -> S + Sync,
 {
+    run_parallel_controlled(
+        circuit,
+        make_source,
+        max_patterns,
+        faults,
+        threads,
+        options,
+        &RunControl::unlimited(),
+    )
+    .map(|run| run.result)
+}
+
+/// [`run_parallel_opts`] under a [`RunControl`] token: every worker
+/// polls a clone of the token once per pattern block (see
+/// [`FaultSimulator::run_controlled`]) and exits cooperatively, so a
+/// cancelled or expired run releases all its threads within one block.
+///
+/// An interrupted parallel result is *best-effort*: workers may stop at
+/// different pattern counts, so the merged detections are not
+/// bit-identical to an interrupted sequential run (completed runs still
+/// are). The merged [`StopReason`] is the first interrupted worker's in
+/// worker order. Determinism-sensitive callers should interrupt only
+/// between runs, or run single-threaded with a work budget.
+///
+/// # Errors
+///
+/// [`NetlistError::Cycle`] for cyclic circuits; worker panics propagate.
+///
+/// # Panics
+///
+/// Panics if `options.block_words` is not 0 (default), 1, 2, 4 or 8.
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_controlled<S, F>(
+    circuit: &Circuit,
+    make_source: F,
+    max_patterns: u64,
+    faults: &[Fault],
+    threads: usize,
+    options: SimOptions,
+    control: &RunControl,
+) -> Result<ControlledRun, NetlistError>
+where
+    S: PatternSource,
+    F: Fn() -> S + Sync,
+{
     let threads = threads.max(1).min(faults.len().max(1));
     if threads <= 1 {
         let mut sim = FaultSimulator::with_options(circuit, options)?;
         let mut source = make_source();
-        return sim.run(&mut source, max_patterns, faults);
+        return sim.run_controlled(&mut source, max_patterns, faults, control);
     }
     let assignment = balanced_assignment(circuit, faults, threads)?;
     let worker_faults: Vec<Vec<Fault>> = assignment
         .iter()
         .map(|idxs| idxs.iter().map(|&i| faults[i]).collect())
         .collect();
-    let results: Mutex<Vec<(usize, FaultSimResult)>> = Mutex::new(Vec::with_capacity(threads));
+    let results: Mutex<Vec<(usize, ControlledRun)>> = Mutex::new(Vec::with_capacity(threads));
     // The *first* worker error in worker order wins, independent of thread
     // scheduling — a last-writer slot would make the reported error (and
     // thus caller behaviour) nondeterministic when several workers fail.
@@ -144,11 +192,12 @@ where
             let results = &results;
             let first_error = &first_error;
             let make_source = &make_source;
+            let control = control.clone();
             scope.spawn(move || {
                 let outcome = (|| {
                     let mut sim = FaultSimulator::with_options(circuit, options)?;
                     let mut source = make_source();
-                    sim.run(&mut source, max_patterns, chunk)
+                    sim.run_controlled(&mut source, max_patterns, chunk, &control)
                 })();
                 match outcome {
                     Ok(r) => results.lock().expect("no poisoned locks").push((ti, r)),
@@ -166,16 +215,22 @@ where
     if let Some((_, e)) = first_error.into_inner().expect("no poisoned locks") {
         return Err(e);
     }
-    let chunks = results.into_inner().expect("no poisoned locks");
+    let mut chunks = results.into_inner().expect("no poisoned locks");
+    chunks.sort_by_key(|&(ti, _)| ti);
     let mut first_detected = vec![None; faults.len()];
     let mut patterns_applied = 0;
+    let mut stopped: Option<StopReason> = None;
     for (ti, r) in chunks {
-        patterns_applied = patterns_applied.max(r.patterns_applied());
+        patterns_applied = patterns_applied.max(r.result.patterns_applied());
+        stopped = stopped.or(r.stopped);
         for (pos, &orig) in assignment[ti].iter().enumerate() {
-            first_detected[orig] = r.first_detection(pos);
+            first_detected[orig] = r.result.first_detection(pos);
         }
     }
-    Ok(FaultSimResult::new(first_detected, patterns_applied))
+    Ok(ControlledRun {
+        result: FaultSimResult::new(first_detected, patterns_applied),
+        stopped,
+    })
 }
 
 /// Deal fault indices onto `threads` workers, round-robin in descending
@@ -309,6 +364,56 @@ mod tests {
         let faults = [crate::Fault::stem_sa0(c.outputs()[0])];
         let r = run_parallel(&c, || RandomPatterns::new(10, 5), 256, &faults, 64).unwrap();
         assert_eq!(r.fault_count(), 1);
+    }
+
+    #[test]
+    fn cancelled_token_stops_all_workers_before_any_block() {
+        let c = sample();
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let control = RunControl::cancellable();
+        control.cancel();
+        let run = run_parallel_controlled(
+            &c,
+            || RandomPatterns::new(10, 5),
+            1 << 30,
+            universe.faults(),
+            4,
+            SimOptions::default(),
+            &control,
+        )
+        .unwrap();
+        assert_eq!(run.stopped, Some(StopReason::Cancelled));
+        assert_eq!(run.result.patterns_applied(), 0);
+    }
+
+    #[test]
+    fn budget_interruption_is_deterministic_single_threaded() {
+        // A 16-input AND keeps its output-sa1 fault (p = 2^-16 per random
+        // pattern) almost surely alive past the 300-pattern budget, so the
+        // run stops on the budget rather than on full coverage.
+        let c = {
+            let mut b = CircuitBuilder::new("hard");
+            let xs = b.inputs(16, "x");
+            let y = b.balanced_tree(GateKind::And, &xs, "y").unwrap();
+            b.output(y);
+            b.finish().unwrap()
+        };
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let run_once = || {
+            let control = RunControl::with_budget(300);
+            let mut sim = FaultSimulator::with_block_words(&c, 1).unwrap();
+            let mut src = RandomPatterns::new(16, 7);
+            sim.run_controlled(&mut src, 1 << 20, universe.faults(), &control)
+                .unwrap()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.stopped, Some(StopReason::BudgetExhausted));
+        assert_eq!(a.stopped, b.stopped);
+        assert_eq!(a.result.patterns_applied(), b.result.patterns_applied());
+        for i in 0..universe.len() {
+            assert_eq!(a.result.first_detection(i), b.result.first_detection(i));
+        }
     }
 
     #[test]

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Batch robustness smoke: one manifest mixing a healthy job, a panicking
+# job, a timing-out job, a malformed netlist and a transiently-failing
+# job must (1) run to completion with exit 0 and the right per-job
+# statuses, and (2) resume from its own JSONL checkpoint without
+# re-executing the jobs that already completed.
+set -euo pipefail
+
+TPI="${TPI:-target/release/tpi}"
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+cat > "$dir/ok.bench" <<'EOF'
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+g0 = AND(a, b)
+g1 = OR(c, d)
+y = AND(g0, g1)
+OUTPUT(y)
+EOF
+
+# Malformed on purpose: a UTF-8 byte-boundary trap and reversed parens —
+# must come back as a job error, never a parser panic.
+printf 'INPUT(a)\nééé(a)\ny = AND)a(\n' > "$dir/bad.bench"
+
+cat > "$dir/manifest.json" <<'EOF'
+{
+  "workers": 2,
+  "jobs": [
+    {"circuit": "ok.bench", "method": "simulate", "patterns": 256},
+    {"circuit": "ok.bench", "method": "selftest-panic", "timeout_ms": 30000},
+    {"circuit": "ok.bench", "method": "selftest-sleep", "timeout_ms": 30},
+    {"circuit": "bad.bench", "method": "simulate", "patterns": 256},
+    {"circuit": "ok.bench", "method": "selftest-flaky", "timeout_ms": 30000}
+  ]
+}
+EOF
+
+out="$dir/out.jsonl"
+
+expect_status() {
+  local job="$1" want="$2" got
+  got="$(grep "\"job\":$job," "$out" | tail -n 1 | sed 's/.*"status":"\([a-z]*\)".*/\1/')"
+  if [ "$got" != "$want" ]; then
+    echo "FAIL: job $job expected status '$want', got '$got'" >&2
+    cat "$out" >&2
+    exit 1
+  fi
+}
+
+expect_lines() {
+  local want="$1" got
+  got="$(wc -l < "$out")"
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: expected $want output lines, got $got" >&2
+    cat "$out" >&2
+    exit 1
+  fi
+}
+
+# ---- Run 1: every failure mode reported, batch exits 0. ----
+"$TPI" batch "$dir/manifest.json" --out "$out" --retries 1
+expect_lines 5
+expect_status 0 ok
+expect_status 1 panic
+expect_status 2 timeout
+expect_status 3 error
+expect_status 4 ok
+# The flaky job recovered on its retry.
+grep '"job":4,' "$out" | grep -q '"attempts":2'
+# The timed-out sleeper's worker exited cooperatively (no thread leak).
+grep '"job":2,' "$out" | grep -q '"worker_exited":true'
+
+# ---- Run 2, --resume: completed jobs are skipped, not re-executed. ----
+# Re-executing the flaky job (marker removed, no retries) would fail AND
+# recreate the marker — so its absence after the run proves the resume
+# skipped the job entirely.
+rm -f "$dir/ok.flaky-marker"
+"$TPI" batch "$dir/manifest.json" --out "$out" --resume --retries 0
+expect_lines 8
+test "$(grep -c '"job":0,' "$out")" -eq 1
+test "$(grep -c '"job":4,' "$out")" -eq 1
+if [ -f "$dir/ok.flaky-marker" ]; then
+  echo "FAIL: completed flaky job was re-executed on --resume" >&2
+  exit 1
+fi
+# Last line per job still reports the expected status.
+expect_status 0 ok
+expect_status 1 panic
+expect_status 2 timeout
+expect_status 3 error
+expect_status 4 ok
+
+echo "robustness smoke: ok (statuses correct, resume skipped completed jobs)"

@@ -7,11 +7,11 @@
 //! tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]
 //!              [--method dp|greedy|constructive|constructive-baseline]
 //!              [--threads N] [--block-words W] [--detection cpt|explicit]
-//!              [--out FILE] [--verilog FILE]
+//!              [--deadline-ms MS] [--out FILE] [--verilog FILE]
 //! tpi atpg     <file.bench> [--patterns N]       redundancy sweep + top-off cubes
 //! tpi export   <file.bench> (--verilog FILE | --dot FILE)
-//! tpi batch    <manifest.json> [--out FILE]      N circuits × M configs, JSONL out
-//! tpi serve                                      line-delimited JSON on stdin/stdout
+//! tpi batch    <manifest.json> [--out FILE] [--retries N] [--resume]
+//! tpi serve    [--max-gates N] [--max-patterns N]
 //! ```
 //!
 //! Netlists are ISCAS-85 `.bench` files; `DFF`s are treated as full-scan
@@ -26,7 +26,7 @@ use krishnamurthy_tpi::core::general::{ConstructiveConfig, ConstructiveOptimizer
 use krishnamurthy_tpi::core::report::InsertionReport;
 use krishnamurthy_tpi::core::{DpOptimizer, GreedyOptimizer, Threshold, TpiProblem};
 use krishnamurthy_tpi::engine::{
-    batch, json::Json, serve, EngineConfig, OptimizeConfig, TpiEngine,
+    batch, json::Json, serve, EngineConfig, OptimizeConfig, RunControl, TpiEngine,
 };
 use krishnamurthy_tpi::netlist::transform::apply_plan;
 use krishnamurthy_tpi::netlist::{analysis, bench_format, dot, ffr, verilog, Circuit, Topology};
@@ -62,8 +62,14 @@ fn run(args: &[String]) -> Result<(), String> {
         "export" => export(rest),
         "batch" => batch_cmd(rest),
         "serve" => {
+            let flags = Flags::parse(rest, &[])?;
+            let limits = serve::ServeLimits {
+                max_gates: flags.opt_num("max-gates")?,
+                max_patterns: flags.opt_num("max-patterns")?,
+            };
             let stdin = std::io::stdin();
-            serve::serve(stdin.lock(), std::io::stdout().lock()).map_err(|e| format!("serve: {e}"))
+            serve::serve_with(limits, stdin.lock(), std::io::stdout().lock())
+                .map_err(|e| format!("serve: {e}"))
         }
         "help" | "--help" | "-h" => {
             print_usage();
@@ -82,17 +88,19 @@ fn print_usage() {
          [--block-words W] [--detection cpt|explicit]\n  \
          tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]\n           \
          [--method dp|greedy|constructive|constructive-baseline] [--threads N]\n           \
-         [--block-words W] [--detection cpt|explicit] [--out FILE] [--verilog FILE]\n  \
+         [--block-words W] [--detection cpt|explicit] [--deadline-ms MS]\n           \
+         [--out FILE] [--verilog FILE]\n  \
          tpi atpg     <file.bench> [--patterns N]\n  \
          tpi export   <file.bench> (--verilog FILE | --dot FILE)\n  \
-         tpi batch    <manifest.json> [--out FILE]\n  \
-         tpi serve"
+         tpi batch    <manifest.json> [--out FILE] [--retries N] [--resume]\n  \
+         tpi serve    [--max-gates N] [--max-patterns N]"
     );
 }
 
-/// Tiny flag parser: positional file + `--key value` / boolean `--key`.
+/// Tiny flag parser: optional positional file + `--key value` / boolean
+/// `--key`.
 struct Flags<'a> {
-    file: &'a str,
+    file: Option<&'a str>,
     pairs: Vec<(&'a str, Option<&'a str>)>,
 }
 
@@ -121,10 +129,11 @@ impl<'a> Flags<'a> {
                 return Err(format!("unexpected argument `{a}`"));
             }
         }
-        Ok(Flags {
-            file: file.ok_or("missing input .bench file")?,
-            pairs,
-        })
+        Ok(Flags { file, pairs })
+    }
+
+    fn file(&self) -> Result<&'a str, String> {
+        self.file.ok_or_else(|| "missing input file".to_string())
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -144,6 +153,12 @@ impl<'a> Flags<'a> {
             Some(v) => v.parse().map_err(|_| format!("bad --{key} value `{v}`")),
         }
     }
+
+    fn opt_num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        self.get(key)
+            .map(|v| v.parse().map_err(|_| format!("bad --{key} value `{v}`")))
+            .transpose()
+    }
 }
 
 fn load(path: &str) -> Result<Circuit, String> {
@@ -158,7 +173,7 @@ fn load(path: &str) -> Result<Circuit, String> {
 
 fn analyze(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
-    let circuit = load(flags.file)?;
+    let circuit = load(flags.file()?)?;
     let topo = Topology::of(&circuit).map_err(|e| e.to_string())?;
     let stats = analysis::stats(&circuit, &topo);
     println!("{circuit}");
@@ -220,7 +235,7 @@ fn sim_options_flags(flags: &Flags) -> Result<SimOptions, String> {
 
 fn simulate(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["lfsr"])?;
-    let circuit = load(flags.file)?;
+    let circuit = load(flags.file()?)?;
     let patterns: u64 = flags.num("patterns", 32_000)?;
     let seed: u64 = flags.num("seed", 1)?;
     let threads: usize = flags.num("threads", default_threads())?;
@@ -265,7 +280,7 @@ fn simulate(args: &[String]) -> Result<(), String> {
 
 fn insert(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
-    let circuit = load(flags.file)?;
+    let circuit = load(flags.file()?)?;
     let threshold = if let Some(e) = flags.get("log2-threshold") {
         let exp: f64 = e.parse().map_err(|_| "bad --log2-threshold")?;
         if exp > 0.0 {
@@ -280,15 +295,32 @@ fn insert(args: &[String]) -> Result<(), String> {
     let method = flags.get("method").unwrap_or("dp");
     let threads: usize = flags.num("threads", default_threads())?;
     let options = sim_options_flags(&flags)?;
+    // `--deadline-ms`: run the optimizer under a RunControl deadline; an
+    // interrupted run still commits its best-so-far prefix plan
+    // (reported with `"partial": true`).
+    let deadline = flags
+        .opt_num::<u64>("deadline-ms")?
+        .map(std::time::Duration::from_millis);
+    let control = RunControl::with_limits(deadline, None);
     let problem = TpiProblem::min_cost(&circuit, threshold).map_err(|e| e.to_string())?;
 
+    let mut interrupted = None;
     let plan = match method {
-        "dp" => DpOptimizer::default().solve(&problem).map_err(|e| {
-            format!("{e}\nhint: for reconvergent circuits use --method constructive")
-        })?,
-        "greedy" => GreedyOptimizer::default()
-            .solve(&problem)
-            .map_err(|e| e.to_string())?,
+        "dp" => DpOptimizer::default()
+            // Bottom-up DP has no useful half-finished table: a deadline
+            // here is a hard error, not an anytime result.
+            .solve_region_controlled(&problem, 1.0, &control)
+            .map(|(plan, _)| plan)
+            .map_err(|e| {
+                format!("{e}\nhint: for reconvergent circuits use --method constructive")
+            })?,
+        "greedy" => {
+            let (plan, stopped) = GreedyOptimizer::default()
+                .solve_controlled(&problem, &control)
+                .map_err(|e| e.to_string())?;
+            interrupted = stopped;
+            plan
+        }
         "constructive" => {
             // The incremental engine session: cached analyses, dirty-cone
             // re-measurement, memoized region DP.
@@ -302,6 +334,7 @@ fn insert(args: &[String]) -> Result<(), String> {
                 },
             )
             .map_err(|e| e.to_string())?;
+            engine.set_control(control.clone());
             let outcome = engine
                 .optimize(threshold, &OptimizeConfig::default())
                 .map_err(|e| e.to_string())?;
@@ -314,16 +347,40 @@ fn insert(args: &[String]) -> Result<(), String> {
                 stats.faults_skipped,
                 stats.memo_hits
             );
+            interrupted = outcome.interrupted;
             outcome.plan
         }
         "constructive-baseline" => {
-            ConstructiveOptimizer::new(ConstructiveConfig::default())
-                .solve(&circuit, threshold)
-                .map_err(|e| e.to_string())?
-                .plan
+            let outcome = ConstructiveOptimizer::new(ConstructiveConfig::default())
+                .solve_controlled(&circuit, threshold, &control)
+                .map_err(|e| e.to_string())?;
+            interrupted = outcome.interrupted;
+            outcome.plan
         }
         other => return Err(format!("unknown method `{other}`")),
     };
+
+    if let Some(reason) = interrupted {
+        // Anytime result: the prefix plan committed before the deadline,
+        // as one machine-readable JSON line.
+        let points: Vec<Json> = plan
+            .test_points()
+            .iter()
+            .map(|tp| {
+                Json::obj([
+                    ("node", Json::from(circuit.node_name(tp.node))),
+                    ("kind", Json::from(tp.kind.mnemonic())),
+                ])
+            })
+            .collect();
+        let line = Json::obj([
+            ("partial", Json::from(true)),
+            ("stopped", Json::from(reason.to_string())),
+            ("cost", Json::from(plan.cost())),
+            ("points", Json::Arr(points)),
+        ]);
+        println!("{line}");
+    }
 
     let report = InsertionReport::build(&problem, &plan).map_err(|e| e.to_string())?;
     print!("{}", report.to_text());
@@ -362,7 +419,7 @@ fn insert(args: &[String]) -> Result<(), String> {
 
 fn atpg(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
-    let circuit = load(flags.file)?;
+    let circuit = load(flags.file()?)?;
     let patterns: u64 = flags.num("patterns", 32_000)?;
     let universe = FaultUniverse::collapsed(&circuit).map_err(|e| e.to_string())?;
     let sweep = redundancy::sweep(&circuit, universe.faults(), PodemConfig::default())
@@ -397,25 +454,58 @@ fn atpg(args: &[String]) -> Result<(), String> {
 }
 
 fn batch_cmd(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &[])?;
-    let path = std::path::Path::new(flags.file);
+    let flags = Flags::parse(args, &["resume"])?;
+    let path = std::path::Path::new(flags.file()?);
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let manifest = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     let base_dir = path.parent().unwrap_or_else(|| std::path::Path::new("."));
     let (workers, specs) = batch::parse_manifest(&manifest, base_dir)?;
-    let summary = if let Some(out) = flags.get("out") {
-        let mut file = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
-        let summary = batch::run_jobs(workers, &specs, &mut file).map_err(|e| e.to_string())?;
+    let retries: usize = flags.num("retries", 0)?;
+    let resume = flags.has("resume");
+    let out = flags.get("out");
+    if resume && out.is_none() {
+        return Err("--resume needs --out FILE (the checkpoint to resume from)".into());
+    }
+    let mut opts = batch::BatchOptions {
+        workers,
+        retries,
+        ..batch::BatchOptions::default()
+    };
+    let summary = if let Some(out) = out {
+        if resume {
+            // Skip every job the existing checkpoint already completed;
+            // new lines are appended, so readers keep the last line per
+            // job index.
+            match std::fs::read_to_string(out) {
+                Ok(existing) => opts.skip = batch::completed_indices(&existing),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(format!("{out}: {e}")),
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(resume)
+            .truncate(!resume)
+            .write(true)
+            .open(out)
+            .map_err(|e| format!("{out}: {e}"))?;
+        let summary = batch::run_jobs_with(&opts, &specs, &mut file).map_err(|e| e.to_string())?;
         eprintln!("wrote {out}");
         summary
     } else {
-        let stdout = std::io::stdout();
-        batch::run_jobs(workers, &specs, &mut stdout.lock()).map_err(|e| e.to_string())?
+        let mut buffer = Vec::new();
+        let summary =
+            batch::run_jobs_with(&opts, &specs, &mut buffer).map_err(|e| e.to_string())?;
+        let mut stdout = std::io::stdout().lock();
+        use std::io::Write as _;
+        stdout.write_all(&buffer).map_err(|e| e.to_string())?;
+        summary
     };
     eprintln!(
-        "batch: {} ok, {} failed of {} jobs",
+        "batch: {} ok, {} failed, {} skipped of {} jobs",
         summary.ok,
         summary.failed,
+        summary.skipped,
         specs.len()
     );
     Ok(())
@@ -423,7 +513,7 @@ fn batch_cmd(args: &[String]) -> Result<(), String> {
 
 fn export(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
-    let circuit = load(flags.file)?;
+    let circuit = load(flags.file()?)?;
     let mut wrote = false;
     if let Some(v) = flags.get("verilog") {
         std::fs::write(v, verilog::to_verilog(&circuit)).map_err(|e| format!("{v}: {e}"))?;

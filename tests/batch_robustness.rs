@@ -1,0 +1,135 @@
+//! End-to-end batch robustness: one manifest mixing healthy jobs,
+//! panics, timeouts, transient failures and malformed netlists must run
+//! to completion twice — the second time resumed from the first run's
+//! JSONL checkpoint, skipping (not re-executing) every completed job.
+
+use std::path::{Path, PathBuf};
+
+use krishnamurthy_tpi::engine::batch::{
+    completed_indices, parse_manifest, run_jobs_with, BatchOptions,
+};
+use krishnamurthy_tpi::engine::json::Json;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpi-robustness-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_file(dir: &Path, name: &str, text: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+const OK_BENCH: &str = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\n\
+                        g0 = AND(a, b)\ng1 = OR(c, d)\ny = AND(g0, g1)\nOUTPUT(y)\n";
+
+/// Malformed on several axes: UTF-8 byte-boundary traps, reversed
+/// parentheses — everything that used to panic the parser.
+const BAD_BENCH: &str = "INPUT(a)\nééé(a)\ny = AND)a(\n";
+
+fn manifest_text() -> String {
+    r#"{
+      "workers": 2,
+      "jobs": [
+        {"circuit": "ok.bench", "method": "simulate", "patterns": 256},
+        {"circuit": "ok.bench", "method": "selftest-panic", "timeout_ms": 30000},
+        {"circuit": "ok.bench", "method": "selftest-sleep", "timeout_ms": 30},
+        {"circuit": "bad.bench", "method": "simulate", "patterns": 256},
+        {"circuit": "ok.bench", "method": "selftest-flaky", "timeout_ms": 30000}
+      ]
+    }"#
+    .to_string()
+}
+
+fn status_of(lines: &[Json], job: u64) -> String {
+    lines
+        .iter()
+        .find(|l| l.get("job").and_then(Json::as_u64) == Some(job))
+        .unwrap_or_else(|| panic!("no line for job {job}"))
+        .get("status")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn mixed_manifest_survives_and_resumes_without_reexecution() {
+    let dir = temp_dir("mixed");
+    write_file(&dir, "ok.bench", OK_BENCH);
+    write_file(&dir, "bad.bench", BAD_BENCH);
+    let flaky_marker = dir.join("ok.flaky-marker");
+    std::fs::remove_file(&flaky_marker).ok();
+
+    let manifest = Json::parse(&manifest_text()).unwrap();
+    let (workers, specs) = parse_manifest(&manifest, &dir).unwrap();
+    let opts = BatchOptions {
+        workers,
+        retries: 1, // lets the flaky job recover on its second attempt
+        ..BatchOptions::default()
+    };
+
+    // ---- First run: every failure mode is reported, none is fatal. ----
+    let mut out = Vec::new();
+    let summary = run_jobs_with(&opts, &specs, &mut out).unwrap();
+    let first = String::from_utf8(out).unwrap();
+    let lines: Vec<Json> = first.lines().map(|l| Json::parse(l).unwrap()).collect();
+    assert_eq!(lines.len(), 5, "{first}");
+    assert_eq!(summary.ok, 2);
+    assert_eq!(summary.failed, 3);
+    assert_eq!(summary.skipped, 0);
+    assert_eq!(status_of(&lines, 0), "ok");
+    assert_eq!(status_of(&lines, 1), "panic");
+    assert_eq!(status_of(&lines, 2), "timeout");
+    assert_eq!(status_of(&lines, 3), "error");
+    assert_eq!(status_of(&lines, 4), "ok");
+    // The malformed netlist came back as a parse error with a line
+    // number, not a crash.
+    let parse_error = lines[3].get("error").and_then(Json::as_str).unwrap();
+    assert!(parse_error.contains("line 2"), "{parse_error}");
+    // The flaky job needed its retry.
+    assert_eq!(lines[4].get("attempts").and_then(Json::as_u64), Some(2));
+    // Cooperative cancellation: even the timed-out sleeper's worker
+    // exited (no detached thread).
+    for line in &lines {
+        assert_eq!(
+            line.get("worker_exited").and_then(Json::as_bool),
+            Some(true),
+            "{line}"
+        );
+    }
+
+    // ---- Second run, resumed: completed jobs are skipped. ----
+    let done = completed_indices(&first);
+    assert_eq!(done, vec![0, 4]);
+    // Re-executing the flaky job without its marker (and without
+    // retries) would fail — so an "ok" line for it in the merged output
+    // proves the resume *skipped* it rather than re-running it.
+    std::fs::remove_file(&flaky_marker).ok();
+    let resumed_opts = BatchOptions {
+        workers,
+        retries: 0,
+        skip: done,
+        ..BatchOptions::default()
+    };
+    let mut out = Vec::new();
+    let summary = run_jobs_with(&resumed_opts, &specs, &mut out).unwrap();
+    let second = String::from_utf8(out).unwrap();
+    assert_eq!(summary.skipped, 2);
+    assert_eq!(summary.ok, 0);
+    assert_eq!(summary.failed, 3);
+    let lines: Vec<Json> = second.lines().map(|l| Json::parse(l).unwrap()).collect();
+    assert_eq!(lines.len(), 3, "skipped jobs must not emit lines: {second}");
+    assert!(lines
+        .iter()
+        .all(|l| matches!(l.get("job").and_then(Json::as_u64), Some(1..=3))));
+
+    // Appending run 2 to run 1 keeps a parseable checkpoint with the
+    // same completed set.
+    let merged = format!("{first}{second}");
+    assert_eq!(completed_indices(&merged), vec![0, 4]);
+
+    std::fs::remove_file(&flaky_marker).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
