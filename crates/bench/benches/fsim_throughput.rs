@@ -9,7 +9,11 @@
 //! from `results/fsim_pre_pr.json` (captured before the kernel rewrite)
 //! and the PR-2 snapshot from `results/fsim_pr2.json` (explicit mode
 //! with block-granular dropping), both embedded alongside the fresh
-//! numbers together with the derived speedups. While measuring, the
+//! numbers together with the derived speedups. Two further snapshots
+//! gate regressions: `results/fsim_pr3.json` (pre-cancellation) bounds
+//! the polling cost and `results/fsim_pr4.json` (pre-instrumentation)
+//! bounds the always-on kernel-counter cost, each asserted under 1% of
+//! W=4 dropped throughput. While measuring, the
 //! harness also cross-checks that every width and every detection mode
 //! produces bit-identical first-detection indices and counts — a wrong
 //! but fast kernel must fail the bench, not win it.
@@ -23,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use tpi_engine::json::Json;
 use tpi_gen::dags::{random_dag, RandomDagConfig};
+use tpi_obs::Registry;
 use tpi_sim::{
     DetectionMode, FaultSimResult, FaultSimulator, FaultUniverse, RandomPatterns, RunControl,
     SimOptions,
@@ -45,6 +50,7 @@ fn main() {
     let baseline = load_baseline(&root, "results/fsim_pre_pr.json");
     let pr2 = load_baseline(&root, "results/fsim_pr2.json");
     let pr3 = load_baseline(&root, "results/fsim_pr3.json");
+    let pr4 = load_baseline(&root, "results/fsim_pr4.json");
 
     let mut dropped = Vec::new();
     let mut cpt_dropped = Vec::new();
@@ -54,7 +60,8 @@ fn main() {
         cpt_dropped.push(cpt);
     }
     let (no_dropping, cpt_no_dropping) = bench_no_dropping(baseline.as_ref(), pr2.as_ref());
-    let polling = bench_polling_overhead(pr3.as_ref(), &dropped);
+    let polling = bench_polling_overhead(pr3.as_ref());
+    let metrics_section = bench_metrics_overhead(pr4.as_ref());
 
     let report = Json::obj([
         ("bench", Json::from("fsim_throughput")),
@@ -72,6 +79,7 @@ fn main() {
             ]),
         ),
         ("polling", polling),
+        ("metrics", metrics_section),
     ]);
     let out = root.join("BENCH_fsim.json");
     std::fs::write(&out, format!("{report}\n")).expect("write BENCH_fsim.json");
@@ -422,12 +430,17 @@ fn cpt_entry(
 ///    back-to-back on the same circuit, so machine noise is largely
 ///    common-mode; bounding the expensive variant bounds every
 ///    cancellation configuration.
-/// 2. **PR-3 snapshot** — this run's explicit W=4 `ns_per_iter` against
+/// 2. **PR-3 snapshot** — a fresh min-of-30 timing of the production
+///    explicit W=4 path at each circuit size against
 ///    `results/fsim_pr3.json`, captured immediately before the polling
-///    loop landed. The *minimum* overhead across circuit sizes must stay
-///    under 1%: a real per-block polling cost would show at every size,
-///    while a single-size wobble is scheduler noise.
-fn bench_polling_overhead(pr3: Option<&Baseline>, dropped_entries: &[Json]) -> Json {
+///    loop landed with the same min-of-30 estimator. The *minimum*
+///    overhead across circuit sizes must stay under 1%: a real per-block
+///    polling cost would show at every size, while a single-size wobble
+///    is scheduler noise. (Min-of-N, not the mean-of-10 `dropped`
+///    numbers above: on a shared host the mean swings tens of percent
+///    run-to-run, while the minimum tracks the unpreempted kernel cost
+///    this bound is about.)
+fn bench_polling_overhead(pr3: Option<&Baseline>) -> Json {
     const POLL_SAMPLES: u32 = 30;
     let time_ns_min = |iter: &mut dyn FnMut()| -> f64 {
         for _ in 0..3 {
@@ -474,19 +487,19 @@ fn bench_polling_overhead(pr3: Option<&Baseline>, dropped_entries: &[Json]) -> J
 
     let mut vs_pr3 = Vec::new();
     let mut min_pr3_overhead: Option<f64> = None;
-    for entry in dropped_entries {
-        let Some(gates) = entry.get("gates").and_then(Json::as_u64) else {
+    for gates in [100usize, 400, 1600] {
+        let Some(before) = baseline_ns(pr3, "dropped", gates, 4) else {
             continue;
         };
-        let now_w4 = entry.get("widths").and_then(Json::as_arr).and_then(|ws| {
-            ws.iter()
-                .find(|m| m.get("block_words").and_then(Json::as_u64) == Some(4))
-                .and_then(|m| m.get("ns_per_iter").and_then(Json::as_f64))
+        let circuit = ladder_circuit(gates, 5);
+        let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
+        let n_inputs = circuit.inputs().len();
+        let mut sim = simulator(&circuit, 4, DetectionMode::Explicit);
+        let now = time_ns_min(&mut || {
+            let mut src = RandomPatterns::new(n_inputs, SEED);
+            sim.run(&mut src, PATTERNS, universe.faults())
+                .expect("runs");
         });
-        let (Some(now), Some(before)) = (now_w4, baseline_ns(pr3, "dropped", gates as usize, 4))
-        else {
-            continue;
-        };
         let overhead = now / before - 1.0;
         println!(
             "polling overhead vs PR-3 ({gates} gates, W=4): {before:.0} → {now:.0} ns \
@@ -517,6 +530,109 @@ fn bench_polling_overhead(pr3: Option<&Baseline>, dropped_entries: &[Json]) -> J
         ("deadline_token_ns_per_iter", Json::from(deadline_ns)),
         ("direct_overhead", Json::from(direct_overhead)),
         ("vs_pr3_w4", Json::Arr(vs_pr3)),
+    ])
+}
+
+/// Always-on instrumentation overhead at W=4 (acceptance bound: <1% of
+/// dropped fault-sim throughput).
+///
+/// The kernel counters (`SimCounters`) increment unconditionally inside
+/// `run`, so timing the production path here measures the instrumented
+/// kernel. Comparing against `results/fsim_pr4.json` — captured at the
+/// commit immediately before the counters landed, on the same machine,
+/// with the same min-of-30 estimator used here — isolates the
+/// instrumentation cost. As with the polling check, the *minimum*
+/// overhead across circuit sizes must stay under 1%: a real per-event
+/// counter cost would show at every size, while a single-size wobble is
+/// scheduler noise. (Min-of-N, not mean: on a shared host the mean of
+/// 10 iterations swings tens of percent run-to-run, while the minimum
+/// tracks the unpreempted kernel cost this bound is about.)
+///
+/// The section also publishes each size's counter totals through a
+/// `tpi_obs::Registry` into the report, and cross-checks that two
+/// identical runs produce bit-identical counters (the registry path must
+/// be deterministic, not just cheap).
+fn bench_metrics_overhead(pr4: Option<&Baseline>) -> Json {
+    const MIN_SAMPLES: u32 = 30;
+    let registry = Registry::new();
+    let mut per_size = Vec::new();
+    let mut vs_pr4 = Vec::new();
+    let mut min_overhead: Option<f64> = None;
+    for gates in [100usize, 400, 1600] {
+        let circuit = ladder_circuit(gates, 5);
+        let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
+        let n_inputs = circuit.inputs().len();
+        let mut sim = simulator(&circuit, 4, DetectionMode::Explicit);
+        let control = RunControl::unlimited();
+        let mut src = RandomPatterns::new(n_inputs, SEED);
+        let first = sim
+            .run_controlled(&mut src, PATTERNS, universe.faults(), &control)
+            .expect("runs");
+        let mut src = RandomPatterns::new(n_inputs, SEED);
+        let second = sim
+            .run_controlled(&mut src, PATTERNS, universe.faults(), &control)
+            .expect("runs");
+        assert_eq!(
+            first.counters, second.counters,
+            "kernel counters must be deterministic across identical runs ({gates} gates)"
+        );
+        first.counters.publish_to(&registry);
+        let c = first.counters;
+        per_size.push(Json::obj([
+            ("gates", Json::from(gates)),
+            ("blocks", Json::from(c.blocks)),
+            ("pattern_lanes", Json::from(c.pattern_lanes)),
+            ("events", Json::from(c.events)),
+            ("faults_dropped", Json::from(c.faults_dropped)),
+            ("polls", Json::from(c.polls)),
+        ]));
+        println!(
+            "instrumentation counters ({gates} gates, W=4): {} blocks, {} lanes, \
+             {} events, {} dropped",
+            c.blocks, c.pattern_lanes, c.events, c.faults_dropped
+        );
+
+        let mut best = f64::INFINITY;
+        for _ in 0..MIN_SAMPLES {
+            let mut src = RandomPatterns::new(n_inputs, SEED);
+            let start = Instant::now();
+            sim.run(&mut src, PATTERNS, universe.faults())
+                .expect("runs");
+            best = best.min(start.elapsed().as_nanos() as f64);
+        }
+        let Some(before) = baseline_ns(pr4, "dropped", gates, 4) else {
+            continue;
+        };
+        let overhead = best / before - 1.0;
+        println!(
+            "instrumentation overhead vs PR-4 ({gates} gates, W=4): {before:.0} → {best:.0} ns \
+             ({:+.3}%)",
+            overhead * 100.0
+        );
+        min_overhead = Some(min_overhead.map_or(overhead, |m: f64| m.min(overhead)));
+        vs_pr4.push(Json::obj([
+            ("gates", Json::from(gates)),
+            ("pr4_ns_per_iter", Json::from(before)),
+            ("ns_per_iter", Json::from(best)),
+            ("overhead", Json::from(overhead)),
+        ]));
+    }
+    if let Some(min) = min_overhead {
+        assert!(
+            min < 0.01,
+            "W=4 throughput regressed {:.3}% vs the PR-4 snapshot at every size \
+             (always-on instrumentation must cost under 1%)",
+            min * 100.0
+        );
+    }
+
+    let snapshot = Json::parse(&registry.snapshot().to_json()).expect("snapshot JSON parses");
+    Json::obj([
+        ("block_words", Json::from(4u64)),
+        ("min_samples", Json::from(u64::from(MIN_SAMPLES))),
+        ("counters", Json::Arr(per_size)),
+        ("registry", snapshot),
+        ("vs_pr4_w4", Json::Arr(vs_pr4)),
     ])
 }
 

@@ -69,7 +69,7 @@ fn main() {
                     },
                 )
                 .expect("engine loop runs");
-            (outcome, engine.stats().clone())
+            (outcome, engine.stats())
         });
         let (eng_out, stats) = engine_result;
 

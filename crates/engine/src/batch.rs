@@ -50,11 +50,12 @@ use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tpi_core::Threshold;
 use tpi_netlist::bench_format::parse_bench;
+use tpi_obs::Registry;
 use tpi_sim::{RunControl, StopReason};
 
 use crate::json::Json;
@@ -88,15 +89,58 @@ pub struct JobSpec {
     pub timeout_ms: u64,
 }
 
-/// Totals of a finished batch.
+/// Totals of a finished batch, one counter per terminal job status.
+///
+/// Earlier versions lumped every non-`ok` status into one `failed`
+/// field, which made a timed-out batch indistinguishable from a broken
+/// one in the summary; the split keeps each exit class countable.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BatchSummary {
     /// Jobs that completed and reported a result.
     pub ok: usize,
-    /// Jobs that errored, panicked, timed out or were cancelled.
-    pub failed: usize,
+    /// Jobs whose body failed (bad circuit, I/O error, engine error).
+    pub error: usize,
+    /// Jobs whose worker panicked (after exhausting retries).
+    pub panic: usize,
+    /// Jobs that overran their own deadline or work budget.
+    pub timeout: usize,
+    /// Jobs stopped by the batch-global cancellation token.
+    pub cancelled: usize,
     /// Jobs skipped because a resumed output already holds their result.
     pub skipped: usize,
+    /// Wall clock of the whole batch, milliseconds.
+    pub elapsed_ms: u64,
+}
+
+impl BatchSummary {
+    /// Jobs that did not complete, for any reason.
+    pub fn failed(&self) -> usize {
+        self.error + self.panic + self.timeout + self.cancelled
+    }
+
+    /// The summary as a JSON object (the final line `tpi batch` prints).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("summary", Json::from(true)),
+            ("ok", Json::from(self.ok)),
+            ("error", Json::from(self.error)),
+            ("panic", Json::from(self.panic)),
+            ("timeout", Json::from(self.timeout)),
+            ("cancelled", Json::from(self.cancelled)),
+            ("skipped", Json::from(self.skipped)),
+            ("elapsed_ms", Json::from(self.elapsed_ms)),
+        ])
+    }
+
+    fn count(&mut self, status: &str) {
+        match status {
+            "ok" => self.ok += 1,
+            "panic" => self.panic += 1,
+            "timeout" => self.timeout += 1,
+            "cancelled" => self.cancelled += 1,
+            _ => self.error += 1,
+        }
+    }
 }
 
 /// Pool-level options for [`run_jobs_with`].
@@ -113,6 +157,10 @@ pub struct BatchOptions {
     /// so one [`RunControl::cancel`] drains the whole pool (running
     /// jobs report `"cancelled"`, unstarted jobs are not run).
     pub control: RunControl,
+    /// Metrics sink: per-job wall clock (`batch.job_ms`), queue wait
+    /// (`batch.queue_wait_ms`), retry count (`batch.retries`) and
+    /// per-status counters (`batch.status.*`). `None` records nothing.
+    pub registry: Option<Arc<Registry>>,
 }
 
 /// Parse a manifest document into job specs.
@@ -236,6 +284,7 @@ pub fn run_jobs_with(
     specs: &[JobSpec],
     out: &mut (dyn std::io::Write + Send),
 ) -> Result<BatchSummary, std::io::Error> {
+    let batch_started = Instant::now();
     let workers = if opts.workers == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -311,6 +360,11 @@ pub fn run_jobs_with(
                 if skip.contains(&spec.index) {
                     continue;
                 }
+                if let Some(reg) = &opts.registry {
+                    // Queue wait: batch start to this job's first attempt.
+                    reg.histogram("batch.queue_wait_ms")
+                        .record(batch_started.elapsed().as_millis() as u64);
+                }
                 let line = if opts.control.is_cancelled() {
                     // The batch was cancelled before this job started.
                     cancelled_line(spec)
@@ -322,6 +376,14 @@ pub fn run_jobs_with(
                     .and_then(Json::as_str)
                     .unwrap_or("error")
                     .to_string();
+                if let Some(reg) = &opts.registry {
+                    if let Some(millis) = line.get("millis").and_then(Json::as_u64) {
+                        reg.histogram("batch.job_ms").record(millis);
+                    }
+                    let attempts = line.get("attempts").and_then(Json::as_u64).unwrap_or(1);
+                    reg.counter("batch.retries").add(attempts.saturating_sub(1));
+                    reg.counter(&format!("batch.status.{status}")).inc();
+                }
                 statuses.lock().expect("no poisoned locks")[i] = Some(status);
                 let mut stream = stream.lock().expect("no poisoned locks");
                 stream.slots[i] = Slot::Done(line);
@@ -336,12 +398,11 @@ pub fn run_jobs_with(
         return Err(e);
     }
     for status in statuses.into_inner().expect("no poisoned locks") {
-        match status.as_deref() {
-            None => {}
-            Some("ok") => summary.ok += 1,
-            Some(_) => summary.failed += 1,
+        if let Some(status) = status.as_deref() {
+            summary.count(status);
         }
     }
+    summary.elapsed_ms = batch_started.elapsed().as_millis() as u64;
     Ok(summary)
 }
 
@@ -667,7 +728,9 @@ mod tests {
         let mut out = Vec::new();
         let summary = run_jobs(workers, &specs, &mut out).unwrap();
         assert_eq!(summary.ok, 2, "{}", String::from_utf8_lossy(&out));
-        assert_eq!(summary.failed, 2);
+        assert_eq!(summary.failed(), 2);
+        assert_eq!(summary.error, 1);
+        assert_eq!(summary.panic, 1);
         assert_eq!(summary.skipped, 0);
 
         let lines: Vec<Json> = String::from_utf8(out)
@@ -788,7 +851,8 @@ mod tests {
         // The 60-second sleeper never ran to its own deadline.
         assert!(started.elapsed() < Duration::from_secs(30));
         assert_eq!(summary.ok, 0);
-        assert_eq!(summary.failed, 2);
+        assert_eq!(summary.cancelled, 2);
+        assert_eq!(summary.failed(), 2);
         for line in String::from_utf8(out).unwrap().lines() {
             let line = Json::parse(line).unwrap();
             assert_eq!(line.get("status").unwrap().as_str(), Some("cancelled"));
@@ -854,7 +918,7 @@ mod tests {
         let summary = run_jobs_with(&opts, &specs, &mut second).unwrap();
         assert_eq!(summary.skipped, 2);
         assert_eq!(summary.ok, 0);
-        assert_eq!(summary.failed, 1); // only the missing-circuit job re-ran
+        assert_eq!(summary.error, 1); // only the missing-circuit job re-ran
         let second = String::from_utf8(second).unwrap();
         let lines: Vec<Json> = second.lines().map(|l| Json::parse(l).unwrap()).collect();
         assert_eq!(lines.len(), 1);

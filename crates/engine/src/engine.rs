@@ -1,5 +1,7 @@
 //! The long-lived TPI session engine.
 
+use std::sync::Arc;
+
 use tpi_core::general::{extract_region, gather_candidates, ConstructiveOutcome, RoundReport};
 use tpi_core::{
     CostModel, DpConfig, DpOptimizer, Plan, TargetFault, Threshold, TpiError, TpiProblem,
@@ -8,6 +10,7 @@ use tpi_netlist::analysis::fanout_cone_mask;
 use tpi_netlist::ffr::FfrDecomposition;
 use tpi_netlist::transform::{apply_test_point, AppliedTestPoint};
 use tpi_netlist::{Circuit, NodeId, TestPoint, Topology};
+use tpi_obs::{Counter, Histogram, Registry};
 use tpi_sim::{
     DetectionMode, FaultSimResult, FaultSimulator, FaultSite, FaultUniverse, IndependentPatterns,
     RunControl, SimOptions, StopReason,
@@ -51,6 +54,12 @@ impl Default for EngineConfig {
 }
 
 /// Counters exposing what the engine's caches actually did.
+///
+/// Since the observability migration this is a point-in-time *view*
+/// assembled from the session's [`Registry`] (see
+/// [`TpiEngine::registry`]); the registry additionally carries the
+/// fault-sim kernel counters (`sim.*`), dirty-cone size and measurement
+/// latency histograms that have no place in this flat struct.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Derived-analysis bundles rebuilt (topology + COP + FFR).
@@ -69,6 +78,59 @@ pub struct EngineStats {
     pub memo_hits: u64,
     /// Region DP solutions computed and cached.
     pub memo_misses: u64,
+}
+
+/// Live registry handles behind [`EngineStats`], plus the histograms the
+/// flat struct cannot carry. Handles are resolved once at session
+/// construction so the measurement paths never touch the registry lock.
+struct EngineMetrics {
+    registry: Arc<Registry>,
+    analysis_rebuilds: Arc<Counter>,
+    analysis_hits: Arc<Counter>,
+    full_sims: Arc<Counter>,
+    incremental_sims: Arc<Counter>,
+    faults_resimulated: Arc<Counter>,
+    faults_skipped: Arc<Counter>,
+    memo_hits: Arc<Counter>,
+    memo_misses: Arc<Counter>,
+    /// Dirty-cone size (faults re-simulated) per incremental pass.
+    dirty_cone_faults: Arc<Histogram>,
+    /// Wall clock of full measurement runs, microseconds.
+    full_sim_us: Arc<Histogram>,
+    /// Wall clock of incremental (dirty-cone) runs, microseconds.
+    incremental_sim_us: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn new(registry: Arc<Registry>) -> EngineMetrics {
+        EngineMetrics {
+            analysis_rebuilds: registry.counter("engine.analysis_rebuilds"),
+            analysis_hits: registry.counter("engine.analysis_hits"),
+            full_sims: registry.counter("engine.full_sims"),
+            incremental_sims: registry.counter("engine.incremental_sims"),
+            faults_resimulated: registry.counter("engine.faults_resimulated"),
+            faults_skipped: registry.counter("engine.faults_skipped"),
+            memo_hits: registry.counter("engine.memo_hits"),
+            memo_misses: registry.counter("engine.memo_misses"),
+            dirty_cone_faults: registry.histogram("engine.dirty_cone_faults"),
+            full_sim_us: registry.histogram("engine.full_sim_us"),
+            incremental_sim_us: registry.histogram("engine.incremental_sim_us"),
+            registry,
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            analysis_rebuilds: self.analysis_rebuilds.get(),
+            analysis_hits: self.analysis_hits.get(),
+            full_sims: self.full_sims.get(),
+            incremental_sims: self.incremental_sims.get(),
+            faults_resimulated: self.faults_resimulated.get(),
+            faults_skipped: self.faults_skipped.get(),
+            memo_hits: self.memo_hits.get(),
+            memo_misses: self.memo_misses.get(),
+        }
+    }
 }
 
 /// Derived analyses of the current circuit, rebuilt together whenever the
@@ -140,7 +202,7 @@ pub struct TpiEngine {
     analyses: Option<Analyses>,
     sim: Option<SimState>,
     memo: DpMemo,
-    stats: EngineStats,
+    metrics: EngineMetrics,
     control: RunControl,
 }
 
@@ -154,6 +216,23 @@ impl TpiEngine {
     ///
     /// [`TpiError::Netlist`] if the circuit is malformed or cyclic.
     pub fn new(circuit: Circuit, config: EngineConfig) -> Result<TpiEngine, TpiError> {
+        TpiEngine::with_registry(circuit, config, Arc::new(Registry::new()))
+    }
+
+    /// Open a session whose metrics land in a caller-supplied
+    /// [`Registry`], so a front end can aggregate engine counters,
+    /// fault-sim kernel counters and its own request instrumentation in
+    /// one snapshot. [`new`](TpiEngine::new) is this with a private
+    /// registry.
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] if the circuit is malformed or cyclic.
+    pub fn with_registry(
+        circuit: Circuit,
+        config: EngineConfig,
+        registry: Arc<Registry>,
+    ) -> Result<TpiEngine, TpiError> {
         let universe = FaultUniverse::collapsed(&circuit)?;
         Ok(TpiEngine {
             circuit,
@@ -162,7 +241,7 @@ impl TpiEngine {
             analyses: None,
             sim: None,
             memo: DpMemo::default(),
-            stats: EngineStats::default(),
+            metrics: EngineMetrics::new(registry),
             control: RunControl::unlimited(),
         })
     }
@@ -200,9 +279,16 @@ impl TpiEngine {
         &self.universe
     }
 
-    /// Cache/simulation counters accumulated so far.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// Cache/simulation counters accumulated so far, read out of the
+    /// session registry (see [`EngineStats`]).
+    pub fn stats(&self) -> EngineStats {
+        self.metrics.stats()
+    }
+
+    /// The session's metrics registry: engine counters, `sim.*` kernel
+    /// counters and latency histograms.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.metrics.registry
     }
 
     /// Number of distinct region subproblems memoized so far.
@@ -224,7 +310,7 @@ impl TpiEngine {
     fn ensure_analyses(&mut self) -> Result<(), TpiError> {
         let version = self.circuit.version();
         if self.analyses.as_ref().is_some_and(|a| a.version == version) {
-            self.stats.analysis_hits += 1;
+            self.metrics.analysis_hits.inc();
             return Ok(());
         }
         let topo = Topology::of(&self.circuit)?;
@@ -236,7 +322,7 @@ impl TpiEngine {
             cop,
             ffr,
         });
-        self.stats.analysis_rebuilds += 1;
+        self.metrics.analysis_rebuilds.inc();
         Ok(())
     }
 
@@ -252,7 +338,8 @@ impl TpiEngine {
     }
 
     fn full_sim(&mut self) -> Result<(FaultSimResult, Option<StopReason>), TpiError> {
-        self.stats.full_sims += 1;
+        self.metrics.full_sims.inc();
+        let timer = self.metrics.full_sim_us.start_timer();
         let mut sim = FaultSimulator::with_options(&self.circuit, self.sim_options())?;
         let mut src = self.pattern_source();
         let run = sim.run_controlled(
@@ -261,6 +348,8 @@ impl TpiEngine {
             self.universe.faults(),
             &self.control,
         )?;
+        drop(timer);
+        run.counters.publish_to(&self.metrics.registry);
         Ok((run.result, run.stopped))
     }
 
@@ -362,15 +451,25 @@ impl TpiEngine {
                 dirty_faults.push(fault);
             }
         }
-        self.stats.incremental_sims += 1;
-        self.stats.faults_resimulated += dirty_faults.len() as u64;
-        self.stats.faults_skipped += (self.universe.len() - dirty_faults.len()) as u64;
+        self.metrics.incremental_sims.inc();
+        self.metrics
+            .faults_resimulated
+            .add(dirty_faults.len() as u64);
+        self.metrics
+            .faults_skipped
+            .add((self.universe.len() - dirty_faults.len()) as u64);
+        self.metrics
+            .dirty_cone_faults
+            .record(dirty_faults.len() as u64);
 
         let partial = {
+            let timer = self.metrics.incremental_sim_us.start_timer();
             let mut sim = FaultSimulator::with_options(&self.circuit, self.sim_options())?;
             let mut src = self.pattern_source();
             let run =
                 sim.run_controlled(&mut src, self.config.patterns, &dirty_faults, &self.control)?;
+            drop(timer);
+            run.counters.publish_to(&self.metrics.registry);
             if let Some(reason) = run.stopped {
                 return Err(TpiError::Interrupted { reason });
             }
@@ -588,11 +687,11 @@ impl TpiEngine {
             let fp = region_fingerprint(&extraction, &sub_targets, rho, threshold);
             let sub_points: Option<Vec<TestPoint>> = match self.memo.get(fp) {
                 Some(cached) => {
-                    self.stats.memo_hits += 1;
+                    self.metrics.memo_hits.inc();
                     cached.clone()
                 }
                 None => {
-                    self.stats.memo_misses += 1;
+                    self.metrics.memo_misses.inc();
                     let problem =
                         TpiProblem::with_targets(&extraction.circuit, threshold, sub_targets)
                             .with_input_probs(extraction.input_probs.clone());
@@ -676,6 +775,7 @@ impl TpiEngine {
             let mut sim = FaultSimulator::with_options(&scratch, self.sim_options())?;
             let mut src = IndependentPatterns::new(scratch.inputs().len(), self.config.seed);
             let run = sim.run_controlled(&mut src, budget, &faults, &self.control)?;
+            run.counters.publish_to(&self.metrics.registry);
             if let Some(reason) = run.stopped {
                 // The referee was cut short: scores so far are not
                 // comparable, so report nothing committed.

@@ -17,6 +17,9 @@
 //! * `{"cmd":"optimize","threshold_log2":-8,"max_rounds":8}` — run the
 //!   constructive loop on the session.
 //! * `{"cmd":"stats"}` — cache/simulation counters.
+//! * `{"cmd":"metrics"}` — the full observability snapshot (engine and
+//!   fault-sim counters, request-latency histograms, error counters) as
+//!   a JSON object; works with or without a loaded session.
 //! * `{"cmd":"shutdown"}` — acknowledge, then stop serving (graceful:
 //!   the in-flight request — this one — is answered before the loop
 //!   exits; EOF on the input behaves the same without the ack).
@@ -41,11 +44,13 @@
 
 use std::io::{BufRead, Write};
 use std::panic::AssertUnwindSafe;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use tpi_core::{Threshold, TpiError};
 use tpi_netlist::bench_format::parse_bench;
 use tpi_netlist::{TestPoint, TestPointKind};
+use tpi_obs::Registry;
 use tpi_sim::RunControl;
 
 use crate::json::Json;
@@ -80,6 +85,10 @@ pub struct ServeState {
     engine: Option<TpiEngine>,
     limits: ServeLimits,
     done: bool,
+    /// Shared with every engine the session loads, so one `metrics`
+    /// snapshot covers engine counters, `sim.*` kernel counters and the
+    /// server's own request instrumentation.
+    registry: Arc<Registry>,
 }
 
 impl ServeState {
@@ -102,16 +111,53 @@ impl ServeState {
         self.done
     }
 
+    /// The session's metrics registry (shared with every loaded engine).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Record a finished request — latency under
+    /// `serve.request_us.<method>`, total under `serve.requests`, error
+    /// responses under `serve.errors.<code>` — and render the response.
+    /// Methods outside the fixed command set are pooled under `other`
+    /// so client typos cannot grow the metric namespace unboundedly.
+    fn finish(&self, method: &str, started: Instant, response: Json) -> String {
+        let label = match method {
+            "load" | "coverage" | "insert" | "optimize" | "stats" | "metrics" | "shutdown" => {
+                method
+            }
+            "" => "invalid",
+            _ => "other",
+        };
+        self.registry.counter("serve.requests").inc();
+        self.registry
+            .histogram(&format!("serve.request_us.{label}"))
+            .record(started.elapsed().as_micros() as u64);
+        if response.get("ok").and_then(Json::as_bool) == Some(false) {
+            let code = response
+                .get("code")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown");
+            self.registry.counter(&format!("serve.errors.{code}")).inc();
+        }
+        response.to_string()
+    }
+
     /// Handle one request line; returns the response line, or `None` for
     /// `quit` (no response, stop serving).
     pub fn handle_line(&mut self, line: &str) -> Option<String> {
+        let started = Instant::now();
         let trimmed = line.trim();
         if trimmed.is_empty() {
-            return Some(error_line("bad_request", "empty request"));
+            let e = error_json(err("bad_request", "empty request"));
+            return Some(self.finish("", started, e));
         }
         let request = match Json::parse(trimmed) {
             Ok(v) => v,
-            Err(e) => return Some(error_line("bad_json", &format!("bad JSON: {e}"))),
+            Err(e) => {
+                let e = error_json(err("bad_json", format!("bad JSON: {e}")));
+                return Some(self.finish("", started, e));
+            }
         };
         // `method` is accepted as an alias of `cmd`.
         let method = request
@@ -125,9 +171,8 @@ impl ServeState {
         }
         if method == "shutdown" {
             self.done = true;
-            return Some(
-                Json::obj([("ok", Json::from(true)), ("shutdown", Json::from(true))]).to_string(),
-            );
+            let ack = Json::obj([("ok", Json::from(true)), ("shutdown", Json::from(true))]);
+            return Some(self.finish(&method, started, ack));
         }
 
         // Run the operation under the request's deadline (if any); the
@@ -163,7 +208,7 @@ impl ServeState {
                 ))
             }
         };
-        Some(response.to_string())
+        Some(self.finish(&method, started, response))
     }
 
     fn dispatch(&mut self, method: &str, request: &Json) -> Result<Json, ServeError> {
@@ -184,7 +229,7 @@ impl ServeState {
             "optimize" => self.cmd_optimize(request),
             "stats" => {
                 let engine = self.engine_mut()?;
-                let s = engine.stats().clone();
+                let s = engine.stats();
                 Ok(Json::obj([
                     ("ok", Json::from(true)),
                     ("analysis_rebuilds", Json::from(s.analysis_rebuilds)),
@@ -197,6 +242,11 @@ impl ServeState {
                     ("memo_misses", Json::from(s.memo_misses)),
                     ("memo_entries", Json::from(engine.memo_len())),
                 ]))
+            }
+            "metrics" => {
+                let rendered = self.registry.snapshot().to_json();
+                let metrics = Json::parse(&rendered).expect("snapshot sink emits well-formed JSON");
+                Ok(Json::obj([("ok", Json::from(true)), ("metrics", metrics)]))
             }
             "" => Err(err("bad_request", "missing 'cmd'")),
             other => Err(err("unknown_method", format!("unknown cmd '{other}'"))),
@@ -250,7 +300,8 @@ impl ServeState {
             verify_incremental: false,
             ..EngineConfig::default()
         };
-        let engine = TpiEngine::new(circuit, config).map_err(engine_error)?;
+        let engine = TpiEngine::with_registry(circuit, config, self.registry.clone())
+            .map_err(engine_error)?;
         let response = Json::obj([
             ("ok", Json::from(true)),
             ("name", Json::from(engine.circuit().name())),
@@ -372,10 +423,6 @@ fn error_json(e: ServeError) -> Json {
         ("code", Json::from(e.code)),
         ("error", Json::from(e.message)),
     ])
-}
-
-fn error_line(code: &'static str, message: &str) -> String {
-    error_json(err(code, message)).to_string()
 }
 
 /// Serve requests from `input` until EOF, a `quit`, or an acknowledged
@@ -513,6 +560,72 @@ mod tests {
             "not_found",
         );
         ok(&state.handle_line(r#"{"cmd":"coverage"}"#).unwrap());
+    }
+
+    #[test]
+    fn metrics_round_trip_over_serve() {
+        let mut state = ServeState::new();
+        // Works before any load: only the server's own counters exist.
+        let empty = ok(&state.handle_line(r#"{"cmd":"metrics"}"#).unwrap());
+        assert!(empty.get("metrics").is_some());
+
+        ok(&state
+            .handle_line(&format!(
+                r#"{{"cmd":"load","bench":"{BENCH}","patterns":512}}"#
+            ))
+            .unwrap());
+        ok(&state.handle_line(r#"{"cmd":"coverage"}"#).unwrap());
+        failed(
+            &state.handle_line(r#"{"cmd":"frobnicate"}"#).unwrap(),
+            "unknown_method",
+        );
+        let response = ok(&state.handle_line(r#"{"cmd":"metrics"}"#).unwrap());
+        let metrics = response.get("metrics").unwrap();
+        // Engine counters, kernel counters and the server's own request
+        // instrumentation all land in one snapshot.
+        let counter = |name: &str| {
+            metrics
+                .get(name)
+                .and_then(|m| m.get("value"))
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("missing counter {name}: {metrics}"))
+        };
+        assert_eq!(counter("engine.full_sims"), 1);
+        assert!(counter("sim.blocks") > 0);
+        assert!(counter("serve.requests") >= 3);
+        assert_eq!(counter("serve.errors.unknown_method"), 1);
+        let latency = metrics
+            .get("serve.request_us.coverage")
+            .expect("coverage latency histogram");
+        assert_eq!(
+            latency.get("count").and_then(Json::as_u64),
+            Some(1),
+            "{latency}"
+        );
+    }
+
+    #[test]
+    fn non_timing_metrics_are_deterministic_across_sessions() {
+        // Two identical request scripts must produce bit-identical
+        // non-timing metrics: every sim/engine counter is a function of
+        // (circuit, stream, faults), never of the clock.
+        let run = || {
+            let mut state = ServeState::new();
+            ok(&state
+                .handle_line(&format!(
+                    r#"{{"cmd":"load","bench":"{BENCH}","patterns":512}}"#
+                ))
+                .unwrap());
+            ok(&state.handle_line(r#"{"cmd":"coverage"}"#).unwrap());
+            ok(&state
+                .handle_line(r#"{"cmd":"insert","node":"g0","kind":"op"}"#)
+                .unwrap());
+            let mut snapshot = state.registry().snapshot();
+            snapshot.retain(|name| !name.contains("_us") && !name.contains("_ms"));
+            snapshot
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.to_json(), b.to_json());
     }
 
     #[test]

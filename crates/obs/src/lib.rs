@@ -1,0 +1,381 @@
+//! # tpi-obs
+//!
+//! Zero-dependency observability for the TPI workspace: a thread-safe
+//! metrics [`Registry`] of atomic [`Counter`]s, [`Gauge`]s and
+//! log₂-bucketed [`Histogram`]s, RAII [`ScopedTimer`]s, plain-data
+//! [`Snapshot`]s with interval [`Snapshot::diff`], and two deterministic
+//! sinks ([`Snapshot::to_json`], [`Snapshot::to_table`]).
+//!
+//! ## Design
+//!
+//! * **Zero dependencies.** The crate sits below everything else in the
+//!   workspace (the sim kernels included), so it may not pull in anything
+//!   — not even the workspace's own JSON module. The JSON sink is ~40
+//!   lines of hand-rolled escaping.
+//! * **Cheap to write.** All primitives are lock-free `Relaxed` atomics;
+//!   handle lookup (`registry.counter("name")`) takes a read lock on a
+//!   sorted map and is meant for set-up paths. Hot loops hold on to the
+//!   returned `Arc` handles — or, like the fault-sim kernels, accumulate
+//!   into plain `u64` fields and publish once per run, keeping the
+//!   per-event cost at a register increment.
+//! * **Mergeable.** Histograms merge exactly ([`Histogram::merge_from`]):
+//!   per-thread recording followed by a merge is bit-identical to
+//!   single-threaded recording of the same samples.
+//! * **Deterministic sinks.** Snapshots are sorted maps; equal registry
+//!   states render to byte-identical JSON/tables.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tpi_obs::Registry;
+//!
+//! let registry = Arc::new(Registry::new());
+//! registry.counter("engine.full_sims").inc();
+//! {
+//!     let _timer = registry.timer_us("engine.full_sim_us");
+//!     // ... timed work ...
+//! }
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("engine.full_sims"), Some(1));
+//! assert!(snap.to_json().starts_with('{'));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod sink;
+mod snapshot;
+
+pub use metrics::{Counter, Gauge, Histogram, ScopedTimer, HISTOGRAM_BUCKETS};
+pub use snapshot::{HistogramSnapshot, MetricValue, Snapshot};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// One registered metric (the registry's internal storage).
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics, shareable across threads.
+///
+/// Handles are get-or-create: the first `counter("x")` registers the
+/// metric, later calls return the same underlying atomic. Requesting an
+/// existing name as a *different* kind is a programming error and
+/// panics — metric names are static identifiers, not data.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(m) = self.metrics.read().expect("obs registry lock").get(name) {
+            return match m {
+                Metric::Counter(c) => Arc::clone(c),
+                other => kind_mismatch(name, "counter", other),
+            };
+        }
+        let mut map = self.metrics.write().expect("obs registry lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => kind_mismatch(name, "counter", other),
+        }
+    }
+
+    /// The gauge named `name`, registering it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(m) = self.metrics.read().expect("obs registry lock").get(name) {
+            return match m {
+                Metric::Gauge(g) => Arc::clone(g),
+                other => kind_mismatch(name, "gauge", other),
+            };
+        }
+        let mut map = self.metrics.write().expect("obs registry lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => kind_mismatch(name, "gauge", other),
+        }
+    }
+
+    /// The histogram named `name`, registering it empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(m) = self.metrics.read().expect("obs registry lock").get(name) {
+            return match m {
+                Metric::Histogram(h) => Arc::clone(h),
+                other => kind_mismatch(name, "histogram", other),
+            };
+        }
+        let mut map = self.metrics.write().expect("obs registry lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => kind_mismatch(name, "histogram", other),
+        }
+    }
+
+    /// Starts an RAII timer recording into the histogram `name` (in
+    /// microseconds) when dropped.
+    pub fn timer_us(&self, name: &str) -> ScopedTimer {
+        self.histogram(name).start_timer()
+    }
+
+    /// A point-in-time plain-data copy of every metric, keyed by name.
+    pub fn snapshot(&self) -> Snapshot {
+        self.metrics
+            .read()
+            .expect("obs registry lock")
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+}
+
+fn kind_mismatch(name: &str, wanted: &str, found: &Metric) -> ! {
+    let found = match found {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    };
+    panic!("metric {name:?} requested as a {wanted} but registered as a {found}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = Registry::new();
+        r.counter("a").add(3);
+        r.counter("a").inc();
+        r.gauge("g").set(-7);
+        r.gauge("g").add(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a"), Some(4));
+        assert_eq!(snap.get("g"), Some(&MetricValue::Gauge(-5)));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for b in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(Histogram::bucket_index(Histogram::bucket_lower_bound(b)), b);
+            assert_eq!(Histogram::bucket_index(Histogram::bucket_upper_bound(b)), b);
+        }
+    }
+
+    #[test]
+    fn histogram_summary_is_exact_for_count_sum_min_max() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 130, 9000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 9141);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 9000);
+        // 0 → bucket 0; 1 → [1,1]; 5,5 → [4,7]; 130 → [128,255];
+        // 9000 → [8192,16383].
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (4, 2), (128, 1), (8192, 1)]);
+        assert_eq!(s.quantile_upper_bound(0.5), 7);
+        assert_eq!(s.quantile_upper_bound(1.0), 9000);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.quantile_upper_bound(0.99), 0);
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_counters_and_histograms() {
+        let r = Registry::new();
+        r.counter("c").add(10);
+        r.histogram("h").record(100);
+        let before = r.snapshot();
+        r.counter("c").add(5);
+        r.histogram("h").record(100);
+        r.histogram("h").record(3);
+        r.gauge("g").set(42);
+        let after = r.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counter("c"), Some(5));
+        assert_eq!(d.get("g"), Some(&MetricValue::Gauge(42)));
+        match d.get("h") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.sum, 103);
+                assert_eq!(h.buckets, vec![(2, 1), (64, 1)]);
+            }
+            other => panic!("expected histogram diff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop_and_discard_does_not() {
+        let r = Registry::new();
+        {
+            let _t = r.timer_us("op_us");
+        }
+        r.timer_us("op_us").discard();
+        let snap = r.snapshot();
+        match snap.get("op_us") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_sink_is_deterministic_and_escaped() {
+        let r = Registry::new();
+        r.counter("b.total").add(2);
+        r.gauge("a \"quoted\"\n").set(-1);
+        r.histogram("h").record(5);
+        let a = r.snapshot().to_json();
+        let b = r.snapshot().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"a \\\"quoted\\\"\\n\":{\"type\":\"gauge\",\"value\":-1}"));
+        assert!(a.contains("\"b.total\":{\"type\":\"counter\",\"value\":2}"));
+        assert!(a.contains("\"buckets\":[[4,1]]"));
+    }
+
+    #[test]
+    fn table_sink_aligns_names() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        r.counter("a.much.longer.name").add(7);
+        let table = r.snapshot().to_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("metric"));
+        // Both value columns start at the same offset.
+        let col = lines[1].find("  7").unwrap();
+        assert_eq!(lines[2].find("  1").unwrap(), col);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested as a gauge but registered as a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        r.gauge("x");
+    }
+
+    #[test]
+    fn concurrent_writers_converge() {
+        let r = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("n");
+                    let h = r.histogram("h");
+                    for v in 0..1000u64 {
+                        c.inc();
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("n"), Some(4000));
+        match snap.get("h") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 4000);
+                assert_eq!(h.sum, 4 * (999 * 1000 / 2));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    proptest! {
+        /// Sharding samples across N per-thread histograms and merging is
+        /// bit-identical to recording them all on one histogram — the
+        /// property the parallel fault-sim merge relies on.
+        #[test]
+        fn merge_of_shards_equals_single_thread(
+            samples in prop::collection::vec(0u64..=u64::MAX, 0..200),
+            shards in 1usize..6,
+        ) {
+            let single = Histogram::new();
+            for &v in &samples {
+                single.record(v);
+            }
+            let parts: Vec<Histogram> =
+                (0..shards).map(|_| Histogram::new()).collect();
+            for (i, &v) in samples.iter().enumerate() {
+                parts[i % shards].record(v);
+            }
+            let merged = Histogram::new();
+            for p in &parts {
+                merged.merge_from(p);
+            }
+            prop_assert_eq!(merged.snapshot(), single.snapshot());
+        }
+
+        /// Quantile upper bounds never undershoot the true quantile and
+        /// stay within the observed range.
+        #[test]
+        fn quantile_bounds_are_sound(
+            raw in prop::collection::vec(0u64..1_000_000, 1..100),
+            q in 0.0f64..1.001,
+        ) {
+            let h = Histogram::new();
+            for &v in &raw {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            let mut samples = raw.clone();
+            samples.sort_unstable();
+            let rank = ((q * samples.len() as f64).ceil() as usize)
+                .clamp(1, samples.len());
+            let true_q = samples[rank - 1];
+            let bound = s.quantile_upper_bound(q);
+            prop_assert!(bound >= true_q);
+            prop_assert!(bound <= s.max);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The metric primitives: atomic [`Counter`]s and [`Gauge`]s, log₂-bucketed
+//! [`Histogram`]s, and the RAII [`ScopedTimer`] that feeds a histogram on
+//! drop.
+//!
+//! All primitives are lock-free and use `Relaxed` atomics: metrics never
+//! synchronize program state, they only have to converge to the correct
+//! totals once writers quiesce. A [`Histogram::record`] touches several
+//! atomics non-transactionally, so a snapshot taken *while* writers are
+//! active can observe a count that is ahead of the matching sum by a few
+//! in-flight samples; once recording stops, every read is exact.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::snapshot::HistogramSnapshot;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// A last-write-wins signed instantaneous value (queue depth, cache
+/// entries, resident faults).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Relaxed);
+    }
+
+    /// Adds `n` (use a negative `n` to decrement).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for the value `0` plus one per power
+/// of two up to `2^63`, so every `u64` maps to exactly one bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in µs, sizes in
+/// elements), mergeable across threads.
+///
+/// Bucket `0` holds the value `0`; bucket `b ≥ 1` holds values in
+/// `[2^(b-1), 2^b - 1]`. Alongside the buckets the histogram tracks the
+/// exact `count`, `sum`, `min` and `max`, so means are exact and only
+/// quantiles are approximate (to within a factor of two, by
+/// construction).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The smallest value mapping to bucket `index`.
+    pub fn bucket_lower_bound(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            b => 1u64 << (b - 1),
+        }
+    }
+
+    /// The largest value mapping to bucket `index`.
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            64 => u64::MAX,
+            b => (1u64 << b) - 1,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.min.fetch_min(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Relaxed);
+    }
+
+    /// Records a duration in whole microseconds.
+    pub fn record_duration(&self, elapsed: Duration) {
+        self.record(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Folds every sample of `other` into `self`. Merging the per-thread
+    /// histograms of `N` workers yields bit-identical buckets, count and
+    /// sum to recording the union of their samples on a single histogram
+    /// (the property test in `lib.rs` pins this down).
+    pub fn merge_from(&self, other: &Histogram) {
+        let n = other.count.load(Relaxed);
+        if n == 0 {
+            return;
+        }
+        self.count.fetch_add(n, Relaxed);
+        self.sum.fetch_add(other.sum.load(Relaxed), Relaxed);
+        self.min.fetch_min(other.min.load(Relaxed), Relaxed);
+        self.max.fetch_max(other.max.load(Relaxed), Relaxed);
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let add = theirs.load(Relaxed);
+            if add != 0 {
+                mine.fetch_add(add, Relaxed);
+            }
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// A plain-data copy of the current state (empty buckets elided).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Relaxed);
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Relaxed);
+                (n != 0).then_some((Self::bucket_lower_bound(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Relaxed)
+            },
+            max: self.max.load(Relaxed),
+            buckets,
+        }
+    }
+
+    /// Starts an RAII timer that records into this histogram (in µs) when
+    /// dropped.
+    pub fn start_timer(self: &Arc<Self>) -> ScopedTimer {
+        ScopedTimer {
+            histogram: Some(Arc::clone(self)),
+            start: Instant::now(),
+        }
+    }
+}
+
+/// RAII timer: created by [`Histogram::start_timer`] (or
+/// [`crate::Registry::timer_us`]), records the elapsed wall-clock time in
+/// whole microseconds into its histogram when dropped.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    histogram: Option<Arc<Histogram>>,
+    start: Instant,
+}
+
+impl ScopedTimer {
+    /// Stops the timer without recording anything (e.g. on an error path
+    /// that should not pollute the latency distribution).
+    pub fn discard(mut self) {
+        self.histogram = None;
+    }
+
+    /// Stops the timer now and records the elapsed time, returning it.
+    pub fn observe(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if let Some(h) = self.histogram.take() {
+            h.record_duration(elapsed);
+        }
+        elapsed
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if let Some(h) = self.histogram.take() {
+            h.record_duration(self.start.elapsed());
+        }
+    }
+}

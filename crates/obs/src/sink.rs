@@ -1,0 +1,128 @@
+//! Snapshot sinks: a deterministic JSON object and an aligned pretty
+//! table. Both render metrics in sorted name order so byte-identical
+//! registries produce byte-identical output.
+
+use std::fmt::Write as _;
+
+use crate::snapshot::{HistogramSnapshot, MetricValue, Snapshot};
+
+impl Snapshot {
+    /// Renders the snapshot as one JSON object keyed by metric name:
+    ///
+    /// ```json
+    /// {
+    ///   "engine.full_sims": {"type":"counter","value":3},
+    ///   "serve.request_us.load": {"type":"histogram","count":2,"sum":91,
+    ///     "min":38,"max":53,"buckets":[[32,2]]}
+    /// }
+    /// ```
+    ///
+    /// Keys are sorted, every number is an integer, and no trailing
+    /// newline is emitted; the output parses with any JSON reader.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(&mut out, name);
+            out.push(':');
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{{\"type\":\"counter\",\"value\":{v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "{{\"type\":\"gauge\",\"value\":{v}}}");
+                }
+                MetricValue::Histogram(h) => write_json_histogram(&mut out, h),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders the snapshot as an aligned two-column table, histograms
+    /// summarised as count/mean/min/max plus log₂-bucket quantile upper
+    /// bounds:
+    ///
+    /// ```text
+    /// metric                   value
+    /// engine.full_sims         3
+    /// serve.request_us.load    n=2 mean=45.5 min=38 max=53 p50<=53 p99<=53
+    /// ```
+    pub fn to_table(&self) -> String {
+        let rows: Vec<(String, String)> = self
+            .iter()
+            .map(|(name, value)| {
+                let rendered = match value {
+                    MetricValue::Counter(v) => v.to_string(),
+                    MetricValue::Gauge(v) => v.to_string(),
+                    MetricValue::Histogram(h) => format_histogram(h),
+                };
+                (name.to_string(), rendered)
+            })
+            .collect();
+        let width = rows
+            .iter()
+            .map(|(name, _)| name.len())
+            .max()
+            .unwrap_or(6)
+            .max("metric".len());
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<width$}  value", "metric");
+        for (name, rendered) in rows {
+            let _ = writeln!(out, "{name:<width$}  {rendered}");
+        }
+        out
+    }
+}
+
+fn format_histogram(h: &HistogramSnapshot) -> String {
+    if h.count == 0 {
+        return "n=0".to_string();
+    }
+    format!(
+        "n={} mean={:.1} min={} max={} p50<={} p99<={}",
+        h.count,
+        h.mean(),
+        h.min,
+        h.max,
+        h.quantile_upper_bound(0.5),
+        h.quantile_upper_bound(0.99),
+    )
+}
+
+fn write_json_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+        h.count, h.sum, h.min, h.max
+    );
+    for (i, (lo, n)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{lo},{n}]");
+    }
+    out.push_str("]}");
+}
+
+/// Writes `s` as a JSON string literal with the escapes required by RFC
+/// 8259 (quote, backslash, control characters).
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,180 @@
+//! Plain-data snapshots of a registry: the [`Snapshot`] map, the
+//! per-metric [`MetricValue`], histogram summaries, and snapshot
+//! differencing for interval (per-request, per-job) views.
+
+use std::collections::BTreeMap;
+
+/// A plain-data copy of one histogram: exact count/sum/min/max plus the
+/// non-empty log₂ buckets as `(lower_bound, samples)` pairs sorted by
+/// lower bound.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Exact sum of recorded samples.
+    pub sum: u64,
+    /// Smallest recorded sample (`0` when empty).
+    pub min: u64,
+    /// Largest recorded sample (`0` when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(lower_bound, samples)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded samples (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the upper
+    /// edge of the first bucket whose cumulative count reaches
+    /// `⌈q·count⌉`. Tight to within the 2× bucket width.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(lo, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // Upper edge of the bucket starting at `lo`, clipped to
+                // the observed maximum.
+                let hi = if lo == 0 {
+                    0
+                } else {
+                    (lo << 1).wrapping_sub(1)
+                };
+                return hi.min(self.max).max(lo);
+            }
+        }
+        self.max
+    }
+
+    /// Subtracts an earlier snapshot of the same histogram, yielding the
+    /// interval view. Counts, sums and buckets subtract exactly; `min`
+    /// and `max` cannot be reconstructed for the interval alone, so the
+    /// later (cumulative) values are kept.
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let before: BTreeMap<u64, u64> = earlier.buckets.iter().copied().collect();
+        let buckets = self
+            .buckets
+            .iter()
+            .filter_map(|&(lo, n)| {
+                let d = n.saturating_sub(before.get(&lo).copied().unwrap_or(0));
+                (d != 0).then_some((lo, d))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+/// One metric's value inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonically increasing total.
+    Counter(u64),
+    /// A signed instantaneous value.
+    Gauge(i64),
+    /// A histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time, plain-data copy of every metric in a registry, keyed
+/// by metric name in sorted order (so every sink is deterministic).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a metric.
+    pub fn insert(&mut self, name: impl Into<String>, value: MetricValue) {
+        self.metrics.insert(name.into(), value);
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(name)
+    }
+
+    /// The value of a counter, if `name` is one.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Iterates metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when no metrics were captured.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Drops every metric whose name does not satisfy `keep`. Useful to
+    /// strip wall-clock histograms before comparing snapshots for
+    /// determinism.
+    pub fn retain(&mut self, mut keep: impl FnMut(&str) -> bool) {
+        self.metrics.retain(|name, _| keep(name));
+    }
+
+    /// Subtracts an `earlier` snapshot, yielding the interval view:
+    /// counters and histograms subtract, gauges keep the later value.
+    /// Metrics present only in `self` are passed through unchanged;
+    /// metrics present only in `earlier` are dropped.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(name, value)| {
+                let diffed = match (value, earlier.metrics.get(name)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(before))) => {
+                        MetricValue::Counter(now.saturating_sub(*before))
+                    }
+                    (MetricValue::Histogram(now), Some(MetricValue::Histogram(before))) => {
+                        MetricValue::Histogram(now.diff(before))
+                    }
+                    // Gauges are instantaneous; kind changes fall back to
+                    // the later value as well.
+                    (value, _) => value.clone(),
+                };
+                (name.clone(), diffed)
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+}
+
+impl FromIterator<(String, MetricValue)> for Snapshot {
+    fn from_iter<T: IntoIterator<Item = (String, MetricValue)>>(iter: T) -> Self {
+        Snapshot {
+            metrics: iter.into_iter().collect(),
+        }
+    }
+}

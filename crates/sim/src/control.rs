@@ -190,6 +190,9 @@ pub struct ControlledRun {
     pub result: crate::FaultSimResult,
     /// `None` if the run completed normally.
     pub stopped: Option<StopReason>,
+    /// Kernel counters for this run (merged across workers for parallel
+    /// runs). Publish via [`crate::SimCounters::publish_to`].
+    pub counters: crate::SimCounters,
 }
 
 #[cfg(test)]

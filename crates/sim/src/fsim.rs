@@ -2,7 +2,10 @@ use tpi_netlist::ffr::FfrDecomposition;
 use tpi_netlist::{Circuit, GateKind, NetlistError, NodeId, Topology};
 
 use crate::compile::{block_words_supported, DEFAULT_BLOCK_WORDS, MAX_BLOCK_WORDS};
-use crate::{ControlledRun, Fault, FaultSimResult, FaultSite, LogicSim, PatternSource, RunControl};
+use crate::{
+    ControlledRun, Fault, FaultSimResult, FaultSite, LogicSim, PatternSource, RunControl,
+    SimCounters,
+};
 
 /// How per-fault detection words are computed within each pattern block.
 ///
@@ -150,6 +153,10 @@ pub struct FaultSimulator {
     stem_obs: Vec<u64>,
     obs_ready: Vec<u8>,
     obs_ready_list: Vec<u32>,
+    // Kernel counters: plain u64s (not atomics) so the hot loops pay a
+    // register increment, published to an obs registry in bulk by the
+    // caller (see `crate::SimCounters`).
+    counters: SimCounters,
 }
 
 impl FaultSimulator {
@@ -262,6 +269,7 @@ impl FaultSimulator {
             stem_obs: vec![0; n * w],
             obs_ready: vec![0; n],
             obs_ready_list: Vec::new(),
+            counters: SimCounters::default(),
             sim,
         })
     }
@@ -279,6 +287,18 @@ impl FaultSimulator {
     /// The configured detection mode.
     pub fn detection(&self) -> DetectionMode {
         self.mode
+    }
+
+    /// Kernel counters accumulated since construction (or the last
+    /// [`take_counters`](FaultSimulator::take_counters)). Deterministic
+    /// for a fixed (circuit, pattern stream, fault list, block width).
+    pub fn counters(&self) -> &SimCounters {
+        &self.counters
+    }
+
+    /// Returns the accumulated kernel counters and resets them to zero.
+    pub fn take_counters(&mut self) -> SimCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// Fault-simulate with fault dropping: apply up to `max_patterns`
@@ -332,9 +352,11 @@ impl FaultSimulator {
                 faults.iter().map(|&f| self.fault_root(f)).collect()
             }
         };
+        let before = self.counters;
         let mut stopped = None;
         let mut base = 0u64;
         while base < max_patterns && !alive.is_empty() {
+            self.counters.polls += 1;
             stopped = control.poll();
             if stopped.is_some() {
                 break;
@@ -345,6 +367,8 @@ impl FaultSimulator {
             }
             let lanes = filled.min(max_patterns - base);
             let masks = lane_masks(lanes, self.w);
+            self.counters.blocks += 1;
+            self.counters.pattern_lanes += lanes;
             self.simulate_good();
             if self.mode == DetectionMode::CriticalPathTracing {
                 for &fi in &alive {
@@ -381,6 +405,7 @@ impl FaultSimulator {
                     Some(offset) => {
                         first_detected[fi] = Some(base + offset);
                         last_kill = last_kill.max(offset);
+                        self.counters.faults_dropped += 1;
                         false
                     }
                     None => true,
@@ -401,6 +426,7 @@ impl FaultSimulator {
         Ok(ControlledRun {
             result: FaultSimResult::new(first_detected, base),
             stopped,
+            counters: self.counters.since(&before),
         })
     }
 
@@ -432,6 +458,8 @@ impl FaultSimulator {
             }
             let lanes = filled.min(max_patterns - base);
             let masks = lane_masks(lanes, self.w);
+            self.counters.blocks += 1;
+            self.counters.pattern_lanes += lanes;
             self.simulate_good();
             match self.mode {
                 DetectionMode::Explicit => {
@@ -489,6 +517,8 @@ impl FaultSimulator {
             }
             let lanes = filled.min(max_patterns - base);
             let masks = lane_masks(lanes, self.w);
+            self.counters.blocks += 1;
+            self.counters.pattern_lanes += lanes;
             self.simulate_good();
             for (fi, &fault) in faults.iter().enumerate() {
                 let detect =
@@ -633,6 +663,7 @@ impl FaultSimulator {
             // targets strictly higher levels) can borrow freely.
             let mut bucket = std::mem::take(&mut self.buckets[level]);
             self.pending -= bucket.len();
+            self.counters.events += bucket.len() as u64;
             for &gate in &bucket {
                 let gi = gate as usize;
                 self.queued[gi] = false;
@@ -724,6 +755,7 @@ impl FaultSimulator {
             }
             let mut bucket = std::mem::take(&mut self.buckets[level]);
             self.pending -= bucket.len();
+            self.counters.events += bucket.len() as u64;
             for &gate in &bucket {
                 let gi = gate as usize;
                 self.queued[gi] = false;
@@ -948,12 +980,15 @@ impl FaultSimulator {
     fn stem_obs_word(&mut self, r: usize, j: usize, masks: &[u64; MAX_BLOCK_WORDS]) -> u64 {
         let w = self.w;
         if self.obs_ready[r] & (1 << j) == 0 {
+            self.counters.stem_obs_misses += 1;
             let word = self.flip_obs_word(r, j, masks);
             self.stem_obs[r * w + j] = word;
             if self.obs_ready[r] == 0 {
                 self.obs_ready_list.push(r as u32);
             }
             self.obs_ready[r] |= 1 << j;
+        } else {
+            self.counters.stem_obs_hits += 1;
         }
         self.stem_obs[r * w + j]
     }

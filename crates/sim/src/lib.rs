@@ -59,6 +59,7 @@ mod fault;
 mod fsim;
 mod lfsr;
 mod logic;
+mod metrics;
 mod misr;
 pub mod montecarlo;
 pub mod parallel;
@@ -72,6 +73,7 @@ pub use fault::{Fault, FaultSite, FaultUniverse};
 pub use fsim::{DetectionMode, FaultSimulator, SimOptions};
 pub use lfsr::{Lfsr, LfsrPatterns};
 pub use logic::LogicSim;
+pub use metrics::SimCounters;
 pub use misr::Misr;
 pub use patterns::{ExhaustivePatterns, IndependentPatterns, PatternSource, RandomPatterns};
 pub use weighted::WeightedPatterns;

@@ -1,0 +1,87 @@
+//! Kernel-level instrumentation: plain-`u64` counters accumulated inside
+//! [`FaultSimulator`](crate::FaultSimulator)'s hot loops and published to
+//! a [`tpi_obs::Registry`] in bulk.
+//!
+//! The counters are deliberately *not* atomics: the per-event cost must
+//! stay under 1% of W=4 fault-sim throughput (bench-asserted by the
+//! `metrics` section of `fsim_throughput`), so the hot paths pay a single
+//! register increment and the registry is only touched once per run.
+//! Every counter is a deterministic function of (circuit, pattern stream,
+//! fault list, block width) — wall clock never feeds one — so equal runs
+//! publish bit-identical totals.
+
+use tpi_obs::Registry;
+
+/// Cumulative fault-simulation kernel counters.
+///
+/// Available on a simulator via
+/// [`FaultSimulator::counters`](crate::FaultSimulator::counters) (totals
+/// since construction) and per run on
+/// [`ControlledRun::counters`](crate::ControlledRun) (that run's delta).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Pattern blocks executed (one good-value simulation each).
+    pub blocks: u64,
+    /// Pattern lanes applied across those blocks.
+    pub pattern_lanes: u64,
+    /// Gate evaluations scheduled by event-driven propagation (fault
+    /// injections and CPT stem-observability flips alike).
+    pub events: u64,
+    /// Faults dropped at their first detection.
+    pub faults_dropped: u64,
+    /// CPT stem-observability words served from the per-block memo.
+    pub stem_obs_hits: u64,
+    /// CPT stem-observability words computed by a flip propagation.
+    pub stem_obs_misses: u64,
+    /// Cancellation-token polls (one per pattern block).
+    pub polls: u64,
+}
+
+impl SimCounters {
+    /// Adds `other`'s totals into `self` (merging per-worker counters).
+    pub fn merge(&mut self, other: &SimCounters) {
+        self.blocks += other.blocks;
+        self.pattern_lanes += other.pattern_lanes;
+        self.events += other.events;
+        self.faults_dropped += other.faults_dropped;
+        self.stem_obs_hits += other.stem_obs_hits;
+        self.stem_obs_misses += other.stem_obs_misses;
+        self.polls += other.polls;
+    }
+
+    /// The counters accumulated since `earlier` was captured (field-wise
+    /// saturating subtraction; counters only grow, so this is exact for
+    /// any earlier capture of the same simulator).
+    pub fn since(&self, earlier: &SimCounters) -> SimCounters {
+        SimCounters {
+            blocks: self.blocks.saturating_sub(earlier.blocks),
+            pattern_lanes: self.pattern_lanes.saturating_sub(earlier.pattern_lanes),
+            events: self.events.saturating_sub(earlier.events),
+            faults_dropped: self.faults_dropped.saturating_sub(earlier.faults_dropped),
+            stem_obs_hits: self.stem_obs_hits.saturating_sub(earlier.stem_obs_hits),
+            stem_obs_misses: self.stem_obs_misses.saturating_sub(earlier.stem_obs_misses),
+            polls: self.polls.saturating_sub(earlier.polls),
+        }
+    }
+
+    /// Adds every counter to `registry` under the `sim.` prefix. All
+    /// seven metrics are registered even when zero, so consumers can rely
+    /// on the keys being present.
+    pub fn publish_to(&self, registry: &Registry) {
+        registry.counter("sim.blocks").add(self.blocks);
+        registry
+            .counter("sim.pattern_lanes")
+            .add(self.pattern_lanes);
+        registry.counter("sim.events").add(self.events);
+        registry
+            .counter("sim.faults_dropped")
+            .add(self.faults_dropped);
+        registry
+            .counter("sim.stem_obs_hits")
+            .add(self.stem_obs_hits);
+        registry
+            .counter("sim.stem_obs_misses")
+            .add(self.stem_obs_misses);
+        registry.counter("sim.polls").add(self.polls);
+    }
+}

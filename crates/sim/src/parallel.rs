@@ -220,9 +220,11 @@ where
     let mut first_detected = vec![None; faults.len()];
     let mut patterns_applied = 0;
     let mut stopped: Option<StopReason> = None;
+    let mut counters = crate::SimCounters::default();
     for (ti, r) in chunks {
         patterns_applied = patterns_applied.max(r.result.patterns_applied());
         stopped = stopped.or(r.stopped);
+        counters.merge(&r.counters);
         for (pos, &orig) in assignment[ti].iter().enumerate() {
             first_detected[orig] = r.result.first_detection(pos);
         }
@@ -230,6 +232,7 @@ where
     Ok(ControlledRun {
         result: FaultSimResult::new(first_detected, patterns_applied),
         stopped,
+        counters,
     })
 }
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Metrics smoke: `tpi simulate --metrics-out` and `tpi batch
+# --metrics-out` (on a manifest mixing healthy and failing jobs) must
+# write well-formed registry snapshots with the expected keys, the batch
+# summary line must carry the per-status split, and `tpi stats` must
+# render the snapshot as a table.
+set -euo pipefail
+
+TPI="${TPI:-target/release/tpi}"
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+cat > "$dir/ok.bench" <<'EOF'
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+g0 = AND(a, b)
+g1 = OR(c, d)
+y = AND(g0, g1)
+OUTPUT(y)
+EOF
+
+printf 'INPUT(a)\ny = AND)a(\n' > "$dir/bad.bench"
+
+# ---- simulate --metrics-out: kernel counters present and sane. ----
+"$TPI" simulate "$dir/ok.bench" --patterns 256 --metrics-out "$dir/sim.json"
+python3 - "$dir/sim.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for key in ["sim.blocks", "sim.pattern_lanes", "sim.events",
+            "sim.faults_dropped", "sim.stem_obs_hits",
+            "sim.stem_obs_misses", "sim.polls"]:
+    entry = doc[key]
+    assert entry["type"] == "counter", (key, entry)
+    assert isinstance(entry["value"], int) and entry["value"] >= 0, (key, entry)
+assert doc["sim.blocks"]["value"] >= 1
+assert doc["sim.faults_dropped"]["value"] >= 1
+print("simulate metrics: ok")
+EOF
+
+# ---- batch --metrics-out on a mixed manifest. ----
+cat > "$dir/manifest.json" <<'EOF'
+{
+  "workers": 2,
+  "jobs": [
+    {"circuit": "ok.bench", "method": "simulate", "patterns": 256},
+    {"circuit": "bad.bench", "method": "simulate", "patterns": 256},
+    {"circuit": "ok.bench", "method": "simulate", "patterns": 256}
+  ]
+}
+EOF
+"$TPI" batch "$dir/manifest.json" --out "$dir/out.jsonl" \
+  --metrics-out "$dir/batch.json" > "$dir/summary.json"
+python3 - "$dir/batch.json" "$dir/summary.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["batch.status.ok"]["value"] == 2, doc.get("batch.status.ok")
+assert doc["batch.status.error"]["value"] == 1, doc.get("batch.status.error")
+job_ms = doc["batch.job_ms"]
+assert job_ms["type"] == "histogram" and job_ms["count"] == 3, job_ms
+assert doc["batch.queue_wait_ms"]["count"] == 3, doc["batch.queue_wait_ms"]
+for lo, n in job_ms["buckets"]:
+    assert isinstance(lo, int) and isinstance(n, int), job_ms
+summary = json.load(open(sys.argv[2]))
+assert summary["summary"] is True, summary
+assert summary["ok"] == 2 and summary["error"] == 1, summary
+assert summary["panic"] == 0 and summary["timeout"] == 0, summary
+assert summary["cancelled"] == 0 and summary["skipped"] == 0, summary
+assert isinstance(summary["elapsed_ms"], int), summary
+print("batch metrics: ok (per-status split and histograms present)")
+EOF
+
+# ---- tpi stats renders the snapshot as a table. ----
+"$TPI" stats "$dir/sim.json" | tee "$dir/table.txt" | head -n 3
+grep -q '^metric' "$dir/table.txt"
+grep -q 'sim.faults_dropped' "$dir/table.txt"
+
+echo "metrics smoke: ok"

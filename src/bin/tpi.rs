@@ -3,15 +3,16 @@
 //! ```text
 //! tpi analyze  <file.bench>                      structural + testability report
 //! tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr] [--threads N]
-//!              [--block-words W] [--detection cpt|explicit]
+//!              [--block-words W] [--detection cpt|explicit] [--metrics-out FILE]
 //! tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]
 //!              [--method dp|greedy|constructive|constructive-baseline]
 //!              [--threads N] [--block-words W] [--detection cpt|explicit]
-//!              [--deadline-ms MS] [--out FILE] [--verilog FILE]
+//!              [--deadline-ms MS] [--out FILE] [--verilog FILE] [--metrics-out FILE]
 //! tpi atpg     <file.bench> [--patterns N]       redundancy sweep + top-off cubes
 //! tpi export   <file.bench> (--verilog FILE | --dot FILE)
-//! tpi batch    <manifest.json> [--out FILE] [--retries N] [--resume]
+//! tpi batch    <manifest.json> [--out FILE] [--retries N] [--resume] [--metrics-out FILE]
 //! tpi serve    [--max-gates N] [--max-patterns N]
+//! tpi stats    <metrics.json>                    pretty-print a metrics snapshot
 //! ```
 //!
 //! Netlists are ISCAS-85 `.bench` files; `DFF`s are treated as full-scan
@@ -30,7 +31,8 @@ use krishnamurthy_tpi::engine::{
 };
 use krishnamurthy_tpi::netlist::transform::apply_plan;
 use krishnamurthy_tpi::netlist::{analysis, bench_format, dot, ffr, verilog, Circuit, Topology};
-use krishnamurthy_tpi::sim::parallel::run_parallel_opts;
+use krishnamurthy_tpi::obs::{HistogramSnapshot, MetricValue, Registry, Snapshot};
+use krishnamurthy_tpi::sim::parallel::run_parallel_controlled;
 use krishnamurthy_tpi::sim::{
     block_words_supported, DetectionMode, FaultUniverse, LfsrPatterns, RandomPatterns, SimOptions,
     DEFAULT_BLOCK_WORDS,
@@ -61,6 +63,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "atpg" => atpg(rest),
         "export" => export(rest),
         "batch" => batch_cmd(rest),
+        "stats" => stats_cmd(rest),
         "serve" => {
             let flags = Flags::parse(rest, &[])?;
             let limits = serve::ServeLimits {
@@ -85,15 +88,17 @@ fn print_usage() {
          usage:\n  \
          tpi analyze  <file.bench>\n  \
          tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr] [--threads N]\n           \
-         [--block-words W] [--detection cpt|explicit]\n  \
+         [--block-words W] [--detection cpt|explicit] [--metrics-out FILE]\n  \
          tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]\n           \
          [--method dp|greedy|constructive|constructive-baseline] [--threads N]\n           \
          [--block-words W] [--detection cpt|explicit] [--deadline-ms MS]\n           \
-         [--out FILE] [--verilog FILE]\n  \
+         [--out FILE] [--verilog FILE] [--metrics-out FILE]\n  \
          tpi atpg     <file.bench> [--patterns N]\n  \
          tpi export   <file.bench> (--verilog FILE | --dot FILE)\n  \
-         tpi batch    <manifest.json> [--out FILE] [--retries N] [--resume]\n  \
-         tpi serve    [--max-gates N] [--max-patterns N]"
+         tpi batch    <manifest.json> [--out FILE] [--retries N] [--resume]\n           \
+         [--metrics-out FILE]\n  \
+         tpi serve    [--max-gates N] [--max-patterns N]\n  \
+         tpi stats    <metrics.json>"
     );
 }
 
@@ -216,6 +221,14 @@ fn block_words_flag(flags: &Flags) -> Result<usize, String> {
     Ok(w)
 }
 
+/// `--metrics-out FILE`: dump a registry snapshot as one JSON object
+/// (render back with `tpi stats FILE`).
+fn write_metrics(path: &str, registry: &Registry) -> Result<(), String> {
+    std::fs::write(path, registry.snapshot().to_json()).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
 /// `--detection`: detection-word algorithm (results are bit-identical;
 /// `cpt` is the fast default).
 fn detection_flag(flags: &Flags) -> Result<DetectionMode, String> {
@@ -242,28 +255,37 @@ fn simulate(args: &[String]) -> Result<(), String> {
     let options = sim_options_flags(&flags)?;
     let universe = FaultUniverse::collapsed(&circuit).map_err(|e| e.to_string())?;
     let n_inputs = circuit.inputs().len();
-    let result = if flags.has("lfsr") {
+    let control = RunControl::unlimited();
+    let run = if flags.has("lfsr") {
         // Validate the LFSR width once up front, then fan out.
         LfsrPatterns::new(n_inputs, seed).map_err(|e| e.to_string())?;
-        run_parallel_opts(
+        run_parallel_controlled(
             &circuit,
             || LfsrPatterns::new(n_inputs, seed).expect("width checked above"),
             patterns,
             universe.faults(),
             threads,
             options,
+            &control,
         )
     } else {
-        run_parallel_opts(
+        run_parallel_controlled(
             &circuit,
             || RandomPatterns::new(n_inputs, seed),
             patterns,
             universe.faults(),
             threads,
             options,
+            &control,
         )
     }
     .map_err(|e| e.to_string())?;
+    if let Some(path) = flags.get("metrics-out") {
+        let registry = Registry::new();
+        run.counters.publish_to(&registry);
+        write_metrics(path, &registry)?;
+    }
+    let result = run.result;
     println!(
         "{}: {}/{} faults detected ({:.2}%) with {} patterns",
         circuit.name(),
@@ -302,6 +324,9 @@ fn insert(args: &[String]) -> Result<(), String> {
         .opt_num::<u64>("deadline-ms")?
         .map(std::time::Duration::from_millis);
     let control = RunControl::with_limits(deadline, None);
+    // Collects the engine's session metrics (constructive method) and
+    // the closing verification's kernel counters for `--metrics-out`.
+    let registry = std::sync::Arc::new(Registry::new());
     let problem = TpiProblem::min_cost(&circuit, threshold).map_err(|e| e.to_string())?;
 
     let mut interrupted = None;
@@ -324,7 +349,7 @@ fn insert(args: &[String]) -> Result<(), String> {
         "constructive" => {
             // The incremental engine session: cached analyses, dirty-cone
             // re-measurement, memoized region DP.
-            let mut engine = TpiEngine::new(
+            let mut engine = TpiEngine::with_registry(
                 circuit.clone(),
                 EngineConfig {
                     verify_incremental: false,
@@ -332,6 +357,7 @@ fn insert(args: &[String]) -> Result<(), String> {
                     detection: options.detection,
                     ..EngineConfig::default()
                 },
+                registry.clone(),
             )
             .map_err(|e| e.to_string())?;
             engine.set_control(control.clone());
@@ -390,15 +416,18 @@ fn insert(args: &[String]) -> Result<(), String> {
     // worker pool.
     let universe = FaultUniverse::collapsed(&circuit).map_err(|e| e.to_string())?;
     let n_inputs = modified.inputs().len();
-    let verified = run_parallel_opts(
+    let verify_run = run_parallel_controlled(
         &modified,
         || RandomPatterns::new(n_inputs, 1),
         32_000,
         universe.faults(),
         threads,
         options,
+        &RunControl::unlimited(),
     )
     .map_err(|e| e.to_string())?;
+    verify_run.counters.publish_to(&registry);
+    let verified = verify_run.result;
     println!(
         "measured coverage after insertion: {:.2}% ({} patterns, {} threads)",
         verified.coverage() * 100.0,
@@ -413,6 +442,9 @@ fn insert(args: &[String]) -> Result<(), String> {
     if let Some(v) = flags.get("verilog") {
         std::fs::write(v, verilog::to_verilog(&modified)).map_err(|e| format!("{v}: {e}"))?;
         println!("wrote {v}");
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        write_metrics(path, &registry)?;
     }
     Ok(())
 }
@@ -466,9 +498,13 @@ fn batch_cmd(args: &[String]) -> Result<(), String> {
     if resume && out.is_none() {
         return Err("--resume needs --out FILE (the checkpoint to resume from)".into());
     }
+    let registry = flags
+        .get("metrics-out")
+        .map(|_| std::sync::Arc::new(Registry::new()));
     let mut opts = batch::BatchOptions {
         workers,
         retries,
+        registry: registry.clone(),
         ..batch::BatchOptions::default()
     };
     let summary = if let Some(out) = out {
@@ -501,14 +537,103 @@ fn batch_cmd(args: &[String]) -> Result<(), String> {
         stdout.write_all(&buffer).map_err(|e| e.to_string())?;
         summary
     };
+    // Machine-readable final summary line (per-status counts and batch
+    // wall clock); goes to stdout even when the JSONL went to a file.
+    println!("{}", summary.to_json());
     eprintln!(
-        "batch: {} ok, {} failed, {} skipped of {} jobs",
+        "batch: {} ok, {} error, {} panic, {} timeout, {} cancelled, {} skipped \
+         of {} jobs in {} ms",
         summary.ok,
-        summary.failed,
+        summary.error,
+        summary.panic,
+        summary.timeout,
+        summary.cancelled,
         summary.skipped,
-        specs.len()
+        specs.len(),
+        summary.elapsed_ms
     );
+    if let (Some(path), Some(registry)) = (flags.get("metrics-out"), &registry) {
+        write_metrics(path, registry)?;
+    }
     Ok(())
+}
+
+/// `tpi stats FILE` — render a `--metrics-out` snapshot (or a serve
+/// `metrics` reply) as an aligned table with histogram summaries.
+fn stats_cmd(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let path = flags.file()?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    // Accept both a bare snapshot document and a serve `metrics` reply
+    // that wraps one under {"ok":true,"metrics":{...}}.
+    let doc = doc.get("metrics").unwrap_or(&doc);
+    let snapshot = snapshot_from_json(doc).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", snapshot.to_table());
+    Ok(())
+}
+
+/// Rebuild an obs [`Snapshot`] from its JSON sink rendering.
+fn snapshot_from_json(doc: &Json) -> Result<Snapshot, String> {
+    let Json::Obj(metrics) = doc else {
+        return Err("metrics document must be a JSON object".into());
+    };
+    let mut snapshot = Snapshot::new();
+    for (name, metric) in metrics {
+        let kind = metric
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("metric '{name}' has no 'type'"))?;
+        let value = match kind {
+            "counter" => MetricValue::Counter(
+                metric
+                    .get("value")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("counter '{name}' has no integer 'value'"))?,
+            ),
+            "gauge" => MetricValue::Gauge(
+                metric
+                    .get("value")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("gauge '{name}' has no 'value'"))?
+                    as i64,
+            ),
+            "histogram" => {
+                let field = |key: &str| {
+                    metric
+                        .get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("histogram '{name}' has no integer '{key}'"))
+                };
+                let buckets = metric
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("histogram '{name}' has no 'buckets'"))?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_arr().unwrap_or(&[]);
+                        match (
+                            pair.first().and_then(Json::as_u64),
+                            pair.get(1).and_then(Json::as_u64),
+                        ) {
+                            (Some(lo), Some(n)) => Ok((lo, n)),
+                            _ => Err(format!("histogram '{name}' has a malformed bucket")),
+                        }
+                    })
+                    .collect::<Result<Vec<(u64, u64)>, String>>()?;
+                MetricValue::Histogram(HistogramSnapshot {
+                    count: field("count")?,
+                    sum: field("sum")?,
+                    min: field("min")?,
+                    max: field("max")?,
+                    buckets,
+                })
+            }
+            other => return Err(format!("metric '{name}' has unknown type '{other}'")),
+        };
+        snapshot.insert(name.clone(), value);
+    }
+    Ok(snapshot)
 }
 
 fn export(args: &[String]) -> Result<(), String> {

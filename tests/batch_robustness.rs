@@ -77,8 +77,14 @@ fn mixed_manifest_survives_and_resumes_without_reexecution() {
     let lines: Vec<Json> = first.lines().map(|l| Json::parse(l).unwrap()).collect();
     assert_eq!(lines.len(), 5, "{first}");
     assert_eq!(summary.ok, 2);
-    assert_eq!(summary.failed, 3);
+    assert_eq!(summary.failed(), 3);
+    assert_eq!(
+        (summary.panic, summary.timeout, summary.error),
+        (1, 1, 1),
+        "each exit class must be counted separately"
+    );
     assert_eq!(summary.skipped, 0);
+    assert!(summary.elapsed_ms > 0, "the 30ms sleeper bounds elapsed_ms");
     assert_eq!(status_of(&lines, 0), "ok");
     assert_eq!(status_of(&lines, 1), "panic");
     assert_eq!(status_of(&lines, 2), "timeout");
@@ -118,7 +124,7 @@ fn mixed_manifest_survives_and_resumes_without_reexecution() {
     let second = String::from_utf8(out).unwrap();
     assert_eq!(summary.skipped, 2);
     assert_eq!(summary.ok, 0);
-    assert_eq!(summary.failed, 3);
+    assert_eq!(summary.failed(), 3);
     let lines: Vec<Json> = second.lines().map(|l| Json::parse(l).unwrap()).collect();
     assert_eq!(lines.len(), 3, "skipped jobs must not emit lines: {second}");
     assert!(lines
