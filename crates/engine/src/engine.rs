@@ -17,7 +17,7 @@ use tpi_sim::{
 };
 use tpi_testability::CopAnalysis;
 
-use crate::memo::{region_fingerprint, DpMemo};
+use crate::memo::{region_fingerprint, DpMemo, SharedDpMemo};
 
 /// Session-wide tuning for [`TpiEngine`].
 #[derive(Clone, Debug)]
@@ -201,9 +201,41 @@ pub struct TpiEngine {
     universe: FaultUniverse,
     analyses: Option<Analyses>,
     sim: Option<SimState>,
-    memo: DpMemo,
+    memo: MemoStore,
     metrics: EngineMetrics,
     control: RunControl,
+}
+
+/// Where a session's region DP solutions live: a private per-session map
+/// (the default), or a [`SharedDpMemo`] many sessions replay from.
+enum MemoStore {
+    Private(DpMemo),
+    Shared(Arc<SharedDpMemo>),
+}
+
+impl MemoStore {
+    /// Cloning lookup (the private path also clones — the engine maps the
+    /// plan through `to_parent` immediately, so no borrow outlives this).
+    fn lookup(&self, fp: u64) -> Option<Option<Vec<TestPoint>>> {
+        match self {
+            MemoStore::Private(memo) => memo.get(fp).cloned(),
+            MemoStore::Shared(memo) => memo.lookup(fp),
+        }
+    }
+
+    fn insert(&mut self, fp: u64, plan: Option<Vec<TestPoint>>) {
+        match self {
+            MemoStore::Private(memo) => memo.insert(fp, plan),
+            MemoStore::Shared(memo) => memo.insert(fp, plan),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            MemoStore::Private(memo) => memo.len(),
+            MemoStore::Shared(memo) => memo.len(),
+        }
+    }
 }
 
 impl TpiEngine {
@@ -240,10 +272,33 @@ impl TpiEngine {
             universe,
             analyses: None,
             sim: None,
-            memo: DpMemo::default(),
+            memo: MemoStore::Private(DpMemo::default()),
             metrics: EngineMetrics::new(registry),
             control: RunControl::unlimited(),
         })
+    }
+
+    /// Open a session whose region DP solutions are read from and written
+    /// to a [`SharedDpMemo`] instead of a private map, so subproblems
+    /// solved by *any* session sharing the store replay here (and vice
+    /// versa). Fingerprints are content-addressed and the DP is
+    /// deterministic, so sharing is semantics-preserving: the session
+    /// produces plans bit-identical to one with a private memo, whatever
+    /// the other sessions do concurrently (property-tested in
+    /// `tests/prop_shared_memo.rs`).
+    ///
+    /// # Errors
+    ///
+    /// [`TpiError::Netlist`] if the circuit is malformed or cyclic.
+    pub fn with_shared_memo(
+        circuit: Circuit,
+        config: EngineConfig,
+        registry: Arc<Registry>,
+        memo: Arc<SharedDpMemo>,
+    ) -> Result<TpiEngine, TpiError> {
+        let mut engine = TpiEngine::with_registry(circuit, config, registry)?;
+        engine.memo = MemoStore::Shared(memo);
+        Ok(engine)
     }
 
     /// Install a [`RunControl`] token governing every subsequent
@@ -685,10 +740,10 @@ impl TpiEngine {
             }
             let rho = analyses.cop.observability(*root).clamp(0.0, 1.0);
             let fp = region_fingerprint(&extraction, &sub_targets, rho, threshold);
-            let sub_points: Option<Vec<TestPoint>> = match self.memo.get(fp) {
+            let sub_points: Option<Vec<TestPoint>> = match self.memo.lookup(fp) {
                 Some(cached) => {
                     self.metrics.memo_hits.inc();
-                    cached.clone()
+                    cached
                 }
                 None => {
                     self.metrics.memo_misses.inc();

@@ -53,4 +53,5 @@ mod memo;
 pub mod serve;
 
 pub use engine::{dirty_line_mask, Analyses, EngineConfig, EngineStats, OptimizeConfig, TpiEngine};
+pub use memo::{SharedDpMemo, SharedMemoConfig};
 pub use tpi_sim::{RunControl, StopReason};

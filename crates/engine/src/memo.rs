@@ -6,12 +6,28 @@
 //! is deterministic, so identical subproblems have identical solutions —
 //! the memo keys a solved region by a structural fingerprint and replays
 //! the cached plan instead of re-running the DP.
+//!
+//! Two stores implement that idea:
+//!
+//! * [`DpMemo`] — the private per-session map the engine has always used;
+//! * [`SharedDpMemo`] — a sharded, lock-striped store many sessions (and
+//!   threads) share, so a region DP solved in one session replays in
+//!   every other. The fingerprint is content-addressed (structure,
+//!   quantized probabilities, targets, ρ, threshold — nothing
+//!   session-relative), which is what makes cross-session reuse sound:
+//!   equal keys imply byte-identical subproblems, and the DP being
+//!   deterministic implies equal values. Entries are immutable once
+//!   written, so there is no coherence protocol to get wrong — a stale
+//!   read is impossible and a lost race costs one redundant (identical)
+//!   compute.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, RwLock};
 
 use tpi_core::general::RegionExtraction;
 use tpi_core::{TargetFault, Threshold};
 use tpi_netlist::TestPoint;
+use tpi_obs::{Counter, Gauge, Registry};
 
 /// Cache of region-relative DP plans, keyed by [`region_fingerprint`].
 ///
@@ -35,6 +51,163 @@ impl DpMemo {
 
     pub(crate) fn len(&self) -> usize {
         self.entries.len()
+    }
+}
+
+/// Tuning for a [`SharedDpMemo`].
+#[derive(Clone, Copy, Debug)]
+pub struct SharedMemoConfig {
+    /// Number of lock stripes over the fingerprint space (power of two
+    /// recommended; clamped to at least 1).
+    pub shards: usize,
+    /// Total entry budget across all shards; when a shard fills its
+    /// slice of the budget, inserts evict its oldest entry (FIFO).
+    /// Clamped so every shard holds at least one entry.
+    pub capacity: usize,
+}
+
+impl Default for SharedMemoConfig {
+    fn default() -> SharedMemoConfig {
+        SharedMemoConfig {
+            shards: 16,
+            capacity: 65_536,
+        }
+    }
+}
+
+/// One lock stripe of a [`SharedDpMemo`]: the entry map plus FIFO
+/// insertion order for eviction.
+#[derive(Debug, Default)]
+struct MemoShard {
+    entries: HashMap<u64, Option<Vec<TestPoint>>>,
+    order: VecDeque<u64>,
+}
+
+/// A concurrent, sharded cache of region-relative DP plans shared across
+/// engine sessions (and across the threads serving them).
+///
+/// Keys are [`region_fingerprint`]s, which are content-addressed: two
+/// sessions that extract byte-identical subproblems — whether from the
+/// same netlist in different rounds or from different clients submitting
+/// overlapping circuits — produce the same key, and the deterministic DP
+/// guarantees they would produce the same value. Values are therefore
+/// immutable; the store never updates an entry in place, and a session
+/// losing an insert race simply rewrites the identical plan.
+///
+/// Capacity is bounded ([`SharedMemoConfig::capacity`]); full shards
+/// evict their oldest entry, which costs at most one recompute. All
+/// traffic is counted in a [`Registry`] under
+/// `engine.shared_memo.{hits,misses,inserts,evictions}` plus an
+/// `engine.shared_memo.entries` gauge.
+#[derive(Debug)]
+pub struct SharedDpMemo {
+    shards: Vec<RwLock<MemoShard>>,
+    per_shard_capacity: usize,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    inserts: Arc<Counter>,
+    evictions: Arc<Counter>,
+    entries: Arc<Gauge>,
+}
+
+impl Default for SharedDpMemo {
+    fn default() -> SharedDpMemo {
+        SharedDpMemo::new(SharedMemoConfig::default())
+    }
+}
+
+impl SharedDpMemo {
+    /// A store counting into a private registry (the counters stay
+    /// readable through the accessors below even after it is dropped).
+    pub fn new(config: SharedMemoConfig) -> SharedDpMemo {
+        SharedDpMemo::with_registry(config, &Registry::new())
+    }
+
+    /// A store whose traffic counters land in `registry` (the server
+    /// passes its global registry, so one metrics snapshot covers every
+    /// session plus the cache they share).
+    pub fn with_registry(config: SharedMemoConfig, registry: &Registry) -> SharedDpMemo {
+        let shards = config.shards.max(1);
+        SharedDpMemo {
+            shards: (0..shards)
+                .map(|_| RwLock::new(MemoShard::default()))
+                .collect(),
+            per_shard_capacity: config.capacity.div_ceil(shards).max(1),
+            hits: registry.counter("engine.shared_memo.hits"),
+            misses: registry.counter("engine.shared_memo.misses"),
+            inserts: registry.counter("engine.shared_memo.inserts"),
+            evictions: registry.counter("engine.shared_memo.evictions"),
+            entries: registry.gauge("engine.shared_memo.entries"),
+        }
+    }
+
+    fn shard(&self, fp: u64) -> &RwLock<MemoShard> {
+        &self.shards[(fp as usize) % self.shards.len()]
+    }
+
+    /// Look up a fingerprint, cloning the cached plan out of the lock.
+    /// Counts a shared-memo hit or miss either way.
+    pub fn lookup(&self, fp: u64) -> Option<Option<Vec<TestPoint>>> {
+        let found = self
+            .shard(fp)
+            .read()
+            .expect("shared memo lock")
+            .entries
+            .get(&fp)
+            .cloned();
+        match found {
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
+        }
+        found
+    }
+
+    /// Insert a solved subproblem, evicting the shard's oldest entry if
+    /// it is at capacity. Racing inserts of the same fingerprint write
+    /// identical values (the DP is deterministic), so last-write-wins is
+    /// semantically a no-op.
+    pub fn insert(&self, fp: u64, plan: Option<Vec<TestPoint>>) {
+        let mut shard = self.shard(fp).write().expect("shared memo lock");
+        if shard.entries.insert(fp, plan).is_none() {
+            shard.order.push_back(fp);
+            self.entries.add(1);
+            if shard.order.len() > self.per_shard_capacity {
+                if let Some(oldest) = shard.order.pop_front() {
+                    shard.entries.remove(&oldest);
+                    self.evictions.inc();
+                    self.entries.add(-1);
+                }
+            }
+        }
+        self.inserts.inc();
+    }
+
+    /// Number of entries currently cached (across all shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shared memo lock").entries.len())
+            .sum()
+    }
+
+    /// `true` when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lookups that missed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Entries evicted to stay within capacity so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
     }
 }
 
@@ -122,5 +295,63 @@ mod tests {
     fn quantization_is_stable_under_tiny_noise() {
         assert_eq!(quantize(0.5), quantize(0.5 + 1e-9));
         assert_ne!(quantize(0.5), quantize(0.51));
+    }
+
+    #[test]
+    fn shared_memo_counts_hits_misses_and_round_trips() {
+        let memo = SharedDpMemo::new(SharedMemoConfig::default());
+        assert_eq!(memo.lookup(7), None);
+        memo.insert(7, Some(vec![]));
+        memo.insert(9, None);
+        assert_eq!(memo.lookup(7), Some(Some(vec![])));
+        assert_eq!(memo.lookup(9), Some(None));
+        assert_eq!(memo.len(), 2);
+        assert_eq!((memo.hits(), memo.misses()), (2, 1));
+        assert_eq!(memo.evictions(), 0);
+    }
+
+    #[test]
+    fn shared_memo_evicts_fifo_at_capacity() {
+        let memo = SharedDpMemo::new(SharedMemoConfig {
+            shards: 1,
+            capacity: 2,
+        });
+        memo.insert(1, None);
+        memo.insert(2, None);
+        memo.insert(3, None); // evicts 1 (oldest)
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.evictions(), 1);
+        assert_eq!(memo.lookup(1), None);
+        assert_eq!(memo.lookup(3), Some(None));
+        // Re-inserting an existing key is not a growth event.
+        memo.insert(3, None);
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.evictions(), 1);
+    }
+
+    #[test]
+    fn shared_memo_survives_concurrent_traffic() {
+        let memo = Arc::new(SharedDpMemo::new(SharedMemoConfig {
+            shards: 4,
+            capacity: 64,
+        }));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let memo = Arc::clone(&memo);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let fp = (i % 32) ^ (t << 40);
+                        if memo.lookup(fp).is_none() {
+                            memo.insert(fp, None);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(memo.len() <= 64, "capacity respected: {}", memo.len());
+        assert_eq!(memo.hits() + memo.misses(), 800);
     }
 }

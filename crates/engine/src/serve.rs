@@ -20,6 +20,9 @@
 //! * `{"cmd":"metrics"}` — the full observability snapshot (engine and
 //!   fault-sim counters, request-latency histograms, error counters) as
 //!   a JSON object; works with or without a loaded session.
+//! * `{"cmd":"selftest-sleep","ms":100}` — testing aid: hold the session
+//!   busy for `ms` milliseconds (capped at 5 s), so admission control and
+//!   slow-client isolation can be exercised deterministically.
 //! * `{"cmd":"shutdown"}` — acknowledge, then stop serving (graceful:
 //!   the in-flight request — this one — is answered before the loop
 //!   exits; EOF on the input behaves the same without the ack).
@@ -54,6 +57,7 @@ use tpi_obs::Registry;
 use tpi_sim::RunControl;
 
 use crate::json::Json;
+use crate::memo::SharedDpMemo;
 use crate::{EngineConfig, OptimizeConfig, TpiEngine};
 
 /// Resource caps enforced per request (`None` = uncapped).
@@ -89,6 +93,9 @@ pub struct ServeState {
     /// snapshot covers engine counters, `sim.*` kernel counters and the
     /// server's own request instrumentation.
     registry: Arc<Registry>,
+    /// When set, engines are opened over this cross-session DP memo
+    /// ([`TpiEngine::with_shared_memo`]) instead of a private one.
+    shared_memo: Option<Arc<SharedDpMemo>>,
 }
 
 impl ServeState {
@@ -101,6 +108,24 @@ impl ServeState {
     pub fn with_limits(limits: ServeLimits) -> ServeState {
         ServeState {
             limits,
+            ..ServeState::default()
+        }
+    }
+
+    /// Fresh, with resource caps, a caller-supplied registry (typically
+    /// one registry spanning every session of a server, so per-command
+    /// latency histograms and engine counters aggregate fleet-wide) and,
+    /// optionally, a cross-session [`SharedDpMemo`] every engine this
+    /// session loads will replay region DP solutions from.
+    pub fn with_shared(
+        limits: ServeLimits,
+        registry: Arc<Registry>,
+        shared_memo: Option<Arc<SharedDpMemo>>,
+    ) -> ServeState {
+        ServeState {
+            limits,
+            registry,
+            shared_memo,
             ..ServeState::default()
         }
     }
@@ -248,6 +273,22 @@ impl ServeState {
                 let metrics = Json::parse(&rendered).expect("snapshot sink emits well-formed JSON");
                 Ok(Json::obj([("ok", Json::from(true)), ("metrics", metrics)]))
             }
+            // Testing aid (mirrors batch's selftest jobs): hold the
+            // session busy for `ms` wall-clock milliseconds, so admission
+            // control and slow-client isolation are testable without
+            // timing-sensitive workloads. Capped at 5 s.
+            "selftest-sleep" => {
+                let ms = request
+                    .get("ms")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+                    .min(5_000);
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(Json::obj([
+                    ("ok", Json::from(true)),
+                    ("slept_ms", Json::from(ms)),
+                ]))
+            }
             "" => Err(err("bad_request", "missing 'cmd'")),
             other => Err(err("unknown_method", format!("unknown cmd '{other}'"))),
         }
@@ -300,8 +341,16 @@ impl ServeState {
             verify_incremental: false,
             ..EngineConfig::default()
         };
-        let engine = TpiEngine::with_registry(circuit, config, self.registry.clone())
-            .map_err(engine_error)?;
+        let engine = match &self.shared_memo {
+            Some(memo) => TpiEngine::with_shared_memo(
+                circuit,
+                config,
+                self.registry.clone(),
+                Arc::clone(memo),
+            ),
+            None => TpiEngine::with_registry(circuit, config, self.registry.clone()),
+        }
+        .map_err(engine_error)?;
         let response = Json::obj([
             ("ok", Json::from(true)),
             ("name", Json::from(engine.circuit().name())),
@@ -444,9 +493,25 @@ pub fn serve(input: impl BufRead, output: impl Write) -> std::io::Result<()> {
 pub fn serve_with(
     limits: ServeLimits,
     input: impl BufRead,
+    output: impl Write,
+) -> std::io::Result<()> {
+    serve_session(&mut ServeState::with_limits(limits), input, output)
+}
+
+/// Drive a caller-constructed [`ServeState`] over a request/response
+/// stream pair until EOF, `quit` or an acknowledged `shutdown`. Front
+/// ends that need a shared registry or a cross-session memo build the
+/// state with [`ServeState::with_shared`] and hand it here; the state
+/// stays inspectable afterwards (e.g. for a final metrics snapshot).
+///
+/// # Errors
+///
+/// Only I/O failures on the streams.
+pub fn serve_session(
+    state: &mut ServeState,
+    input: impl BufRead,
     mut output: impl Write,
 ) -> std::io::Result<()> {
-    let mut state = ServeState::with_limits(limits);
     for line in input.lines() {
         let line = line?;
         match state.handle_line(&line) {

@@ -1,0 +1,97 @@
+//! Admission control primitives: the global in-flight request gate.
+//!
+//! Sessions are bounded at accept time (`max_sessions` + the bounded
+//! accept queue, see `lib.rs`); *requests* are bounded here. The gate is
+//! strictly non-blocking — a request that cannot get a slot is answered
+//! with a structured `overloaded` error immediately, so backpressure is
+//! visible to clients instead of silently queueing work, and no session
+//! thread ever waits on another session's requests.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bounds the number of requests executing concurrently across all
+/// sessions. `try_acquire`/`release` pairs wrap each request dispatch.
+#[derive(Debug)]
+pub(crate) struct InflightGate {
+    cap: usize,
+    active: AtomicUsize,
+}
+
+impl InflightGate {
+    pub(crate) fn new(cap: usize) -> InflightGate {
+        InflightGate {
+            cap: cap.max(1),
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// Take a slot if one is free; never blocks.
+    pub(crate) fn try_acquire(&self) -> bool {
+        let mut current = self.active.load(Ordering::Relaxed);
+        loop {
+            if current >= self.cap {
+                return false;
+            }
+            match self.active.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    pub(crate) fn release(&self) {
+        self.active.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_bounds_concurrent_holders() {
+        let gate = InflightGate::new(2);
+        assert!(gate.try_acquire());
+        assert!(gate.try_acquire());
+        assert!(!gate.try_acquire());
+        gate.release();
+        assert!(gate.try_acquire());
+    }
+
+    #[test]
+    fn gate_cap_is_at_least_one() {
+        let gate = InflightGate::new(0);
+        assert!(gate.try_acquire());
+        assert!(!gate.try_acquire());
+    }
+
+    #[test]
+    fn gate_is_race_free() {
+        let gate = std::sync::Arc::new(InflightGate::new(3));
+        let peak = std::sync::Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let gate = gate.clone();
+                let peak = peak.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        if gate.try_acquire() {
+                            let held = gate.active.load(Ordering::Relaxed);
+                            peak.fetch_max(held, Ordering::Relaxed);
+                            gate.release();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(peak.load(Ordering::Relaxed) <= 3);
+    }
+}

@@ -1,0 +1,445 @@
+//! # tpi-server
+//!
+//! The concurrent multi-session front end behind `tpi serve --listen`:
+//! a unix-socket/TCP listener multiplexing many named line-JSON sessions
+//! (the exact dialect of [`tpi_engine::serve`]) over a
+//! thread-per-connection core, with a **shared cross-session DP memo**
+//! ([`SharedDpMemo`]) so a region subproblem solved for one client
+//! replays for every other client that submits an overlapping circuit —
+//! the paper's amortise-identical-subproblems insight lifted from one
+//! circuit to the whole fleet.
+//!
+//! * **Sessions** — each accepted connection is one engine session with
+//!   its own circuit, analysis caches and measurement state; only the
+//!   content-addressed region DP results are global. `{"cmd":"hello",
+//!   "session":"ci-7"}` names a session and reports server occupancy.
+//! * **Admission control** — at most `max_sessions` concurrent sessions;
+//!   a bounded accept queue parks the overflow and anything beyond that
+//!   is rejected with a structured `too_many_sessions` line. Requests
+//!   across all sessions are bounded by `max_inflight`; a request that
+//!   cannot get a slot is answered `overloaded` immediately (the gate
+//!   never blocks, so a slow client cannot stall another connection).
+//! * **Graceful shutdown** — SIGINT/SIGTERM (via [`signal::install`]) or
+//!   `{"cmd":"shutdown","scope":"server"}` stop the accept loop, drain
+//!   every in-flight request, close all sessions, and persist a final
+//!   metrics snapshot when `metrics_out` is configured.
+//! * **Observability** — every session reports into one shared
+//!   [`Registry`]: per-command latency histograms (`serve.request_us.*`),
+//!   engine and kernel counters, shared-memo traffic
+//!   (`engine.shared_memo.*`) and the server's own admission counters
+//!   (`server.*`). `{"cmd":"metrics"}` from any session snapshots the
+//!   whole fleet.
+//!
+//! The single-session stdin/stdout mode survives as [`run_stdio`]
+//! (`tpi serve --stdio`, the default when no `--listen` is given).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod net;
+pub mod signal;
+mod stdio;
+
+pub use net::ListenAddr;
+pub use stdio::run_stdio;
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tpi_engine::json::Json;
+use tpi_engine::serve::{ServeLimits, ServeState};
+use tpi_engine::{SharedDpMemo, SharedMemoConfig};
+use tpi_obs::{Counter, Gauge, Registry};
+
+use admission::InflightGate;
+use net::{LineReader, Listener, Polled, Stream};
+
+/// How long a session read blocks before the loop re-checks the shutdown
+/// flag (drain latency is bounded by this plus the in-flight request).
+const READ_TICK: Duration = Duration::from_millis(100);
+/// Upper bound on a blocked response write before the session is
+/// declared dead (a stalled reader must not pin a session thread).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Acceptor idle sleep between polls.
+const ACCEPT_TICK: Duration = Duration::from_millis(10);
+
+/// Server tuning. `Default` is permissive: 64 sessions, a 16-deep accept
+/// queue, 64 in-flight requests, shared memo on with default capacity.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Per-request resource caps, enforced by each session exactly as in
+    /// single-session serve.
+    pub limits: ServeLimits,
+    /// Concurrent session (connection) cap.
+    pub max_sessions: usize,
+    /// Connections parked waiting for a session slot before new arrivals
+    /// are rejected with `too_many_sessions`.
+    pub accept_queue: usize,
+    /// Concurrently executing requests across all sessions; excess
+    /// requests are answered with a structured `overloaded` error.
+    pub max_inflight: usize,
+    /// Cross-session DP memo tuning; `None` gives every session a
+    /// private memo (the isolated A/B baseline for the soak harness).
+    pub shared_memo: Option<SharedMemoConfig>,
+    /// Write the final registry snapshot here after the drain completes.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            limits: ServeLimits::default(),
+            max_sessions: 64,
+            accept_queue: 16,
+            max_inflight: 64,
+            shared_memo: Some(SharedMemoConfig::default()),
+            metrics_out: None,
+        }
+    }
+}
+
+/// What a finished server run did, read back from the registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Sessions accepted and served to completion.
+    pub sessions_served: u64,
+    /// Connections rejected with `too_many_sessions` (accept queue full).
+    pub sessions_rejected: u64,
+    /// Requests answered with `overloaded` (in-flight gate full).
+    pub overloaded: u64,
+    /// Shared-memo hits across all sessions (0 when running isolated).
+    pub shared_memo_hits: u64,
+}
+
+/// State shared between the acceptor and every session thread.
+struct Shared {
+    limits: ServeLimits,
+    registry: Arc<Registry>,
+    memo: Option<Arc<SharedDpMemo>>,
+    gate: InflightGate,
+    shutdown: Arc<AtomicBool>,
+    active: AtomicUsize,
+    max_sessions: usize,
+    sessions_opened: Arc<Counter>,
+    sessions_closed: Arc<Counter>,
+    sessions_rejected: Arc<Counter>,
+    overloaded: Arc<Counter>,
+    hello: Arc<Counter>,
+    active_gauge: Arc<Gauge>,
+    queue_gauge: Arc<Gauge>,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || signal::triggered()
+    }
+}
+
+/// A bound, not-yet-running server. [`bind`](Server::bind) then
+/// [`run`](Server::run); grab [`local_addr`](Server::local_addr),
+/// [`registry`](Server::registry) and
+/// [`shutdown_handle`](Server::shutdown_handle) in between if you need
+/// them (run consumes the server).
+pub struct Server {
+    listener: Listener,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind a listener (unix path or TCP address) and prepare the shared
+    /// registry and memo. No connection is accepted until
+    /// [`run`](Server::run).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures (address in use, bad path, …).
+    pub fn bind(addr: &ListenAddr, config: ServerConfig) -> io::Result<Server> {
+        let listener = Listener::bind(addr)?;
+        let registry = Arc::new(Registry::new());
+        let memo = config
+            .shared_memo
+            .map(|cfg| Arc::new(SharedDpMemo::with_registry(cfg, &registry)));
+        let shared = Arc::new(Shared {
+            limits: config.limits,
+            memo,
+            gate: InflightGate::new(config.max_inflight),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            active: AtomicUsize::new(0),
+            max_sessions: config.max_sessions.max(1),
+            sessions_opened: registry.counter("server.sessions_opened"),
+            sessions_closed: registry.counter("server.sessions_closed"),
+            sessions_rejected: registry.counter("server.sessions_rejected"),
+            overloaded: registry.counter("server.overloaded"),
+            hello: registry.counter("server.hello"),
+            active_gauge: registry.gauge("server.active_sessions"),
+            queue_gauge: registry.gauge("server.accept_queue_depth"),
+            registry,
+        });
+        Ok(Server {
+            listener,
+            config,
+            shared,
+        })
+    }
+
+    /// The actual bound address (resolves TCP port 0).
+    pub fn local_addr(&self) -> ListenAddr {
+        self.listener.local_addr()
+    }
+
+    /// The fleet-wide metrics registry (sessions, engines, kernels,
+    /// shared memo, admission).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// Flag that stops the accept loop and drains the server when set
+    /// (the programmatic equivalent of SIGINT or a server-scope
+    /// `shutdown` request).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shared.shutdown)
+    }
+
+    /// Accept and serve until shutdown, then drain: stop accepting,
+    /// answer queued/parked connections with `shutting_down`, let every
+    /// session finish its in-flight request and close, persist
+    /// `metrics_out` if configured.
+    ///
+    /// # Errors
+    ///
+    /// Listener accept failures and `metrics_out` write failures.
+    /// Per-session I/O errors only close that session.
+    pub fn run(self) -> io::Result<ServerReport> {
+        let Server {
+            listener,
+            config,
+            shared,
+        } = self;
+        let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+        let mut parked: VecDeque<Stream> = VecDeque::new();
+
+        while !shared.shutting_down() {
+            reap_finished(&mut sessions);
+            // Admit parked connections as session slots free up (FIFO).
+            while shared.active.load(Ordering::Relaxed) < shared.max_sessions {
+                let Some(stream) = parked.pop_front() else {
+                    break;
+                };
+                sessions.push(spawn_session(&shared, stream));
+            }
+            shared.queue_gauge.set(parked.len() as i64);
+
+            match listener.poll_accept() {
+                Ok(Some(stream)) => {
+                    if shared.active.load(Ordering::Relaxed) < shared.max_sessions {
+                        sessions.push(spawn_session(&shared, stream));
+                    } else if parked.len() < config.accept_queue {
+                        parked.push_back(stream);
+                    } else {
+                        shared.sessions_rejected.inc();
+                        reject(
+                            stream,
+                            "too_many_sessions",
+                            &format!(
+                                "server at {} sessions with a full accept queue; retry later",
+                                shared.max_sessions
+                            ),
+                        );
+                    }
+                }
+                Ok(None) => std::thread::sleep(ACCEPT_TICK),
+                // Transient accept hiccups (e.g. a peer resetting before
+                // the accept) must not take the whole server down.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: close the listener first (unlinks a unix socket), turn
+        // parked connections away, then wait for every session to finish
+        // its current request and notice the flag (≤ one read tick).
+        drop(listener);
+        for stream in parked {
+            reject(
+                stream,
+                "shutting_down",
+                "server is draining; reconnect later",
+            );
+        }
+        for handle in sessions {
+            let _ = handle.join();
+        }
+
+        if let Some(path) = &config.metrics_out {
+            std::fs::write(path, shared.registry.snapshot().to_json())?;
+        }
+        let snapshot = shared.registry.snapshot();
+        Ok(ServerReport {
+            sessions_served: snapshot.counter("server.sessions_closed").unwrap_or(0),
+            sessions_rejected: snapshot.counter("server.sessions_rejected").unwrap_or(0),
+            overloaded: snapshot.counter("server.overloaded").unwrap_or(0),
+            shared_memo_hits: snapshot.counter("engine.shared_memo.hits").unwrap_or(0),
+        })
+    }
+}
+
+fn reap_finished(sessions: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < sessions.len() {
+        if sessions[i].is_finished() {
+            let _ = sessions.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn spawn_session(shared: &Arc<Shared>, stream: Stream) -> JoinHandle<()> {
+    // Count before the thread exists so the acceptor's admission check
+    // can never overshoot `max_sessions`.
+    shared.active.fetch_add(1, Ordering::Relaxed);
+    shared.active_gauge.add(1);
+    shared.sessions_opened.inc();
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        run_session(&shared, stream);
+        shared.active.fetch_sub(1, Ordering::Relaxed);
+        shared.active_gauge.add(-1);
+        shared.sessions_closed.inc();
+    })
+}
+
+/// Serve one connection: the engine-session request loop plus the
+/// server-layer commands (`hello`, server-scope `shutdown`) and the
+/// in-flight admission gate.
+fn run_session(shared: &Shared, stream: Stream) {
+    stream.configure(READ_TICK, WRITE_TIMEOUT);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = LineReader::new(read_half);
+    let mut writer = stream;
+    let mut state = ServeState::with_shared(
+        shared.limits,
+        Arc::clone(&shared.registry),
+        shared.memo.as_ref().map(Arc::clone),
+    );
+    loop {
+        if shared.shutting_down() {
+            break;
+        }
+        let line = match reader.poll_line() {
+            Ok(Polled::Line(line)) => line,
+            Ok(Polled::Idle) => continue,
+            Ok(Polled::Eof) | Err(_) => break,
+        };
+        if let Some((response, action)) = server_layer_response(shared, &line) {
+            if write_line(&mut writer, &response).is_err() {
+                break;
+            }
+            match action {
+                ServerAction::Continue => continue,
+                ServerAction::ShutdownServer => break,
+            }
+        }
+        if !shared.gate.try_acquire() {
+            shared.overloaded.inc();
+            let busy = error_line("overloaded", "server at max in-flight requests; retry");
+            if write_line(&mut writer, &busy).is_err() {
+                break;
+            }
+            continue;
+        }
+        let response = state.handle_line(&line);
+        shared.gate.release();
+        match response {
+            Some(response) => {
+                if write_line(&mut writer, &response).is_err() {
+                    break;
+                }
+            }
+            None => break, // quit
+        }
+        if state.finished() {
+            break; // session-scope shutdown
+        }
+    }
+}
+
+enum ServerAction {
+    Continue,
+    ShutdownServer,
+}
+
+/// Handle the commands that belong to the server, not to any one engine
+/// session: `hello` (names the session, reports occupancy) and
+/// `shutdown` with `"scope":"server"` (global drain). Returns `None` for
+/// everything else — including unparseable lines, which the session
+/// layer answers with its structured `bad_json` error.
+fn server_layer_response(shared: &Shared, line: &str) -> Option<(String, ServerAction)> {
+    let request = Json::parse(line.trim()).ok()?;
+    let method = request
+        .get("cmd")
+        .or_else(|| request.get("method"))
+        .and_then(Json::as_str)?;
+    match method {
+        "hello" => {
+            shared.hello.inc();
+            let name = request
+                .get("session")
+                .and_then(Json::as_str)
+                .unwrap_or("anonymous");
+            let response = Json::obj([
+                ("ok", Json::from(true)),
+                ("server", Json::from(true)),
+                ("session", Json::from(name)),
+                (
+                    "active_sessions",
+                    Json::from(shared.active.load(Ordering::Relaxed)),
+                ),
+                ("max_sessions", Json::from(shared.max_sessions)),
+                ("shared_memo", Json::from(shared.memo.is_some())),
+            ]);
+            Some((response.to_string(), ServerAction::Continue))
+        }
+        "shutdown" if request.get("scope").and_then(Json::as_str) == Some("server") => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            let ack = Json::obj([
+                ("ok", Json::from(true)),
+                ("shutdown", Json::from(true)),
+                ("scope", Json::from("server")),
+            ]);
+            Some((ack.to_string(), ServerAction::ShutdownServer))
+        }
+        _ => None,
+    }
+}
+
+fn error_line(code: &str, message: &str) -> String {
+    Json::obj([
+        ("ok", Json::from(false)),
+        ("code", Json::from(code)),
+        ("error", Json::from(message)),
+    ])
+    .to_string()
+}
+
+fn write_line(writer: &mut impl Write, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Best-effort structured rejection of a connection we will not serve.
+fn reject(stream: Stream, code: &str, message: &str) {
+    stream.configure(READ_TICK, Duration::from_secs(2));
+    let mut stream = stream;
+    let _ = write_line(&mut stream, &error_line(code, message));
+}

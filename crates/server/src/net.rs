@@ -1,0 +1,289 @@
+//! Transport plumbing: one listener/stream abstraction over unix-domain
+//! and TCP sockets, plus a line reader that survives read timeouts.
+//!
+//! The server polls — nonblocking accept, short read timeouts — instead
+//! of blocking, so every loop can notice the shutdown flag within one
+//! tick. [`LineReader`] owns the reassembly of `\n`-delimited requests
+//! across those timeouts: a `WouldBlock`/`TimedOut` read keeps the bytes
+//! accumulated so far and simply reports [`Polled::Idle`], so a client
+//! trickling a request byte-by-byte can never corrupt framing.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a server listens: a unix-domain socket path or a TCP address.
+///
+/// Rendered/parsed as `unix:<path>` (or any string containing `/`) vs.
+/// `host:port` (optionally `tcp:host:port`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// TCP socket at this address string (e.g. `127.0.0.1:7878`).
+    Tcp(String),
+}
+
+impl ListenAddr {
+    /// Parse a `--listen` argument. `unix:PATH` and anything containing
+    /// a `/` are unix-socket paths; `tcp:HOST:PORT` and bare `HOST:PORT`
+    /// are TCP.
+    pub fn parse(addr: &str) -> ListenAddr {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            ListenAddr::Unix(PathBuf::from(path))
+        } else if let Some(hostport) = addr.strip_prefix("tcp:") {
+            ListenAddr::Tcp(hostport.to_string())
+        } else if addr.contains('/') {
+            ListenAddr::Unix(PathBuf::from(addr))
+        } else {
+            ListenAddr::Tcp(addr.to_string())
+        }
+    }
+}
+
+impl std::fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListenAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+            ListenAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// A bound, nonblocking listener (unix or TCP). The unix variant unlinks
+/// its socket path on drop.
+pub(crate) enum Listener {
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    pub(crate) fn bind(addr: &ListenAddr) -> io::Result<Listener> {
+        match addr {
+            ListenAddr::Unix(path) => {
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                Ok(Listener::Unix(listener, path.clone()))
+            }
+            ListenAddr::Tcp(hostport) => {
+                let listener = TcpListener::bind(hostport.as_str())?;
+                listener.set_nonblocking(true)?;
+                Ok(Listener::Tcp(listener))
+            }
+        }
+    }
+
+    /// The actual bound address (resolves `:0` TCP ports for tests).
+    pub(crate) fn local_addr(&self) -> ListenAddr {
+        match self {
+            Listener::Unix(_, path) => ListenAddr::Unix(path.clone()),
+            Listener::Tcp(listener) => ListenAddr::Tcp(
+                listener
+                    .local_addr()
+                    .map(|a: SocketAddr| a.to_string())
+                    .unwrap_or_default(),
+            ),
+        }
+    }
+
+    /// Nonblocking accept: `Ok(None)` when no connection is pending.
+    pub(crate) fn poll_accept(&self) -> io::Result<Option<Stream>> {
+        let accepted = match self {
+            Listener::Unix(listener, _) => listener.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(listener) => listener.accept().map(|(s, _)| Stream::Tcp(s)),
+        };
+        match accepted {
+            Ok(stream) => Ok(Some(stream)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One accepted connection, unix or TCP.
+pub(crate) enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connections are accepted nonblocking (inherited on some
+    /// platforms); flip to blocking with timeouts so session loops poll.
+    pub(crate) fn configure(&self, read_timeout: Duration, write_timeout: Duration) {
+        match self {
+            Stream::Unix(s) => {
+                let _ = s.set_nonblocking(false);
+                let _ = s.set_read_timeout(Some(read_timeout));
+                let _ = s.set_write_timeout(Some(write_timeout));
+            }
+            Stream::Tcp(s) => {
+                let _ = s.set_nonblocking(false);
+                let _ = s.set_read_timeout(Some(read_timeout));
+                let _ = s.set_write_timeout(Some(write_timeout));
+            }
+        }
+    }
+
+    pub(crate) fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One poll of a [`LineReader`].
+pub(crate) enum Polled {
+    /// A complete request line (without the trailing `\n`).
+    Line(String),
+    /// The read timed out with no complete line yet; poll again.
+    Idle,
+    /// The peer closed the connection (any buffered partial line is
+    /// dropped — a request without its newline was never committed).
+    Eof,
+}
+
+/// Reassembles `\n`-delimited lines across short read timeouts without
+/// ever losing buffered bytes (unlike `BufRead::read_line`, whose buffer
+/// contents are unspecified after an error).
+pub(crate) struct LineReader<R: Read> {
+    source: R,
+    acc: Vec<u8>,
+    /// `acc[..scanned]` is known newline-free; rescans start here.
+    scanned: usize,
+}
+
+impl<R: Read> LineReader<R> {
+    pub(crate) fn new(source: R) -> LineReader<R> {
+        LineReader {
+            source,
+            acc: Vec::new(),
+            scanned: 0,
+        }
+    }
+
+    pub(crate) fn poll_line(&mut self) -> io::Result<Polled> {
+        loop {
+            if let Some(nl) = self.acc[self.scanned..].iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.acc.drain(..self.scanned + nl + 1).collect();
+                line.pop(); // the newline
+                self.scanned = 0;
+                return Ok(Polled::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            self.scanned = self.acc.len();
+            let mut chunk = [0u8; 4096];
+            match self.source.read(&mut chunk) {
+                Ok(0) => return Ok(Polled::Eof),
+                Ok(n) => self.acc.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Polled::Idle)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_addr_parsing() {
+        assert_eq!(
+            ListenAddr::parse("unix:/tmp/x.sock"),
+            ListenAddr::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert_eq!(
+            ListenAddr::parse("/tmp/y.sock"),
+            ListenAddr::Unix(PathBuf::from("/tmp/y.sock"))
+        );
+        assert_eq!(
+            ListenAddr::parse("127.0.0.1:7878"),
+            ListenAddr::Tcp("127.0.0.1:7878".to_string())
+        );
+        assert_eq!(
+            ListenAddr::parse("tcp:localhost:80"),
+            ListenAddr::Tcp("localhost:80".to_string())
+        );
+    }
+
+    /// A reader that yields its scripted results one `read` at a time.
+    struct Script(std::collections::VecDeque<io::Result<Vec<u8>>>);
+
+    impl Read for Script {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.0.pop_front() {
+                Some(Ok(bytes)) => {
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(Err(e)) => Err(e),
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn line_reader_reassembles_across_timeouts() {
+        let script = Script(
+            [
+                Ok(b"{\"cmd\":".to_vec()),
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "tick")),
+                Ok(b"\"stats\"}\n{\"cmd\":\"quit\"}\n".to_vec()),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let mut reader = LineReader::new(script);
+        assert!(matches!(reader.poll_line().unwrap(), Polled::Idle));
+        match reader.poll_line().unwrap() {
+            Polled::Line(l) => assert_eq!(l, "{\"cmd\":\"stats\"}"),
+            _ => panic!("expected a line"),
+        }
+        match reader.poll_line().unwrap() {
+            Polled::Line(l) => assert_eq!(l, "{\"cmd\":\"quit\"}"),
+            _ => panic!("expected a line"),
+        }
+        assert!(matches!(reader.poll_line().unwrap(), Polled::Eof));
+    }
+}

@@ -1,0 +1,44 @@
+//! Process-wide SIGINT/SIGTERM → shutdown-flag bridge.
+//!
+//! The only unsafe code in the workspace: registering a libc signal
+//! handler (std has no signal API). The handler does the single
+//! async-signal-safe thing — a relaxed store to a static atomic — and
+//! every server/stdio loop polls [`triggered`] between requests, which
+//! is what turns Ctrl-C into a graceful drain instead of a kill.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// `signal(2)` out of the libc that std already links. Handler and
+    /// return value are raw function-pointer words (`SIG_ERR == !0`,
+    /// which we have no recovery for and ignore).
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn mark_triggered(_signum: i32) {
+    TRIGGERED.store(true, Ordering::Relaxed);
+}
+
+/// Install the SIGINT/SIGTERM handler. Idempotent; called once by the
+/// CLI before entering a serve loop. Library users who install their own
+/// handlers simply skip this and drive shutdown through
+/// [`Server::shutdown_handle`](crate::Server::shutdown_handle).
+pub fn install() {
+    let handler = mark_triggered as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// `true` once SIGINT or SIGTERM has been received (sticky).
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Relaxed)
+}

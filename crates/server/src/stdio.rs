@@ -1,0 +1,78 @@
+//! The single-session stdin/stdout mode (`tpi serve --stdio`, and the
+//! default when no `--listen` address is given).
+//!
+//! Same request dialect and session semantics as ever — this is the mode
+//! existing driver scripts rely on — plus the two server-grade
+//! behaviours the listener mode has: a SIGINT/SIGTERM drain (finish the
+//! in-flight request, then exit cleanly instead of dying mid-response)
+//! and `--metrics-out FILE` persisting the final registry snapshot.
+//!
+//! Stdin cannot carry a read timeout, so a dedicated reader thread
+//! forwards lines over a channel and the serve loop polls it, checking
+//! the signal flag between requests.
+
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tpi_engine::serve::{ServeLimits, ServeState};
+use tpi_obs::Registry;
+
+use crate::signal;
+
+/// Serve line-JSON requests from stdin until EOF, `quit`, an
+/// acknowledged `shutdown`, or SIGINT/SIGTERM; then, when `metrics_out`
+/// is given, write the session's final metrics snapshot there.
+///
+/// # Errors
+///
+/// I/O failures on stdout or the metrics file (stdin read failures end
+/// the loop like EOF).
+pub fn run_stdio(limits: ServeLimits, metrics_out: Option<&Path>) -> io::Result<()> {
+    let registry = Arc::new(Registry::new());
+    let mut state = ServeState::with_shared(limits, Arc::clone(&registry), None);
+
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let stdin = io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+        // Dropping the sender signals EOF to the serve loop.
+    });
+
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    loop {
+        if signal::triggered() {
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(line) => {
+                match state.handle_line(&line) {
+                    Some(response) => {
+                        writeln!(out, "{response}")?;
+                        out.flush()?;
+                    }
+                    None => break, // quit
+                }
+                if state.finished() {
+                    break; // shutdown (acknowledged above)
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
+        }
+    }
+
+    if let Some(path) = metrics_out {
+        std::fs::write(path, registry.snapshot().to_json())?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,468 @@
+//! Integration tests for the concurrent multi-session server: admission
+//! control (`too_many_sessions`, bounded accept queue, `overloaded`),
+//! slow-client isolation, graceful drain with metrics persistence, and
+//! cross-session shared-memo reuse with bit-identical plans.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tpi_engine::json::Json;
+use tpi_gen::rpr::and_tree;
+use tpi_netlist::bench_format::to_bench;
+use tpi_server::{ListenAddr, Server, ServerConfig, ServerReport};
+
+static NEXT_SOCKET: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh unix-socket path under the temp dir, unique per test.
+fn socket_path(tag: &str) -> PathBuf {
+    let n = NEXT_SOCKET.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("tpi-serve-{}-{tag}-{n}.sock", std::process::id()))
+}
+
+/// Bind + run a server on a background thread; returns the bound
+/// address, the shutdown flag and the join handle yielding the report.
+fn start(
+    addr: &ListenAddr,
+    config: ServerConfig,
+) -> (
+    ListenAddr,
+    Arc<std::sync::atomic::AtomicBool>,
+    thread::JoinHandle<std::io::Result<ServerReport>>,
+) {
+    let server = Server::bind(addr, config).expect("bind");
+    let bound = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let handle = thread::spawn(move || server.run());
+    (bound, shutdown, handle)
+}
+
+fn stop(
+    shutdown: &std::sync::atomic::AtomicBool,
+    handle: thread::JoinHandle<std::io::Result<ServerReport>>,
+) -> ServerReport {
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().expect("server thread").expect("server run")
+}
+
+/// One line-JSON client over either transport.
+struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Client {
+    fn connect(addr: &ListenAddr) -> Client {
+        // The acceptor polls every 10ms; a freshly started server may
+        // not be listening on the very first attempt (unix sockets bind
+        // in `Server::bind`, but TCP tests race the run loop).
+        match addr {
+            ListenAddr::Unix(path) => {
+                let stream = retry(|| UnixStream::connect(path));
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                Client {
+                    reader: BufReader::new(Box::new(stream.try_clone().unwrap())),
+                    writer: Box::new(stream),
+                }
+            }
+            ListenAddr::Tcp(spec) => {
+                let stream = retry(|| TcpStream::connect(spec));
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                Client {
+                    reader: BufReader::new(Box::new(stream.try_clone().unwrap())),
+                    writer: Box::new(stream),
+                }
+            }
+        }
+    }
+
+    /// Send one request line and read one response line.
+    fn call(&mut self, request: &Json) -> Json {
+        self.send_raw(&request.to_string())
+    }
+
+    fn send_raw(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").expect("write request");
+        self.writer.flush().expect("flush request");
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection mid-dialogue");
+        Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+    }
+
+    /// Fire `quit` (no response) and drop the connection.
+    fn quit(mut self) {
+        let _ = writeln!(self.writer, "{}", Json::obj([("cmd", Json::from("quit"))]));
+        let _ = self.writer.flush();
+    }
+}
+
+fn retry<T, E: std::fmt::Debug>(mut f: impl FnMut() -> Result<T, E>) -> T {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match f() {
+            Ok(v) => return v,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "connect timed out: {e:?}");
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// A random-pattern-resistant circuit: deep enough that 256 patterns
+/// leave faults undetected, so `optimize` always reaches the region DP
+/// (and therefore the memo).
+fn bench_circuit() -> String {
+    to_bench(&and_tree(16, 2).unwrap())
+}
+
+fn load_request(bench: &str) -> Json {
+    Json::obj([
+        ("cmd", Json::from("load")),
+        ("bench", Json::from(bench)),
+        ("patterns", Json::from(256u64)),
+    ])
+}
+
+fn optimize_request() -> Json {
+    Json::obj([
+        ("cmd", Json::from("optimize")),
+        ("threshold_log2", Json::from(-10.0)),
+        ("max_rounds", Json::from(3u64)),
+    ])
+}
+
+fn assert_ok(response: &Json) {
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "expected ok response, got {response}"
+    );
+}
+
+fn code_of(response: &Json) -> &str {
+    response.get("code").and_then(Json::as_str).unwrap_or("")
+}
+
+/// Render an optimize response's points list for bit-exact comparison.
+fn points_of(response: &Json) -> Vec<(String, String)> {
+    response
+        .get("points")
+        .and_then(Json::as_arr)
+        .expect("points array")
+        .iter()
+        .map(|p| {
+            (
+                p.get("node").and_then(Json::as_str).unwrap().to_string(),
+                p.get("kind").and_then(Json::as_str).unwrap().to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn two_concurrent_sessions_serve_independently() {
+    let (addr, shutdown, handle) = start(
+        &ListenAddr::Unix(socket_path("pair")),
+        ServerConfig::default(),
+    );
+    let bench = bench_circuit();
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let addr = addr.clone();
+            let bench = bench.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr);
+                let hello = client.call(&Json::obj([
+                    ("cmd", Json::from("hello")),
+                    ("session", Json::from(format!("worker-{i}"))),
+                ]));
+                assert_ok(&hello);
+                assert_eq!(hello.get("server").and_then(Json::as_bool), Some(true));
+                assert_ok(&client.call(&load_request(&bench)));
+                let optimized = client.call(&optimize_request());
+                assert_ok(&optimized);
+                let points = points_of(&optimized);
+                client.quit();
+                points
+            })
+        })
+        .collect();
+    let plans: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    // Same circuit, same seed, same config — identical plans regardless
+    // of which session computed the region solutions first.
+    assert_eq!(plans[0], plans[1]);
+    let report = stop(&shutdown, handle);
+    assert_eq!(report.sessions_served, 2);
+    assert_eq!(report.sessions_rejected, 0);
+}
+
+#[test]
+fn tcp_transport_serves_the_same_protocol() {
+    let (addr, shutdown, handle) = start(
+        &ListenAddr::Tcp("127.0.0.1:0".to_string()),
+        ServerConfig::default(),
+    );
+    let mut client = Client::connect(&addr);
+    assert_ok(&client.call(&load_request(&bench_circuit())));
+    let coverage = client.call(&Json::obj([("cmd", Json::from("coverage"))]));
+    assert_ok(&coverage);
+    client.quit();
+    let report = stop(&shutdown, handle);
+    assert_eq!(report.sessions_served, 1);
+}
+
+#[test]
+fn over_capacity_connection_is_rejected_with_structured_error() {
+    let config = ServerConfig {
+        max_sessions: 1,
+        accept_queue: 0,
+        ..ServerConfig::default()
+    };
+    let (addr, shutdown, handle) = start(&ListenAddr::Unix(socket_path("reject")), config);
+    let mut first = Client::connect(&addr);
+    assert_ok(&first.call(&Json::obj([("cmd", Json::from("hello"))])));
+
+    // The slot and the queue are both taken/empty: this one is turned
+    // away immediately with a machine-readable code.
+    let mut second = Client::connect(&addr);
+    let rejection = second.read_line();
+    assert_eq!(rejection.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(code_of(&rejection), "too_many_sessions");
+
+    first.quit();
+    let report = stop(&shutdown, handle);
+    assert_eq!(report.sessions_rejected, 1);
+}
+
+#[test]
+fn parked_connection_is_served_when_a_slot_frees() {
+    let config = ServerConfig {
+        max_sessions: 1,
+        accept_queue: 1,
+        ..ServerConfig::default()
+    };
+    let (addr, shutdown, handle) = start(&ListenAddr::Unix(socket_path("park")), config);
+    let mut first = Client::connect(&addr);
+    assert_ok(&first.call(&Json::obj([("cmd", Json::from("hello"))])));
+
+    // Second connection parks in the accept queue (no response yet),
+    // then gets a session as soon as the first quits.
+    let waiter = {
+        let addr = addr.clone();
+        thread::spawn(move || {
+            let mut client = Client::connect(&addr);
+            let hello = client.call(&Json::obj([("cmd", Json::from("hello"))]));
+            client.quit();
+            hello
+        })
+    };
+    thread::sleep(Duration::from_millis(200)); // let it reach the queue
+    first.quit();
+    let hello = waiter.join().unwrap();
+    assert_ok(&hello);
+
+    let report = stop(&shutdown, handle);
+    assert_eq!(report.sessions_served, 2);
+    assert_eq!(report.sessions_rejected, 0);
+}
+
+#[test]
+fn inflight_gate_answers_overloaded_without_blocking() {
+    let config = ServerConfig {
+        max_inflight: 1,
+        ..ServerConfig::default()
+    };
+    let (addr, shutdown, handle) = start(&ListenAddr::Unix(socket_path("gate")), config);
+
+    // Session A holds the only in-flight slot for a while.
+    let sleeper = {
+        let addr = addr.clone();
+        thread::spawn(move || {
+            let mut client = Client::connect(&addr);
+            let done = client.call(&Json::obj([
+                ("cmd", Json::from("selftest-sleep")),
+                ("ms", Json::from(1_500u64)),
+            ]));
+            assert_ok(&done);
+            client.quit();
+        })
+    };
+    thread::sleep(Duration::from_millis(300)); // let the sleep start
+
+    // Session B is answered immediately — a structured `overloaded`
+    // line, not a stall behind A's request.
+    let mut other = Client::connect(&addr);
+    let begin = Instant::now();
+    let busy = other.call(&Json::obj([("cmd", Json::from("coverage"))]));
+    assert!(
+        begin.elapsed() < Duration::from_millis(900),
+        "overloaded response should not wait for the sleeping request"
+    );
+    assert_eq!(busy.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(code_of(&busy), "overloaded");
+
+    sleeper.join().unwrap();
+    other.quit();
+    let report = stop(&shutdown, handle);
+    assert!(report.overloaded >= 1, "report: {report:?}");
+}
+
+#[test]
+fn slow_client_does_not_stall_other_sessions() {
+    let (addr, shutdown, handle) = start(
+        &ListenAddr::Unix(socket_path("slow")),
+        ServerConfig::default(),
+    );
+
+    // A connects and then trickles half a request without a newline —
+    // the server must keep polling it without dedicating any shared
+    // resource to the partial line.
+    let ListenAddr::Unix(path) = &addr else {
+        unreachable!()
+    };
+    let mut slow = UnixStream::connect(path).unwrap();
+    slow.write_all(b"{\"cmd\":\"cover").unwrap();
+    slow.flush().unwrap();
+
+    // B gets full service meanwhile.
+    let mut fast = Client::connect(&addr);
+    let begin = Instant::now();
+    assert_ok(&fast.call(&load_request(&bench_circuit())));
+    assert_ok(&fast.call(&Json::obj([("cmd", Json::from("coverage"))])));
+    assert!(
+        begin.elapsed() < Duration::from_secs(10),
+        "fast client stalled behind a slow one"
+    );
+    fast.quit();
+
+    // The slow client's line, once finished, still gets served.
+    slow.write_all(b"age\"}\n").unwrap();
+    slow.flush().unwrap();
+    slow.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(slow);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response = Json::parse(line.trim()).unwrap();
+    // No circuit loaded on this session — a structured error, but an
+    // answer nonetheless.
+    assert_eq!(code_of(&response), "no_session");
+
+    drop(reader);
+    let _ = stop(&shutdown, handle);
+}
+
+#[test]
+fn server_scope_shutdown_drains_and_persists_metrics() {
+    let metrics_path = std::env::temp_dir().join(format!(
+        "tpi-serve-metrics-{}-{}.json",
+        std::process::id(),
+        NEXT_SOCKET.fetch_add(1, Ordering::Relaxed)
+    ));
+    let config = ServerConfig {
+        metrics_out: Some(metrics_path.clone()),
+        ..ServerConfig::default()
+    };
+    let (addr, _shutdown, handle) = start(&ListenAddr::Unix(socket_path("drain")), config);
+    let mut client = Client::connect(&addr);
+    assert_ok(&client.call(&load_request(&bench_circuit())));
+    assert_ok(&client.call(&Json::obj([("cmd", Json::from("coverage"))])));
+    let ack = client.call(&Json::obj([
+        ("cmd", Json::from("shutdown")),
+        ("scope", Json::from("server")),
+    ]));
+    assert_ok(&ack);
+    assert_eq!(ack.get("scope").and_then(Json::as_str), Some("server"));
+
+    let report = handle.join().unwrap().unwrap();
+    assert_eq!(report.sessions_served, 1);
+
+    let snapshot = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    let json = Json::parse(&snapshot).expect("metrics file is JSON");
+    assert!(
+        json.get("serve.requests").is_some(),
+        "snapshot should carry serve counters: {snapshot}"
+    );
+    let _ = std::fs::remove_file(&metrics_path);
+}
+
+#[test]
+fn shared_memo_replays_across_sessions_with_identical_plans() {
+    let (addr, shutdown, handle) = start(
+        &ListenAddr::Unix(socket_path("memo")),
+        ServerConfig::default(),
+    );
+    let bench = bench_circuit();
+
+    let run_one = |addr: &ListenAddr| {
+        let mut client = Client::connect(addr);
+        assert_ok(&client.call(&load_request(&bench)));
+        let optimized = client.call(&optimize_request());
+        assert_ok(&optimized);
+        let metrics = client.call(&Json::obj([("cmd", Json::from("metrics"))]));
+        // `metrics` responses nest the snapshot: each metric renders as
+        // `"name": {"type":"counter","value":N}`.
+        let hits = metrics
+            .get("metrics")
+            .and_then(|m| m.get("engine.shared_memo.hits"))
+            .and_then(|c| c.get("value"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let points = points_of(&optimized);
+        client.quit();
+        (points, hits)
+    };
+
+    let (plan_a, hits_after_a) = run_one(&addr);
+    let (plan_b, hits_after_b) = run_one(&addr);
+
+    // Session B re-solved nothing it could replay: strictly more shared
+    // hits than after session A, and the exact same plan.
+    assert_eq!(plan_a, plan_b);
+    assert!(
+        hits_after_b > hits_after_a,
+        "expected session B to replay shared DP solutions \
+         (hits after A: {hits_after_a}, after B: {hits_after_b})"
+    );
+
+    let report = stop(&shutdown, handle);
+    assert_eq!(report.shared_memo_hits, hits_after_b);
+}
+
+#[test]
+fn isolated_memo_config_shares_nothing() {
+    let config = ServerConfig {
+        shared_memo: None,
+        ..ServerConfig::default()
+    };
+    let (addr, shutdown, handle) = start(&ListenAddr::Unix(socket_path("isolated")), config);
+    let bench = bench_circuit();
+    for _ in 0..2 {
+        let mut client = Client::connect(&addr);
+        let hello = client.call(&Json::obj([("cmd", Json::from("hello"))]));
+        assert_eq!(
+            hello.get("shared_memo").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_ok(&client.call(&load_request(&bench)));
+        assert_ok(&client.call(&optimize_request()));
+        client.quit();
+    }
+    let report = stop(&shutdown, handle);
+    assert_eq!(report.shared_memo_hits, 0);
+}

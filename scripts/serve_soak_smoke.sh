@@ -1,0 +1,228 @@
+#!/usr/bin/env bash
+# Serve soak smoke: saturate `tpi serve --listen` over a unix socket with
+# N concurrent clients sending mixed traffic (valid load/optimize,
+# malformed JSON, over-cap pattern budgets), then assert from the
+# persisted metrics snapshot that
+#
+#   * every valid client got a plan, and every plan is bit-identical to
+#     a single-session stdio run of the same workload;
+#   * the shared-memo configuration replays cross-session DP solutions
+#     (engine.memo_hits strictly exceeds the --isolated-memo run, and
+#     engine.shared_memo.hits > 0);
+#   * request latencies were recorded (p50/p99 upper bounds from the
+#     serve.request_us.optimize log2-bucket histogram);
+#   * malformed and over-cap requests came back as structured errors
+#     without hurting anyone else's session.
+set -euo pipefail
+
+TPI="${TPI:-target/release/tpi}"
+CLIENTS="${CLIENTS:-8}"
+dir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+# ---- The workload circuit: a 16-wide AND cone (random-pattern
+# resistant, so optimize always reaches the region DP). ----
+python3 - "$dir/rpr.bench" <<'EOF'
+import sys
+lines = []
+wires = []
+for i in range(16):
+    lines.append(f"INPUT(x{i})")
+    wires.append(f"x{i}")
+g = 0
+while len(wires) > 1:
+    nxt = []
+    for j in range(0, len(wires) - 1, 2):
+        lines.append(f"g{g} = AND({wires[j]}, {wires[j+1]})")
+        nxt.append(f"g{g}")
+        g += 1
+    if len(wires) % 2:
+        nxt.append(wires[-1])
+    wires = nxt
+lines.append(f"t0 = AND({wires[0]}, {wires[0]})")
+lines.append("OUTPUT(t0)")
+open(sys.argv[1], "w").write("\n".join(lines) + "\n")
+EOF
+
+# ---- The soak driver: concurrent clients over a unix socket. ----
+# argv: socket bench plans_out clients
+soak() {
+  python3 - "$1" "$2" "$3" "$4" <<'EOF'
+import json, socket, sys, threading, time
+
+sock_path, bench_path, plans_out, n_clients = (
+    sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4]))
+bench = open(bench_path).read()
+
+def connect():
+    deadline = time.time() + 10
+    while True:
+        try:
+            s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            s.connect(sock_path)
+            return s
+        except OSError:
+            if time.time() > deadline:
+                raise
+            time.sleep(0.05)
+
+def rpc(f, obj):
+    f.write(json.dumps(obj) + "\n")
+    f.flush()
+    return json.loads(f.readline())
+
+def raw(f, line):
+    f.write(line + "\n")
+    f.flush()
+    return json.loads(f.readline())
+
+LOAD = {"cmd": "load", "bench": bench, "patterns": 256}
+OPTIMIZE = {"cmd": "optimize", "threshold_log2": -10, "max_rounds": 3}
+
+def run_client(i, results, errors):
+    try:
+        s = connect()
+        s.settimeout(60)
+        f = s.makefile("rw")
+        hello = rpc(f, {"cmd": "hello", "session": f"soak-{i}"})
+        assert hello.get("ok") is True, hello
+        if i % 3 == 1:  # malformed traffic
+            bad = raw(f, '{"cmd": "loa')
+            assert bad.get("ok") is False and bad.get("code") == "bad_json", bad
+        if i % 3 == 2:  # over-cap traffic (server runs --max-patterns 4096)
+            over = rpc(f, dict(LOAD, patterns=1_000_000))
+            assert over.get("ok") is False and over.get("code") == "limit_exceeded", over
+        loaded = rpc(f, LOAD)
+        assert loaded.get("ok") is True, loaded
+        optimized = rpc(f, OPTIMIZE)
+        assert optimized.get("ok") is True, optimized
+        results[i] = optimized["points"]
+        rpc(f, {"cmd": "stats"})
+        f.write(json.dumps({"cmd": "quit"}) + "\n")
+        f.flush()
+        s.close()
+    except Exception as e:  # noqa: BLE001 - reported to the harness
+        errors[i] = repr(e)
+
+results, errors = {}, {}
+# Client 0 first: seeds the shared memo so the concurrent wave can replay.
+run_client(0, results, errors)
+threads = [threading.Thread(target=run_client, args=(i, results, errors))
+           for i in range(1, n_clients)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+
+if errors:
+    sys.exit(f"soak clients failed: {errors}")
+plans = [results[i] for i in sorted(results)]
+assert len(plans) == n_clients, (len(plans), n_clients)
+assert all(p == plans[0] for p in plans), "concurrent sessions diverged"
+
+# Drain the server via a server-scope shutdown.
+s = connect()
+f = s.makefile("rw")
+ack = rpc(f, {"cmd": "shutdown", "scope": "server"})
+assert ack.get("ok") is True and ack.get("scope") == "server", ack
+s.close()
+
+json.dump(plans[0], open(plans_out, "w"))
+print(f"soak: {n_clients} clients ok, plan has {len(plans[0])} points")
+EOF
+}
+
+run_config() {  # $1 = tag, $@ = extra serve flags
+  local tag="$1"; shift
+  "$TPI" serve --listen "unix:$dir/$tag.sock" --max-patterns 4096 \
+    --metrics-out "$dir/$tag.json" "$@" 2> "$dir/$tag.log" &
+  server_pid=$!
+  soak "$dir/$tag.sock" "$dir/rpr.bench" "$dir/$tag.plan.json" "$CLIENTS"
+  wait "$server_pid"
+  server_pid=""
+}
+
+run_config shared
+run_config isolated --isolated-memo
+
+# ---- Single-session reference: the same load+optimize over stdio. ----
+python3 - "$dir/rpr.bench" <<'EOF' | "$TPI" serve --stdio > "$dir/stdio.out"
+import json, sys
+bench = open(sys.argv[1]).read()
+print(json.dumps({"cmd": "load", "bench": bench, "patterns": 256}))
+print(json.dumps({"cmd": "optimize", "threshold_log2": -10, "max_rounds": 3}))
+print(json.dumps({"cmd": "quit"}))
+EOF
+
+# ---- Assertions over the two snapshots and the stdio reference. ----
+python3 - "$dir/shared.json" "$dir/isolated.json" \
+          "$dir/shared.plan.json" "$dir/isolated.plan.json" \
+          "$dir/stdio.out" "$CLIENTS" <<'EOF'
+import json, math, sys
+
+shared = json.load(open(sys.argv[1]))
+isolated = json.load(open(sys.argv[2]))
+shared_plan = json.load(open(sys.argv[3]))
+isolated_plan = json.load(open(sys.argv[4]))
+stdio = [json.loads(l) for l in open(sys.argv[5]) if l.strip()]
+clients = int(sys.argv[6])
+
+def counter(doc, key):
+    return doc.get(key, {}).get("value", 0)
+
+def quantile(hist, q):
+    # Port of HistogramSnapshot::quantile_upper_bound (log2 buckets).
+    count = hist["count"]
+    if count == 0:
+        return 0
+    rank = max(1, min(count, math.ceil(q * count)))
+    seen = 0
+    for lo, n in hist["buckets"]:
+        seen += n
+        if seen >= rank:
+            hi = 0 if lo == 0 else (lo << 1) - 1
+            return max(lo, min(hi, hist["max"]))
+    return hist["max"]
+
+# Every session was admitted and served; mixed traffic produced the
+# structured errors it should have.
+for doc, tag in [(shared, "shared"), (isolated, "isolated")]:
+    opened = counter(doc, "server.sessions_opened")
+    assert opened == clients + 1, (tag, opened)  # +1 for the shutdown client
+    assert counter(doc, "server.sessions_rejected") == 0, tag
+    assert counter(doc, "serve.errors.bad_json") >= 1, tag
+    assert counter(doc, "serve.errors.limit_exceeded") >= 1, tag
+
+# The acceptance criterion: shared-memo DP replay. Cross-session hits
+# exist, and the fleet-wide engine.memo_hits strictly exceeds the
+# isolated configuration on the identical workload.
+shared_hits = counter(shared, "engine.memo_hits")
+isolated_hits = counter(isolated, "engine.memo_hits")
+cross = counter(shared, "engine.shared_memo.hits")
+assert cross > 0, "no cross-session shared-memo hits recorded"
+assert counter(isolated, "engine.shared_memo.hits") == 0
+assert shared_hits > isolated_hits, (shared_hits, isolated_hits)
+
+# Plans are bit-identical across configurations and against the
+# single-session stdio reference.
+ref = next(r["points"] for r in stdio if "points" in r)
+assert shared_plan == isolated_plan == ref, (shared_plan, isolated_plan, ref)
+
+# Latency evidence: the optimize histogram saw every valid request and
+# yields finite quantile bounds.
+hist = shared["serve.request_us.optimize"]
+assert hist["type"] == "histogram" and hist["count"] == clients, hist
+p50, p99 = quantile(hist, 0.50), quantile(hist, 0.99)
+assert 0 < p50 <= p99 <= hist["max"] * 2
+print(f"shared memo: {cross} cross-session hits; "
+      f"engine.memo_hits {shared_hits} (shared) vs {isolated_hits} (isolated)")
+print(f"optimize latency (us): n={hist['count']} p50<={p50} p99<={p99}")
+print("plans bit-identical across shared / isolated / stdio")
+EOF
+
+echo "serve soak smoke: ok"

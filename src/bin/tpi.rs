@@ -11,7 +11,9 @@
 //! tpi atpg     <file.bench> [--patterns N]       redundancy sweep + top-off cubes
 //! tpi export   <file.bench> (--verilog FILE | --dot FILE)
 //! tpi batch    <manifest.json> [--out FILE] [--retries N] [--resume] [--metrics-out FILE]
-//! tpi serve    [--max-gates N] [--max-patterns N]
+//! tpi serve    [--stdio | --listen ADDR] [--max-gates N] [--max-patterns N]
+//!              [--max-sessions N] [--accept-queue N] [--max-inflight N]
+//!              [--shared-memo-capacity N] [--isolated-memo] [--metrics-out FILE]
 //! tpi stats    <metrics.json>                    pretty-print a metrics snapshot
 //! ```
 //!
@@ -27,11 +29,12 @@ use krishnamurthy_tpi::core::general::{ConstructiveConfig, ConstructiveOptimizer
 use krishnamurthy_tpi::core::report::InsertionReport;
 use krishnamurthy_tpi::core::{DpOptimizer, GreedyOptimizer, Threshold, TpiProblem};
 use krishnamurthy_tpi::engine::{
-    batch, json::Json, serve, EngineConfig, OptimizeConfig, RunControl, TpiEngine,
+    batch, json::Json, serve, EngineConfig, OptimizeConfig, RunControl, SharedMemoConfig, TpiEngine,
 };
 use krishnamurthy_tpi::netlist::transform::apply_plan;
 use krishnamurthy_tpi::netlist::{analysis, bench_format, dot, ffr, verilog, Circuit, Topology};
 use krishnamurthy_tpi::obs::{HistogramSnapshot, MetricValue, Registry, Snapshot};
+use krishnamurthy_tpi::server::{self, ListenAddr, Server, ServerConfig};
 use krishnamurthy_tpi::sim::parallel::run_parallel_controlled;
 use krishnamurthy_tpi::sim::{
     block_words_supported, DetectionMode, FaultUniverse, LfsrPatterns, RandomPatterns, SimOptions,
@@ -64,16 +67,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "export" => export(rest),
         "batch" => batch_cmd(rest),
         "stats" => stats_cmd(rest),
-        "serve" => {
-            let flags = Flags::parse(rest, &[])?;
-            let limits = serve::ServeLimits {
-                max_gates: flags.opt_num("max-gates")?,
-                max_patterns: flags.opt_num("max-patterns")?,
-            };
-            let stdin = std::io::stdin();
-            serve::serve_with(limits, stdin.lock(), std::io::stdout().lock())
-                .map_err(|e| format!("serve: {e}"))
-        }
+        "serve" => serve_cmd(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -97,7 +91,9 @@ fn print_usage() {
          tpi export   <file.bench> (--verilog FILE | --dot FILE)\n  \
          tpi batch    <manifest.json> [--out FILE] [--retries N] [--resume]\n           \
          [--metrics-out FILE]\n  \
-         tpi serve    [--max-gates N] [--max-patterns N]\n  \
+         tpi serve    [--stdio | --listen unix:PATH|HOST:PORT] [--max-gates N]\n           \
+         [--max-patterns N] [--max-sessions N] [--accept-queue N] [--max-inflight N]\n           \
+         [--shared-memo-capacity N] [--isolated-memo] [--metrics-out FILE]\n  \
          tpi stats    <metrics.json>"
     );
 }
@@ -555,6 +551,66 @@ fn batch_cmd(args: &[String]) -> Result<(), String> {
     if let (Some(path), Some(registry)) = (flags.get("metrics-out"), &registry) {
         write_metrics(path, registry)?;
     }
+    Ok(())
+}
+
+/// `tpi serve` — the line-JSON session front end, in two modes:
+///
+/// * `--stdio` (default): one session over stdin/stdout, exactly the
+///   protocol existing driver scripts speak, plus SIGINT drain and
+///   `--metrics-out`.
+/// * `--listen ADDR`: the concurrent multi-session server (`unix:PATH`
+///   or `HOST:PORT`) with admission control (`--max-sessions`,
+///   `--accept-queue`, `--max-inflight`) and a cross-session shared DP
+///   memo (`--shared-memo-capacity N` entries; `--isolated-memo` gives
+///   every session a private memo — the A/B baseline the soak harness
+///   measures against).
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["stdio", "isolated-memo"])?;
+    let limits = serve::ServeLimits {
+        max_gates: flags.opt_num("max-gates")?,
+        max_patterns: flags.opt_num("max-patterns")?,
+    };
+    let metrics_out = flags.get("metrics-out").map(std::path::PathBuf::from);
+    server::signal::install();
+    let Some(listen) = flags.get("listen") else {
+        // Single-session stdio mode (`--stdio` is accepted for
+        // explicitness but is the default).
+        return server::run_stdio(limits, metrics_out.as_deref())
+            .map_err(|e| format!("serve: {e}"));
+    };
+    if flags.has("stdio") {
+        return Err("--stdio and --listen are mutually exclusive".into());
+    }
+    let shared_memo = if flags.has("isolated-memo") {
+        None
+    } else {
+        Some(SharedMemoConfig {
+            capacity: flags.num("shared-memo-capacity", 65_536usize)?,
+            ..SharedMemoConfig::default()
+        })
+    };
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        limits,
+        max_sessions: flags.num("max-sessions", defaults.max_sessions)?,
+        accept_queue: flags.num("accept-queue", defaults.accept_queue)?,
+        max_inflight: flags.num("max-inflight", defaults.max_inflight)?,
+        shared_memo,
+        metrics_out,
+    };
+    let addr = ListenAddr::parse(listen);
+    let server = Server::bind(&addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    eprintln!("tpi serve: listening on {}", server.local_addr());
+    let report = server.run().map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "tpi serve: drained — {} sessions served, {} rejected, {} overloaded, \
+         {} shared-memo hits",
+        report.sessions_served,
+        report.sessions_rejected,
+        report.overloaded,
+        report.shared_memo_hits
+    );
     Ok(())
 }
 

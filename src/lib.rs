@@ -18,6 +18,9 @@
 //! * [`engine`] — the long-lived incremental session engine with analysis
 //!   caching, dirty-cone re-simulation and batch/serve front ends
 //!   ([`tpi_engine`]);
+//! * [`server`] — the concurrent multi-session front end: unix/TCP
+//!   line-JSON listener, admission control, graceful drain and the
+//!   shared cross-session DP memo ([`tpi_server`]);
 //! * [`obs`] — the zero-dependency observability layer (counters,
 //!   histograms, scoped timers, snapshots) every other layer reports
 //!   into ([`tpi_obs`]);
@@ -50,6 +53,7 @@ pub use tpi_engine as engine;
 pub use tpi_gen as gen;
 pub use tpi_netlist as netlist;
 pub use tpi_obs as obs;
+pub use tpi_server as server;
 pub use tpi_sim as sim;
 pub use tpi_testability as testability;
 
