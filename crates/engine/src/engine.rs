@@ -12,8 +12,8 @@ use tpi_netlist::transform::{apply_test_point, AppliedTestPoint};
 use tpi_netlist::{Circuit, NodeId, TestPoint, Topology};
 use tpi_obs::{Counter, Histogram, Registry};
 use tpi_sim::{
-    DetectionMode, FaultSimResult, FaultSimulator, FaultSite, FaultUniverse, IndependentPatterns,
-    RunControl, SimOptions, StopReason,
+    BackendChoice, DetectionMode, FaultSimResult, FaultSimulator, FaultSite, FaultUniverse,
+    IndependentPatterns, RunControl, SimOptions, StopReason,
 };
 use tpi_testability::CopAnalysis;
 
@@ -31,14 +31,20 @@ pub struct EngineConfig {
     /// builds — the "prove bit-identity" path — and off in release.
     pub verify_incremental: bool,
     /// Fault-simulation block width in 64-bit words (patterns per kernel
-    /// pass / 64); must be 1, 2, 4 or 8. Coverage measurements are
+    /// pass / 64); must be 0, 1, 2, 4 or 8, where 0 (the default)
+    /// auto-selects by circuit size. Coverage measurements are
     /// bit-identical at every width — this only trades memory for
-    /// throughput. Defaults to [`tpi_sim::DEFAULT_BLOCK_WORDS`].
+    /// throughput.
     pub block_words: usize,
     /// Fault-detection algorithm for every coverage measurement. Both
     /// modes are bit-identical; critical path tracing (the default) is
     /// faster on circuits with substantial fanout-free regions.
     pub detection: DetectionMode,
+    /// Requested SIMD backend for the simulation kernels (resolved
+    /// against the running CPU when a simulator is built; every backend
+    /// is bit-identical). The resolved backend is published as the
+    /// `sim.backend` gauge.
+    pub simd_backend: BackendChoice,
 }
 
 impl Default for EngineConfig {
@@ -47,8 +53,9 @@ impl Default for EngineConfig {
             patterns: 4096,
             seed: 0xDAC_1987,
             verify_incremental: cfg!(debug_assertions),
-            block_words: tpi_sim::DEFAULT_BLOCK_WORDS,
+            block_words: 0,
             detection: DetectionMode::default(),
+            simd_backend: BackendChoice::default(),
         }
     }
 }
@@ -389,6 +396,7 @@ impl TpiEngine {
         SimOptions {
             block_words: self.config.block_words,
             detection: self.config.detection,
+            backend: self.config.simd_backend,
         }
     }
 
@@ -405,6 +413,7 @@ impl TpiEngine {
         )?;
         drop(timer);
         run.counters.publish_to(&self.metrics.registry);
+        sim.backend().publish_to(&self.metrics.registry);
         Ok((run.result, run.stopped))
     }
 
@@ -525,6 +534,7 @@ impl TpiEngine {
                 sim.run_controlled(&mut src, self.config.patterns, &dirty_faults, &self.control)?;
             drop(timer);
             run.counters.publish_to(&self.metrics.registry);
+            sim.backend().publish_to(&self.metrics.registry);
             if let Some(reason) = run.stopped {
                 return Err(TpiError::Interrupted { reason });
             }
@@ -831,6 +841,7 @@ impl TpiEngine {
             let mut src = IndependentPatterns::new(scratch.inputs().len(), self.config.seed);
             let run = sim.run_controlled(&mut src, budget, &faults, &self.control)?;
             run.counters.publish_to(&self.metrics.registry);
+            sim.backend().publish_to(&self.metrics.registry);
             if let Some(reason) = run.stopped {
                 // The referee was cut short: scores so far are not
                 // comparable, so report nothing committed.

@@ -76,10 +76,16 @@ pub(crate) enum OpCode {
 
 /// A compiled simulation program: gates in level order, lowered to
 /// [`Op`]s over dense value slots.
+///
+/// Compilation invariant (load-bearing for the `simd` kernels): every
+/// node index stored in `ops` (`out`/`a`/`b` of two-operand opcodes) and
+/// in `fanin_idx` is `< node_op.len()` — they all come from `NodeId`s of
+/// the compiled circuit, whose node count is exactly
+/// [`node_limit`](Program::node_limit).
 #[derive(Clone, Debug)]
 pub(crate) struct Program {
-    ops: Vec<Op>,
-    fanin_idx: Vec<u32>,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) fanin_idx: Vec<u32>,
     /// Node index → op index (`u32::MAX` for sources).
     node_op: Vec<u32>,
     /// Constant nodes and their fill words (all lanes equal).
@@ -183,6 +189,13 @@ impl Program {
         self.ops.len()
     }
 
+    /// Exclusive upper bound on every node index the program touches
+    /// (the compiled circuit's node count) — the bounds witness the
+    /// raw-pointer SIMD kernels assert value-buffer lengths against.
+    pub(crate) fn node_limit(&self) -> usize {
+        self.node_op.len()
+    }
+
     /// Output node index of the op at `op_idx`.
     pub(crate) fn op_out(&self, op_idx: usize) -> u32 {
         self.ops[op_idx].out
@@ -207,6 +220,11 @@ impl Program {
     /// N-ary ops use a prefix/suffix product over the CSR fanin slice
     /// (`scratch` holds the prefix rows), so the whole gate costs
     /// `O(fanins)` instead of `O(fanins²)`.
+    ///
+    /// `#[inline(always)]` so the kernel re-instantiates inside the
+    /// `#[target_feature]` wrappers of the `simd` module and its `W`-lane
+    /// loops pick up the wider registers.
+    #[inline(always)]
     pub(crate) fn sens_op_wide<const W: usize>(
         &self,
         op_idx: usize,
@@ -499,6 +517,50 @@ impl Program {
 /// Stamp node `id`'s `w`-word slot in a dense value array.
 pub(crate) fn fill_slot(values: &mut [u64], id: NodeId, w: usize, word: u64) {
     values[id.index() * w..id.index() * w + w].fill(word);
+}
+
+/// One backward pass over the compiled program (reverse level order, so
+/// a gate's output observability is final before the gate is processed),
+/// AND-ing each active region's root observability down through per-pin
+/// sensitivity words. Writes stay within the region: a fanin whose root
+/// differs is a stem, whose own observability is *not* the one path
+/// through this gate.
+///
+/// A free function (rather than a `FaultSimulator` method) so the
+/// `simd` module's `#[target_feature]` wrappers can re-instantiate it —
+/// `#[inline(always)]` makes the whole sweep compile with the wrapper's
+/// vector features enabled while this scalar instantiation remains the
+/// oracle.
+#[inline(always)]
+pub(crate) fn sens_sweep<const W: usize>(
+    program: &Program,
+    sens: &mut [u64],
+    good: &[u64],
+    scratch: &mut Vec<u64>,
+    ffr_root: &[u32],
+    region_active: &[bool],
+) {
+    for op_idx in (0..program.op_count()).rev() {
+        let out = program.op_out(op_idx) as usize;
+        let r = ffr_root[out];
+        if !region_active[r as usize] {
+            continue;
+        }
+        let mut out_sens = [0u64; W];
+        out_sens.copy_from_slice(&sens[out * W..][..W]);
+        program.sens_op_wide::<W>(
+            op_idx,
+            &out_sens,
+            good,
+            scratch,
+            &mut |_pin, fanin, line| {
+                let fi = fanin as usize;
+                if ffr_root[fi] == r {
+                    sens[fi * W..][..W].copy_from_slice(line);
+                }
+            },
+        );
+    }
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@ use tpi_netlist::ffr::FfrDecomposition;
 use tpi_netlist::{Circuit, GateKind, NetlistError, NodeId, Topology};
 
 use crate::compile::{block_words_supported, DEFAULT_BLOCK_WORDS, MAX_BLOCK_WORDS};
+use crate::simd::{self, BackendChoice, SimdBackend};
 use crate::{
     ControlledRun, Fault, FaultSimResult, FaultSite, LogicSim, PatternSource, RunControl,
     SimCounters,
@@ -32,33 +33,51 @@ pub enum DetectionMode {
 }
 
 /// Construction options for [`FaultSimulator`] (block width × detection
-/// mode). `Default` is the fast configuration: 4-word blocks with
-/// critical path tracing.
+/// mode × SIMD backend). `Default` is the fast configuration:
+/// size-selected block width, critical path tracing and the best SIMD
+/// backend the CPU supports. Every combination is bit-identical; the
+/// options only trade memory and instruction selection for throughput.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimOptions {
     /// Block width in 64-bit words (see
-    /// [`FaultSimulator::with_block_words`]); 0 is replaced by
-    /// [`DEFAULT_BLOCK_WORDS`].
+    /// [`FaultSimulator::with_block_words`]); 0 (the default)
+    /// auto-selects by circuit size — [`MAX_BLOCK_WORDS`] once the
+    /// circuit is big enough to amortise the wider good-value
+    /// simulation, [`DEFAULT_BLOCK_WORDS`] below that (small circuits
+    /// drop their whole fault list within a few 64-lane words, so extra
+    /// width is pure overhead).
     pub block_words: usize,
     /// Detection-word algorithm.
     pub detection: DetectionMode,
+    /// Requested SIMD backend, resolved against the running CPU at
+    /// construction (see [`SimdBackend::resolve`]).
+    pub backend: BackendChoice,
 }
 
 impl SimOptions {
-    /// Options with an explicit block width and the default mode.
+    /// Options with an explicit block width and the default mode and
+    /// backend.
     pub fn with_block_words(block_words: usize) -> SimOptions {
         SimOptions {
             block_words,
             ..SimOptions::default()
         }
     }
+}
 
-    fn effective_block_words(self) -> usize {
-        if self.block_words == 0 {
-            DEFAULT_BLOCK_WORDS
-        } else {
-            self.block_words
-        }
+/// Node count at which the auto-selected block width ([`SimOptions::
+/// block_words`] = 0) steps up from [`DEFAULT_BLOCK_WORDS`] to
+/// [`MAX_BLOCK_WORDS`]: below it a dropping run retires its fault list
+/// within a handful of 64-lane words and the wider good-value
+/// simulation never pays for itself (the historical W=4-slower-than-W=1
+/// small-circuit regression was this effect one notch down).
+const AUTO_WIDE_NODE_THRESHOLD: usize = 512;
+
+fn auto_block_words(nodes: usize) -> usize {
+    if nodes >= AUTO_WIDE_NODE_THRESHOLD {
+        MAX_BLOCK_WORDS
+    } else {
+        DEFAULT_BLOCK_WORDS
     }
 }
 
@@ -121,14 +140,23 @@ pub struct FaultSimulator {
     consumer_level: Vec<u32>,
     is_output: Vec<bool>,
     n_inputs: usize,
+    n_nodes: usize,
     // Scratch state, reused across faults and blocks (`w` words/node).
     // `values` mirrors `good` between propagations; a propagation writes
     // faulty words in place (each node at most once — level order with
     // queue dedup) and `undo`/`touched` roll them back afterwards, so
     // fanin reads in the hot loop are single unconditional loads instead
     // of a dirty-flag branch over two arrays.
+    //
+    // `planes` is the *word-major* mirror of `good` (`planes[j * n + i]`
+    // = `good[i * w + j]`), rebuilt once per block: the single-word
+    // propagation path — every dropping-mode injection and every CPT
+    // stem-observability flip — walks it at stride 1, so its event loop
+    // reads pack 8 node words per cache line instead of one per
+    // `w`-word slot (and the `* w` index arithmetic disappears).
     good: Vec<u64>,
     values: Vec<u64>,
+    planes: Vec<u64>,
     undo: Vec<u64>,
     touched: Vec<u32>,
     queued: Vec<bool>,
@@ -202,19 +230,26 @@ impl FaultSimulator {
     ///
     /// # Panics
     ///
-    /// Panics if `options.block_words` is not 0 (default), 1, 2, 4 or 8.
+    /// Panics if `options.block_words` is not 0 (auto), 1, 2, 4 or 8,
+    /// or if `options.backend` explicitly requests a SIMD backend this
+    /// CPU lacks (validate user-supplied choices up front with
+    /// [`SimdBackend::resolve`]).
     pub fn with_options(
         circuit: &Circuit,
         options: SimOptions,
     ) -> Result<FaultSimulator, NetlistError> {
-        let w = options.effective_block_words();
+        let n = circuit.node_count();
+        let w = match options.block_words {
+            0 => auto_block_words(n),
+            w => w,
+        };
         assert!(
             block_words_supported(w),
             "unsupported block width {w} words (supported: 1, 2, 4, 8)"
         );
-        let sim = LogicSim::new(circuit)?;
+        let backend = SimdBackend::resolve(options.backend).unwrap_or_else(|e| panic!("{e}"));
+        let sim = LogicSim::with_backend(circuit, backend)?;
         let topo = Topology::of(circuit)?;
-        let n = circuit.node_count();
         let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); n];
         for id in circuit.node_ids() {
             for fo in topo.fanouts(id) {
@@ -252,8 +287,10 @@ impl FaultSimulator {
             consumer_level,
             is_output,
             n_inputs: circuit.inputs().len(),
+            n_nodes: n,
             good: vec![0; n * w],
             values: vec![0; n * w],
+            planes: vec![0; n * w],
             undo: Vec::new(),
             touched: Vec::with_capacity(64),
             queued: vec![false; n],
@@ -287,6 +324,11 @@ impl FaultSimulator {
     /// The configured detection mode.
     pub fn detection(&self) -> DetectionMode {
         self.mode
+    }
+
+    /// The resolved SIMD backend driving the wide kernels.
+    pub fn backend(&self) -> SimdBackend {
+        self.sim.backend()
     }
 
     /// Kernel counters accumulated since construction (or the last
@@ -346,6 +388,9 @@ impl FaultSimulator {
     ) -> Result<ControlledRun, NetlistError> {
         let mut first_detected: Vec<Option<u64>> = vec![None; faults.len()];
         let mut alive: Vec<usize> = (0..faults.len()).collect();
+        // Faults that survived at least one full block (the hard-to-
+        // detect tail); explicit mode propagates these full-width.
+        let mut hard: Vec<bool> = vec![false; faults.len()];
         let fault_roots: Vec<u32> = match self.mode {
             DetectionMode::Explicit => Vec::new(),
             DetectionMode::CriticalPathTracing => {
@@ -383,6 +428,24 @@ impl FaultSimulator {
                     DetectionMode::CriticalPathTracing => {
                         self.cpt_detect(faults[fi], fault_roots[fi], &masks, true)
                     }
+                    DetectionMode::Explicit if hard[fi] && words > 1 => {
+                        // A fault that already survived a full block is
+                        // in the hard-to-detect tail: it will almost
+                        // certainly survive this one too, so a per-word
+                        // early exit buys nothing. One full-width pass
+                        // amortizes queue management and gate decoding
+                        // across all `words` lanes of each event (lanes
+                        // are independent, so the detect words are
+                        // bit-identical to `words` single-word passes).
+                        self.propagate_words(
+                            &Injection::Fault(faults[fi]),
+                            &masks,
+                            0,
+                            words,
+                            true,
+                            |_, _| {},
+                        )
+                    }
                     DetectionMode::Explicit => {
                         // Evaluate one 64-lane word at a time and stop at
                         // the first detecting word: a fault killed in word
@@ -408,7 +471,10 @@ impl FaultSimulator {
                         self.counters.faults_dropped += 1;
                         false
                     }
-                    None => true,
+                    None => {
+                        hard[fi] = true;
+                        true
+                    }
                 }
             });
             self.clear_regions();
@@ -560,6 +626,19 @@ impl FaultSimulator {
         self.sim
             .simulate_block_into(&self.input_block, &mut self.good, self.w);
         self.values.copy_from_slice(&self.good);
+        // Rebuild the word-major plane mirror (see the field docs): an
+        // O(n·w) transpose per block, repaid across every single-word
+        // propagation of the block.
+        let (w, n) = (self.w, self.n_nodes);
+        if w == 1 {
+            self.planes.copy_from_slice(&self.good);
+        } else {
+            for ni in 0..n {
+                for j in 0..w {
+                    self.planes[j * n + ni] = self.good[ni * w + j];
+                }
+            }
+        }
     }
 
     /// Inject `fault` against the current good values and propagate its
@@ -717,11 +796,18 @@ impl FaultSimulator {
     /// Scalar specialization of [`Self::propagate_words`] for a single
     /// word `j` with saturation on and no diff visitor — the shape every
     /// dropping propagation and every stem-observability flip takes.
-    /// Keeping the frontier word in a register instead of word-range
-    /// slices trims the per-gate constant on this hottest path.
+    ///
+    /// Runs over the word-major [`Self::planes`] mirror, so every gate
+    /// evaluation reads its fanins at stride 1 (eight node words per
+    /// cache line regardless of `w`) with no `* w` index arithmetic.
+    /// Each node is written at most once per propagation (the queue
+    /// dedups and buckets run in level order), so at write time the old
+    /// plane word *is* the good word — detect bits accumulate online and
+    /// the final touched scan disappears entirely.
     fn propagate_word(&mut self, injection: &Injection, mask: u64, j: usize) -> u64 {
         debug_assert!(self.touched.is_empty() && self.undo.is_empty() && self.pending == 0);
-        let w = self.w;
+        let n = self.n_nodes;
+        let pb = j * n; // base of word `j`'s plane
         let (site, injected) = match *injection {
             Injection::Fault(fault) => {
                 let stuck_word = if fault.stuck { u64::MAX } else { 0 };
@@ -734,18 +820,19 @@ impl FaultSimulator {
                     }
                 }
             }
-            Injection::Flip(ni) => (ni, !self.good[ni * w + j]),
+            Injection::Flip(ni) => (ni, !self.planes[pb + ni]),
         };
-        let site_diff = (injected ^ self.good[site * w + j]) & mask;
+        let old = self.planes[pb + site];
+        let site_diff = (injected ^ old) & mask;
         if site_diff == 0 {
             return 0;
         }
         self.touched.push(site as u32);
-        self.undo.push(self.values[site * w + j]);
-        self.values[site * w + j] = injected;
+        self.undo.push(old);
+        self.planes[pb + site] = injected;
         self.push_consumers(site);
-        let mut online = if self.is_output[site] { site_diff } else { 0 };
-        let mut saturated = online == mask;
+        let mut detect = if self.is_output[site] { site_diff } else { 0 };
+        let mut saturated = detect == mask;
         let mut level = self.sim.level(NodeId::from_index(site)) as usize;
         while self.pending > 0 {
             debug_assert!(level < self.buckets.len());
@@ -766,15 +853,18 @@ impl FaultSimulator {
                 let op_idx = program
                     .op_index(gi)
                     .expect("scheduled node is a compiled gate");
-                let new = program.eval_op_word(op_idx, |node| self.values[node * w + j]);
-                if new != self.values[gi * w + j] {
+                let new = program.eval_op_word(op_idx, |node| self.planes[pb + node]);
+                let old = self.planes[pb + gi];
+                if new != old {
                     self.touched.push(gate);
-                    self.undo.push(self.values[gi * w + j]);
-                    self.values[gi * w + j] = new;
+                    self.undo.push(old);
+                    self.planes[pb + gi] = new;
                     self.push_consumers(gi);
                     if self.is_output[gi] {
-                        online |= (new ^ self.good[gi * w + j]) & mask;
-                        saturated = online == mask;
+                        // First (and only) write to this node: `old` is
+                        // the good word, so the diff is final here.
+                        detect |= (new ^ old) & mask;
+                        saturated = detect == mask;
                     }
                 }
             }
@@ -782,21 +872,9 @@ impl FaultSimulator {
             self.buckets[level] = bucket;
             level += 1;
         }
-        let detect = if saturated {
-            mask
-        } else {
-            let mut d = 0u64;
-            for &ni in &self.touched {
-                let ni = ni as usize;
-                if self.is_output[ni] {
-                    d |= (self.values[ni * w + j] ^ self.good[ni * w + j]) & mask;
-                }
-            }
-            d
-        };
         while let Some(ni) = self.touched.pop() {
             let old = self.undo.pop().expect("one undo word per touched node");
-            self.values[ni as usize * w + j] = old;
+            self.planes[pb + ni as usize] = old;
         }
         detect
     }
@@ -961,13 +1039,25 @@ impl FaultSimulator {
             let r = self.active_roots[k] as usize;
             self.sens[r * w..r * w + w].copy_from_slice(&masks[..w]);
         }
-        match w {
-            1 => self.cpt_sweep::<1>(),
-            2 => self.cpt_sweep::<2>(),
-            4 => self.cpt_sweep::<4>(),
-            8 => self.cpt_sweep::<8>(),
-            _ => unreachable!("width validated at construction"),
-        }
+        let FaultSimulator {
+            sim,
+            sens,
+            sens_scratch,
+            good,
+            ffr_root,
+            region_active,
+            ..
+        } = self;
+        simd::sens_sweep(
+            sim.backend(),
+            sim.program(),
+            w,
+            sens,
+            good,
+            sens_scratch,
+            ffr_root,
+            region_active,
+        );
     }
 
     /// Observability word `j` of stem `r` for the current block: lanes
@@ -1000,48 +1090,6 @@ impl FaultSimulator {
     /// output the remaining events only clear their flags.
     fn flip_obs_word(&mut self, r: usize, j: usize, masks: &[u64; MAX_BLOCK_WORDS]) -> u64 {
         self.propagate_word(&Injection::Flip(r), masks[j], j)
-    }
-
-    /// One backward pass over the compiled program (reverse level order,
-    /// so a gate's output observability is final before the gate is
-    /// processed), AND-ing each active region's root observability down
-    /// through per-pin sensitivity words. Writes stay within the region:
-    /// a fanin whose root differs is a stem, whose own observability is
-    /// *not* the one path through this gate.
-    fn cpt_sweep<const W: usize>(&mut self) {
-        debug_assert_eq!(self.w, W);
-        let FaultSimulator {
-            sim,
-            sens,
-            sens_scratch,
-            good,
-            ffr_root,
-            region_active,
-            ..
-        } = self;
-        let good: &[u64] = good;
-        let program = sim.program();
-        for op_idx in (0..program.op_count()).rev() {
-            let out = program.op_out(op_idx) as usize;
-            let r = ffr_root[out];
-            if !region_active[r as usize] {
-                continue;
-            }
-            let mut out_sens = [0u64; W];
-            out_sens.copy_from_slice(&sens[out * W..][..W]);
-            program.sens_op_wide::<W>(
-                op_idx,
-                &out_sens,
-                good,
-                sens_scratch,
-                &mut |_pin, fanin, line| {
-                    let fi = fanin as usize;
-                    if ffr_root[fi] == r {
-                        sens[fi * W..][..W].copy_from_slice(line);
-                    }
-                },
-            );
-        }
     }
 
     /// Detection words for `fault` from the swept sensitization state:
@@ -1546,6 +1594,7 @@ mod tests {
         let opts = SimOptions {
             block_words: w,
             detection: DetectionMode::Explicit,
+            ..SimOptions::default()
         };
         FaultSimulator::with_options(c, opts).unwrap()
     }
@@ -1554,6 +1603,7 @@ mod tests {
         let opts = SimOptions {
             block_words: w,
             detection: DetectionMode::CriticalPathTracing,
+            ..SimOptions::default()
         };
         FaultSimulator::with_options(c, opts).unwrap()
     }

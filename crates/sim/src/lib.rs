@@ -48,7 +48,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` so exactly one module — [`simd`], the
+// audited runtime-dispatch boundary — can opt back in with a scoped
+// `allow`; everything else in the crate still refuses unsafe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collapse;
@@ -64,6 +67,7 @@ mod misr;
 pub mod montecarlo;
 pub mod parallel;
 mod patterns;
+mod simd;
 mod weighted;
 
 pub use compile::{block_words_supported, DEFAULT_BLOCK_WORDS, MAX_BLOCK_WORDS};
@@ -76,4 +80,5 @@ pub use logic::LogicSim;
 pub use metrics::SimCounters;
 pub use misr::Misr;
 pub use patterns::{ExhaustivePatterns, IndependentPatterns, PatternSource, RandomPatterns};
+pub use simd::{BackendChoice, SimdBackend};
 pub use weighted::WeightedPatterns;

@@ -6,9 +6,15 @@
 //! stay under 1% of W=4 fault-sim throughput (bench-asserted by the
 //! `metrics` section of `fsim_throughput`), so the hot paths pay a single
 //! register increment and the registry is only touched once per run.
-//! Every counter is a deterministic function of (circuit, pattern stream,
-//! fault list, block width) — wall clock never feeds one — so equal runs
-//! publish bit-identical totals.
+//! Every kernel counter is a deterministic function of (circuit, pattern
+//! stream, fault list, block width) — wall clock never feeds one — so
+//! equal runs publish bit-identical totals. The two *scheduler* counters
+//! ([`steals`](SimCounters::steals) and
+//! [`steal_misses`](SimCounters::steal_misses)) are the one exception:
+//! they describe which worker happened to execute each work unit, which
+//! depends on thread timing. They are always zero for sequential runs,
+//! and the simulation *results* stay bit-identical regardless of their
+//! values (work units are partition-independent).
 
 use tpi_obs::Registry;
 
@@ -35,6 +41,14 @@ pub struct SimCounters {
     pub stem_obs_misses: u64,
     /// Cancellation-token polls (one per pattern block).
     pub polls: u64,
+    /// Work units taken from another worker's queue by the parallel
+    /// scheduler (zero for sequential runs; scheduling-dependent, see
+    /// the module docs).
+    pub steals: u64,
+    /// Failed full steal scans — a worker checked every other queue and
+    /// found all of them empty (zero for sequential runs;
+    /// scheduling-dependent, see the module docs).
+    pub steal_misses: u64,
 }
 
 impl SimCounters {
@@ -47,6 +61,8 @@ impl SimCounters {
         self.stem_obs_hits += other.stem_obs_hits;
         self.stem_obs_misses += other.stem_obs_misses;
         self.polls += other.polls;
+        self.steals += other.steals;
+        self.steal_misses += other.steal_misses;
     }
 
     /// The counters accumulated since `earlier` was captured (field-wise
@@ -61,11 +77,13 @@ impl SimCounters {
             stem_obs_hits: self.stem_obs_hits.saturating_sub(earlier.stem_obs_hits),
             stem_obs_misses: self.stem_obs_misses.saturating_sub(earlier.stem_obs_misses),
             polls: self.polls.saturating_sub(earlier.polls),
+            steals: self.steals.saturating_sub(earlier.steals),
+            steal_misses: self.steal_misses.saturating_sub(earlier.steal_misses),
         }
     }
 
     /// Adds every counter to `registry` under the `sim.` prefix. All
-    /// seven metrics are registered even when zero, so consumers can rely
+    /// nine metrics are registered even when zero, so consumers can rely
     /// on the keys being present.
     pub fn publish_to(&self, registry: &Registry) {
         registry.counter("sim.blocks").add(self.blocks);
@@ -83,5 +101,7 @@ impl SimCounters {
             .counter("sim.stem_obs_misses")
             .add(self.stem_obs_misses);
         registry.counter("sim.polls").add(self.polls);
+        registry.counter("sim.steals").add(self.steals);
+        registry.counter("sim.steal_misses").add(self.steal_misses);
     }
 }

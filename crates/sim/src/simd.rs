@@ -1,0 +1,628 @@
+//! Runtime-dispatched SIMD backends for the compiled simulation kernels.
+//!
+//! This is the **only** module in the workspace (besides the server's
+//! two-line signal handler) allowed to contain `unsafe` code, and every
+//! unsafe block in it is one of exactly two shapes:
+//!
+//! 1. a call to an `#[target_feature]` function, guarded by the runtime
+//!    CPU-feature check that [`SimdBackend::resolve`] performed before
+//!    the backend value could exist, and
+//! 2. an unaligned vector load/store through a pointer derived from a
+//!    slice whose length was asserted against the program's node limit
+//!    at kernel entry (every operand index in a compiled [`Program`] is
+//!    `< node_limit` by construction — see `Program::compile`).
+//!
+//! Two lowering strategies are used, matching how each kernel is shaped:
+//!
+//! * **Hand-written intrinsics** for [`Program`]'s gate-evaluation sweep
+//!   (`execute`): the W=4 slot is exactly one `__m256i` (AVX2) and the
+//!   W=8 slot one `__m512i` (AVX-512F) / two `__m256i` (AVX2), so each
+//!   gate becomes a fixed handful of unaligned loads, one bitwise op and
+//!   one store — no lane loops left for the autovectoriser to guess at.
+//! * **Feature recompilation** for the CPT sensitization sweep: the
+//!   scalar generic kernel ([`compile::sens_sweep`]) is `#[inline
+//!   (always)]` and re-instantiated inside `#[target_feature]` wrappers,
+//!   so LLVM compiles the very same safe code with 256/512-bit registers
+//!   available. The scalar instantiation stays the oracle: both paths
+//!   run the identical algorithm, so results are bit-identical by
+//!   construction and cross-checked by `tests/prop_simd_identity.rs`.
+//!
+//! The scalar kernels remain the always-available fallback: every
+//! dispatch function degrades to them for unsupported widths (W < 4
+//! gains nothing from vectors) and on non-x86_64 targets the resolver
+//! only ever yields [`SimdBackend::Scalar`].
+#![allow(unsafe_code)]
+
+use crate::compile::{self, Program};
+
+/// A *requested* SIMD backend (CLI `--simd-backend`,
+/// [`SimOptions::backend`](crate::SimOptions)). Resolved against the
+/// running CPU by [`SimdBackend::resolve`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BackendChoice {
+    /// Best backend the CPU supports (honours the `TPI_SIMD_BACKEND`
+    /// environment variable as a process-wide override; see
+    /// [`SimdBackend::resolve`]).
+    #[default]
+    Auto,
+    /// Force the scalar kernels (the cross-check oracle).
+    Scalar,
+    /// Require AVX2 (256-bit words); resolution fails without it.
+    Avx2,
+    /// Require AVX-512F (512-bit words); resolution fails without it.
+    Avx512,
+}
+
+impl BackendChoice {
+    /// Parse a CLI/env spelling (`auto`, `scalar`, `avx2`, `avx512`).
+    pub fn parse(s: &str) -> Result<BackendChoice, String> {
+        match s {
+            "auto" => Ok(BackendChoice::Auto),
+            "scalar" => Ok(BackendChoice::Scalar),
+            "avx2" => Ok(BackendChoice::Avx2),
+            "avx512" => Ok(BackendChoice::Avx512),
+            other => Err(format!(
+                "unknown SIMD backend {other:?} (expected auto, scalar, avx2 or avx512)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendChoice::Auto => "auto",
+            BackendChoice::Scalar => "scalar",
+            BackendChoice::Avx2 => "avx2",
+            BackendChoice::Avx512 => "avx512",
+        })
+    }
+}
+
+/// A *resolved* SIMD backend: the only constructors run the matching
+/// `is_x86_feature_detected!` check, so holding a non-scalar value is
+/// proof the features exist on this CPU — the safety precondition of
+/// every `#[target_feature]` call in this module.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SimdBackend {
+    /// Portable scalar kernels (always available, the oracle).
+    #[default]
+    Scalar,
+    /// 256-bit AVX2 kernels (one vector per W=4 slot, two per W=8).
+    Avx2,
+    /// 512-bit AVX-512F kernels for W=8; W=4 uses the AVX2 shape
+    /// (resolution requires both feature sets).
+    Avx512,
+}
+
+impl SimdBackend {
+    /// Resolve a requested backend against the running CPU.
+    ///
+    /// `Auto` picks the widest backend the CPU supports, unless the
+    /// `TPI_SIMD_BACKEND` environment variable names a specific one
+    /// (`scalar`, `avx2`, `avx512` — the hook CI uses to force the
+    /// scalar oracle through every test without re-plumbing flags). An
+    /// explicitly requested backend — flag or environment — fails
+    /// resolution if the CPU lacks it, rather than silently degrading.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when an explicitly requested backend is
+    /// unavailable on this CPU/target, or when `TPI_SIMD_BACKEND` holds
+    /// an unknown spelling.
+    pub fn resolve(choice: BackendChoice) -> Result<SimdBackend, String> {
+        let choice = match choice {
+            BackendChoice::Auto => match std::env::var("TPI_SIMD_BACKEND") {
+                Ok(v) => BackendChoice::parse(&v).map_err(|e| format!("TPI_SIMD_BACKEND: {e}"))?,
+                Err(_) => BackendChoice::Auto,
+            },
+            explicit => explicit,
+        };
+        match choice {
+            BackendChoice::Auto => Ok(detect_best()),
+            BackendChoice::Scalar => Ok(SimdBackend::Scalar),
+            BackendChoice::Avx2 => {
+                if have_avx2() {
+                    Ok(SimdBackend::Avx2)
+                } else {
+                    Err("avx2 backend requested but the CPU has no AVX2".into())
+                }
+            }
+            BackendChoice::Avx512 => {
+                if have_avx512() {
+                    Ok(SimdBackend::Avx512)
+                } else {
+                    Err("avx512 backend requested but the CPU has no AVX-512F".into())
+                }
+            }
+        }
+    }
+
+    /// Short display name (`scalar` / `avx2` / `avx512`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Avx2 => "avx2",
+            SimdBackend::Avx512 => "avx512",
+        }
+    }
+
+    /// Numeric code for the `sim.backend` gauge (registries carry no
+    /// string metrics): 0 scalar, 1 avx2, 2 avx512.
+    pub fn code(self) -> i64 {
+        match self {
+            SimdBackend::Scalar => 0,
+            SimdBackend::Avx2 => 1,
+            SimdBackend::Avx512 => 2,
+        }
+    }
+
+    /// Publish this backend as the `sim.backend` gauge (see
+    /// [`code`](SimdBackend::code) for the value mapping).
+    pub fn publish_to(self, registry: &tpi_obs::Registry) {
+        registry.gauge("sim.backend").set(self.code());
+    }
+}
+
+impl std::fmt::Display for SimdBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn have_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// AVX-512 here means AVX-512F *and* AVX2: the W=8 kernel is 512-bit
+/// but the W=4 kernel under this backend reuses the 256-bit shape.
+#[cfg(target_arch = "x86_64")]
+fn have_avx512() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f") && have_avx2()
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn have_avx2() -> bool {
+    false
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn have_avx512() -> bool {
+    false
+}
+
+fn detect_best() -> SimdBackend {
+    if have_avx512() {
+        SimdBackend::Avx512
+    } else if have_avx2() {
+        SimdBackend::Avx2
+    } else {
+        SimdBackend::Scalar
+    }
+}
+
+/// Run the compiled gate-evaluation sweep over `values` under `backend`.
+///
+/// Bit-identical to `Program::execute_block` for every backend: the
+/// vector kernels perform the same loads, the same bitwise ops and the
+/// same stores, 64-bit lane for 64-bit lane. Widths below 4 words always
+/// take the scalar kernel (a 128/256-bit slot has nothing to gain).
+///
+/// # Panics
+///
+/// Panics if `values.len() != program.node_limit() * w` when a vector
+/// backend is selected (the bounds precondition of the raw-pointer
+/// kernels), or for unsupported `w`.
+pub(crate) fn execute_block(program: &Program, values: &mut [u64], w: usize, backend: SimdBackend) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if backend != SimdBackend::Scalar && w >= 4 {
+            assert_eq!(
+                values.len(),
+                program.node_limit() * w,
+                "value buffer must cover exactly node_limit slots"
+            );
+            // SAFETY: resolution proved the features (see `SimdBackend`);
+            // the assert above plus the compile-time invariant that every
+            // op index is < node_limit keeps all accesses in bounds.
+            match (backend, w) {
+                (SimdBackend::Avx2, 4) | (SimdBackend::Avx512, 4) => unsafe {
+                    x86::execute_avx2_w4(&program.ops, &program.fanin_idx, values.as_mut_ptr());
+                },
+                (SimdBackend::Avx2, 8) => unsafe {
+                    x86::execute_avx2_w8(&program.ops, &program.fanin_idx, values.as_mut_ptr());
+                },
+                (SimdBackend::Avx512, 8) => unsafe {
+                    x86::execute_avx512_w8(&program.ops, &program.fanin_idx, values.as_mut_ptr());
+                },
+                _ => unreachable!("vector dispatch covers w in {{4, 8}}"),
+            }
+            return;
+        }
+    }
+    program.execute_block(values, w);
+}
+
+/// Run the CPT backward sensitization sweep under `backend` (see
+/// [`compile::sens_sweep`]): the scalar generic kernel recompiled with
+/// the backend's vector features enabled. Same code, same results —
+/// only the instruction selection changes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sens_sweep(
+    backend: SimdBackend,
+    program: &Program,
+    w: usize,
+    sens: &mut [u64],
+    good: &[u64],
+    scratch: &mut Vec<u64>,
+    ffr_root: &[u32],
+    region_active: &[bool],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: resolution proved the features; the wrapped kernel is
+        // itself entirely safe code.
+        match backend {
+            SimdBackend::Avx2 => {
+                return unsafe {
+                    x86::sens_sweep_avx2(program, w, sens, good, scratch, ffr_root, region_active)
+                };
+            }
+            SimdBackend::Avx512 => {
+                return unsafe {
+                    x86::sens_sweep_avx512(program, w, sens, good, scratch, ffr_root, region_active)
+                };
+            }
+            SimdBackend::Scalar => {}
+        }
+    }
+    sens_sweep_scalar(program, w, sens, good, scratch, ffr_root, region_active);
+}
+
+/// Width-dispatched scalar instantiation (shared by the fallback path
+/// and, re-inlined, by the `#[target_feature]` wrappers below).
+#[inline(always)]
+fn sens_sweep_scalar(
+    program: &Program,
+    w: usize,
+    sens: &mut [u64],
+    good: &[u64],
+    scratch: &mut Vec<u64>,
+    ffr_root: &[u32],
+    region_active: &[bool],
+) {
+    match w {
+        1 => compile::sens_sweep::<1>(program, sens, good, scratch, ffr_root, region_active),
+        2 => compile::sens_sweep::<2>(program, sens, good, scratch, ffr_root, region_active),
+        4 => compile::sens_sweep::<4>(program, sens, good, scratch, ffr_root, region_active),
+        8 => compile::sens_sweep::<8>(program, sens, good, scratch, ffr_root, region_active),
+        _ => unreachable!("width validated at construction"),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::sens_sweep_scalar;
+    use crate::compile::{Op, OpCode, Program};
+    use core::arch::x86_64::{
+        __m256i, __m512i, _mm256_and_si256, _mm256_loadu_si256, _mm256_or_si256,
+        _mm256_set1_epi64x, _mm256_storeu_si256, _mm256_xor_si256, _mm512_and_si512,
+        _mm512_loadu_si512, _mm512_or_si512, _mm512_set1_epi64, _mm512_storeu_si512,
+        _mm512_xor_si512,
+    };
+
+    /// A vector of 64-bit pattern words. Methods are `#[inline(always)]`
+    /// so they compile with the *caller's* target features — the trait
+    /// impls themselves carry none, hence every method is `unsafe` with
+    /// the same ISA precondition.
+    pub(super) trait Vect: Copy {
+        /// 64-bit words per vector.
+        const WORDS: usize;
+        /// # Safety
+        /// `p .. p + WORDS` must be readable; the CPU must support the
+        /// vector's ISA (guaranteed by the calling wrapper's feature).
+        unsafe fn load(p: *const u64) -> Self;
+        /// # Safety
+        /// `p .. p + WORDS` must be writable; ISA as for `load`.
+        unsafe fn store(self, p: *mut u64);
+        /// # Safety
+        /// The CPU must support the vector's ISA (as for `load`).
+        unsafe fn splat(word: u64) -> Self;
+        /// # Safety
+        /// ISA as for `splat`.
+        unsafe fn and(self, o: Self) -> Self;
+        /// # Safety
+        /// ISA as for `splat`.
+        unsafe fn or(self, o: Self) -> Self;
+        /// # Safety
+        /// ISA as for `splat`.
+        unsafe fn xor(self, o: Self) -> Self;
+        /// # Safety
+        /// ISA as for `splat`.
+        unsafe fn not(self) -> Self;
+    }
+
+    #[derive(Copy, Clone)]
+    pub(super) struct V256(__m256i);
+
+    impl Vect for V256 {
+        const WORDS: usize = 4;
+        #[inline(always)]
+        unsafe fn load(p: *const u64) -> V256 {
+            // SAFETY: caller contract (readable range, AVX available).
+            V256(unsafe { _mm256_loadu_si256(p as *const __m256i) })
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut u64) {
+            // SAFETY: caller contract (writable range, AVX available).
+            unsafe { _mm256_storeu_si256(p as *mut __m256i, self.0) }
+        }
+        #[inline(always)]
+        unsafe fn splat(word: u64) -> V256 {
+            // SAFETY: caller contract (AVX available).
+            V256(unsafe { _mm256_set1_epi64x(word as i64) })
+        }
+        #[inline(always)]
+        unsafe fn and(self, o: V256) -> V256 {
+            // SAFETY: caller contract (AVX2 available).
+            V256(unsafe { _mm256_and_si256(self.0, o.0) })
+        }
+        #[inline(always)]
+        unsafe fn or(self, o: V256) -> V256 {
+            // SAFETY: caller contract (AVX2 available).
+            V256(unsafe { _mm256_or_si256(self.0, o.0) })
+        }
+        #[inline(always)]
+        unsafe fn xor(self, o: V256) -> V256 {
+            // SAFETY: caller contract (AVX2 available).
+            V256(unsafe { _mm256_xor_si256(self.0, o.0) })
+        }
+        #[inline(always)]
+        unsafe fn not(self) -> V256 {
+            // SAFETY: caller contract (AVX2 available).
+            unsafe { self.xor(V256::splat(u64::MAX)) }
+        }
+    }
+
+    #[derive(Copy, Clone)]
+    pub(super) struct V512(__m512i);
+
+    impl Vect for V512 {
+        const WORDS: usize = 8;
+        #[inline(always)]
+        unsafe fn load(p: *const u64) -> V512 {
+            // SAFETY: caller contract (readable range, AVX-512F available).
+            V512(unsafe { _mm512_loadu_si512(p as *const __m512i) })
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut u64) {
+            // SAFETY: caller contract (writable range, AVX-512F available).
+            unsafe { _mm512_storeu_si512(p as *mut __m512i, self.0) }
+        }
+        #[inline(always)]
+        unsafe fn splat(word: u64) -> V512 {
+            // SAFETY: caller contract (AVX-512F available).
+            V512(unsafe { _mm512_set1_epi64(word as i64) })
+        }
+        #[inline(always)]
+        unsafe fn and(self, o: V512) -> V512 {
+            // SAFETY: caller contract (AVX-512F available).
+            V512(unsafe { _mm512_and_si512(self.0, o.0) })
+        }
+        #[inline(always)]
+        unsafe fn or(self, o: V512) -> V512 {
+            // SAFETY: caller contract (AVX-512F available).
+            V512(unsafe { _mm512_or_si512(self.0, o.0) })
+        }
+        #[inline(always)]
+        unsafe fn xor(self, o: V512) -> V512 {
+            // SAFETY: caller contract (AVX-512F available).
+            V512(unsafe { _mm512_xor_si512(self.0, o.0) })
+        }
+        #[inline(always)]
+        unsafe fn not(self) -> V512 {
+            // SAFETY: caller contract (AVX-512F available).
+            unsafe { self.xor(V512::splat(u64::MAX)) }
+        }
+    }
+
+    /// The gate-evaluation sweep over `VPS` vectors per node slot
+    /// (slot width = `V::WORDS * VPS` 64-bit words).
+    ///
+    /// # Safety
+    ///
+    /// * `values` must cover `node_limit * V::WORDS * VPS` words where
+    ///   every `out`/`a`/`b`/CSR index in `ops`/`fanin_idx` is
+    ///   `< node_limit` (asserted by [`super::execute_block`] against
+    ///   the compiled program's invariant);
+    /// * the caller must hold the vector ISA's target feature (the
+    ///   `#[target_feature]` wrappers below).
+    #[inline(always)]
+    unsafe fn execute_vec<V: Vect, const VPS: usize>(
+        ops: &[Op],
+        fanin_idx: &[u32],
+        values: *mut u64,
+    ) {
+        let sw = V::WORDS * VPS;
+        macro_rules! get {
+            ($node:expr, $k:expr) => {
+                // SAFETY: $node < node_limit (fn contract), so the slot
+                // `$node * sw .. + sw` lies inside the buffer.
+                unsafe { V::load(values.add($node as usize * sw + $k * V::WORDS)) }
+            };
+        }
+        macro_rules! put {
+            ($node:expr, $k:expr, $v:expr) => {
+                // SAFETY: as for `get!` — same index domain, writable.
+                unsafe { $v.store(values.add($node as usize * sw + $k * V::WORDS)) }
+            };
+        }
+        macro_rules! unary {
+            ($op:expr, |$x:ident| $e:expr) => {
+                for k in 0..VPS {
+                    let $x = get!($op.a, k);
+                    // SAFETY: fn contract — caller holds the vector ISA.
+                    let r = unsafe { $e };
+                    put!($op.out, k, r);
+                }
+            };
+        }
+        macro_rules! binary {
+            ($op:expr, |$x:ident, $y:ident| $e:expr) => {
+                for k in 0..VPS {
+                    let $x = get!($op.a, k);
+                    let $y = get!($op.b, k);
+                    // SAFETY: fn contract — caller holds the vector ISA.
+                    let r = unsafe { $e };
+                    put!($op.out, k, r);
+                }
+            };
+        }
+        macro_rules! nary {
+            ($op:expr, $init:expr, |$acc:ident, $x:ident| $fold:expr, $inv:expr) => {{
+                let fanins = &fanin_idx[$op.a as usize..($op.a + $op.b) as usize];
+                for k in 0..VPS {
+                    // SAFETY: fn contract — caller holds the vector ISA
+                    // (all three unsafe blocks in this arm).
+                    let mut r = unsafe { V::splat($init) };
+                    for &f in fanins {
+                        let $acc = r;
+                        let $x = get!(f, k);
+                        r = unsafe { $fold };
+                    }
+                    if $inv {
+                        r = unsafe { r.not() };
+                    }
+                    put!($op.out, k, r);
+                }
+            }};
+        }
+        for op in ops {
+            match op.code {
+                OpCode::Buf => {
+                    for k in 0..VPS {
+                        let x = get!(op.a, k);
+                        put!(op.out, k, x);
+                    }
+                }
+                OpCode::Not => unary!(op, |x| x.not()),
+                OpCode::And2 => binary!(op, |x, y| x.and(y)),
+                OpCode::Nand2 => binary!(op, |x, y| x.and(y).not()),
+                OpCode::Or2 => binary!(op, |x, y| x.or(y)),
+                OpCode::Nor2 => binary!(op, |x, y| x.or(y).not()),
+                OpCode::Xor2 => binary!(op, |x, y| x.xor(y)),
+                OpCode::Xnor2 => binary!(op, |x, y| x.xor(y).not()),
+                OpCode::AndN => nary!(op, u64::MAX, |acc, x| acc.and(x), false),
+                OpCode::NandN => nary!(op, u64::MAX, |acc, x| acc.and(x), true),
+                OpCode::OrN => nary!(op, 0, |acc, x| acc.or(x), false),
+                OpCode::NorN => nary!(op, 0, |acc, x| acc.or(x), true),
+                OpCode::XorN => nary!(op, 0, |acc, x| acc.xor(x), false),
+                OpCode::XnorN => nary!(op, 0, |acc, x| acc.xor(x), true),
+            }
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be available; `values` as per [`execute_vec`] with a
+    /// 4-word slot.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn execute_avx2_w4(ops: &[Op], fanin_idx: &[u32], values: *mut u64) {
+        // SAFETY: forwarded contract.
+        unsafe { execute_vec::<V256, 1>(ops, fanin_idx, values) }
+    }
+
+    /// # Safety
+    /// AVX2 must be available; `values` as per [`execute_vec`] with an
+    /// 8-word slot.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn execute_avx2_w8(ops: &[Op], fanin_idx: &[u32], values: *mut u64) {
+        // SAFETY: forwarded contract.
+        unsafe { execute_vec::<V256, 2>(ops, fanin_idx, values) }
+    }
+
+    /// # Safety
+    /// AVX-512F must be available; `values` as per [`execute_vec`] with
+    /// an 8-word slot.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn execute_avx512_w8(ops: &[Op], fanin_idx: &[u32], values: *mut u64) {
+        // SAFETY: forwarded contract.
+        unsafe { execute_vec::<V512, 1>(ops, fanin_idx, values) }
+    }
+
+    /// # Safety
+    /// AVX2 must be available. The body is entirely safe code — the
+    /// attribute only changes code generation (see module docs).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sens_sweep_avx2(
+        program: &Program,
+        w: usize,
+        sens: &mut [u64],
+        good: &[u64],
+        scratch: &mut Vec<u64>,
+        ffr_root: &[u32],
+        region_active: &[bool],
+    ) {
+        sens_sweep_scalar(program, w, sens, good, scratch, ffr_root, region_active)
+    }
+
+    /// # Safety
+    /// AVX-512F must be available. Entirely safe body, as above.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn sens_sweep_avx512(
+        program: &Program,
+        w: usize,
+        sens: &mut [u64],
+        good: &[u64],
+        scratch: &mut Vec<u64>,
+        ffr_root: &[u32],
+        region_active: &[bool],
+    ) {
+        sens_sweep_scalar(program, w, sens, good, scratch, ffr_root, region_active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_always_resolves() {
+        assert_eq!(
+            SimdBackend::resolve(BackendChoice::Scalar).unwrap(),
+            SimdBackend::Scalar
+        );
+    }
+
+    #[test]
+    fn auto_resolves_to_something() {
+        // Whatever the CPU, Auto must resolve (possibly to Scalar) —
+        // unless the environment override is present, in which case this
+        // process-wide setting is exactly what's being tested elsewhere.
+        if std::env::var("TPI_SIMD_BACKEND").is_err() {
+            SimdBackend::resolve(BackendChoice::Auto).unwrap();
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for c in [
+            BackendChoice::Auto,
+            BackendChoice::Scalar,
+            BackendChoice::Avx2,
+            BackendChoice::Avx512,
+        ] {
+            assert_eq!(BackendChoice::parse(&c.to_string()).unwrap(), c);
+        }
+        assert!(BackendChoice::parse("sse9").is_err());
+    }
+
+    #[test]
+    fn gauge_codes_are_stable() {
+        assert_eq!(SimdBackend::Scalar.code(), 0);
+        assert_eq!(SimdBackend::Avx2.code(), 1);
+        assert_eq!(SimdBackend::Avx512.code(), 2);
+    }
+}

@@ -30,13 +30,22 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 for key in ["sim.blocks", "sim.pattern_lanes", "sim.events",
             "sim.faults_dropped", "sim.stem_obs_hits",
-            "sim.stem_obs_misses", "sim.polls"]:
+            "sim.stem_obs_misses", "sim.polls",
+            "sim.steals", "sim.steal_misses"]:
     entry = doc[key]
     assert entry["type"] == "counter", (key, entry)
     assert isinstance(entry["value"], int) and entry["value"] >= 0, (key, entry)
 assert doc["sim.blocks"]["value"] >= 1
 assert doc["sim.faults_dropped"]["value"] >= 1
-print("simulate metrics: ok")
+# Sequential runs never steal.
+assert doc["sim.steals"]["value"] == 0, doc["sim.steals"]
+assert doc["sim.steal_misses"]["value"] == 0, doc["sim.steal_misses"]
+# The resolved SIMD backend is a gauge with a stable code:
+# 0 scalar, 1 avx2, 2 avx512.
+backend = doc["sim.backend"]
+assert backend["type"] == "gauge", backend
+assert backend["value"] in (0, 1, 2), backend
+print("simulate metrics: ok (kernel counters, scheduler counters, backend gauge)")
 EOF
 
 # ---- batch --metrics-out on a mixed manifest. ----

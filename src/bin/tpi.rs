@@ -3,11 +3,13 @@
 //! ```text
 //! tpi analyze  <file.bench>                      structural + testability report
 //! tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr] [--threads N]
-//!              [--block-words W] [--detection cpt|explicit] [--metrics-out FILE]
+//!              [--block-words auto|W] [--detection cpt|explicit]
+//!              [--simd-backend auto|scalar|avx2|avx512] [--metrics-out FILE]
 //! tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]
 //!              [--method dp|greedy|constructive|constructive-baseline]
-//!              [--threads N] [--block-words W] [--detection cpt|explicit]
-//!              [--deadline-ms MS] [--out FILE] [--verilog FILE] [--metrics-out FILE]
+//!              [--threads N] [--block-words auto|W] [--detection cpt|explicit]
+//!              [--simd-backend auto|scalar|avx2|avx512] [--deadline-ms MS]
+//!              [--out FILE] [--verilog FILE] [--metrics-out FILE]
 //! tpi atpg     <file.bench> [--patterns N]       redundancy sweep + top-off cubes
 //! tpi export   <file.bench> (--verilog FILE | --dot FILE)
 //! tpi batch    <manifest.json> [--out FILE] [--retries N] [--resume] [--metrics-out FILE]
@@ -37,8 +39,8 @@ use krishnamurthy_tpi::obs::{HistogramSnapshot, MetricValue, Registry, Snapshot}
 use krishnamurthy_tpi::server::{self, ListenAddr, Server, ServerConfig};
 use krishnamurthy_tpi::sim::parallel::run_parallel_controlled;
 use krishnamurthy_tpi::sim::{
-    block_words_supported, DetectionMode, FaultUniverse, LfsrPatterns, RandomPatterns, SimOptions,
-    DEFAULT_BLOCK_WORDS,
+    block_words_supported, BackendChoice, DetectionMode, FaultUniverse, LfsrPatterns,
+    RandomPatterns, SimOptions, SimdBackend,
 };
 use krishnamurthy_tpi::testability::profile::TestabilityReport;
 
@@ -82,10 +84,12 @@ fn print_usage() {
          usage:\n  \
          tpi analyze  <file.bench>\n  \
          tpi simulate <file.bench> [--patterns N] [--seed S] [--lfsr] [--threads N]\n           \
-         [--block-words W] [--detection cpt|explicit] [--metrics-out FILE]\n  \
+         [--block-words auto|W] [--detection cpt|explicit]\n           \
+         [--simd-backend auto|scalar|avx2|avx512] [--metrics-out FILE]\n  \
          tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]\n           \
          [--method dp|greedy|constructive|constructive-baseline] [--threads N]\n           \
-         [--block-words W] [--detection cpt|explicit] [--deadline-ms MS]\n           \
+         [--block-words auto|W] [--detection cpt|explicit]\n           \
+         [--simd-backend auto|scalar|avx2|avx512] [--deadline-ms MS]\n           \
          [--out FILE] [--verilog FILE] [--metrics-out FILE]\n  \
          tpi atpg     <file.bench> [--patterns N]\n  \
          tpi export   <file.bench> (--verilog FILE | --dot FILE)\n  \
@@ -208,13 +212,42 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// `--block-words`: words per simulation block (W×64 patterns per pass).
+/// `--block-words`: words per simulation block (W×64 patterns per
+/// pass); `auto` (or 0, the default) selects by circuit size.
 fn block_words_flag(flags: &Flags) -> Result<usize, String> {
-    let w: usize = flags.num("block-words", DEFAULT_BLOCK_WORDS)?;
-    if !block_words_supported(w) {
-        return Err(format!("--block-words must be 1, 2, 4 or 8 (got {w})"));
+    match flags.get("block-words") {
+        None | Some("auto") => Ok(0),
+        Some(s) => {
+            let w: usize = s
+                .parse()
+                .map_err(|_| format!("bad --block-words (got {s})"))?;
+            if w != 0 && !block_words_supported(w) {
+                return Err(format!(
+                    "--block-words must be auto, 1, 2, 4 or 8 (got {w})"
+                ));
+            }
+            Ok(w)
+        }
     }
-    Ok(w)
+}
+
+/// `--simd-backend`: instruction selection for the simulation kernels
+/// (results are bit-identical across backends; `auto` picks the best
+/// the CPU supports). Resolved eagerly so a bad request fails with a
+/// CLI error instead of a worker panic.
+fn backend_flag(flags: &Flags) -> Result<BackendChoice, String> {
+    let choice = match flags.get("simd-backend") {
+        None => BackendChoice::Auto,
+        Some(s) => BackendChoice::parse(s).map_err(|e| format!("--simd-backend: {e}"))?,
+    };
+    SimdBackend::resolve(choice).map_err(|e| format!("--simd-backend: {e}"))?;
+    Ok(choice)
+}
+
+/// The resolved backend for a validated choice (for the `sim.backend`
+/// gauge and status lines).
+fn resolved_backend(choice: BackendChoice) -> SimdBackend {
+    SimdBackend::resolve(choice).expect("choice validated by backend_flag")
 }
 
 /// `--metrics-out FILE`: dump a registry snapshot as one JSON object
@@ -239,6 +272,7 @@ fn sim_options_flags(flags: &Flags) -> Result<SimOptions, String> {
     Ok(SimOptions {
         block_words: block_words_flag(flags)?,
         detection: detection_flag(flags)?,
+        backend: backend_flag(flags)?,
     })
 }
 
@@ -279,6 +313,7 @@ fn simulate(args: &[String]) -> Result<(), String> {
     if let Some(path) = flags.get("metrics-out") {
         let registry = Registry::new();
         run.counters.publish_to(&registry);
+        resolved_backend(options.backend).publish_to(&registry);
         write_metrics(path, &registry)?;
     }
     let result = run.result;
@@ -351,6 +386,7 @@ fn insert(args: &[String]) -> Result<(), String> {
                     verify_incremental: false,
                     block_words: options.block_words,
                     detection: options.detection,
+                    simd_backend: options.backend,
                     ..EngineConfig::default()
                 },
                 registry.clone(),
@@ -423,6 +459,7 @@ fn insert(args: &[String]) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     verify_run.counters.publish_to(&registry);
+    resolved_backend(options.backend).publish_to(&registry);
     let verified = verify_run.result;
     println!(
         "measured coverage after insertion: {:.2}% ({} patterns, {} threads)",

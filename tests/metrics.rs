@@ -1,10 +1,12 @@
 //! End-to-end `--metrics-out` contract: the file the CLI writes must be
 //! a well-formed registry snapshot (every entry typed, counters
-//! non-negative integers, the seven `sim.*` kernel counters always
-//! present), identical runs must produce bit-identical snapshots, and
-//! fault-attributable counters must not depend on `--threads` (stream
-//! -progress counters do: each worker replays the pattern stream on its
-//! fault slice). `tpi stats` must render the same file as a table.
+//! non-negative integers, the nine `sim.*` kernel counters and the
+//! `sim.backend` gauge always present), identical runs must produce
+//! bit-identical snapshots, and fault-attributable counters must not
+//! depend on `--threads` (stream-progress and scheduler counters do:
+//! each worker replays the pattern stream on its fault slice, and
+//! steals depend on timing). `tpi stats` must render the same file as
+//! a table.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -115,7 +117,7 @@ fn metrics_out_writes_a_valid_deterministic_snapshot() {
 
     let first = simulate_metrics(&dir, &circuit, "1", "t1a");
     let counters = validate_schema(&first);
-    // The seven kernel counters are always registered, even when zero.
+    // The nine kernel counters are always registered, even when zero.
     for name in [
         "sim.blocks",
         "sim.pattern_lanes",
@@ -124,10 +126,25 @@ fn metrics_out_writes_a_valid_deterministic_snapshot() {
         "sim.stem_obs_hits",
         "sim.stem_obs_misses",
         "sim.polls",
+        "sim.steals",
+        "sim.steal_misses",
     ] {
         counter(&counters, name);
     }
     assert!(counter(&counters, "sim.blocks") >= 1);
+    // The resolved SIMD backend is published as a gauge with a stable
+    // numeric code (0 scalar, 1 avx2, 2 avx512).
+    let doc = Json::parse(&first).unwrap();
+    let backend = doc.get("sim.backend").expect("sim.backend gauge present");
+    assert_eq!(backend.get("type").and_then(Json::as_str), Some("gauge"));
+    let code = backend
+        .get("value")
+        .and_then(Json::as_f64)
+        .expect("gauge value");
+    assert!((0.0..=2.0).contains(&code), "backend code 0..=2: {code}");
+    // Sequential runs never steal.
+    assert_eq!(counter(&counters, "sim.steals"), 0);
+    assert_eq!(counter(&counters, "sim.steal_misses"), 0);
     let lanes = counter(&counters, "sim.pattern_lanes");
     assert!(
         (1..=512).contains(&lanes),

@@ -20,6 +20,7 @@ fn opts(detection: DetectionMode, block_words: usize) -> SimOptions {
     SimOptions {
         block_words,
         detection,
+        ..SimOptions::default()
     }
 }
 

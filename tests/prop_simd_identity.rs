@@ -1,0 +1,157 @@
+//! Property tests pinning every SIMD backend and both parallel
+//! schedulers to the scalar sequential kernel, bit for bit.
+//!
+//! The scalar kernels are the oracle: whatever backend
+//! `BackendChoice::Auto` resolves to on the host (AVX-512, AVX2, or
+//! scalar itself on machines without either) must produce identical
+//! first-detection indices, applied-pattern counts and per-fault
+//! detection counts at every block width, in both detection modes, and
+//! under both the work-stealing and the legacy round-robin scheduler.
+//! On a machine without SIMD these tests degenerate to scalar-vs-scalar
+//! and still pin scheduler and width invariance.
+
+use proptest::prelude::*;
+
+use krishnamurthy_tpi::gen::dags::{random_dag, RandomDagConfig};
+use krishnamurthy_tpi::netlist::Circuit;
+use krishnamurthy_tpi::sim::parallel::{run_parallel_opts, run_parallel_round_robin};
+use krishnamurthy_tpi::sim::{
+    BackendChoice, DetectionMode, FaultSimulator, FaultUniverse, RandomPatterns, SimOptions,
+};
+
+fn small_dag(seed: u64, inputs: usize, gates: usize) -> Circuit {
+    let mut cfg = RandomDagConfig::new(inputs, gates, seed);
+    cfg.locality = 0.5; // encourage fanout/reconvergence
+    random_dag(&cfg).unwrap()
+}
+
+fn opts(detection: DetectionMode, block_words: usize, backend: BackendChoice) -> SimOptions {
+    SimOptions {
+        block_words,
+        detection,
+        backend,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Dropping runs: the auto-detected backend matches forced scalar on
+    /// first detections, applied patterns and coverage at every width,
+    /// in both detection modes.
+    #[test]
+    fn backend_runs_are_bit_identical(seed in 0u64..5000, gates in 5usize..40) {
+        let c = small_dag(seed, 6, gates);
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let n_inputs = c.inputs().len();
+        for mode in [DetectionMode::Explicit, DetectionMode::CriticalPathTracing] {
+            for w in [1usize, 2, 4, 8] {
+                let mut results = Vec::new();
+                for backend in [BackendChoice::Scalar, BackendChoice::Auto] {
+                    let mut sim = FaultSimulator::with_options(
+                        &c, opts(mode, w, backend),
+                    ).unwrap();
+                    let mut src = RandomPatterns::new(n_inputs, seed ^ 0x51D);
+                    results.push(sim.run(&mut src, 320, universe.faults()).unwrap());
+                }
+                let (scalar, auto) = (&results[0], &results[1]);
+                prop_assert_eq!(
+                    scalar.patterns_applied(), auto.patterns_applied(),
+                    "patterns {:?} w={}", mode, w
+                );
+                prop_assert_eq!(
+                    scalar.coverage(), auto.coverage(),
+                    "coverage {:?} w={}", mode, w
+                );
+                for i in 0..universe.len() {
+                    prop_assert_eq!(
+                        scalar.first_detection(i), auto.first_detection(i),
+                        "fault {} {:?} w={}", universe.faults()[i].describe(&c), mode, w
+                    );
+                }
+            }
+        }
+    }
+
+    /// Counting runs (no dropping) on the uncollapsed universe: per-fault
+    /// detection counts match between scalar and the auto backend.
+    #[test]
+    fn backend_counts_are_bit_identical(seed in 0u64..5000, gates in 5usize..30) {
+        let c = small_dag(seed, 5, gates);
+        let universe = FaultUniverse::full(&c).unwrap();
+        let n_inputs = c.inputs().len();
+        for mode in [DetectionMode::Explicit, DetectionMode::CriticalPathTracing] {
+            for w in [4usize, 8] {
+                let mut sim = FaultSimulator::with_options(
+                    &c, opts(mode, w, BackendChoice::Scalar),
+                ).unwrap();
+                let mut src = RandomPatterns::new(n_inputs, seed ^ 0xABCD);
+                let (counts_ref, n_ref) =
+                    sim.run_counting(&mut src, 256, universe.faults()).unwrap();
+                let mut sim = FaultSimulator::with_options(
+                    &c, opts(mode, w, BackendChoice::Auto),
+                ).unwrap();
+                let mut src = RandomPatterns::new(n_inputs, seed ^ 0xABCD);
+                let (counts, n) =
+                    sim.run_counting(&mut src, 256, universe.faults()).unwrap();
+                prop_assert_eq!(n, n_ref, "{:?} w={}", mode, w);
+                prop_assert_eq!(counts, counts_ref, "{:?} w={}", mode, w);
+            }
+        }
+    }
+
+    /// Scheduler invariance: the work-stealing scheduler, the legacy
+    /// static round-robin partitioner, and a repeated stealing run all
+    /// produce results bit-identical to the sequential simulator — fault
+    /// partitioning, stealing order and thread count must never leak into
+    /// detections.
+    #[test]
+    fn schedulers_are_bit_identical(seed in 0u64..5000, gates in 5usize..40) {
+        let c = small_dag(seed, 6, gates);
+        let universe = FaultUniverse::collapsed(&c).unwrap();
+        let n_inputs = c.inputs().len();
+        let options = || opts(DetectionMode::CriticalPathTracing, 0, BackendChoice::Auto);
+        let mut sim = FaultSimulator::with_options(&c, options()).unwrap();
+        let mut src = RandomPatterns::new(n_inputs, seed ^ 0xBEEF);
+        let reference = sim.run(&mut src, 320, universe.faults()).unwrap();
+        for threads in [2usize, 3, 8] {
+            let stealing = run_parallel_opts(
+                &c,
+                || RandomPatterns::new(n_inputs, seed ^ 0xBEEF),
+                320,
+                universe.faults(),
+                threads,
+                options(),
+            ).unwrap();
+            let again = run_parallel_opts(
+                &c,
+                || RandomPatterns::new(n_inputs, seed ^ 0xBEEF),
+                320,
+                universe.faults(),
+                threads,
+                options(),
+            ).unwrap();
+            let round_robin = run_parallel_round_robin(
+                &c,
+                || RandomPatterns::new(n_inputs, seed ^ 0xBEEF),
+                320,
+                universe.faults(),
+                threads,
+                options(),
+            ).unwrap();
+            for parallel in [&stealing, &again, &round_robin] {
+                prop_assert_eq!(
+                    reference.patterns_applied(), parallel.patterns_applied(),
+                    "patterns threads={}", threads
+                );
+                for i in 0..universe.len() {
+                    prop_assert_eq!(
+                        reference.first_detection(i), parallel.first_detection(i),
+                        "fault {} threads={}",
+                        universe.faults()[i].describe(&c), threads
+                    );
+                }
+            }
+        }
+    }
+}
