@@ -33,13 +33,18 @@
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+use tpi_core::{CandidateEval, Threshold};
 use tpi_engine::json::Json;
+use tpi_engine::{EngineConfig, OptimizeConfig, TpiEngine};
 use tpi_gen::dags::{random_dag, RandomDagConfig};
+use tpi_netlist::transform::apply_test_point;
+use tpi_netlist::{TestPoint, TestPointKind};
 use tpi_obs::Registry;
 use tpi_sim::parallel::{run_parallel_opts, run_parallel_round_robin};
 use tpi_sim::{
-    BackendChoice, DetectionMode, FaultSimResult, FaultSimulator, FaultUniverse, LogicSim,
-    RandomPatterns, RunControl, SimOptions, SimdBackend,
+    score_candidate_groups, BackendChoice, BaseDetections, DetectionMode, FaultSimResult,
+    FaultSimulator, FaultUniverse, IndependentPatterns, LogicSim, RandomPatterns, RunControl,
+    SimOptions, SimdBackend,
 };
 
 /// Matches the Criterion groups this harness replaced: mean over 10
@@ -71,6 +76,7 @@ fn main() {
     }
     let (no_dropping, cpt_no_dropping) = bench_no_dropping(baseline.as_ref(), pr2.as_ref());
     let simd = bench_simd(pr6.as_ref());
+    let candidate_eval = bench_candidate_eval();
     let roofline = bench_roofline();
     let threads_section = bench_threads();
     let polling = bench_polling_overhead(pr3.as_ref());
@@ -102,6 +108,7 @@ fn main() {
             ]),
         ),
         ("simd", simd),
+        ("candidate_eval", candidate_eval),
         ("roofline", roofline),
         ("thread_scaling", threads_section),
         ("polling", polling),
@@ -609,6 +616,204 @@ fn bench_simd(pr6: Option<&Baseline>) -> Json {
     Json::obj(entry)
 }
 
+/// Candidate-scoring A/B on the 1600-gate suite circuit: the legacy
+/// clone-and-resimulate-everything referee loop against the batched
+/// scorer (`score_candidate_groups`), which validates groups before
+/// cloning and simulates only each candidate's dirty faults. Every
+/// group's detected count is asserted identical between the two paths
+/// before any throughput is reported — a wrong but fast scorer must
+/// fail the bench, not win it. Min-of-N (the acceptance ratio is about
+/// unpreempted scoring cost, not shared-host noise).
+///
+/// The section also times the end-to-end engine constructive loop
+/// (`TpiEngine::optimize`, the core of `tpi insert --method
+/// constructive`) under both `candidate_eval` settings and asserts the
+/// committed plans are identical.
+fn bench_candidate_eval() -> Json {
+    const MIN_SAMPLES: u32 = 10;
+    let time_ns_min = |warmup: u32, samples: u32, iter: &mut dyn FnMut()| -> f64 {
+        for _ in 0..warmup {
+            iter();
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let start = Instant::now();
+            iter();
+            best = best.min(start.elapsed().as_nanos() as f64);
+        }
+        best
+    };
+
+    let gates = 1600usize;
+    let patterns = 1024u64;
+    let seed = SEED;
+    let circuit = ladder_circuit(gates, 5);
+    let universe = FaultUniverse::collapsed(&circuit).expect("collapsible");
+    let n_inputs = circuit.inputs().len();
+    let opts = SimOptions::default();
+
+    // Classify the undetected faults under the scoring stream — the
+    // same state the optimizers referee from.
+    let mut sim = FaultSimulator::with_options(&circuit, opts).expect("acyclic");
+    let mut src = IndependentPatterns::new(n_inputs, seed);
+    let base = sim
+        .run(&mut src, patterns, universe.faults())
+        .expect("runs");
+    let undetected: Vec<tpi_sim::Fault> = (0..universe.len())
+        .filter(|&i| base.first_detection(i).is_none())
+        .map(|i| universe.faults()[i])
+        .collect();
+
+    // Single-point candidate groups over a deterministic node sample,
+    // all four kinds each — the shape the search loops referee.
+    let groups: Vec<Vec<TestPoint>> = circuit
+        .node_ids()
+        .step_by(97)
+        .flat_map(|n| {
+            TestPointKind::ALL
+                .iter()
+                .map(move |&k| vec![TestPoint::new(n, k)])
+        })
+        .collect();
+
+    // Legacy referee: clone, apply, compile a fresh simulator and
+    // re-simulate every undetected fault per group.
+    let legacy_score = |group: &[TestPoint]| -> Option<u64> {
+        let mut scratch = circuit.clone();
+        for &tp in group {
+            if apply_test_point(&mut scratch, tp).is_err() {
+                return None;
+            }
+        }
+        let mut sim = FaultSimulator::with_options(&scratch, opts).expect("acyclic");
+        let mut src = IndependentPatterns::new(scratch.inputs().len(), seed);
+        let run = sim.run(&mut src, patterns, &undetected).expect("runs");
+        Some(run.detected_count() as u64)
+    };
+    let mut legacy_counts: Vec<Option<u64>> = Vec::new();
+    let legacy_ns = time_ns_min(1, MIN_SAMPLES, &mut || {
+        legacy_counts = groups.iter().map(|g| legacy_score(g)).collect();
+    });
+
+    let control = RunControl::unlimited();
+    let mut batched_by_threads = Vec::new();
+    let mut batched_t1_ns = f64::NAN;
+    for threads in [1usize, 4] {
+        let mut scores = Vec::new();
+        let ns = time_ns_min(1, MIN_SAMPLES, &mut || {
+            let batch = score_candidate_groups(
+                &circuit,
+                &undetected,
+                &groups,
+                patterns,
+                seed,
+                opts,
+                threads,
+                BaseDetections::AssumeUndetected,
+                &control,
+            )
+            .expect("scores");
+            assert!(batch.stopped.is_none());
+            scores = batch.scores;
+        });
+        for (gi, (legacy, score)) in legacy_counts.iter().zip(&scores).enumerate() {
+            assert_eq!(
+                *legacy, score.detected,
+                "batched scorer (threads={threads}) diverges from legacy on group {gi}"
+            );
+        }
+        if threads == 1 {
+            batched_t1_ns = ns;
+        }
+        println!(
+            "candidate_eval/{gates} (batched, threads={threads}): {ns:.0} ns/batch \
+             ({:.1} candidates/s)",
+            groups.len() as f64 / (ns * 1e-9)
+        );
+        batched_by_threads.push(Json::obj([
+            ("threads", Json::from(threads)),
+            ("ns_per_batch", Json::from(ns)),
+            (
+                "candidates_per_sec",
+                Json::from(groups.len() as f64 / (ns * 1e-9)),
+            ),
+        ]));
+    }
+    let speedup = legacy_ns / batched_t1_ns;
+    println!(
+        "candidate_eval/{gates} (legacy): {legacy_ns:.0} ns/batch \
+         ({:.1} candidates/s) → batched speedup {speedup:.2}x",
+        groups.len() as f64 / (legacy_ns * 1e-9)
+    );
+    assert!(
+        speedup >= 3.0,
+        "batched candidate scoring must be ≥3x legacy on the {gates}-gate suite \
+         (got {speedup:.2}x)"
+    );
+
+    // End-to-end constructive session under both scoring paths.
+    let threshold = Threshold::from_log2(-10.0);
+    let optimize = |candidate_eval: CandidateEval| {
+        let mut engine = TpiEngine::new(
+            circuit.clone(),
+            EngineConfig {
+                verify_incremental: false,
+                candidate_eval,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("engine");
+        engine
+            .optimize(threshold, &OptimizeConfig::default())
+            .expect("optimize")
+            .plan
+    };
+    let mut legacy_plan = None;
+    let legacy_e2e_ns = time_ns_min(1, 3, &mut || {
+        legacy_plan = Some(optimize(CandidateEval::Legacy));
+    });
+    let mut batched_plan = None;
+    let batched_e2e_ns = time_ns_min(1, 3, &mut || {
+        batched_plan = Some(optimize(CandidateEval::Batched));
+    });
+    assert_eq!(
+        legacy_plan, batched_plan,
+        "constructive plans must be identical under both scoring paths"
+    );
+    println!(
+        "candidate_eval/{gates} engine optimize: legacy {:.1} ms → batched {:.1} ms \
+         ({:.2}x)",
+        legacy_e2e_ns * 1e-6,
+        batched_e2e_ns * 1e-6,
+        legacy_e2e_ns / batched_e2e_ns
+    );
+
+    Json::obj([
+        ("gates", Json::from(gates)),
+        ("patterns", Json::from(patterns)),
+        ("undetected_faults", Json::from(undetected.len())),
+        ("candidate_groups", Json::from(groups.len())),
+        ("legacy_ns_per_batch", Json::from(legacy_ns)),
+        (
+            "legacy_candidates_per_sec",
+            Json::from(groups.len() as f64 / (legacy_ns * 1e-9)),
+        ),
+        ("batched", Json::Arr(batched_by_threads)),
+        ("speedup_batched_over_legacy", Json::from(speedup)),
+        (
+            "engine_optimize",
+            Json::obj([
+                ("legacy_ns", Json::from(legacy_e2e_ns)),
+                ("batched_ns", Json::from(batched_e2e_ns)),
+                (
+                    "speedup_batched_over_legacy",
+                    Json::from(legacy_e2e_ns / batched_e2e_ns),
+                ),
+            ]),
+        ),
+    ])
+}
+
 /// Roofline context for the gate-evaluation kernel: measured streaming
 /// memory bandwidth (64 MiB sequential u64 reduction, best of several
 /// passes) against the kernel's achieved gate-evaluations per second and
@@ -1094,9 +1299,62 @@ fn smoke() {
             }
         }
     }
+    // Batched candidate scoring agrees with the legacy referee loop.
+    // Classify the undetected faults under the *scoring* stream —
+    // `AssumeUndetected` is only sound for faults undetected under the
+    // same source, seed and budget.
+    let mut src = IndependentPatterns::new(n_inputs, SEED);
+    let base = narrow.run(&mut src, 256, universe.faults()).expect("runs");
+    let undetected: Vec<tpi_sim::Fault> = (0..universe.len())
+        .filter(|&i| base.first_detection(i).is_none())
+        .map(|i| universe.faults()[i])
+        .collect();
+    let groups: Vec<Vec<TestPoint>> = circuit
+        .node_ids()
+        .step_by(17)
+        .flat_map(|n| {
+            TestPointKind::ALL
+                .iter()
+                .map(move |&k| vec![TestPoint::new(n, k)])
+        })
+        .collect();
+    let batch = score_candidate_groups(
+        &circuit,
+        &undetected,
+        &groups,
+        256,
+        SEED,
+        SimOptions::default(),
+        2,
+        BaseDetections::AssumeUndetected,
+        &RunControl::unlimited(),
+    )
+    .expect("scores");
+    assert!(batch.stopped.is_none());
+    for (group, score) in groups.iter().zip(&batch.scores) {
+        let mut scratch = circuit.clone();
+        let legacy = if group
+            .iter()
+            .any(|&tp| apply_test_point(&mut scratch, tp).is_err())
+        {
+            None
+        } else {
+            let mut sim = FaultSimulator::new(&scratch).expect("acyclic");
+            let mut src = IndependentPatterns::new(scratch.inputs().len(), SEED);
+            Some(
+                sim.run(&mut src, 256, &undetected)
+                    .expect("runs")
+                    .detected_count() as u64,
+            )
+        };
+        assert_eq!(
+            legacy, score.detected,
+            "batched scorer diverges from legacy on group {group:?}"
+        );
+    }
     println!(
-        "fsim_throughput smoke: ok (modes, backends and schedulers bit-identical \
-         across W ∈ {{1,2,4,8}}, best backend: {})",
+        "fsim_throughput smoke: ok (modes, backends, schedulers and candidate \
+         scoring bit-identical across W ∈ {{1,2,4,8}}, best backend: {})",
         SimdBackend::resolve(BackendChoice::Auto)
             .expect("auto backend resolves")
             .name()

@@ -28,15 +28,40 @@ use std::collections::HashMap;
 use tpi_netlist::ffr::FfrDecomposition;
 use tpi_netlist::transform::apply_test_point;
 use tpi_netlist::{Circuit, GateKind, NodeId, TestPoint, Topology};
-use tpi_sim::{FaultSimulator, FaultSite, FaultUniverse, RandomPatterns, RunControl, StopReason};
+use tpi_sim::candidate::{score_candidate_groups, BaseDetections};
+use tpi_sim::{
+    FaultSimulator, FaultSite, FaultUniverse, IndependentPatterns, RandomPatterns, RunControl,
+    SimOptions, StopReason,
+};
 use tpi_testability::CopAnalysis;
 
 use crate::{DpConfig, DpOptimizer, Plan, TargetFault, Threshold, TpiError, TpiProblem};
+
+/// How candidate test points are scored by the search loops.
+///
+/// Both strategies produce **bit-identical plans** (property-tested):
+/// the batched evaluator shares the base circuit's detection state
+/// across candidates and re-simulates only each candidate's dirty cone,
+/// which provably cannot change any score (see
+/// [`tpi_sim::candidate`]). Legacy is kept as the A/B oracle.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum CandidateEval {
+    /// Compile-once batched scoring: validate groups against the base
+    /// circuit before cloning, simulate the base detection state once,
+    /// and pay only cone-sized work per candidate.
+    #[default]
+    Batched,
+    /// The historical clone-and-resimulate-everything loop.
+    Legacy,
+}
 
 /// Tuning for [`ConstructiveOptimizer`].
 #[derive(Clone, Debug)]
 pub struct ConstructiveConfig {
     /// Random patterns simulated per round (the per-round test budget).
+    /// Used in full by both the measurement and the candidate referee
+    /// (earlier versions silently clamped the referee to 4096 patterns;
+    /// the configured value is now respected everywhere).
     pub patterns_per_round: u64,
     /// Maximum insertion rounds.
     pub max_rounds: usize,
@@ -51,6 +76,13 @@ pub struct ConstructiveConfig {
     /// How many region plans (best benefit/cost first) to commit per
     /// round before re-simulating.
     pub regions_per_round: usize,
+    /// Candidate scoring strategy (plans are bit-identical either way).
+    pub candidate_eval: CandidateEval,
+    /// Worker threads for batched candidate scoring. The selected group
+    /// is bit-identical at every thread count; the default of 1 keeps
+    /// work-budget interruption points deterministic as well (workers
+    /// charge a shared budget concurrently above 1).
+    pub score_threads: usize,
 }
 
 impl Default for ConstructiveConfig {
@@ -63,6 +95,8 @@ impl Default for ConstructiveConfig {
             seed: 0xDAC_1987,
             dp: DpConfig::default(),
             regions_per_round: 4,
+            candidate_eval: CandidateEval::default(),
+            score_threads: 1,
         }
     }
 }
@@ -321,6 +355,13 @@ impl ConstructiveOptimizer {
     /// Score candidate point groups by fault-simulating the undetected
     /// set on a scratch copy (the classic "exact fault simulation based
     /// selection"), returning the best detections-per-cost group.
+    ///
+    /// Scoring uses the [`IndependentPatterns`] stream seeded
+    /// `seed ^ 0xe5ca`: its per-input words are invariant under the
+    /// auxiliary inputs control points insert, so every candidate —
+    /// and the batched evaluator's shared base run — sees the same
+    /// stimulus on the base inputs, which is what makes the two
+    /// [`CandidateEval`] strategies bit-identical.
     fn pick_by_simulation(
         &self,
         current: &Circuit,
@@ -331,41 +372,81 @@ impl ConstructiveOptimizer {
     ) -> Result<(Vec<TestPoint>, Option<StopReason>), TpiError> {
         let faults: Vec<tpi_sim::Fault> =
             undetected.iter().map(|&i| universe.faults()[i]).collect();
-        let costs = crate::CostModel::default();
-        let budget = self.config.patterns_per_round.min(4096);
-        let mut best: Option<(Vec<TestPoint>, f64)> = None;
-        for group in groups {
-            if group.is_empty() {
-                continue;
+        let budget = self.config.patterns_per_round;
+        let seed = self.config.seed ^ 0xe5ca;
+        match self.config.candidate_eval {
+            CandidateEval::Batched => {
+                let batch = score_candidate_groups(
+                    current,
+                    &faults,
+                    &groups,
+                    budget,
+                    seed,
+                    SimOptions::default(),
+                    self.config.score_threads,
+                    // The measurement stream differs from the scoring
+                    // stream, so base detections must be simulated.
+                    BaseDetections::Simulate,
+                    control,
+                )?;
+                if let Some(reason) = batch.stopped {
+                    // The referee was cut short: scores so far are not
+                    // comparable, so report nothing committed.
+                    return Ok((Vec::new(), Some(reason)));
+                }
+                let detected: Vec<Option<u64>> = batch.scores.iter().map(|s| s.detected).collect();
+                Ok((select_best_group(groups, &detected), None))
             }
-            let mut scratch = current.clone();
-            if group
-                .iter()
-                .any(|&tp| apply_test_point(&mut scratch, tp).is_err())
-            {
-                continue;
-            }
-            let mut sim = FaultSimulator::new(&scratch)?;
-            let mut src = RandomPatterns::new(scratch.inputs().len(), self.config.seed ^ 0xe5ca);
-            let run = sim.run_controlled(&mut src, budget, &faults, control)?;
-            if let Some(reason) = run.stopped {
-                // The referee was cut short: scores so far are not
-                // comparable, so report nothing committed.
-                return Ok((Vec::new(), Some(reason)));
-            }
-            let result = run.result;
-            let score = result.detected_count() as f64 / costs.total(&group).max(1e-9);
-            if score > 0.0
-                && best
-                    .as_ref()
-                    .map(|(_, s)| score > s + 1e-12)
-                    .unwrap_or(true)
-            {
-                best = Some((group, score));
+            CandidateEval::Legacy => {
+                let topo = Topology::of(current)?;
+                let mut detected: Vec<Option<u64>> = vec![None; groups.len()];
+                for (gi, group) in groups.iter().enumerate() {
+                    // Validate against the base circuit first: a group
+                    // that cannot apply must not cost a circuit clone.
+                    if group.is_empty() || !tpi_sim::candidate::group_applies(current, &topo, group)
+                    {
+                        continue;
+                    }
+                    let mut scratch = current.clone();
+                    if group
+                        .iter()
+                        .any(|&tp| apply_test_point(&mut scratch, tp).is_err())
+                    {
+                        continue;
+                    }
+                    let mut sim = FaultSimulator::new(&scratch)?;
+                    let mut src = IndependentPatterns::new(scratch.inputs().len(), seed);
+                    let run = sim.run_controlled(&mut src, budget, &faults, control)?;
+                    if let Some(reason) = run.stopped {
+                        // The referee was cut short: scores so far are
+                        // not comparable, so report nothing committed.
+                        return Ok((Vec::new(), Some(reason)));
+                    }
+                    detected[gi] = Some(run.result.detected_count() as u64);
+                }
+                Ok((select_best_group(groups, &detected), None))
             }
         }
-        Ok((best.map(|(group, _)| group).unwrap_or_default(), None))
     }
+}
+
+/// Deterministic winner selection shared by both scoring strategies:
+/// detections per cost, strictly positive, earlier group winning ties
+/// within `1e-12`.
+fn select_best_group(groups: Vec<Vec<TestPoint>>, detected: &[Option<u64>]) -> Vec<TestPoint> {
+    let costs = crate::CostModel::default();
+    let mut best: Option<(usize, f64)> = None;
+    for (gi, group) in groups.iter().enumerate() {
+        let Some(count) = detected[gi] else {
+            continue;
+        };
+        let score = count as f64 / costs.total(group).max(1e-9);
+        if score > 0.0 && best.map(|(_, s)| score > s + 1e-12).unwrap_or(true) {
+            best = Some((gi, score));
+        }
+    }
+    best.map(|(gi, _)| groups.into_iter().nth(gi).expect("index in range"))
+        .unwrap_or_default()
 }
 
 /// Candidate test points aimed at specific undetected faults: observe the

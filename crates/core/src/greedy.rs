@@ -1,8 +1,10 @@
+use tpi_netlist::transform::apply_plan;
 use tpi_netlist::{TestPoint, TestPointKind, Topology};
 use tpi_sim::{RunControl, StopReason};
+use tpi_testability::{CopAnalysis, CopProbe};
 
 use crate::evaluate::PlanEvaluator;
-use crate::{Plan, TpiError, TpiProblem};
+use crate::{CandidateEval, Plan, TpiError, TpiProblem};
 
 /// Tuning for [`GreedyOptimizer`].
 #[derive(Clone, Debug)]
@@ -13,6 +15,11 @@ pub struct GreedyConfig {
     pub max_cost: f64,
     /// Candidate kinds tried at every node.
     pub kinds: Vec<TestPointKind>,
+    /// Candidate scoring path: incremental cone-delta COP probes
+    /// (default) or the legacy full `apply_plan` + whole-circuit
+    /// re-analysis per candidate. Both select bit-identical plans; legacy
+    /// is kept as the A/B oracle behind `--candidate-eval legacy`.
+    pub candidate_eval: CandidateEval,
 }
 
 impl Default for GreedyConfig {
@@ -26,6 +33,7 @@ impl Default for GreedyConfig {
                 TestPointKind::ControlOr,
                 TestPointKind::Full,
             ],
+            candidate_eval: CandidateEval::default(),
         }
     }
 }
@@ -89,6 +97,13 @@ impl GreedyOptimizer {
             .collect();
 
         let delta = problem.threshold().value();
+        // Stem-fault sites probed by the incremental evaluator, in target
+        // order (so probability vectors align with `PlanEval`).
+        let target_sites: Vec<(tpi_netlist::NodeId, bool)> = problem
+            .targets()
+            .iter()
+            .map(|t| (t.node, t.stuck))
+            .collect();
         // Total log₂ shortfall of unmet faults: the plateau tie-breaker —
         // when no single point pushes a fault over the threshold, make the
         // move that shrinks the aggregate gap fastest.
@@ -113,20 +128,13 @@ impl GreedyOptimizer {
             }
             // (candidate, gained-per-cost, deficit-reduction-per-cost)
             let mut best: Option<(TestPoint, f64, f64)> = None;
-            for id in circuit.node_ids() {
-                for &kind in &self.config.kinds {
-                    if kind != TestPointKind::Observe && !controllable[id.index()] {
-                        continue;
-                    }
-                    let candidate = TestPoint::new(id, kind);
-                    plan.push(candidate);
-                    let eval = evaluator.evaluate(&plan)?;
-                    plan.pop();
-                    let cost = costs.of(kind);
-                    let gained = eval.meeting.saturating_sub(current.meeting) as f64 / cost;
-                    let relief = (current_deficit - deficit(&eval.probabilities)) / cost;
+            {
+                let mut consider = |candidate: TestPoint, meeting: usize, probs: &[f64]| {
+                    let cost = costs.of(candidate.kind);
+                    let gained = meeting.saturating_sub(current.meeting) as f64 / cost;
+                    let relief = (current_deficit - deficit(probs)) / cost;
                     if gained <= 0.0 && relief <= 1e-9 {
-                        continue;
+                        return;
                     }
                     let better = match best {
                         None => true,
@@ -137,6 +145,38 @@ impl GreedyOptimizer {
                     };
                     if better {
                         best = Some((candidate, gained, relief));
+                    }
+                };
+                if self.config.candidate_eval == CandidateEval::Batched {
+                    // One full analysis of the committed-plan circuit per
+                    // round, then O(cone) probes per candidate.
+                    let (cur, _) = apply_plan(circuit, &plan)?;
+                    let cur_topo = Topology::of(&cur)?;
+                    let cur_cop = CopAnalysis::with_input_probs(&cur, problem.input_probs())?;
+                    let mut probe = CopProbe::new(&cur, &cur_topo, &cur_cop, &target_sites);
+                    for id in circuit.node_ids() {
+                        for &kind in &self.config.kinds {
+                            if kind != TestPointKind::Observe && !controllable[id.index()] {
+                                continue;
+                            }
+                            let candidate = TestPoint::new(id, kind);
+                            let probs = probe.probe(candidate)?;
+                            let meeting = probs.iter().filter(|&&p| p >= delta - 1e-12).count();
+                            consider(candidate, meeting, &probs);
+                        }
+                    }
+                } else {
+                    for id in circuit.node_ids() {
+                        for &kind in &self.config.kinds {
+                            if kind != TestPointKind::Observe && !controllable[id.index()] {
+                                continue;
+                            }
+                            let candidate = TestPoint::new(id, kind);
+                            plan.push(candidate);
+                            let eval = evaluator.evaluate(&plan)?;
+                            plan.pop();
+                            consider(candidate, eval.meeting, &eval.probabilities);
+                        }
                     }
                 }
             }
@@ -203,9 +243,7 @@ mod tests {
         assert!(plan.len() <= 2);
     }
 
-    #[test]
-    fn works_on_reconvergent_circuits() {
-        // Greedy (unlike the DP) accepts fanout.
+    fn recon() -> tpi_netlist::Circuit {
         let mut b = CircuitBuilder::new("recon");
         let xs = b.inputs(6, "x");
         let stem = b.balanced_tree(GateKind::And, &xs[..4], "s").unwrap();
@@ -213,10 +251,32 @@ mod tests {
         let g2 = b.gate(GateKind::And, vec![stem, xs[5]], "g2").unwrap();
         let y = b.gate(GateKind::Or, vec![g1, g2], "y").unwrap();
         b.output(y);
-        let c = b.finish().unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn works_on_reconvergent_circuits() {
+        // Greedy (unlike the DP) accepts fanout.
+        let c = recon();
         let p = TpiProblem::min_cost(&c, Threshold::from_log2(-4.0)).unwrap();
         let plan = GreedyOptimizer::default().solve(&p).unwrap();
         assert!(plan.is_feasible(), "plan: {plan}");
+    }
+
+    #[test]
+    fn batched_probe_selects_bit_identical_plans() {
+        use crate::CandidateEval;
+        for (c, log2) in [(and_cone(16), -6.0), (recon(), -4.0), (and_cone(32), -3.0)] {
+            let p = TpiProblem::min_cost(&c, Threshold::from_log2(log2)).unwrap();
+            let legacy = GreedyOptimizer::new(GreedyConfig {
+                candidate_eval: CandidateEval::Legacy,
+                ..GreedyConfig::default()
+            })
+            .solve(&p)
+            .unwrap();
+            let batched = GreedyOptimizer::default().solve(&p).unwrap();
+            assert_eq!(legacy, batched, "circuit {}", c.name());
+        }
     }
 
     #[test]

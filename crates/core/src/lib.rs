@@ -80,6 +80,7 @@ pub use cost::CostModel;
 pub use dp::{DpConfig, DpOptimizer, DpStats};
 pub use error::TpiError;
 pub use exact::{ExactOptimizer, ExactStats};
+pub use general::CandidateEval;
 pub use greedy::{GreedyConfig, GreedyOptimizer};
 pub use plan::Plan;
 pub use problem::{TargetFault, Threshold, TpiProblem};

@@ -37,6 +37,11 @@ impl InsertionReport {
         let before = evaluator.evaluate(&[])?;
         let after = evaluator.evaluate(plan.test_points())?;
         let circuit = problem.circuit();
+        // Name points against the fully-applied circuit: a plan may place a
+        // later point on a node created by an earlier point (node ids are
+        // stable under the transforms), so the base circuit does not
+        // necessarily know every referenced id.
+        let (applied, _) = tpi_netlist::transform::apply_plan(circuit, plan.test_points())?;
         let point_lines = plan
             .test_points()
             .iter()
@@ -44,7 +49,7 @@ impl InsertionReport {
                 format!(
                     "{} at `{}` (cost {:.2})",
                     tp.kind,
-                    circuit.node_name(tp.node),
+                    applied.node_name(tp.node),
                     problem.costs().of(tp.kind)
                 )
             })

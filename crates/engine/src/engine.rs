@@ -4,7 +4,8 @@ use std::sync::Arc;
 
 use tpi_core::general::{extract_region, gather_candidates, ConstructiveOutcome, RoundReport};
 use tpi_core::{
-    CostModel, DpConfig, DpOptimizer, Plan, TargetFault, Threshold, TpiError, TpiProblem,
+    CandidateEval, CostModel, DpConfig, DpOptimizer, Plan, TargetFault, Threshold, TpiError,
+    TpiProblem,
 };
 use tpi_netlist::analysis::fanout_cone_mask;
 use tpi_netlist::ffr::FfrDecomposition;
@@ -12,8 +13,9 @@ use tpi_netlist::transform::{apply_test_point, AppliedTestPoint};
 use tpi_netlist::{Circuit, NodeId, TestPoint, Topology};
 use tpi_obs::{Counter, Histogram, Registry};
 use tpi_sim::{
-    BackendChoice, DetectionMode, FaultSimResult, FaultSimulator, FaultSite, FaultUniverse,
-    IndependentPatterns, RunControl, SimOptions, StopReason,
+    score_candidate_groups, BackendChoice, BaseDetections, DetectionMode, FaultSimResult,
+    FaultSimulator, FaultSite, FaultUniverse, IndependentPatterns, RunControl, SimOptions,
+    StopReason,
 };
 use tpi_testability::CopAnalysis;
 
@@ -45,6 +47,15 @@ pub struct EngineConfig {
     /// is bit-identical). The resolved backend is published as the
     /// `sim.backend` gauge.
     pub simd_backend: BackendChoice,
+    /// Candidate-group scoring path: the batched scorer (default) shares
+    /// the base detection state and simulates only each group's dirty
+    /// faults; `legacy` re-simulates every undetected fault per group.
+    /// Both select bit-identical groups.
+    pub candidate_eval: CandidateEval,
+    /// Worker threads for batched candidate scoring (1 = sequential).
+    /// The merge is group-index-ordered, so the selected group is
+    /// bit-identical at every thread count.
+    pub score_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +67,8 @@ impl Default for EngineConfig {
             block_words: 0,
             detection: DetectionMode::default(),
             simd_backend: BackendChoice::default(),
+            candidate_eval: CandidateEval::default(),
+            score_threads: 1,
         }
     }
 }
@@ -106,6 +119,12 @@ struct EngineMetrics {
     full_sim_us: Arc<Histogram>,
     /// Wall clock of incremental (dirty-cone) runs, microseconds.
     incremental_sim_us: Arc<Histogram>,
+    /// Candidate groups scored by the search referee.
+    candidates_evaluated: Arc<Counter>,
+    /// Referee rounds (one `pick_by_simulation` call each).
+    search_rounds: Arc<Counter>,
+    /// Wall clock of one candidate group's evaluation, microseconds.
+    candidate_eval_us: Arc<Histogram>,
 }
 
 impl EngineMetrics {
@@ -122,6 +141,9 @@ impl EngineMetrics {
             dirty_cone_faults: registry.histogram("engine.dirty_cone_faults"),
             full_sim_us: registry.histogram("engine.full_sim_us"),
             incremental_sim_us: registry.histogram("engine.incremental_sim_us"),
+            candidates_evaluated: registry.counter("search.candidates_evaluated"),
+            search_rounds: registry.counter("search.rounds"),
+            candidate_eval_us: registry.histogram("search.candidate_eval_us"),
             registry,
         }
     }
@@ -805,12 +827,23 @@ impl TpiEngine {
         groups: Vec<Vec<TestPoint>>,
     ) -> Result<(Vec<TestPoint>, Option<StopReason>), TpiError> {
         let costs = CostModel::default();
-        let budget = self.config.patterns.min(4096);
+        // The configured pattern budget, unclamped (an undocumented
+        // `min(4096)` used to cap it silently). Scoring with exactly the
+        // measurement budget is also what entitles the batched scorer to
+        // skip the base reference run: a fault the measurement left
+        // undetected stays undetected under the same stream/seed/count.
+        let budget = self.config.patterns;
+        self.metrics.search_rounds.inc();
+        if self.config.candidate_eval == CandidateEval::Batched {
+            return self.pick_batched(undetected, groups, budget, &costs);
+        }
         let mut best: Option<(Vec<TestPoint>, f64)> = None;
         for group in groups {
             if group.is_empty() {
                 continue;
             }
+            self.metrics.candidates_evaluated.inc();
+            let started = std::time::Instant::now();
             let old_nodes = self.circuit.node_count();
             let mut scratch = self.circuit.clone();
             let mut observed: Vec<NodeId> = Vec::new();
@@ -825,6 +858,9 @@ impl TpiEngine {
                 }
             }
             if broken {
+                self.metrics
+                    .candidate_eval_us
+                    .record_duration(started.elapsed());
                 continue;
             }
             let topo = Topology::of(&scratch)?;
@@ -835,6 +871,9 @@ impl TpiEngine {
                 .filter(|&f| dirty[fault_line(&scratch, f).index()])
                 .collect();
             if faults.is_empty() {
+                self.metrics
+                    .candidate_eval_us
+                    .record_duration(started.elapsed());
                 continue;
             }
             let mut sim = FaultSimulator::with_options(&scratch, self.sim_options())?;
@@ -842,6 +881,9 @@ impl TpiEngine {
             let run = sim.run_controlled(&mut src, budget, &faults, &self.control)?;
             run.counters.publish_to(&self.metrics.registry);
             sim.backend().publish_to(&self.metrics.registry);
+            self.metrics
+                .candidate_eval_us
+                .record_duration(started.elapsed());
             if let Some(reason) = run.stopped {
                 // The referee was cut short: scores so far are not
                 // comparable, so report nothing committed.
@@ -859,6 +901,66 @@ impl TpiEngine {
             }
         }
         Ok((best.map(|(group, _)| group).unwrap_or_default(), None))
+    }
+
+    /// Batched referee: validate groups without cloning, share the base
+    /// detection state, simulate only each group's dirty faults
+    /// (optionally across a worker pool) and select by the same
+    /// detections-per-cost rule as the legacy loop. A group whose dirty
+    /// set is empty scores zero — exactly the legacy `continue`, since
+    /// selection requires a strictly positive score.
+    fn pick_batched(
+        &mut self,
+        undetected: &[usize],
+        mut groups: Vec<Vec<TestPoint>>,
+        budget: u64,
+        costs: &CostModel,
+    ) -> Result<(Vec<TestPoint>, Option<StopReason>), TpiError> {
+        let faults: Vec<tpi_sim::Fault> = undetected
+            .iter()
+            .map(|&i| self.universe.faults()[i])
+            .collect();
+        let batch = score_candidate_groups(
+            &self.circuit,
+            &faults,
+            &groups,
+            budget,
+            self.config.seed,
+            self.sim_options(),
+            self.config.score_threads,
+            BaseDetections::AssumeUndetected,
+            &self.control,
+        )?;
+        batch.counters.publish_to(&self.metrics.registry);
+        for (group, score) in groups.iter().zip(&batch.scores) {
+            if !group.is_empty() {
+                self.metrics.candidates_evaluated.inc();
+                self.metrics.candidate_eval_us.record(score.eval_us);
+            }
+        }
+        if let Some(reason) = batch.stopped {
+            return Ok((Vec::new(), Some(reason)));
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (gi, group_score) in batch.scores.iter().enumerate() {
+            let Some(detected) = group_score.detected else {
+                continue;
+            };
+            let score = detected as f64 / costs.total(&groups[gi]).max(1e-9);
+            if score > 0.0
+                && best
+                    .as_ref()
+                    .map(|&(_, s)| score > s + 1e-12)
+                    .unwrap_or(true)
+            {
+                best = Some((gi, score));
+            }
+        }
+        Ok((
+            best.map(|(gi, _)| std::mem::take(&mut groups[gi]))
+                .unwrap_or_default(),
+            None,
+        ))
     }
 }
 

@@ -54,6 +54,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod candidate;
 pub mod collapse;
 mod compile;
 mod control;
@@ -70,11 +71,12 @@ mod patterns;
 mod simd;
 mod weighted;
 
+pub use candidate::{score_candidate_groups, BaseDetections, BatchScores, GroupScore};
 pub use compile::{block_words_supported, DEFAULT_BLOCK_WORDS, MAX_BLOCK_WORDS};
 pub use control::{ControlledRun, RunControl, StopReason};
 pub use coverage::{CoveragePoint, FaultSimResult};
 pub use fault::{Fault, FaultSite, FaultUniverse};
-pub use fsim::{DetectionMode, FaultSimulator, SimOptions};
+pub use fsim::{BitmapRun, DetectionMode, FaultSimulator, SimOptions};
 pub use lfsr::{Lfsr, LfsrPatterns};
 pub use logic::LogicSim;
 pub use metrics::SimCounters;

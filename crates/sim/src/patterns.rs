@@ -130,8 +130,12 @@ impl IndependentPatterns {
     }
 
     /// The word for input `i` in block `b` — a pure function of
-    /// `(seed, i, b)`.
-    fn word(seed: u64, input: u64, block: u64) -> u64 {
+    /// `(seed, i, b)`. Crate-visible so the batched candidate scorer can
+    /// materialise the exact stream any candidate circuit's aux input
+    /// would see (each single-point candidate appends exactly one input,
+    /// so its index and therefore its stream are known without building
+    /// the candidate).
+    pub(crate) fn word(seed: u64, input: u64, block: u64) -> u64 {
         // SplitMix64 finalizer over a mixed counter; full 64-bit
         // avalanche keeps lanes statistically independent.
         let mut z = seed

@@ -145,6 +145,22 @@ impl CopAnalysis {
         self.pin_obs[gate.index()][pin as usize]
     }
 
+    /// Raw per-node 1-probabilities, indexed by node id (for the
+    /// incremental probe in [`crate::cop_delta`]).
+    pub(crate) fn c1_raw(&self) -> &[f64] {
+        &self.c1
+    }
+
+    /// Raw per-node observabilities, indexed by node id.
+    pub(crate) fn obs_raw(&self) -> &[f64] {
+        &self.obs
+    }
+
+    /// Raw per-gate branch observabilities, indexed by node id then pin.
+    pub(crate) fn pin_obs_raw(&self) -> &[Vec<f64>] {
+        &self.pin_obs
+    }
+
     /// Estimated probability that one random pattern detects `fault`:
     /// excitation × observability. Exact on trees.
     ///

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod cop;
+pub mod cop_delta;
 pub mod detect;
 pub mod profile;
 mod scoap;
@@ -48,5 +49,6 @@ mod stafan;
 pub mod testlen;
 
 pub use cop::CopAnalysis;
+pub use cop_delta::CopProbe;
 pub use scoap::ScoapAnalysis;
 pub use stafan::StafanAnalysis;

@@ -80,6 +80,40 @@ assert isinstance(summary["elapsed_ms"], int), summary
 print("batch metrics: ok (per-status split and histograms present)")
 EOF
 
+# ---- insert --metrics-out: search-referee counters present. ----
+# A 16-wide AND cone is random-pattern resistant enough that the
+# constructive engine must referee at least one candidate round.
+python3 - > "$dir/cone.bench" <<'EOF'
+n = 16
+print("\n".join(f"INPUT(x{i})" for i in range(n)))
+layer = [f"x{i}" for i in range(n)]
+g = 0
+while len(layer) > 1:
+    nxt = []
+    for i in range(0, len(layer), 2):
+        print(f"g{g} = AND({layer[i]}, {layer[i + 1]})")
+        nxt.append(f"g{g}")
+        g += 1
+    layer = nxt
+print(f"OUTPUT({layer[0]})")
+EOF
+"$TPI" insert "$dir/cone.bench" --log2-threshold -8 --method constructive \
+  --metrics-out "$dir/insert.json" > /dev/null
+python3 - "$dir/insert.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rounds = doc["search.rounds"]
+assert rounds["type"] == "counter" and rounds["value"] >= 1, rounds
+cands = doc["search.candidates_evaluated"]
+assert cands["type"] == "counter" and cands["value"] >= 1, cands
+hist = doc["search.candidate_eval_us"]
+assert hist["type"] == "histogram", hist
+assert hist["count"] == cands["value"], (hist, cands)
+for lo, n in hist["buckets"]:
+    assert isinstance(lo, int) and isinstance(n, int), hist
+print("insert metrics: ok (search referee counters and eval-time histogram)")
+EOF
+
 # ---- tpi stats renders the snapshot as a table. ----
 "$TPI" stats "$dir/sim.json" | tee "$dir/table.txt" | head -n 3
 grep -q '^metric' "$dir/table.txt"

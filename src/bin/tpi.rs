@@ -7,6 +7,7 @@
 //!              [--simd-backend auto|scalar|avx2|avx512] [--metrics-out FILE]
 //! tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]
 //!              [--method dp|greedy|constructive|constructive-baseline]
+//!              [--candidate-eval batched|legacy] [--score-threads N]
 //!              [--threads N] [--block-words auto|W] [--detection cpt|explicit]
 //!              [--simd-backend auto|scalar|avx2|avx512] [--deadline-ms MS]
 //!              [--out FILE] [--verilog FILE] [--metrics-out FILE]
@@ -29,7 +30,9 @@ use std::process::ExitCode;
 use krishnamurthy_tpi::atpg::{redundancy, topoff, PodemConfig};
 use krishnamurthy_tpi::core::general::{ConstructiveConfig, ConstructiveOptimizer};
 use krishnamurthy_tpi::core::report::InsertionReport;
-use krishnamurthy_tpi::core::{DpOptimizer, GreedyOptimizer, Threshold, TpiProblem};
+use krishnamurthy_tpi::core::{
+    CandidateEval, DpOptimizer, GreedyConfig, GreedyOptimizer, Threshold, TpiProblem,
+};
 use krishnamurthy_tpi::engine::{
     batch, json::Json, serve, EngineConfig, OptimizeConfig, RunControl, SharedMemoConfig, TpiEngine,
 };
@@ -88,6 +91,7 @@ fn print_usage() {
          [--simd-backend auto|scalar|avx2|avx512] [--metrics-out FILE]\n  \
          tpi insert   <file.bench> [--log2-threshold E | --test-length L --confidence C]\n           \
          [--method dp|greedy|constructive|constructive-baseline] [--threads N]\n           \
+         [--candidate-eval batched|legacy] [--score-threads N]\n           \
          [--block-words auto|W] [--detection cpt|explicit]\n           \
          [--simd-backend auto|scalar|avx2|avx512] [--deadline-ms MS]\n           \
          [--out FILE] [--verilog FILE] [--metrics-out FILE]\n  \
@@ -347,6 +351,22 @@ fn insert(args: &[String]) -> Result<(), String> {
     };
     let method = flags.get("method").unwrap_or("dp");
     let threads: usize = flags.num("threads", default_threads())?;
+    // `--candidate-eval`: batched compile-once scoring (default) vs the
+    // legacy per-candidate full re-evaluation, kept as the A/B oracle.
+    // Both paths select bit-identical plans.
+    let candidate_eval = match flags.get("candidate-eval").unwrap_or("batched") {
+        "batched" => CandidateEval::Batched,
+        "legacy" => CandidateEval::Legacy,
+        other => {
+            return Err(format!(
+                "bad --candidate-eval `{other}` (expected batched|legacy)"
+            ))
+        }
+    };
+    let score_threads: usize = flags.num("score-threads", 1)?;
+    if score_threads == 0 {
+        return Err("--score-threads must be ≥ 1".into());
+    }
     let options = sim_options_flags(&flags)?;
     // `--deadline-ms`: run the optimizer under a RunControl deadline; an
     // interrupted run still commits its best-so-far prefix plan
@@ -371,9 +391,12 @@ fn insert(args: &[String]) -> Result<(), String> {
                 format!("{e}\nhint: for reconvergent circuits use --method constructive")
             })?,
         "greedy" => {
-            let (plan, stopped) = GreedyOptimizer::default()
-                .solve_controlled(&problem, &control)
-                .map_err(|e| e.to_string())?;
+            let (plan, stopped) = GreedyOptimizer::new(GreedyConfig {
+                candidate_eval,
+                ..GreedyConfig::default()
+            })
+            .solve_controlled(&problem, &control)
+            .map_err(|e| e.to_string())?;
             interrupted = stopped;
             plan
         }
@@ -387,6 +410,8 @@ fn insert(args: &[String]) -> Result<(), String> {
                     block_words: options.block_words,
                     detection: options.detection,
                     simd_backend: options.backend,
+                    candidate_eval,
+                    score_threads,
                     ..EngineConfig::default()
                 },
                 registry.clone(),
@@ -409,9 +434,13 @@ fn insert(args: &[String]) -> Result<(), String> {
             outcome.plan
         }
         "constructive-baseline" => {
-            let outcome = ConstructiveOptimizer::new(ConstructiveConfig::default())
-                .solve_controlled(&circuit, threshold, &control)
-                .map_err(|e| e.to_string())?;
+            let outcome = ConstructiveOptimizer::new(ConstructiveConfig {
+                candidate_eval,
+                score_threads,
+                ..ConstructiveConfig::default()
+            })
+            .solve_controlled(&circuit, threshold, &control)
+            .map_err(|e| e.to_string())?;
             interrupted = outcome.interrupted;
             outcome.plan
         }
